@@ -1,0 +1,144 @@
+//===- bench/microbench.cpp - library component microbenchmarks ---------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks of the library's own hot paths: the
+// point of the paper's method is that the *static* pipeline (codegen +
+// profile + resource estimate + occupancy + metrics + Pareto) is orders
+// of magnitude cheaper than measuring a configuration, so those paths
+// are worth tracking.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Occupancy.h"
+#include "core/Pareto.h"
+#include "emu/Emulator.h"
+#include "kernels/MatMul.h"
+#include "metrics/Metrics.h"
+#include "ptx/ResourceEstimator.h"
+#include "ptx/StaticProfile.h"
+#include "sim/Simulator.h"
+#include "sim/Trace.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace g80;
+
+namespace {
+
+const MatMulApp &matmul() {
+  static MatMulApp App(MatMulProblem::bench());
+  return App;
+}
+
+ConfigPoint exampleConfig() { return {16, 2, 4, 1, 0}; }
+
+void BM_OccupancyCalc(benchmark::State &State) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  unsigned Regs = 10;
+  for (auto _ : State) {
+    Occupancy O = computeOccupancy(M, 256, {Regs, 4096});
+    benchmark::DoNotOptimize(O);
+    Regs = Regs % 32 + 1;
+  }
+}
+BENCHMARK(BM_OccupancyCalc);
+
+void BM_KernelGeneration(benchmark::State &State) {
+  for (auto _ : State) {
+    Kernel K = matmul().buildKernel(exampleConfig());
+    benchmark::DoNotOptimize(K.numVRegs());
+  }
+}
+BENCHMARK(BM_KernelGeneration);
+
+void BM_StaticProfile(benchmark::State &State) {
+  Kernel K = matmul().buildKernel(exampleConfig());
+  for (auto _ : State) {
+    StaticProfile P = computeStaticProfile(K);
+    benchmark::DoNotOptimize(P.DynInstrs);
+  }
+}
+BENCHMARK(BM_StaticProfile);
+
+void BM_RegisterEstimate(benchmark::State &State) {
+  Kernel K = matmul().buildKernel(exampleConfig());
+  for (auto _ : State) {
+    unsigned R = estimateRegisters(K);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_RegisterEstimate);
+
+void BM_FullMetricPipeline(benchmark::State &State) {
+  // What replaces one hardware measurement: codegen + everything static.
+  MachineModel M = MachineModel::geForce8800Gtx();
+  for (auto _ : State) {
+    Kernel K = matmul().buildKernel(exampleConfig());
+    KernelMetrics KM =
+        computeKernelMetrics(K, matmul().launch(exampleConfig()), M);
+    benchmark::DoNotOptimize(KM.Efficiency);
+  }
+}
+BENCHMARK(BM_FullMetricPipeline);
+
+void BM_TraceBuild(benchmark::State &State) {
+  Kernel K = matmul().buildKernel(exampleConfig());
+  for (auto _ : State) {
+    TraceProgram P = buildTrace(K);
+    benchmark::DoNotOptimize(P.Entries.size());
+  }
+}
+BENCHMARK(BM_TraceBuild);
+
+void BM_ParetoFront(benchmark::State &State) {
+  Rng R(42);
+  std::vector<std::array<double, 2>> Points(size_t(State.range(0)));
+  for (auto &P : Points)
+    P = {R.nextDouble(), R.nextDouble()};
+  for (auto _ : State) {
+    auto F = paretoFront(Points);
+    benchmark::DoNotOptimize(F.size());
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_ParetoFront)->Range(64, 16384)->Complexity();
+
+void BM_SimulateSmallMatMul(benchmark::State &State) {
+  // One measurement at a reduced problem size, for the static/measured
+  // cost ratio.
+  MatMulApp App(MatMulProblem{128});
+  Kernel K = App.buildKernel(exampleConfig());
+  MachineModel M = MachineModel::geForce8800Gtx();
+  for (auto _ : State) {
+    SimResult R = simulateKernel(K, App.launch(exampleConfig()), M);
+    benchmark::DoNotOptimize(R.Cycles);
+  }
+}
+BENCHMARK(BM_SimulateSmallMatMul);
+
+void BM_EmulateTinyMatMul(benchmark::State &State) {
+  MatMulApp App(MatMulProblem{32});
+  ConfigPoint P = {16, 1, 0, 0, 0};
+  for (auto _ : State) {
+    double Err = App.verifyConfig(P);
+    benchmark::DoNotOptimize(Err);
+  }
+}
+BENCHMARK(BM_EmulateTinyMatMul);
+
+void BM_SpaceEnumeration(benchmark::State &State) {
+  const ConfigSpace &S = matmul().space();
+  for (auto _ : State) {
+    auto Points = S.enumerate();
+    benchmark::DoNotOptimize(Points.size());
+  }
+}
+BENCHMARK(BM_SpaceEnumeration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+//===- bench/table1_machine.cpp - Tables 1 & 2: the machine model ------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Table 1 (memory properties) and Table 2 (resource limits)
+// of the paper as the machine description the whole library computes
+// from, plus the §2.1 derived quantities (peak GFLOPS, bytes/cycle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+#include "support/Format.h"
+#include "support/TextTable.h"
+
+#include <iostream>
+
+using namespace g80;
+
+int main() {
+  MachineModel M = MachineModel::geForce8800Gtx();
+
+  std::cout << "=== Table 2: Constraints of GeForce 8800 and CUDA ===\n\n";
+  TextTable T2;
+  T2.setHeader({"Resource or Configuration Parameter", "Limit", "Paper"});
+  T2.addRow({"Threads per SM", fmtInt(M.MaxThreadsPerSM), "768 threads"});
+  T2.addRow({"Thread Blocks per SM", fmtInt(M.MaxBlocksPerSM), "8 blocks"});
+  T2.addRow({"32-bit Registers per SM", fmtInt(M.RegistersPerSM),
+             "8,192 registers"});
+  T2.addRow({"Shared Memory per SM (bytes)", fmtInt(M.SharedMemPerSMBytes),
+             "16,384 bytes"});
+  T2.addRow({"Threads per Thread Block", fmtInt(M.MaxThreadsPerBlock),
+             "512 threads"});
+  T2.print(std::cout);
+
+  std::cout << "\n=== Table 1: Memory properties (modeled) ===\n\n";
+  TextTable T1;
+  T1.setHeader({"Memory", "Latency (cycles)", "Notes"});
+  T1.addRow({"Global", fmtInt(M.GlobalLatencyCycles),
+             "paper: 200-300; bandwidth " +
+                 fmtDouble(M.GlobalBandwidthGBps, 1) + " GB/s"});
+  T1.addRow({"Shared", fmtInt(M.SharedLatencyCycles),
+             "~register latency, 16KB/SM"});
+  T1.addRow({"Constant", fmtInt(M.ConstLatencyCycles),
+             "~register latency on hit, " +
+                 fmtInt(M.ConstCacheBytesPerSM) + "B cache/SM"});
+  T1.addRow({"Texture", fmtInt(M.TexLatencyCycles),
+             "paper: >100 cycles; cache-served"});
+  T1.addRow({"Local", fmtInt(M.GlobalLatencyCycles), "same as global"});
+  T1.print(std::cout);
+
+  std::cout << "\n=== Derived (section 2.1) ===\n\n";
+  TextTable TD;
+  TD.setHeader({"Quantity", "Value", "Paper"});
+  TD.addRow({"Peak GFLOPS", fmtDouble(M.peakGflops(), 1),
+             "388.8 (16 SM * 18 FLOP/SM * 1.35GHz)"});
+  TD.addRow({"Global bytes / SP clock", fmtDouble(M.globalBytesPerCycle(), 1),
+             "86.4 GB/s at 1.35 GHz"});
+  TD.addRow({"Issue cycles / warp instr",
+             fmtInt(M.issueCyclesPerWarpInstr()),
+             "4 (32-thread warp on 8 SPs)"});
+  TD.addRow({"SMs / SPs per SM / SFUs per SM",
+             fmtInt(M.NumSMs) + " / " + fmtInt(M.SPsPerSM) + " / " +
+                 fmtInt(M.SFUsPerSM),
+             "16 / 8 / 2"});
+  TD.print(std::cout);
+  return 0;
+}

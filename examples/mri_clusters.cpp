@@ -1,0 +1,74 @@
+//===- examples/mri_clusters.cpp - §5.2 metric clusters in practice -----------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's §5.2 observation, hands-on: MRI-FHD configurations fall
+// into clusters of seven (the "work per kernel invocation" values leave
+// both metrics untouched), in-cluster run-time differences are small,
+// and it therefore suffices to measure a single representative per
+// cluster.  This example prints the clusters on the Pareto curve, the
+// run-time spread inside each, and compares the cluster-representative
+// search against the full Pareto search.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Cluster.h"
+#include "core/Search.h"
+#include "kernels/MriFhd.h"
+#include "support/Format.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <iostream>
+
+using namespace g80;
+
+int main() {
+  MriFhdApp App(MriProblem::bench());
+  SearchEngine Engine(App, MachineModel::geForce8800Gtx());
+
+  // Measure the whole Pareto subset, then look inside its clusters.
+  SearchOutcome Pruned = Engine.paretoPruned();
+  std::vector<std::vector<size_t>> Clusters =
+      clusterByMetrics(Pruned.Evals, Pruned.Candidates);
+
+  std::cout << "MRI-FHD Pareto subset: " << Pruned.Candidates.size()
+            << " configurations in " << Clusters.size()
+            << " metric clusters\n\n";
+
+  TextTable T;
+  T.setHeader({"cluster (tpb, unroll)", "members", "min (ms)", "max (ms)",
+               "spread"});
+  for (const std::vector<size_t> &C : Clusters) {
+    double Min = 1e300, Max = 0;
+    for (size_t I : C) {
+      double Ms = Pruned.Evals[I].TimeSeconds * 1e3;
+      Min = std::min(Min, Ms);
+      Max = std::max(Max, Ms);
+    }
+    const ConfigPoint &P0 = Pruned.Evals[C.front()].Point;
+    T.addRow({"tpb=" + fmtInt(App.space().valueOf(P0, "tpb")) +
+                  " unroll=" + fmtInt(App.space().valueOf(P0, "unroll")),
+              fmtInt(uint64_t(C.size())), fmtDouble(Min, 3),
+              fmtDouble(Max, 3), fmtPercent(Max / Min - 1.0)});
+  }
+  T.print(std::cout);
+
+  // One representative per cluster (§5.2's proposal).
+  SearchOutcome Clustered = Engine.paretoClustered();
+  std::cout << "\nfull Pareto search:   " << Pruned.Candidates.size()
+            << " measurements, best "
+            << fmtDouble(Pruned.BestTime * 1e3, 3) << " ms\n"
+            << "one-per-cluster:      " << Clustered.Candidates.size()
+            << " measurements, best "
+            << fmtDouble(Clustered.BestTime * 1e3, 3) << " ms ("
+            << fmtPercent(Clustered.BestTime / Pruned.BestTime - 1.0)
+            << " off)\n\n"
+            << "The paper reports at most 7.1% spread within a cluster "
+               "and 0.2% between the median member and the optimum — "
+               "measuring one member per cluster is nearly free of "
+               "risk.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- arch/LaunchConfig.h - Kernel launch geometry ------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Grid and block dimensions for a kernel launch, mirroring CUDA's
+/// dim3-based <<<grid, block>>> geometry (§2.1's grid / thread block /
+/// warp hierarchy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_ARCH_LAUNCHCONFIG_H
+#define G80TUNE_ARCH_LAUNCHCONFIG_H
+
+#include <cstdint>
+
+namespace g80 {
+
+/// A 3-component extent, like CUDA's dim3.
+struct Dim3 {
+  unsigned X = 1, Y = 1, Z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(unsigned X, unsigned Y = 1, unsigned Z = 1)
+      : X(X), Y(Y), Z(Z) {}
+
+  constexpr uint64_t count() const {
+    return static_cast<uint64_t>(X) * Y * Z;
+  }
+
+  friend constexpr bool operator==(const Dim3 &A, const Dim3 &B) {
+    return A.X == B.X && A.Y == B.Y && A.Z == B.Z;
+  }
+};
+
+/// Launch geometry: how many blocks, how many threads per block.
+struct LaunchConfig {
+  Dim3 Grid;
+  Dim3 Block;
+
+  constexpr LaunchConfig() = default;
+  constexpr LaunchConfig(Dim3 Grid, Dim3 Block) : Grid(Grid), Block(Block) {}
+
+  constexpr uint64_t numBlocks() const { return Grid.count(); }
+  constexpr unsigned threadsPerBlock() const {
+    return static_cast<unsigned>(Block.count());
+  }
+  /// Total threads in the launch — the `Threads` term of the paper's
+  /// Equation 1.
+  constexpr uint64_t totalThreads() const {
+    return numBlocks() * Block.count();
+  }
+};
+
+} // namespace g80
+
+#endif // G80TUNE_ARCH_LAUNCHCONFIG_H

@@ -1,0 +1,44 @@
+//===- arch/MachineModel.cpp ----------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+
+using namespace g80;
+
+double MachineModel::peakGflops() const {
+  // Each SP retires one MAD (2 FLOP) per cycle and each SFU is counted as
+  // one FLOP per cycle, giving 8*2 + 2*1 = 18 FLOP/SM/cycle on the 8800.
+  double FlopPerSMPerCycle = SPsPerSM * 2.0 + SFUsPerSM * 1.0;
+  return NumSMs * FlopPerSMPerCycle * CoreClockGHz;
+}
+
+double MachineModel::globalBytesPerCycle() const {
+  return GlobalBandwidthGBps / CoreClockGHz;
+}
+
+MachineModel MachineModel::geForce8800Gtx() { return MachineModel(); }
+
+MachineModel MachineModel::hypotheticalNextGen() {
+  MachineModel M;
+  M.Name = "Hypothetical next-gen";
+  M.RegistersPerSM = 16384;
+  M.SharedMemPerSMBytes = 32768;
+  M.GlobalBandwidthGBps = 129.6;
+  M.MaxThreadsPerSM = 1024;
+  return M;
+}
+
+MachineModel MachineModel::testDevice() {
+  MachineModel M;
+  M.Name = "Test device";
+  M.NumSMs = 1;
+  M.MaxThreadsPerSM = 256;
+  M.MaxBlocksPerSM = 4;
+  M.RegistersPerSM = 2048;
+  M.SharedMemPerSMBytes = 4096;
+  M.MaxThreadsPerBlock = 128;
+  return M;
+}

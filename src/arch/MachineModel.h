@@ -1,0 +1,108 @@
+//===- arch/MachineModel.h - GeForce 8800 machine description ------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A data-driven description of the target GPU: the resource limits of
+/// Table 2, the memory properties of Table 1, and the micro-architectural
+/// parameters of §2.1 of the paper.  All downstream code (occupancy,
+/// metrics, timing simulation) consumes one of these rather than baked-in
+/// constants, so hypothetical devices can be described for what-if studies
+/// (the paper's §1 notes each architecture generation forces re-tuning).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_ARCH_MACHINEMODEL_H
+#define G80TUNE_ARCH_MACHINEMODEL_H
+
+#include <string>
+
+namespace g80 {
+
+/// Machine description.  Defaults are the GeForce 8800 GTX values from the
+/// paper; use the named factories below rather than relying on defaults.
+struct MachineModel {
+  std::string Name = "GeForce 8800 GTX";
+
+  //===--- Chip organization (§2.1) ---------------------------------------===//
+  unsigned NumSMs = 16;          ///< Streaming multiprocessors.
+  unsigned SPsPerSM = 8;         ///< Streaming processors (cores) per SM.
+  unsigned SFUsPerSM = 2;        ///< Special functional units per SM.
+  double CoreClockGHz = 1.35;    ///< SP clock.
+  unsigned WarpSize = 32;        ///< Threads per warp.
+
+  //===--- Table 2: resource limits ---------------------------------------===//
+  unsigned MaxThreadsPerSM = 768;
+  unsigned MaxBlocksPerSM = 8;
+  unsigned RegistersPerSM = 8192;        ///< 32-bit registers.
+  unsigned SharedMemPerSMBytes = 16384;
+  unsigned MaxThreadsPerBlock = 512;
+
+  //===--- Table 1: memory properties -------------------------------------===//
+  unsigned GlobalLatencyCycles = 250;    ///< Paper: 200-300 cycles.
+  double GlobalBandwidthGBps = 86.4;     ///< Off-chip bandwidth.
+  unsigned ConstCacheBytesPerSM = 8192;  ///< 8KB constant cache per SM.
+  unsigned TexCacheBytesPerTwoSMs = 16384;
+  unsigned TexLatencyCycles = 120;       ///< Paper: ">100 cycles".
+
+  //===--- Pipeline latencies (modeled; not disclosed by NVIDIA) ----------===//
+  // Register-to-register dependent-issue latencies in SP clocks.  The G80's
+  // arithmetic pipeline needs roughly 6 warps per SM to fully cover its
+  // read-after-write latency, which corresponds to ~24 cycles at the
+  // 4-cycle/warp issue rate; SFU transcendental and shared-memory accesses
+  // behave like slightly longer ALU ops.
+  unsigned ArithLatencyCycles = 24;
+  unsigned SfuLatencyCycles = 36;
+  unsigned SharedLatencyCycles = 24;     ///< Table 1: "~register latency".
+  unsigned ConstLatencyCycles = 24;      ///< On cache hit.
+
+  /// Per-block shared-memory overhead the CUDA 1.0 toolchain charges for
+  /// the kernel parameter block and grid bookkeeping.  The paper's §4
+  /// worked example reports 2088 bytes for a 2*16*16*4 = 2048-byte tile
+  /// pair, i.e. a 40-byte overhead.
+  unsigned SharedMemBlockOverheadBytes = 40;
+
+  //===--- Derived quantities ---------------------------------------------===//
+  /// Cycles to issue one instruction for a full warp (§2.1: "issuing in
+  /// four cycles on the eight SPs of an SM").
+  unsigned issueCyclesPerWarpInstr() const { return WarpSize / SPsPerSM; }
+
+  /// Peak GFLOPS counting the MAD units and SFUs as in §2.1
+  /// (16 SM * 18 FLOP/SM * 1.35GHz = 388.8 for the 8800 GTX).
+  double peakGflops() const;
+
+  /// Off-chip bandwidth in bytes per SP clock for the whole chip
+  /// (86.4 GB/s / 1.35 GHz = 64 B/cycle for the 8800 GTX).
+  double globalBytesPerCycle() const;
+
+  /// The chip-wide bandwidth divided evenly among SMs; used when timing a
+  /// single representative SM.
+  double globalBytesPerCyclePerSM() const {
+    return globalBytesPerCycle() / NumSMs;
+  }
+
+  /// Converts a cycle count into seconds at the core clock.
+  double cyclesToSeconds(double Cycles) const {
+    return Cycles / (CoreClockGHz * 1e9);
+  }
+
+  //===--- Named configurations -------------------------------------------===//
+  /// The paper's device.
+  static MachineModel geForce8800Gtx();
+
+  /// A hypothetical next-generation part: twice the registers and shared
+  /// memory per SM, one-and-a-half times the bandwidth.  Used by the
+  /// what-if example to show that optimal configurations shift across
+  /// generations (§1 of the paper).
+  static MachineModel hypotheticalNextGen();
+
+  /// A tiny device for tests: 1 SM, small register file.  Makes occupancy
+  /// cliffs easy to construct in unit tests.
+  static MachineModel testDevice();
+};
+
+} // namespace g80
+
+#endif // G80TUNE_ARCH_MACHINEMODEL_H

@@ -1,0 +1,72 @@
+//===- arch/Occupancy.cpp -------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Occupancy.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace g80;
+
+const char *g80::occupancyLimitName(OccupancyLimit Limit) {
+  switch (Limit) {
+  case OccupancyLimit::Blocks:
+    return "blocks/SM";
+  case OccupancyLimit::Threads:
+    return "threads/SM";
+  case OccupancyLimit::Registers:
+    return "registers/SM";
+  case OccupancyLimit::SharedMemory:
+    return "shared memory/SM";
+  case OccupancyLimit::Invalid:
+    return "invalid";
+  }
+  G80_UNREACHABLE("unknown occupancy limit");
+}
+
+Occupancy g80::computeOccupancy(const MachineModel &Machine,
+                                unsigned ThreadsPerBlock,
+                                const KernelResources &Res) {
+  Occupancy Result;
+  if (ThreadsPerBlock == 0 || ThreadsPerBlock > Machine.MaxThreadsPerBlock)
+    return Result;
+
+  Result.WarpsPerBlock =
+      (ThreadsPerBlock + Machine.WarpSize - 1) / Machine.WarpSize;
+
+  // Register allocation is per-thread (the paper computes B_SM as
+  // floor(8192 / (regs * threads))); shared memory is per-block.
+  unsigned RegsPerBlock = Res.RegsPerThread * ThreadsPerBlock;
+
+  unsigned Best = Machine.MaxBlocksPerSM;
+  OccupancyLimit Limit = OccupancyLimit::Blocks;
+  auto Constrain = [&](unsigned Bound, OccupancyLimit Kind) {
+    if (Bound < Best) {
+      Best = Bound;
+      Limit = Kind;
+    }
+  };
+
+  Constrain(Machine.MaxThreadsPerSM / ThreadsPerBlock,
+            OccupancyLimit::Threads);
+  if (RegsPerBlock > 0)
+    Constrain(Machine.RegistersPerSM / RegsPerBlock,
+              OccupancyLimit::Registers);
+  if (Res.SharedMemPerBlockBytes > 0)
+    Constrain(Machine.SharedMemPerSMBytes / Res.SharedMemPerBlockBytes,
+              OccupancyLimit::SharedMemory);
+
+  if (Best == 0)
+    return Result; // Not even one block fits: invalid executable.
+
+  Result.BlocksPerSM = Best;
+  Result.ThreadsPerSM = Best * ThreadsPerBlock;
+  Result.Limit = Limit;
+  assert(Result.ThreadsPerSM <= Machine.MaxThreadsPerSM &&
+         "occupancy exceeded the thread limit");
+  return Result;
+}

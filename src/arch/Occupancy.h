@@ -1,0 +1,68 @@
+//===- arch/Occupancy.h - Blocks-per-SM (B_SM) calculator -----------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes how many thread blocks an SM can host given a kernel's resource
+/// usage — the quantity the paper derives from `nvcc -cubin` output plus the
+/// Table 2 limits (§2.3, §4: "the runtime assigns the maximum number of
+/// thread blocks possible to each SM, up to eight, without violating local
+/// resource usage").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_ARCH_OCCUPANCY_H
+#define G80TUNE_ARCH_OCCUPANCY_H
+
+#include "arch/MachineModel.h"
+
+namespace g80 {
+
+/// Per-kernel resource usage, as a real toolchain's -cubin flag reports it.
+struct KernelResources {
+  unsigned RegsPerThread = 0;
+  /// Shared memory per block, *including* the toolchain's parameter-block
+  /// overhead (MachineModel::SharedMemBlockOverheadBytes); the resource
+  /// estimator adds it.
+  unsigned SharedMemPerBlockBytes = 0;
+};
+
+/// Which Table 2 limit determined (or invalidated) the occupancy result.
+enum class OccupancyLimit {
+  Blocks,       ///< Hit the 8-blocks/SM cap.
+  Threads,      ///< Hit the 768-threads/SM cap.
+  Registers,    ///< Hit the 8192-registers/SM cap.
+  SharedMemory, ///< Hit the 16KB-shared/SM cap.
+  Invalid,      ///< Not even one block fits (or block itself is illegal).
+};
+
+/// Returns a human-readable name for \p Limit.
+const char *occupancyLimitName(OccupancyLimit Limit);
+
+/// Result of the occupancy calculation.
+struct Occupancy {
+  unsigned BlocksPerSM = 0; ///< B_SM in the paper's Equation 2.
+  unsigned WarpsPerBlock = 0; ///< W_TB in the paper's Equation 2.
+  unsigned ThreadsPerSM = 0;
+  OccupancyLimit Limit = OccupancyLimit::Invalid;
+
+  bool valid() const { return BlocksPerSM > 0; }
+  unsigned warpsPerSM() const { return BlocksPerSM * WarpsPerBlock; }
+};
+
+/// Computes B_SM and W_TB for a kernel with \p ThreadsPerBlock threads per
+/// block and resource usage \p Res on machine \p Machine.
+///
+/// A configuration is Invalid when the block violates a per-block limit
+/// (threads/block) or a single block already exceeds a per-SM limit — the
+/// paper's Fig. 3 shows exactly this ("prefetching increased register usage
+/// beyond what is available, producing an invalid executable").
+Occupancy computeOccupancy(const MachineModel &Machine,
+                           unsigned ThreadsPerBlock,
+                           const KernelResources &Res);
+
+} // namespace g80
+
+#endif // G80TUNE_ARCH_OCCUPANCY_H

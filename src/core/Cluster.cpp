@@ -1,0 +1,57 @@
+//===- core/Cluster.cpp ---------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Cluster.h"
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+
+using namespace g80;
+
+std::vector<std::vector<size_t>>
+g80::clusterByMetrics(std::span<const ConfigEval> Evals,
+                      std::span<const size_t> Subset, double RelTol) {
+  std::vector<size_t> Order(Subset.begin(), Subset.end());
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    if (Evals[A].EfficiencyTotal != Evals[B].EfficiencyTotal)
+      return Evals[A].EfficiencyTotal < Evals[B].EfficiencyTotal;
+    if (Evals[A].Metrics.Utilization != Evals[B].Metrics.Utilization)
+      return Evals[A].Metrics.Utilization < Evals[B].Metrics.Utilization;
+    return A < B;
+  });
+
+  auto Near = [RelTol](double A, double B) {
+    return relativeDifference(A, B) <= RelTol;
+  };
+
+  std::vector<std::vector<size_t>> Clusters;
+  for (size_t Idx : Order) {
+    bool Placed = false;
+    // Single linkage along the sorted axis: try the most recent cluster
+    // first; efficiency sorting makes chains contiguous.
+    if (!Clusters.empty()) {
+      size_t Anchor = Clusters.back().back();
+      if (Near(Evals[Anchor].EfficiencyTotal, Evals[Idx].EfficiencyTotal) &&
+          Near(Evals[Anchor].Metrics.Utilization,
+               Evals[Idx].Metrics.Utilization)) {
+        Clusters.back().push_back(Idx);
+        Placed = true;
+      }
+    }
+    if (!Placed)
+      Clusters.push_back({Idx});
+  }
+
+  // Deterministic ordering: by smallest contained index.
+  for (std::vector<size_t> &C : Clusters)
+    std::sort(C.begin(), C.end());
+  std::sort(Clusters.begin(), Clusters.end(),
+            [](const std::vector<size_t> &A, const std::vector<size_t> &B) {
+              return A.front() < B.front();
+            });
+  return Clusters;
+}

@@ -1,0 +1,42 @@
+//===- core/Cluster.h - Metric-space clustering ------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §5.2 of the paper: MRI-FHD configurations "tend to be clustered in
+/// groups of seven because changing the tiling factor affects neither the
+/// efficiency nor the utilization ... when several configurations have
+/// identical or nearly identical metrics, it may be sufficient to
+/// randomly select a single configuration from that cluster."  This
+/// groups configurations whose (Efficiency, Utilization) pairs agree to a
+/// relative tolerance, so a search strategy can measure one
+/// representative per cluster.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_CORE_CLUSTER_H
+#define G80TUNE_CORE_CLUSTER_H
+
+#include "core/Evaluation.h"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace g80 {
+
+/// Partitions \p Subset (indices into \p Evals) into clusters of
+/// nearly identical metric pairs: two configurations land in one cluster
+/// when both their EfficiencyTotal and Utilization values differ by at
+/// most \p RelTol relatively (single-linkage over the sorted efficiency
+/// axis).  Every returned cluster is nonempty; cluster order follows the
+/// smallest contained index.
+std::vector<std::vector<size_t>>
+clusterByMetrics(std::span<const ConfigEval> Evals,
+                 std::span<const size_t> Subset, double RelTol = 1e-3);
+
+} // namespace g80
+
+#endif // G80TUNE_CORE_CLUSTER_H

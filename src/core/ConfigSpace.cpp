@@ -1,0 +1,71 @@
+//===- core/ConfigSpace.cpp -----------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConfigSpace.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace g80;
+
+void ConfigSpace::addDim(std::string Name, std::vector<int> Values) {
+  assert(!Values.empty() && "dimension with no values");
+  Dims.push_back({std::move(Name), std::move(Values)});
+}
+
+size_t ConfigSpace::dimIndex(std::string_view Name) const {
+  for (size_t I = 0; I != Dims.size(); ++I)
+    if (Dims[I].Name == Name)
+      return I;
+  reportFatalError("config space has no dimension with the requested name");
+}
+
+uint64_t ConfigSpace::rawSize() const {
+  uint64_t Size = 1;
+  for (const ConfigDim &D : Dims)
+    Size *= D.Values.size();
+  return Size;
+}
+
+ConfigPoint ConfigSpace::pointAt(uint64_t FlatIndex) const {
+  assert(FlatIndex < rawSize() && "flat index out of range");
+  ConfigPoint P(Dims.size());
+  // Last dimension varies fastest.
+  for (size_t I = Dims.size(); I-- > 0;) {
+    const std::vector<int> &Vals = Dims[I].Values;
+    P[I] = Vals[FlatIndex % Vals.size()];
+    FlatIndex /= Vals.size();
+  }
+  return P;
+}
+
+std::vector<ConfigPoint> ConfigSpace::enumerate() const {
+  uint64_t Size = rawSize();
+  std::vector<ConfigPoint> Points;
+  Points.reserve(Size);
+  for (uint64_t I = 0; I != Size; ++I)
+    Points.push_back(pointAt(I));
+  return Points;
+}
+
+int ConfigSpace::valueOf(const ConfigPoint &P, std::string_view Name) const {
+  assert(P.size() == Dims.size() && "point does not match space");
+  return P[dimIndex(Name)];
+}
+
+std::string ConfigSpace::describe(const ConfigPoint &P) const {
+  assert(P.size() == Dims.size() && "point does not match space");
+  std::string Out;
+  for (size_t I = 0; I != Dims.size(); ++I) {
+    if (I != 0)
+      Out += ' ';
+    Out += Dims[I].Name;
+    Out += '=';
+    Out += std::to_string(P[I]);
+  }
+  return Out;
+}

@@ -1,0 +1,71 @@
+//===- core/ConfigSpace.h - Optimization configuration spaces ---------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An optimization space is the cross product of named discrete dimensions
+/// (tile size, unroll factor, prefetch on/off, ...).  A configuration is
+/// one value per dimension.  The tuner enumerates a space, computes the
+/// static metrics for each point, and prunes with the Pareto subset; this
+/// header is the shared vocabulary (paper §3's "optimization
+/// configurations" and Table 4's "parameters varied").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_CORE_CONFIGSPACE_H
+#define G80TUNE_CORE_CONFIGSPACE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g80 {
+
+/// One configuration: a chosen value per dimension, parallel to the
+/// space's dimension list.
+using ConfigPoint = std::vector<int>;
+
+/// A named discrete dimension.
+struct ConfigDim {
+  std::string Name;
+  std::vector<int> Values;
+};
+
+/// The cross product of its dimensions.
+class ConfigSpace {
+public:
+  /// Appends a dimension.  \p Values must be nonempty.
+  void addDim(std::string Name, std::vector<int> Values);
+
+  size_t numDims() const { return Dims.size(); }
+  const ConfigDim &dim(size_t Index) const { return Dims[Index]; }
+  const std::vector<ConfigDim> &dims() const { return Dims; }
+
+  /// Index of the dimension named \p Name; fatal if absent.
+  size_t dimIndex(std::string_view Name) const;
+
+  /// The raw cross-product size (before any validity filtering).
+  uint64_t rawSize() const;
+
+  /// The \p FlatIndex'th point in lexicographic order.
+  ConfigPoint pointAt(uint64_t FlatIndex) const;
+
+  /// All points, in lexicographic order.
+  std::vector<ConfigPoint> enumerate() const;
+
+  /// The value \p P holds for dimension \p Name; fatal if absent.
+  int valueOf(const ConfigPoint &P, std::string_view Name) const;
+
+  /// Renders \p P as "tile=16 rect=2 unroll=4 ..." for reports.
+  std::string describe(const ConfigPoint &P) const;
+
+private:
+  std::vector<ConfigDim> Dims;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_CORE_CONFIGSPACE_H

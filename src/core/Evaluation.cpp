@@ -1,0 +1,47 @@
+//===- core/Evaluation.cpp ------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Evaluation.h"
+
+#include <cassert>
+
+using namespace g80;
+
+std::vector<ConfigEval> Evaluator::evaluateMetrics() const {
+  const ConfigSpace &Space = App.space();
+  uint64_t Raw = Space.rawSize();
+
+  std::vector<ConfigEval> Evals;
+  Evals.reserve(Raw);
+  for (uint64_t I = 0; I != Raw; ++I) {
+    ConfigEval E;
+    E.FlatIndex = I;
+    E.Point = Space.pointAt(I);
+    E.Expressible = App.isExpressible(E.Point);
+    if (E.Expressible) {
+      Kernel K = App.buildKernel(E.Point);
+      E.Metrics = computeKernelMetrics(K, App.launch(E.Point), Machine, MOpts);
+      E.Invocations = App.invocations(E.Point);
+      if (E.Metrics.Valid)
+        E.EfficiencyTotal =
+            efficiencyMetric(E.Metrics.Profile.DynInstrs * E.Invocations,
+                             E.Metrics.Threads);
+    }
+    Evals.push_back(std::move(E));
+  }
+  return Evals;
+}
+
+void Evaluator::measure(ConfigEval &E) const {
+  assert(E.usable() && "measuring an unusable configuration");
+  if (E.Measured)
+    return;
+  Kernel K = App.buildKernel(E.Point);
+  E.Sim = simulateKernel(K, App.launch(E.Point), Machine, SOpts);
+  assert(E.Sim.Valid && "metrics said valid but the simulator disagreed");
+  E.TimeSeconds = E.Sim.Seconds * static_cast<double>(E.Invocations);
+  E.Measured = true;
+}

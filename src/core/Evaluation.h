@@ -1,0 +1,78 @@
+//===- core/Evaluation.h - Per-configuration evaluation records --------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ConfigEval carries everything the tuner knows about one optimization
+/// configuration: the static metrics (always computed — cheap, like
+/// running `nvcc -ptx/-cubin`, §4) and, once a strategy decides to pay
+/// for it, the measured time (simulation here, silicon in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_CORE_EVALUATION_H
+#define G80TUNE_CORE_EVALUATION_H
+
+#include "core/TunableApp.h"
+#include "metrics/Metrics.h"
+#include "sim/Simulator.h"
+
+#include <vector>
+
+namespace g80 {
+
+/// Everything known about one configuration.
+struct ConfigEval {
+  uint64_t FlatIndex = 0; ///< Position in ConfigSpace enumeration order.
+  ConfigPoint Point;
+  bool Expressible = false;
+
+  KernelMetrics Metrics; ///< Static metrics; Metrics.Valid is resource
+                         ///< validity (the "invalid executable" case).
+  uint64_t Invocations = 1;
+  /// Equation 1 over the *whole problem*: for multi-invocation apps
+  /// (MRI-FHD chunking) the per-kernel Instr is scaled by the invocation
+  /// count so chunk values remain comparable.
+  double EfficiencyTotal = 0;
+
+  bool Measured = false;
+  SimResult Sim;
+  double TimeSeconds = 0; ///< Invocations * simulated kernel seconds.
+
+  /// Metrics exist and the kernel can actually launch.
+  bool usable() const { return Expressible && Metrics.Valid; }
+};
+
+/// Computes metrics and (on demand) measured times for an app's space.
+///
+/// The app is held by reference and must outlive the evaluator; the
+/// machine description is small and copied so callers may pass
+/// temporaries like MachineModel::geForce8800Gtx().
+class Evaluator {
+public:
+  Evaluator(const TunableApp &App, MachineModel Machine,
+            MetricOptions MOpts = {}, SimOptions SOpts = {})
+      : App(App), Machine(std::move(Machine)), MOpts(MOpts), SOpts(SOpts) {}
+
+  /// Enumerates the full space and computes static metrics for every
+  /// expressible configuration.  No simulation happens here.
+  std::vector<ConfigEval> evaluateMetrics() const;
+
+  /// Measures \p E by simulation (the ground-truth "run it" step).
+  void measure(ConfigEval &E) const;
+
+  const TunableApp &app() const { return App; }
+  const MachineModel &machine() const { return Machine; }
+
+private:
+  const TunableApp &App;
+  const MachineModel Machine;
+  MetricOptions MOpts;
+  SimOptions SOpts;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_CORE_EVALUATION_H

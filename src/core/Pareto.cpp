@@ -1,0 +1,98 @@
+//===- core/Pareto.cpp ----------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pareto.h"
+
+#include "core/Cluster.h"
+
+#include <algorithm>
+
+using namespace g80;
+
+std::vector<size_t>
+g80::paretoFront(std::span<const std::array<double, 2>> Points) {
+  std::vector<size_t> Order(Points.size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+  // Sort by first coordinate descending; ties by second descending, then
+  // by index for determinism.
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    if (Points[A][0] != Points[B][0])
+      return Points[A][0] > Points[B][0];
+    if (Points[A][1] != Points[B][1])
+      return Points[A][1] > Points[B][1];
+    return A < B;
+  });
+
+  std::vector<size_t> Front;
+  double BestSecond = -1e300; // Max second coord over strictly-greater firsts.
+  size_t I = 0;
+  while (I != Order.size()) {
+    // Process one group of equal first coordinates.
+    size_t GroupEnd = I;
+    double GroupMax = -1e300;
+    while (GroupEnd != Order.size() &&
+           Points[Order[GroupEnd]][0] == Points[Order[I]][0]) {
+      GroupMax = std::max(GroupMax, Points[Order[GroupEnd]][1]);
+      ++GroupEnd;
+    }
+    // Within the group only the max-second points survive (same first,
+    // smaller second => dominated); across groups the second coordinate
+    // must strictly improve on every higher-first point.
+    if (GroupMax > BestSecond)
+      for (size_t J = I; J != GroupEnd; ++J)
+        if (Points[Order[J]][1] == GroupMax)
+          Front.push_back(Order[J]);
+    BestSecond = std::max(BestSecond, GroupMax);
+    I = GroupEnd;
+  }
+  return Front;
+}
+
+std::vector<size_t> g80::paretoSubset(std::span<const ConfigEval> Evals,
+                                      const ParetoOptions &Opts) {
+  // Collect eligible configurations.
+  std::vector<size_t> Eligible;
+  for (size_t I = 0; I != Evals.size(); ++I) {
+    const ConfigEval &E = Evals[I];
+    if (!E.usable())
+      continue;
+    if (Opts.ScreenBandwidthBound && E.Metrics.bandwidthBound())
+      continue;
+    Eligible.push_back(I);
+  }
+
+  // Collapse metric-identical configurations into plotted points; each
+  // cluster is represented by its component-wise metric maxima (members
+  // agree to within the tolerance anyway).
+  std::vector<std::vector<size_t>> Clusters;
+  if (Opts.ClusterRelTol > 0) {
+    Clusters = clusterByMetrics(Evals, Eligible, Opts.ClusterRelTol);
+  } else {
+    Clusters.reserve(Eligible.size());
+    for (size_t I : Eligible)
+      Clusters.push_back({I});
+  }
+
+  std::vector<std::array<double, 2>> Points;
+  Points.reserve(Clusters.size());
+  for (const std::vector<size_t> &C : Clusters) {
+    std::array<double, 2> P = {0, 0};
+    for (size_t I : C) {
+      P[0] = std::max(P[0], Evals[I].EfficiencyTotal);
+      P[1] = std::max(P[1], Evals[I].Metrics.Utilization);
+    }
+    Points.push_back(P);
+  }
+
+  // Front over points; select every member of a surviving point.
+  std::vector<size_t> Result;
+  for (size_t PointIdx : paretoFront(Points))
+    for (size_t I : Clusters[PointIdx])
+      Result.push_back(I);
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}

@@ -1,0 +1,70 @@
+//===- core/Pareto.h - Pareto-optimal subset computation ---------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §5.2 of the paper: "we choose the small set of configurations that have
+/// no superior in both the efficiency and utilization metric.  This is the
+/// Pareto-optimal subset."  A point is kept iff no other point is at least
+/// as good in both metrics and strictly better in one; metric-identical
+/// points are mutually non-dominating and are all kept (they form the
+/// §5.2 clusters).
+///
+/// §5.3's screen is applied first: "memory bandwidth issues must be
+/// neutralized before efficiency and utilization become the dominant
+/// performance determinants ... one should screen away such points prior
+/// to defining the curve."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_CORE_PARETO_H
+#define G80TUNE_CORE_PARETO_H
+
+#include "core/Evaluation.h"
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace g80 {
+
+/// Indices of the maximal points of \p Points under coordinatewise
+/// dominance (maximize both coordinates).  Order of the result follows
+/// decreasing first coordinate.
+std::vector<size_t>
+paretoFront(std::span<const std::array<double, 2>> Points);
+
+/// Controls paretoSubset.
+struct ParetoOptions {
+  /// Apply the §5.3 bandwidth screen before drawing the curve.  Off by
+  /// default: the paper's own Fig. 6(a) curve contains the
+  /// bandwidth-bound 8x8 matmul configurations; §5.3 *proposes* the
+  /// screen as an improvement (bench/ablation_bandwidth_screen studies
+  /// it).
+  bool ScreenBandwidthBound = false;
+
+  /// Metric-cluster tolerance: configurations whose Efficiency and
+  /// Utilization both agree within this relative tolerance count as one
+  /// plotted point (Fig. 6(b): "each point actually represents as many
+  /// as seven configurations"), and every member of a point on the curve
+  /// is selected — this is how Table 4's selected-configuration counts
+  /// arise.  Set to 0 for strict per-configuration dominance.  The
+  /// default separates MRI-FHD's unroll factors (1.5% apart) while
+  /// keeping matmul's prefetch twins (<1% apart) on one point.
+  double ClusterRelTol = 0.012;
+};
+
+/// Indices (into \p Evals) of the configurations selected by the paper's
+/// §5.2 procedure: drop unusable (and optionally bandwidth-bound)
+/// points, collapse metric-identical configurations into plotted points,
+/// keep the Pareto-optimal points, and return all members of surviving
+/// points.
+std::vector<size_t> paretoSubset(std::span<const ConfigEval> Evals,
+                                 const ParetoOptions &Opts = {});
+
+} // namespace g80
+
+#endif // G80TUNE_CORE_PARETO_H

@@ -1,0 +1,171 @@
+//===- core/Search.cpp ----------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Search.h"
+
+#include "core/Cluster.h"
+#include "support/Random.h"
+
+#include <algorithm>
+
+using namespace g80;
+
+SearchOutcome
+SearchEngine::measureCandidates(std::string Strategy,
+                                std::vector<ConfigEval> Evals,
+                                std::vector<size_t> Candidates) const {
+  SearchOutcome Out;
+  Out.Strategy = std::move(Strategy);
+  Out.Evals = std::move(Evals);
+  Out.Candidates = std::move(Candidates);
+  for (const ConfigEval &E : Out.Evals)
+    if (E.usable())
+      ++Out.ValidCount;
+
+  for (size_t Idx : Out.Candidates) {
+    ConfigEval &E = Out.Evals[Idx];
+    Eval.measure(E);
+    Out.TotalMeasuredSeconds += E.TimeSeconds;
+    if (E.TimeSeconds < Out.BestTime) {
+      Out.BestTime = E.TimeSeconds;
+      Out.BestIndex = Idx;
+    }
+  }
+  return Out;
+}
+
+SearchOutcome SearchEngine::exhaustive() const {
+  std::vector<ConfigEval> Evals = Eval.evaluateMetrics();
+  std::vector<size_t> Candidates;
+  for (size_t I = 0; I != Evals.size(); ++I)
+    if (Evals[I].usable())
+      Candidates.push_back(I);
+  return measureCandidates("exhaustive", std::move(Evals),
+                           std::move(Candidates));
+}
+
+SearchOutcome SearchEngine::paretoPruned(const ParetoOptions &Opts) const {
+  std::vector<ConfigEval> Evals = Eval.evaluateMetrics();
+  std::vector<size_t> Candidates = paretoSubset(Evals, Opts);
+  return measureCandidates("pareto", std::move(Evals),
+                           std::move(Candidates));
+}
+
+SearchOutcome SearchEngine::paretoClustered(const ParetoOptions &Opts,
+                                            double RelTol) const {
+  std::vector<ConfigEval> Evals = Eval.evaluateMetrics();
+  std::vector<size_t> Subset = paretoSubset(Evals, Opts);
+  std::vector<std::vector<size_t>> Clusters =
+      clusterByMetrics(Evals, Subset, RelTol);
+  std::vector<size_t> Candidates;
+  // One representative per cluster; the smallest index keeps the choice
+  // deterministic ("randomly select a single configuration" in the paper
+  // — any member works, that is the point of the cluster).
+  for (const std::vector<size_t> &C : Clusters)
+    Candidates.push_back(C.front());
+  std::sort(Candidates.begin(), Candidates.end());
+  return measureCandidates("pareto+cluster", std::move(Evals),
+                           std::move(Candidates));
+}
+
+SearchOutcome SearchEngine::greedyClimb(size_t MaxMeasured,
+                                        uint64_t Seed) const {
+  std::vector<ConfigEval> Evals = Eval.evaluateMetrics();
+  const ConfigSpace &Space = Eval.app().space();
+
+  std::vector<size_t> Usable;
+  for (size_t I = 0; I != Evals.size(); ++I)
+    if (Evals[I].usable())
+      Usable.push_back(I);
+
+  SearchOutcome Out;
+  Out.Strategy = "greedy";
+  Out.Evals = std::move(Evals);
+  Out.ValidCount = Usable.size();
+  if (Usable.empty())
+    return Out;
+
+  auto MeasureIdx = [&](size_t Idx) {
+    ConfigEval &E = Out.Evals[Idx];
+    if (!E.Measured && Out.Candidates.size() < MaxMeasured) {
+      Eval.measure(E);
+      Out.Candidates.push_back(Idx);
+      Out.TotalMeasuredSeconds += E.TimeSeconds;
+      if (E.TimeSeconds < Out.BestTime) {
+        Out.BestTime = E.TimeSeconds;
+        Out.BestIndex = Idx;
+      }
+    }
+    return E.Measured;
+  };
+
+  // Usable flat-index lookup for neighbor resolution.
+  auto FindUsable = [&](const ConfigPoint &P) -> size_t {
+    for (size_t I : Usable)
+      if (Out.Evals[I].Point == P)
+        return I;
+    return size_t(-1);
+  };
+
+  Rng R(Seed);
+  size_t Current = Usable[R.nextBelow(Usable.size())];
+  MeasureIdx(Current);
+
+  bool Improved = true;
+  while (Improved && Out.Candidates.size() < MaxMeasured) {
+    Improved = false;
+    // Enumerate one-step neighbors along every dimension.
+    for (size_t D = 0; D != Space.numDims(); ++D) {
+      const std::vector<int> &Vals = Space.dim(D).Values;
+      const ConfigPoint &Here = Out.Evals[Current].Point;
+      size_t ValIdx = std::find(Vals.begin(), Vals.end(), Here[D]) -
+                      Vals.begin();
+      for (int Step : {-1, 1}) {
+        if ((Step < 0 && ValIdx == 0) ||
+            (Step > 0 && ValIdx + 1 >= Vals.size()))
+          continue;
+        ConfigPoint Neighbor = Here;
+        Neighbor[D] = Vals[ValIdx + Step];
+        size_t Idx = FindUsable(Neighbor);
+        if (Idx == size_t(-1))
+          continue;
+        if (!MeasureIdx(Idx))
+          return finishGreedy(Out);
+        if (Out.Evals[Idx].TimeSeconds <
+            Out.Evals[Current].TimeSeconds) {
+          Current = Idx;
+          Improved = true;
+        }
+      }
+    }
+  }
+  return finishGreedy(Out);
+}
+
+SearchOutcome SearchEngine::finishGreedy(SearchOutcome Out) {
+  std::sort(Out.Candidates.begin(), Out.Candidates.end());
+  return Out;
+}
+
+SearchOutcome SearchEngine::randomSample(size_t K, uint64_t Seed) const {
+  std::vector<ConfigEval> Evals = Eval.evaluateMetrics();
+  std::vector<size_t> Usable;
+  for (size_t I = 0; I != Evals.size(); ++I)
+    if (Evals[I].usable())
+      Usable.push_back(I);
+
+  // Partial Fisher-Yates draw of min(K, usable) distinct indices.
+  Rng R(Seed);
+  size_t Draw = std::min(K, Usable.size());
+  for (size_t I = 0; I != Draw; ++I) {
+    size_t J = I + size_t(R.nextBelow(Usable.size() - I));
+    std::swap(Usable[I], Usable[J]);
+  }
+  std::vector<size_t> Candidates(Usable.begin(), Usable.begin() + Draw);
+  std::sort(Candidates.begin(), Candidates.end());
+  return measureCandidates("random", std::move(Evals),
+                           std::move(Candidates));
+}

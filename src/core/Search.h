@@ -1,0 +1,103 @@
+//===- core/Search.h - Configuration search strategies -----------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The search strategies the paper studies or proposes:
+///  - exhaustive: measure every valid configuration (the paper's initial
+///    full-space explorations, Fig. 3-4);
+///  - paretoPruned: measure only the Pareto-optimal subset of the metric
+///    plot (§5.2, Table 4 — the contribution);
+///  - paretoClustered: additionally measure just one representative of
+///    each metric-identical cluster (§5.2's MRI-FHD observation);
+///  - randomSample: measure K uniformly random valid configurations (the
+///    baseline §7 proposes comparing against).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_CORE_SEARCH_H
+#define G80TUNE_CORE_SEARCH_H
+
+#include "core/Evaluation.h"
+#include "core/Pareto.h"
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace g80 {
+
+/// The result of running one strategy over one app's space.
+struct SearchOutcome {
+  std::string Strategy;
+
+  /// Every configuration in the space with its static metrics; entries in
+  /// Candidates additionally carry measurements.
+  std::vector<ConfigEval> Evals;
+  /// Indices (into Evals) that were actually measured.
+  std::vector<size_t> Candidates;
+
+  /// Usable configurations (expressible and resource-valid) — the space
+  /// size Table 4 reports.
+  size_t ValidCount = 0;
+
+  size_t BestIndex = std::numeric_limits<size_t>::max();
+  double BestTime = std::numeric_limits<double>::infinity();
+  /// Sum of measured configuration run times — Table 4's "evaluation
+  /// time" (the wall-clock cost of running the candidates on hardware).
+  double TotalMeasuredSeconds = 0;
+
+  /// Table 4's "space reduction": fraction of valid configurations whose
+  /// measurement the strategy skipped.
+  double spaceReduction() const {
+    if (ValidCount == 0)
+      return 0;
+    return 1.0 - double(Candidates.size()) / double(ValidCount);
+  }
+};
+
+/// Runs search strategies for one app on one machine.  The app must
+/// outlive the engine; the machine description is copied.
+class SearchEngine {
+public:
+  SearchEngine(const TunableApp &App, MachineModel Machine,
+               MetricOptions MOpts = {}, SimOptions SOpts = {})
+      : Eval(App, std::move(Machine), MOpts, SOpts) {}
+
+  /// Measures every valid configuration.
+  SearchOutcome exhaustive() const;
+
+  /// Measures only the Pareto-optimal subset (after the §5.3 bandwidth
+  /// screen, unless disabled in \p Opts).
+  SearchOutcome paretoPruned(const ParetoOptions &Opts = {}) const;
+
+  /// Pareto subset, then one representative per metric cluster (§5.2).
+  SearchOutcome paretoClustered(const ParetoOptions &Opts = {},
+                                double RelTol = 1e-3) const;
+
+  /// Measures \p K distinct uniformly random valid configurations.
+  SearchOutcome randomSample(size_t K, uint64_t Seed) const;
+
+  /// Greedy hill climbing from a random start: repeatedly measures all
+  /// one-dimension-step neighbors and moves to the best strict
+  /// improvement, stopping at a local optimum or after \p MaxMeasured
+  /// measurements.  The classic iterative-search baseline of the
+  /// related-work autotuners ([3, 4, 17, 26] in the paper).
+  SearchOutcome greedyClimb(size_t MaxMeasured, uint64_t Seed) const;
+
+  const Evaluator &evaluator() const { return Eval; }
+
+private:
+  SearchOutcome measureCandidates(std::string Strategy,
+                                  std::vector<ConfigEval> Evals,
+                                  std::vector<size_t> Candidates) const;
+  static SearchOutcome finishGreedy(SearchOutcome Out);
+
+  Evaluator Eval;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_CORE_SEARCH_H

@@ -1,0 +1,15 @@
+//===- core/TunableApp.cpp ------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TunableApp.h"
+
+using namespace g80;
+
+TunableApp::~TunableApp() = default;
+
+bool TunableApp::isExpressible(const ConfigPoint &) const { return true; }
+
+uint64_t TunableApp::invocations(const ConfigPoint &) const { return 1; }

@@ -1,0 +1,67 @@
+//===- core/TunableApp.h - The tunable-application interface ----------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract between the tuner and an application: expose an
+/// optimization space, generate the kernel variant for any point in it,
+/// and (for validation) check a variant's output against a reference.
+/// src/kernels/ implements this for the paper's four applications;
+/// examples/custom_kernel.cpp shows a user-defined one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_CORE_TUNABLEAPP_H
+#define G80TUNE_CORE_TUNABLEAPP_H
+
+#include "arch/LaunchConfig.h"
+#include "core/ConfigSpace.h"
+#include "ptx/Kernel.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace g80 {
+
+/// A tunable application.  Implementations are immutable after
+/// construction (a fixed problem size); all methods are const and
+/// thread-compatible.
+class TunableApp {
+public:
+  virtual ~TunableApp();
+
+  /// Short name, e.g. "matmul".
+  virtual std::string_view name() const = 0;
+
+  /// The optimization space (Table 4's "parameters varied").
+  virtual const ConfigSpace &space() const = 0;
+
+  /// True if \p P is structurally expressible (e.g. the unroll factor
+  /// divides the trip count).  Cheap; called before any code generation.
+  /// Distinct from *resource* validity, which the occupancy calculation
+  /// decides after code generation (the paper's "invalid executable").
+  virtual bool isExpressible(const ConfigPoint &P) const;
+
+  /// Generates the kernel variant for \p P (which must be expressible).
+  virtual Kernel buildKernel(const ConfigPoint &P) const = 0;
+
+  /// The launch geometry for \p P on this app's problem size.
+  virtual LaunchConfig launch(const ConfigPoint &P) const = 0;
+
+  /// Number of kernel invocations a full run of the problem needs under
+  /// \p P.  MRI-FHD's "work per kernel invocation" dimension chunks the
+  /// k-space data across launches; everything else launches once.
+  virtual uint64_t invocations(const ConfigPoint &P) const;
+
+  /// Functionally executes variant \p P on this app's problem via the
+  /// emulator and returns the maximum relative error against the CPU
+  /// reference.  Intended for small problem instances (tests construct
+  /// apps with emulation-scale problems).
+  virtual double verifyConfig(const ConfigPoint &P) const = 0;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_CORE_TUNABLEAPP_H

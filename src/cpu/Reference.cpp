@@ -1,0 +1,111 @@
+//===- cpu/Reference.cpp --------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpu/Reference.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace g80;
+
+void g80::matMulRef(unsigned N, std::span<const float> A,
+                    std::span<const float> B, std::span<float> C) {
+  assert(A.size() == size_t(N) * N && B.size() == size_t(N) * N &&
+         C.size() == size_t(N) * N && "matMulRef size mismatch");
+  std::fill(C.begin(), C.end(), 0.0f);
+
+  // i-k-j order with a K-blocking factor: streams B rows while keeping a
+  // C row hot — the sensible single-thread baseline.
+  constexpr unsigned KB = 64;
+  for (unsigned K0 = 0; K0 < N; K0 += KB) {
+    unsigned K1 = std::min(K0 + KB, N);
+    for (unsigned I = 0; I != N; ++I) {
+      float *CRow = &C[size_t(I) * N];
+      for (unsigned K = K0; K != K1; ++K) {
+        float AVal = A[size_t(I) * N + K];
+        const float *BRow = &B[size_t(K) * N];
+        for (unsigned J = 0; J != N; ++J)
+          CRow[J] += AVal * BRow[J];
+      }
+    }
+  }
+}
+
+void g80::cpRef(unsigned W, unsigned H, float Spacing,
+                std::span<const CpAtom> Atoms, std::span<float> Out) {
+  assert(Out.size() == size_t(W) * H && "cpRef size mismatch");
+  for (unsigned GY = 0; GY != H; ++GY) {
+    float Y = Spacing * static_cast<float>(GY);
+    for (unsigned GX = 0; GX != W; ++GX) {
+      float X = Spacing * static_cast<float>(GX);
+      float Pot = 0;
+      for (const CpAtom &A : Atoms) {
+        float DX = X - A.X;
+        float DY = Y - A.Y;
+        float R2 = DX * DX + DY * DY + A.Z * A.Z; // Slice at z = 0.
+        Pot += A.Charge * (1.0f / std::sqrt(R2));
+      }
+      Out[size_t(GY) * W + GX] = Pot;
+    }
+  }
+}
+
+void g80::sadRef(const SadProblem &P, std::span<const float> Cur,
+                 std::span<const float> RefPadded, std::span<float> Out) {
+  assert(Cur.size() == size_t(P.Width) * P.Height && "sadRef cur mismatch");
+  assert(RefPadded.size() == size_t(P.paddedWidth()) * P.paddedHeight() &&
+         "sadRef ref mismatch");
+  assert(Out.size() == size_t(P.numMacroblocks()) * P.offsetsPerBlock() &&
+         "sadRef out mismatch");
+
+  unsigned WP = P.paddedWidth();
+  for (unsigned BY = 0; BY != P.blocksY(); ++BY) {
+    for (unsigned BX = 0; BX != P.blocksX(); ++BX) {
+      unsigned Macro = BY * P.blocksX() + BX;
+      for (unsigned OY = 0; OY != P.SearchDim; ++OY) {
+        for (unsigned OX = 0; OX != P.SearchDim; ++OX) {
+          // The padded reference aligns offset (pad, pad) with the
+          // macroblock's own position; offsets probe +-pad around it.
+          unsigned RefY0 = BY * 4 + OY;
+          unsigned RefX0 = BX * 4 + OX;
+          float Sad = 0;
+          for (unsigned R = 0; R != 4; ++R) {
+            for (unsigned Col = 0; Col != 4; ++Col) {
+              float CurPix = Cur[size_t(BY * 4 + R) * P.Width + BX * 4 + Col];
+              float RefPix = RefPadded[size_t(RefY0 + R) * WP + RefX0 + Col];
+              Sad += std::fabs(CurPix - RefPix);
+            }
+          }
+          Out[size_t(Macro) * P.offsetsPerBlock() + OY * P.SearchDim + OX] =
+              Sad;
+        }
+      }
+    }
+  }
+}
+
+void g80::mriFhdRef(std::span<const float> X, std::span<const float> Y,
+                    std::span<const float> Z,
+                    std::span<const MriSample> Samples, std::span<float> OutR,
+                    std::span<float> OutI) {
+  assert(X.size() == Y.size() && Y.size() == Z.size() &&
+         X.size() == OutR.size() && OutR.size() == OutI.size() &&
+         "mriFhdRef size mismatch");
+  constexpr float TwoPi = 6.2831853071795864769f;
+  for (size_t V = 0; V != X.size(); ++V) {
+    float AccR = OutR[V], AccI = OutI[V];
+    for (const MriSample &S : Samples) {
+      float Arg = TwoPi * (S.Kx * X[V] + S.Ky * Y[V] + S.Kz * Z[V]);
+      float C = std::cos(Arg);
+      float Sn = std::sin(Arg);
+      AccR += S.RhoR * C - S.RhoI * Sn;
+      AccI += S.RhoI * C + S.RhoR * Sn;
+    }
+    OutR[V] = AccR;
+    OutI[V] = AccI;
+  }
+}

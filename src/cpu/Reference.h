@@ -1,0 +1,97 @@
+//===- cpu/Reference.h - Single-thread CPU reference implementations --------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-threaded CPU implementations of the paper's four applications
+/// (Table 3).  They serve two purposes:
+///  1. ground truth for the functional verification of every generated
+///     kernel variant (tests compare emulator output against these), and
+///  2. the CPU baseline timed by bench/table3_speedups (the paper used
+///     ICC+MKL on a Core2 Extreme; we use these straightforward
+///     cache-aware loops and compare speedup *shape*, not absolute
+///     ratios — see EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_CPU_REFERENCE_H
+#define G80TUNE_CPU_REFERENCE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace g80 {
+
+//===--- Matrix multiplication ---------------------------------------------===//
+
+/// C = A * B for dense N x N row-major matrices.  Cache-blocked i-k-j
+/// loop order (the "highly optimized single-thread" baseline stands in
+/// for the paper's MKL sgemm).
+void matMulRef(unsigned N, std::span<const float> A, std::span<const float> B,
+               std::span<float> C);
+
+//===--- Coulombic potential (CP) ------------------------------------------===//
+
+/// A point charge for the CP workload.
+struct CpAtom {
+  float X, Y, Z, Charge;
+};
+
+/// Computes the electric potential on a W x H grid slice at z = 0 with
+/// grid spacing \p Spacing: V[y*W + x] = sum_j q_j / dist(p, atom_j)
+/// (the kernel derived from the "Unroll8y" molecular-modeling kernel of
+/// [23]).
+void cpRef(unsigned W, unsigned H, float Spacing,
+           std::span<const CpAtom> Atoms, std::span<float> Out);
+
+//===--- Sum of absolute differences (SAD) ---------------------------------===//
+
+/// SAD workload geometry: 4x4 pixel blocks, a SearchDim x SearchDim
+/// search window (the paper uses 32), reference frame padded by
+/// SearchDim/2 on every side so every probe is in bounds.
+struct SadProblem {
+  unsigned Width = 0;      ///< Current-frame width in pixels.
+  unsigned Height = 0;     ///< Current-frame height in pixels.
+  unsigned SearchDim = 32; ///< Search window edge (offsets per axis).
+
+  unsigned blocksX() const { return Width / 4; }
+  unsigned blocksY() const { return Height / 4; }
+  unsigned numMacroblocks() const { return blocksX() * blocksY(); }
+  unsigned offsetsPerBlock() const { return SearchDim * SearchDim; }
+  unsigned pad() const { return SearchDim / 2; }
+  unsigned paddedWidth() const { return Width + SearchDim; }
+  unsigned paddedHeight() const { return Height + SearchDim; }
+};
+
+/// Computes, for every 4x4 macroblock and every search offset, the sum of
+/// absolute differences between the current frame and the padded
+/// reference frame.  Out is indexed [macroblock * offsetsPerBlock + offset]
+/// with offset = oy * SearchDim + ox.
+void sadRef(const SadProblem &P, std::span<const float> Cur,
+            std::span<const float> RefPadded, std::span<float> Out);
+
+//===--- MRI F^H d ----------------------------------------------------------===//
+
+/// One k-space sample for the MRI-FHD workload [24].
+struct MriSample {
+  float Kx, Ky, Kz;
+  float RhoR, RhoI; ///< Real/imaginary parts of the sample value.
+};
+
+/// Accumulates the F^H d matrix-vector product over \p Samples into
+/// (OutR, OutI): for each voxel v,
+///   arg = 2*pi*(kx*x_v + ky*y_v + kz*z_v)
+///   outR_v += rhoR*cos(arg) - rhoI*sin(arg)
+///   outI_v += rhoI*cos(arg) + rhoR*sin(arg)
+/// Accumulation (+=) matches the GPU side's chunked multi-invocation
+/// structure; zero the outputs before the first call.
+void mriFhdRef(std::span<const float> X, std::span<const float> Y,
+               std::span<const float> Z, std::span<const MriSample> Samples,
+               std::span<float> OutR, std::span<float> OutI);
+
+} // namespace g80
+
+#endif // G80TUNE_CPU_REFERENCE_H

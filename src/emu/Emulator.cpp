@@ -1,0 +1,463 @@
+//===- emu/Emulator.cpp ---------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "emu/Emulator.h"
+
+#include "support/ErrorHandling.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+using namespace g80;
+
+//===----------------------------------------------------------------------===//
+// DeviceBuffer
+//===----------------------------------------------------------------------===//
+
+DeviceBuffer DeviceBuffer::zeroed(size_t NumWords) {
+  DeviceBuffer B;
+  B.Words.assign(NumWords, 0);
+  return B;
+}
+
+DeviceBuffer DeviceBuffer::fromFloats(std::span<const float> Values) {
+  DeviceBuffer B;
+  B.Words.reserve(Values.size());
+  for (float V : Values)
+    B.Words.push_back(std::bit_cast<uint32_t>(V));
+  return B;
+}
+
+DeviceBuffer DeviceBuffer::fromInts(std::span<const int32_t> Values) {
+  DeviceBuffer B;
+  B.Words.reserve(Values.size());
+  for (int32_t V : Values)
+    B.Words.push_back(std::bit_cast<uint32_t>(V));
+  return B;
+}
+
+std::vector<float> DeviceBuffer::toFloats() const {
+  std::vector<float> Out;
+  Out.reserve(Words.size());
+  for (uint32_t W : Words)
+    Out.push_back(std::bit_cast<float>(W));
+  return Out;
+}
+
+float DeviceBuffer::floatAt(size_t Index) const {
+  return std::bit_cast<float>(Words[Index]);
+}
+
+int32_t DeviceBuffer::intAt(size_t Index) const {
+  return std::bit_cast<int32_t>(Words[Index]);
+}
+
+//===----------------------------------------------------------------------===//
+// LaunchBindings
+//===----------------------------------------------------------------------===//
+
+LaunchBindings::LaunchBindings(const Kernel &K)
+    : Slots(K.params().size()) {}
+
+void LaunchBindings::bindBuffer(unsigned ParamIndex, DeviceBuffer *Buf) {
+  assert(ParamIndex < Slots.size() && "parameter index out of range");
+  Slots[ParamIndex].Bound = true;
+  Slots[ParamIndex].Buf = Buf;
+}
+
+void LaunchBindings::setF32(unsigned ParamIndex, float Value) {
+  assert(ParamIndex < Slots.size() && "parameter index out of range");
+  Slots[ParamIndex].Bound = true;
+  Slots[ParamIndex].Scalar = std::bit_cast<uint32_t>(Value);
+}
+
+void LaunchBindings::setS32(unsigned ParamIndex, int32_t Value) {
+  assert(ParamIndex < Slots.size() && "parameter index out of range");
+  Slots[ParamIndex].Bound = true;
+  Slots[ParamIndex].Scalar = std::bit_cast<uint32_t>(Value);
+}
+
+DeviceBuffer *LaunchBindings::buffer(unsigned ParamIndex) const {
+  assert(ParamIndex < Slots.size() && "parameter index out of range");
+  return Slots[ParamIndex].Buf;
+}
+
+uint32_t LaunchBindings::scalar(unsigned ParamIndex) const {
+  assert(ParamIndex < Slots.size() && "parameter index out of range");
+  return Slots[ParamIndex].Scalar;
+}
+
+void LaunchBindings::checkComplete(const Kernel &K) const {
+  for (unsigned I = 0; I != Slots.size(); ++I) {
+    const ParamInfo &P = K.params()[I];
+    bool NeedsBuffer = P.Kind == ParamKind::GlobalPtr ||
+                       P.Kind == ParamKind::ConstPtr ||
+                       P.Kind == ParamKind::TexPtr;
+    if (!Slots[I].Bound || (NeedsBuffer && Slots[I].Buf == nullptr)) {
+      std::string Msg = "kernel '" + K.name() + "' parameter '" + P.Name +
+                        "' has no binding";
+      reportFatalError(Msg.c_str());
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Block executor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Executes one thread block in instruction lockstep.
+class BlockExecutor {
+public:
+  BlockExecutor(const Kernel &K, const LaunchConfig &Launch,
+                const LaunchBindings &Bindings, Dim3 BlockIdx,
+                EmulationStats &Stats)
+      : K(K), Launch(Launch), Bindings(Bindings), BlockIdx(BlockIdx),
+        NumThreads(Launch.threadsPerBlock()), Stats(Stats) {
+    Regs.assign(size_t(NumThreads) * K.numVRegs(), 0);
+    Active.assign(NumThreads, 1);
+    SharedMem.assign((K.sharedDataBytes() + 3) / 4, 0);
+    LocalWordsPerThread = (K.localBytesPerThread() + 3) / 4;
+    LocalMem.assign(size_t(NumThreads) * LocalWordsPerThread, 0);
+  }
+
+  void run() {
+    execBody(K.body());
+    Stats.Blocks += 1;
+  }
+
+private:
+  uint32_t &regRef(unsigned Thread, Reg R) {
+    assert(R.isValid() && R.Id < K.numVRegs() && "register out of range");
+    return Regs[size_t(Thread) * K.numVRegs() + R.Id];
+  }
+
+  uint32_t evalOperand(unsigned Thread, const Operand &O) {
+    switch (O.kind()) {
+    case Operand::Kind::None:
+      G80_UNREACHABLE("evaluating a missing operand");
+    case Operand::Kind::Reg:
+      return regRef(Thread, O.getReg());
+    case Operand::Kind::ImmF32:
+      return std::bit_cast<uint32_t>(O.getImmF32());
+    case Operand::Kind::ImmS32:
+      return std::bit_cast<uint32_t>(O.getImmS32());
+    case Operand::Kind::Special:
+      return evalSpecial(Thread, O.getSpecial());
+    case Operand::Kind::Param:
+      return Bindings.scalar(O.getParamIndex());
+    }
+    G80_UNREACHABLE("unknown operand kind");
+  }
+
+  uint32_t evalSpecial(unsigned Thread, SpecialReg S) const {
+    unsigned BX = Launch.Block.X, BY = Launch.Block.Y;
+    switch (S) {
+    case SpecialReg::TidX:
+      return Thread % BX;
+    case SpecialReg::TidY:
+      return (Thread / BX) % BY;
+    case SpecialReg::TidZ:
+      return Thread / (BX * BY);
+    case SpecialReg::CtaIdX:
+      return BlockIdx.X;
+    case SpecialReg::CtaIdY:
+      return BlockIdx.Y;
+    case SpecialReg::NTidX:
+      return Launch.Block.X;
+    case SpecialReg::NTidY:
+      return Launch.Block.Y;
+    case SpecialReg::NCtaIdX:
+      return Launch.Grid.X;
+    case SpecialReg::NCtaIdY:
+      return Launch.Grid.Y;
+    }
+    G80_UNREACHABLE("unknown special register");
+  }
+
+  static float asF(uint32_t W) { return std::bit_cast<float>(W); }
+  static int32_t asI(uint32_t W) { return std::bit_cast<int32_t>(W); }
+  static uint32_t fromF(float V) { return std::bit_cast<uint32_t>(V); }
+  static uint32_t fromI(int32_t V) { return std::bit_cast<uint32_t>(V); }
+
+  [[noreturn]] void fail(const char *What) {
+    std::string Msg = "kernel '" + K.name() + "': " + What;
+    reportFatalError(Msg.c_str());
+  }
+
+  uint32_t &memRef(unsigned Thread, const Instruction &I) {
+    uint64_t Addr = I.AddrOffset;
+    if (!I.AddrBase.isNone())
+      Addr += evalOperand(Thread, I.AddrBase);
+    if (Addr % 4 != 0)
+      fail("misaligned 32-bit memory access");
+    uint64_t WordIdx = Addr / 4;
+
+    switch (I.Space) {
+    case MemSpace::Global:
+    case MemSpace::Const:
+    case MemSpace::Texture: {
+      DeviceBuffer *Buf = Bindings.buffer(I.BufferParam);
+      if (WordIdx >= Buf->sizeWords())
+        fail("global/const access out of bounds");
+      return Buf->word(WordIdx);
+    }
+    case MemSpace::Shared: {
+      const SharedArray &Arr = K.sharedArrays()[I.BufferParam];
+      if (Addr >= Arr.Bytes)
+        fail("shared access out of array bounds");
+      return SharedMem[(Arr.ByteOffset + Addr) / 4];
+    }
+    case MemSpace::Local: {
+      if (WordIdx >= LocalWordsPerThread)
+        fail("local access out of bounds");
+      return LocalMem[size_t(Thread) * LocalWordsPerThread + WordIdx];
+    }
+    }
+    G80_UNREACHABLE("unknown memory space");
+  }
+
+  bool comparePasses(CmpKind Cmp, bool IsFloat, uint32_t A, uint32_t B) {
+    if (IsFloat) {
+      float X = asF(A), Y = asF(B);
+      switch (Cmp) {
+      case CmpKind::Eq:
+        return X == Y;
+      case CmpKind::Ne:
+        return X != Y;
+      case CmpKind::Lt:
+        return X < Y;
+      case CmpKind::Le:
+        return X <= Y;
+      case CmpKind::Gt:
+        return X > Y;
+      case CmpKind::Ge:
+        return X >= Y;
+      }
+    } else {
+      int32_t X = asI(A), Y = asI(B);
+      switch (Cmp) {
+      case CmpKind::Eq:
+        return X == Y;
+      case CmpKind::Ne:
+        return X != Y;
+      case CmpKind::Lt:
+        return X < Y;
+      case CmpKind::Le:
+        return X <= Y;
+      case CmpKind::Gt:
+        return X > Y;
+      case CmpKind::Ge:
+        return X >= Y;
+      }
+    }
+    G80_UNREACHABLE("unknown compare kind");
+  }
+
+  void execInstrForThread(unsigned T, const Instruction &I) {
+    auto A = [&] { return evalOperand(T, I.A); };
+    auto B = [&] { return evalOperand(T, I.B); };
+    auto C = [&] { return evalOperand(T, I.C); };
+    auto SetF = [&](float V) { regRef(T, I.Dst) = fromF(V); };
+    auto SetI = [&](int32_t V) { regRef(T, I.Dst) = fromI(V); };
+    auto SetW = [&](uint32_t V) { regRef(T, I.Dst) = V; };
+
+    switch (I.Op) {
+    case Opcode::Mov:
+      SetW(A());
+      return;
+    case Opcode::AddF:
+      SetF(asF(A()) + asF(B()));
+      return;
+    case Opcode::SubF:
+      SetF(asF(A()) - asF(B()));
+      return;
+    case Opcode::MulF:
+      SetF(asF(A()) * asF(B()));
+      return;
+    case Opcode::MadF: {
+      // The G80 MAD truncates the intermediate product; we model the
+      // arithmetic as unfused multiply-add, which matches the CPU
+      // reference exactly.
+      float Prod = asF(A()) * asF(B());
+      SetF(Prod + asF(C()));
+      return;
+    }
+    case Opcode::MinF:
+      SetF(std::fmin(asF(A()), asF(B())));
+      return;
+    case Opcode::MaxF:
+      SetF(std::fmax(asF(A()), asF(B())));
+      return;
+    case Opcode::AbsF:
+      SetF(std::fabs(asF(A())));
+      return;
+    case Opcode::NegF:
+      SetF(-asF(A()));
+      return;
+    case Opcode::AddI:
+      SetI(asI(A()) + asI(B()));
+      return;
+    case Opcode::SubI:
+      SetI(asI(A()) - asI(B()));
+      return;
+    case Opcode::MulI:
+      SetI(static_cast<int32_t>(
+          static_cast<int64_t>(asI(A())) * asI(B())));
+      return;
+    case Opcode::MadI:
+      SetI(static_cast<int32_t>(static_cast<int64_t>(asI(A())) * asI(B()) +
+                                asI(C())));
+      return;
+    case Opcode::MinI:
+      SetI(std::min(asI(A()), asI(B())));
+      return;
+    case Opcode::MaxI:
+      SetI(std::max(asI(A()), asI(B())));
+      return;
+    case Opcode::AbsI:
+      SetI(std::abs(asI(A())));
+      return;
+    case Opcode::AndI:
+      SetW(A() & B());
+      return;
+    case Opcode::OrI:
+      SetW(A() | B());
+      return;
+    case Opcode::XorI:
+      SetW(A() ^ B());
+      return;
+    case Opcode::ShlI:
+      SetW(A() << (B() & 31));
+      return;
+    case Opcode::ShrI:
+      SetW(A() >> (B() & 31));
+      return;
+    case Opcode::CvtFI:
+      SetF(static_cast<float>(asI(A())));
+      return;
+    case Opcode::CvtIF:
+      SetI(static_cast<int32_t>(asF(A())));
+      return;
+    case Opcode::SetPF:
+      SetI(comparePasses(I.Cmp, /*IsFloat=*/true, A(), B()) ? 1 : 0);
+      return;
+    case Opcode::SetPI:
+      SetI(comparePasses(I.Cmp, /*IsFloat=*/false, A(), B()) ? 1 : 0);
+      return;
+    case Opcode::SelP:
+      SetW(C() != 0 ? A() : B());
+      return;
+    case Opcode::RcpF:
+      SetF(1.0f / asF(A()));
+      return;
+    case Opcode::RsqrtF:
+      SetF(1.0f / std::sqrt(asF(A())));
+      return;
+    case Opcode::SinF:
+      SetF(std::sin(asF(A())));
+      return;
+    case Opcode::CosF:
+      SetF(std::cos(asF(A())));
+      return;
+    case Opcode::Ld:
+      SetW(memRef(T, I));
+      return;
+    case Opcode::St:
+      memRef(T, I) = A();
+      return;
+    case Opcode::Bar:
+      // Handled in execBody (lockstep makes it a divergence check).
+      return;
+    }
+    G80_UNREACHABLE("unknown opcode");
+  }
+
+  void execBody(const Body &B) {
+    for (const BodyNode &N : B) {
+      if (N.isInstr()) {
+        const Instruction &I = N.instr();
+        if (I.isBarrier()) {
+          // Lockstep already synchronizes; just enforce convergence.
+          for (unsigned T = 0; T != NumThreads; ++T)
+            if (!Active[T])
+              fail("__syncthreads() inside divergent control flow");
+          Stats.ThreadInstrs += NumThreads;
+          continue;
+        }
+        for (unsigned T = 0; T != NumThreads; ++T) {
+          if (!Active[T])
+            continue;
+          execInstrForThread(T, I);
+          ++Stats.ThreadInstrs;
+        }
+      } else if (N.isLoop()) {
+        const Loop &L = N.loop();
+        for (uint64_t Trip = 0; Trip != L.TripCount; ++Trip)
+          execBody(L.LoopBody);
+      } else {
+        execIf(N.ifNode());
+      }
+    }
+  }
+
+  void execIf(const If &IfN) {
+    std::vector<uint8_t> Saved = Active;
+    // Then: threads whose predicate is nonzero.
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Active[T] = Saved[T] && regRef(T, IfN.Pred) != 0;
+    if (anyActive())
+      execBody(IfN.Then);
+    // Else: the complement.
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Active[T] = Saved[T] && regRef(T, IfN.Pred) == 0;
+    if (!IfN.Else.empty() && anyActive())
+      execBody(IfN.Else);
+    Active = std::move(Saved);
+  }
+
+  bool anyActive() const {
+    for (uint8_t A : Active)
+      if (A)
+        return true;
+    return false;
+  }
+
+  const Kernel &K;
+  const LaunchConfig &Launch;
+  const LaunchBindings &Bindings;
+  Dim3 BlockIdx;
+  unsigned NumThreads;
+  EmulationStats &Stats;
+
+  std::vector<uint32_t> Regs;
+  std::vector<uint8_t> Active;
+  std::vector<uint32_t> SharedMem;
+  std::vector<uint32_t> LocalMem;
+  unsigned LocalWordsPerThread = 0;
+};
+
+} // namespace
+
+EmulationStats g80::emulateKernel(const Kernel &K, const LaunchConfig &Launch,
+                                  const LaunchBindings &Bindings) {
+  Bindings.checkComplete(K);
+  if (Launch.threadsPerBlock() == 0 || Launch.numBlocks() == 0)
+    reportFatalError("empty launch configuration");
+
+  EmulationStats Stats;
+  for (unsigned BY = 0; BY != Launch.Grid.Y; ++BY) {
+    for (unsigned BX = 0; BX != Launch.Grid.X; ++BX) {
+      BlockExecutor Exec(K, Launch, Bindings, Dim3(BX, BY), Stats);
+      Exec.run();
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,102 @@
+//===- emu/Emulator.h - Functional kernel emulator --------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional (bit-level, untimed) execution of kernels on real buffers.
+///
+/// The paper tunes hand-written CUDA kernels whose correctness is taken
+/// for granted; our kernels are *generated* per optimization configuration,
+/// so every variant is executed here and compared against the CPU
+/// reference before its timing or metrics are trusted (see
+/// tests/KernelsCorrectnessTest.cpp).
+///
+/// Execution model: one thread block at a time, all threads of the block
+/// in instruction-level lockstep with an active-mask stack for divergent
+/// if-regions.  Lockstep makes __syncthreads() semantics exact: shared
+/// memory written before a barrier is visible after it, and a barrier
+/// inside divergent control flow — undefined behaviour on real hardware —
+/// is reported as a fatal error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_EMU_EMULATOR_H
+#define G80TUNE_EMU_EMULATOR_H
+
+#include "arch/LaunchConfig.h"
+#include "ptx/Kernel.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace g80 {
+
+/// A linear 32-bit-word memory object bindable to a pointer parameter.
+class DeviceBuffer {
+public:
+  DeviceBuffer() = default;
+
+  /// Creates a zero-filled buffer of \p NumWords 32-bit words.
+  static DeviceBuffer zeroed(size_t NumWords);
+  /// Creates a buffer holding \p Values bit-cast to words.
+  static DeviceBuffer fromFloats(std::span<const float> Values);
+  static DeviceBuffer fromInts(std::span<const int32_t> Values);
+
+  size_t sizeWords() const { return Words.size(); }
+  size_t sizeBytes() const { return Words.size() * 4; }
+
+  uint32_t word(size_t Index) const { return Words[Index]; }
+  uint32_t &word(size_t Index) { return Words[Index]; }
+
+  /// Reads the buffer back as floats.
+  std::vector<float> toFloats() const;
+  float floatAt(size_t Index) const;
+  int32_t intAt(size_t Index) const;
+
+private:
+  std::vector<uint32_t> Words;
+};
+
+/// Values bound to a kernel's parameters for one launch.
+class LaunchBindings {
+public:
+  explicit LaunchBindings(const Kernel &K);
+
+  /// Binds \p Buf (global or const pointer parameter \p ParamIndex).  The
+  /// buffer must outlive the launch.
+  void bindBuffer(unsigned ParamIndex, DeviceBuffer *Buf);
+  void setF32(unsigned ParamIndex, float Value);
+  void setS32(unsigned ParamIndex, int32_t Value);
+
+  DeviceBuffer *buffer(unsigned ParamIndex) const;
+  uint32_t scalar(unsigned ParamIndex) const;
+
+  /// Fatal-errors unless every parameter received a binding of the right
+  /// kind.  Called by the emulator before execution.
+  void checkComplete(const Kernel &K) const;
+
+private:
+  struct Slot {
+    bool Bound = false;
+    DeviceBuffer *Buf = nullptr;
+    uint32_t Scalar = 0;
+  };
+  std::vector<Slot> Slots;
+};
+
+/// Execution statistics (functional, not timing).
+struct EmulationStats {
+  uint64_t ThreadInstrs = 0; ///< Thread-instructions executed.
+  uint64_t Blocks = 0;
+};
+
+/// Runs \p K functionally over the whole \p Launch grid.
+EmulationStats emulateKernel(const Kernel &K, const LaunchConfig &Launch,
+                             const LaunchBindings &Bindings);
+
+} // namespace g80
+
+#endif // G80TUNE_EMU_EMULATOR_H

@@ -1,0 +1,177 @@
+//===- kernels/Cp.cpp -----------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Cp.h"
+
+#include "emu/Emulator.h"
+#include "kernels/Workloads.h"
+#include "ptx/Builder.h"
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace g80;
+
+namespace {
+
+struct CpConfig {
+  unsigned BlockY;   ///< Block is 16 x BlockY threads.
+  unsigned Tiling;   ///< F: points per thread along x.
+  bool Coalesce;     ///< Strided (true) vs adjacent (false) point layout.
+};
+
+CpConfig decode(const ConfigSpace &S, const ConfigPoint &P) {
+  CpConfig C;
+  C.BlockY = static_cast<unsigned>(S.valueOf(P, "blocky"));
+  C.Tiling = static_cast<unsigned>(S.valueOf(P, "tiling"));
+  C.Coalesce = S.valueOf(P, "coalesce") != 0;
+  return C;
+}
+
+/// Deterministic atom set within the grid's bounding box.
+std::vector<CpAtom> makeAtoms(const CpProblem &P) {
+  Rng R(0xA7035 + P.NumAtoms);
+  std::vector<CpAtom> Atoms(P.NumAtoms);
+  float MaxX = P.Spacing * static_cast<float>(P.W);
+  float MaxY = P.Spacing * static_cast<float>(P.H);
+  for (CpAtom &A : Atoms) {
+    A.X = R.nextFloatIn(0, MaxX);
+    A.Y = R.nextFloatIn(0, MaxY);
+    // Keep atoms off the z=0 slice so no potential diverges.
+    A.Z = R.nextFloatIn(0.2f, 2.0f);
+    A.Charge = R.nextFloatIn(-1.0f, 1.0f);
+  }
+  return Atoms;
+}
+
+} // namespace
+
+CpApp::CpApp(CpProblem Problem)
+    : Problem(Problem), Atoms(makeAtoms(Problem)) {
+  Space.addDim("blocky", {2, 4, 8, 16});
+  Space.addDim("tiling", {1, 2, 4, 8, 16});
+  Space.addDim("coalesce", {0, 1});
+}
+
+bool CpApp::isExpressible(const ConfigPoint &P) const {
+  CpConfig C = decode(Space, P);
+  return Problem.W % (16 * C.Tiling) == 0 && Problem.H % C.BlockY == 0;
+}
+
+LaunchConfig CpApp::launch(const ConfigPoint &P) const {
+  CpConfig C = decode(Space, P);
+  return LaunchConfig(Dim3(Problem.W / (16 * C.Tiling), Problem.H / C.BlockY),
+                      Dim3(16, C.BlockY));
+}
+
+Kernel CpApp::buildKernel(const ConfigPoint &P) const {
+  assert(isExpressible(P) && "building an inexpressible configuration");
+  CpConfig C = decode(Space, P);
+  const unsigned F = C.Tiling;
+
+  KernelBuilder B("cp_by" + std::to_string(C.BlockY) + "_f" +
+                  std::to_string(F) + (C.Coalesce ? "_co" : "_nc"));
+  // Atom records are (x, y, z^2, q), 16 bytes each, in constant memory —
+  // z^2 precomputed host-side since the slice sits at z = 0.
+  unsigned PAtoms = B.addConstPtr("atoms");
+  unsigned POut = B.addGlobalPtr("out");
+  unsigned PSpacing = B.addScalarF32("spacing");
+  unsigned PWidth = B.addScalarS32("gridW");
+
+  //===--- Prologue ---------------------------------------------------------//
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg Ty = B.mov(B.special(SpecialReg::TidY));
+  Reg Spacing = B.mov(B.param(PSpacing));
+  Reg GridW = B.mov(B.param(PWidth));
+
+  // First x index of this thread's points, and the element stride
+  // between them: strided-by-16 when coalescing, adjacent otherwise.
+  Reg XIdx0;
+  unsigned PointStride;
+  if (C.Coalesce) {
+    XIdx0 = B.madi(B.special(SpecialReg::CtaIdX), B.imm(int32_t(16 * F)), Tx);
+    PointStride = 16;
+  } else {
+    Reg Linear =
+        B.madi(B.special(SpecialReg::CtaIdX), B.imm(16), Tx);
+    XIdx0 = B.muli(Linear, B.imm(int32_t(F)));
+    PointStride = 1;
+  }
+  Reg YIdx = B.madi(B.special(SpecialReg::CtaIdY),
+                    B.imm(int32_t(C.BlockY)), Ty);
+  Reg YCoord = B.mulf(B.cvtFI(YIdx), Spacing);
+
+  // Per-point x coordinates and accumulators stay in registers for the
+  // whole atom loop — the register pressure that caps this space's
+  // occupancy at high tiling factors.
+  std::vector<Reg> XCoord(F), Acc(F);
+  Reg XIdxF = B.cvtFI(XIdx0);
+  for (unsigned R = 0; R != F; ++R) {
+    Reg Xi = R == 0 ? XIdxF
+                    : B.addf(XIdxF, B.imm(float(R * PointStride)));
+    XCoord[R] = B.mulf(Xi, Spacing);
+    Acc[R] = B.mov(B.imm(0.0f));
+  }
+
+  //===--- Atom loop --------------------------------------------------------//
+  Reg CAddr = B.mov(B.imm(0));
+  B.forLoop(Problem.NumAtoms, [&] {
+    Reg Ax = B.ldConst(PAtoms, CAddr, 0);
+    Reg Ay = B.ldConst(PAtoms, CAddr, 4);
+    Reg Az2 = B.ldConst(PAtoms, CAddr, 8);
+    Reg Aq = B.ldConst(PAtoms, CAddr, 12);
+    Reg Dy = B.subf(YCoord, Ay);
+    Reg DyZ = B.madf(Dy, Dy, Az2);
+    for (unsigned R = 0; R != F; ++R) {
+      Reg Dx = B.subf(XCoord[R], Ax);
+      Reg R2 = B.madf(Dx, Dx, DyZ);
+      Reg RInv = B.rsqrtf(R2);
+      B.madfAcc(Acc[R], Aq, RInv);
+    }
+    B.addiTo(CAddr, CAddr, B.imm(16));
+  });
+
+  //===--- Epilogue ---------------------------------------------------------//
+  Reg OutIdx = B.madi(YIdx, GridW, XIdx0);
+  Reg OutAddr = B.shli(OutIdx, B.imm(2));
+  // Strided points: each half-warp stores 16 consecutive words per point
+  // (coalesced).  Adjacent points: thread stores are F words apart, so a
+  // half-warp's accesses serialize into per-thread transactions.
+  unsigned EffSt =
+      C.Coalesce || F == 1 ? 4 : (F >= 8 ? 32 : 4 * F);
+  for (unsigned R = 0; R != F; ++R)
+    B.stGlobal(POut, OutAddr, int32_t(R * PointStride * 4), Acc[R], EffSt);
+
+  return B.take();
+}
+
+double CpApp::verifyConfig(const ConfigPoint &P) const {
+  // Pack atoms as (x, y, z^2, q) for the constant buffer.
+  std::vector<float> AtomData;
+  AtomData.reserve(Atoms.size() * 4);
+  for (const CpAtom &A : Atoms) {
+    AtomData.push_back(A.X);
+    AtomData.push_back(A.Y);
+    AtomData.push_back(A.Z * A.Z);
+    AtomData.push_back(A.Charge);
+  }
+  DeviceBuffer AtomBuf = DeviceBuffer::fromFloats(AtomData);
+  DeviceBuffer OutBuf =
+      DeviceBuffer::zeroed(size_t(Problem.W) * Problem.H);
+
+  Kernel K = buildKernel(P);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &AtomBuf);
+  Bind.bindBuffer(1, &OutBuf);
+  Bind.setF32(2, Problem.Spacing);
+  Bind.setS32(3, int32_t(Problem.W));
+  emulateKernel(K, launch(P), Bind);
+
+  std::vector<float> Want(size_t(Problem.W) * Problem.H);
+  cpRef(Problem.W, Problem.H, Problem.Spacing, Atoms, Want);
+  std::vector<float> Got = OutBuf.toFloats();
+  return maxRelError(Got, Want, /*Floor=*/1e-2);
+}

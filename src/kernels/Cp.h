@@ -1,0 +1,76 @@
+//===- kernels/Cp.h - Coulombic potential (CP) -------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CP application (Table 3): "calculation of the electric potential at
+/// every point in a 3D grid", derived from the "Unroll8y" molecular-
+/// modeling kernel of [23].  Each thread accumulates, over all point
+/// charges held in constant memory, q / distance for one or more grid
+/// points of a 2D slice.
+///
+/// Optimization space (Table 4: "block size, per-thread tiling,
+/// coalescing of output"):
+///   blocky   {2, 4, 8, 16}   block is 16 x blocky threads
+///   tiling   {1, 2, 4, 8, 16} grid points computed per thread (along x);
+///                            amortizes the per-atom loads — the Fig. 5
+///                            efficiency/utilization tradeoff axis
+///   coalesce {0, 1}          1: a thread's points are strided by 16 so
+///                            each half-warp writes consecutive words;
+///                            0: adjacent points per thread (uncoalesced
+///                            stores)
+///
+/// The per-atom inner loop has no global accesses and no barriers, so the
+/// rsqrt SFU ops are the blocking instructions of the Regions metric —
+/// the "SFU instructions have long latency when longer latency operations
+/// are not present" case of §4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_KERNELS_CP_H
+#define G80TUNE_KERNELS_CP_H
+
+#include "core/TunableApp.h"
+#include "cpu/Reference.h"
+
+#include <vector>
+
+namespace g80 {
+
+/// Problem description: a W x H potential slice at z = 0 and a fixed,
+/// deterministic atom set.
+struct CpProblem {
+  unsigned W = 256;
+  unsigned H = 256;
+  unsigned NumAtoms = 512;
+  float Spacing = 0.05f;
+
+  static CpProblem emulation() { return {256, 64, 64, 0.05f}; }
+  static CpProblem bench() { return {256, 256, 512, 0.05f}; }
+};
+
+class CpApp : public TunableApp {
+public:
+  explicit CpApp(CpProblem Problem);
+
+  std::string_view name() const override { return "cp"; }
+  const ConfigSpace &space() const override { return Space; }
+  bool isExpressible(const ConfigPoint &P) const override;
+  Kernel buildKernel(const ConfigPoint &P) const override;
+  LaunchConfig launch(const ConfigPoint &P) const override;
+  double verifyConfig(const ConfigPoint &P) const override;
+
+  const CpProblem &problem() const { return Problem; }
+  const std::vector<CpAtom> &atoms() const { return Atoms; }
+
+private:
+  CpProblem Problem;
+  ConfigSpace Space;
+  std::vector<CpAtom> Atoms;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_KERNELS_CP_H

@@ -1,0 +1,254 @@
+//===- kernels/MatMul.cpp -------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/MatMul.h"
+
+#include "cpu/Reference.h"
+#include "emu/Emulator.h"
+#include "kernels/Workloads.h"
+#include "ptx/Builder.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace g80;
+
+namespace {
+
+/// Decoded configuration point.
+struct MatMulConfig {
+  unsigned Tile;    ///< T: square tile edge (8 or 16).
+  unsigned Rect;    ///< R: output elements per thread.
+  unsigned Unroll;  ///< Inner-loop unroll (decoded; T for "complete").
+  bool Prefetch;
+  bool Spill;
+};
+
+MatMulConfig decode(const ConfigSpace &S, const ConfigPoint &P) {
+  MatMulConfig C;
+  C.Tile = static_cast<unsigned>(S.valueOf(P, "tile"));
+  C.Rect = static_cast<unsigned>(S.valueOf(P, "rect"));
+  int U = S.valueOf(P, "unroll");
+  C.Unroll = U == 0 ? C.Tile : static_cast<unsigned>(U);
+  C.Prefetch = S.valueOf(P, "prefetch") != 0;
+  C.Spill = S.valueOf(P, "spill") != 0;
+  return C;
+}
+
+unsigned log2Exact(unsigned V) {
+  unsigned L = 0;
+  while ((1u << L) < V)
+    ++L;
+  assert((1u << L) == V && "not a power of two");
+  return L;
+}
+
+} // namespace
+
+MatMulApp::MatMulApp(MatMulProblem Problem) : Problem(Problem) {
+  Space.addDim("tile", {8, 16});
+  Space.addDim("rect", {1, 2, 4});
+  Space.addDim("unroll", {1, 2, 4, 0}); // 0 = complete.
+  Space.addDim("prefetch", {0, 1});
+  Space.addDim("spill", {0, 1});
+}
+
+bool MatMulApp::isExpressible(const ConfigPoint &P) const {
+  MatMulConfig C = decode(Space, P);
+  if (Problem.N % C.Tile != 0 || Problem.N % (C.Tile * C.Rect) != 0)
+    return false;
+  return C.Tile % C.Unroll == 0;
+}
+
+ConfigPoint MatMulApp::paperExampleConfig() const {
+  // tile=16 rect=1 unroll=complete prefetch=0 spill=0.
+  return {16, 1, 0, 0, 0};
+}
+
+LaunchConfig MatMulApp::launch(const ConfigPoint &P) const {
+  MatMulConfig C = decode(Space, P);
+  return LaunchConfig(
+      Dim3(Problem.N / (C.Tile * C.Rect), Problem.N / C.Tile),
+      Dim3(C.Tile, C.Tile));
+}
+
+Kernel MatMulApp::buildKernel(const ConfigPoint &P) const {
+  assert(isExpressible(P) && "building an inexpressible configuration");
+  MatMulConfig C = decode(Space, P);
+  const unsigned T = C.Tile;
+  const unsigned R = C.Rect;
+  const unsigned U = C.Unroll;
+  const unsigned Trips = Problem.N / T;
+  // 16-wide tiles give each half-warp 16 consecutive words (coalesced);
+  // 8-wide tiles split it across two matrix rows and the G80 issues one
+  // 32-byte transaction per thread.
+  const unsigned EffLd = T >= 16 ? 4 : 32;
+
+  KernelBuilder B("matmul_t" + std::to_string(T) + "_r1x" +
+                  std::to_string(R) + "_u" + std::to_string(U) +
+                  (C.Prefetch ? "_pf" : "") + (C.Spill ? "_sp" : ""));
+  unsigned PA = B.addGlobalPtr("A");
+  unsigned PB = B.addGlobalPtr("B");
+  unsigned PC = B.addGlobalPtr("C");
+  unsigned PWidthA = B.addScalarS32("widthA");
+  unsigned PWidthB = B.addScalarS32("widthB");
+  unsigned As = B.addShared("As", T * T * 4);
+  unsigned Bs = B.addShared("Bs", T * T * R * 4);
+  if (C.Spill)
+    B.kernel().allocLocal(8); // Two spill slots: indexC, sStoreB.
+
+  //===--- Prologue ---------------------------------------------------------//
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg Ty = B.mov(B.special(SpecialReg::TidY));
+  Reg WA = B.mov(B.param(PWidthA));
+  Reg WB = B.mov(B.param(PWidthB));
+  Reg Row = B.madi(B.special(SpecialReg::CtaIdY), B.imm(int32_t(T)), Ty);
+  Reg ColBase =
+      B.madi(B.special(SpecialReg::CtaIdX), B.imm(int32_t(T * R)), Tx);
+  Reg IndexA = B.shli(B.madi(Row, WA, Tx), B.imm(2));
+  Reg IndexB = B.shli(B.madi(Ty, WB, ColBase), B.imm(2));
+  Reg IndexC = B.shli(B.madi(Row, WB, ColBase), B.imm(2));
+  // B's per-iteration byte step: widthB * T * 4 — one shift since T*4 is a
+  // power of two.
+  Reg StepB = B.shli(WB, B.imm(int32_t(log2Exact(T) + 2)));
+  Reg SStoreA = B.shli(B.madi(Ty, B.imm(int32_t(T)), Tx), B.imm(2));
+  Reg SStoreB = B.shli(B.madi(Ty, B.imm(int32_t(T * R)), Tx), B.imm(2));
+  Reg ARowBase = B.shli(Ty, B.imm(int32_t(log2Exact(T) + 2)));
+  Reg BCol = B.shli(Tx, B.imm(2));
+
+  std::vector<Reg> Acc(R);
+  for (unsigned Ri = 0; Ri != R; ++Ri)
+    Acc[Ri] = B.mov(B.imm(0.0f));
+
+  if (C.Spill) {
+    // Proactive spilling (§3.1 resource balancing): park two cold values
+    // in local memory so their registers can be reused.
+    B.stLocal(Operand(), 0, IndexC);
+    B.stLocal(Operand(), 4, SStoreB);
+  }
+
+  // Prefetch the first tile pair (Fig. 2(d)).
+  Reg ACur, BCur[4];
+  if (C.Prefetch) {
+    ACur = B.reg();
+    B.ldGlobalTo(ACur, PA, IndexA, 0, EffLd);
+    for (unsigned Ri = 0; Ri != R; ++Ri) {
+      BCur[Ri] = B.reg();
+      B.ldGlobalTo(BCur[Ri], PB, IndexB, int32_t(Ri * T * 4), EffLd);
+    }
+  }
+
+  //===--- Main K-tile loop -------------------------------------------------//
+  auto emitInnerCompute = [&] {
+    if (U == T) {
+      // Complete unroll (Fig. 2(c)): constant shared offsets, no
+      // induction arithmetic.
+      for (unsigned K = 0; K != T; ++K) {
+        Reg AVal = B.ldShared(As, ARowBase, int32_t(K * 4));
+        for (unsigned Ri = 0; Ri != R; ++Ri) {
+          Reg BVal =
+              B.ldShared(Bs, BCol, int32_t((K * T * R + Ri * T) * 4));
+          B.madfAcc(Acc[Ri], AVal, BVal);
+        }
+      }
+      return;
+    }
+    Reg KA = B.mov(ARowBase);
+    Reg KB = B.mov(BCol);
+    B.forLoop(T / U, [&] {
+      for (unsigned Uu = 0; Uu != U; ++Uu) {
+        Reg AVal = B.ldShared(As, KA, int32_t(Uu * 4));
+        for (unsigned Ri = 0; Ri != R; ++Ri) {
+          Reg BVal =
+              B.ldShared(Bs, KB, int32_t((Uu * T * R + Ri * T) * 4));
+          B.madfAcc(Acc[Ri], AVal, BVal);
+        }
+      }
+      B.addiTo(KA, KA, B.imm(int32_t(U * 4)));
+      B.addiTo(KB, KB, B.imm(int32_t(U * T * R * 4)));
+    });
+  };
+
+  B.forLoop(Trips, [&] {
+    // When spilled, the Bs store address is reloaded from local memory
+    // each iteration (the added latency the optimization trades for
+    // registers).
+    Reg SStoreBv = SStoreB;
+    if (C.Spill)
+      SStoreBv = B.ldLocal(Operand(), 4);
+
+    if (!C.Prefetch) {
+      // Loads first (the CUDA runtime hoists them; §2.3), then the
+      // shared-tile stores that consume them.
+      Reg AVal = B.ldGlobal(PA, IndexA, 0, EffLd);
+      std::vector<Reg> BVals(R);
+      for (unsigned Ri = 0; Ri != R; ++Ri)
+        BVals[Ri] = B.ldGlobal(PB, IndexB, int32_t(Ri * T * 4), EffLd);
+      B.stShared(As, SStoreA, 0, AVal);
+      for (unsigned Ri = 0; Ri != R; ++Ri)
+        B.stShared(Bs, SStoreBv, int32_t(Ri * T * 4), BVals[Ri]);
+      B.addiTo(IndexA, IndexA, B.imm(int32_t(T * 4)));
+      B.addiTo(IndexB, IndexB, StepB);
+      B.bar();
+      emitInnerCompute();
+    } else {
+      // Store the prefetched tile, then immediately start the next
+      // loads so the compute phase hides their latency.
+      B.stShared(As, SStoreA, 0, ACur);
+      for (unsigned Ri = 0; Ri != R; ++Ri)
+        B.stShared(Bs, SStoreBv, int32_t(Ri * T * 4), BCur[Ri]);
+      B.bar();
+      B.addiTo(IndexA, IndexA, B.imm(int32_t(T * 4)));
+      B.addiTo(IndexB, IndexB, StepB);
+      B.ldGlobalTo(ACur, PA, IndexA, 0, EffLd);
+      for (unsigned Ri = 0; Ri != R; ++Ri)
+        B.ldGlobalTo(BCur[Ri], PB, IndexB, int32_t(Ri * T * 4), EffLd);
+      emitInnerCompute();
+    }
+    B.bar();
+  });
+
+  //===--- Epilogue ---------------------------------------------------------//
+  Reg IndexCv = IndexC;
+  if (C.Spill)
+    IndexCv = B.ldLocal(Operand(), 0);
+  for (unsigned Ri = 0; Ri != R; ++Ri)
+    B.stGlobal(PC, IndexCv, int32_t(Ri * T * 4), Acc[Ri], EffLd);
+
+  return B.take();
+}
+
+double MatMulApp::verifyConfig(const ConfigPoint &P) const {
+  const unsigned N = Problem.N;
+  const size_t Elems = size_t(N) * N;
+  // Prefetch reads one tile row past the logical end; give the inputs
+  // slack so those dead loads stay in bounds (real CUDA codes
+  // over-allocate for the same reason).
+  const size_t Slack = size_t(N) * 20 + 1024;
+
+  std::vector<float> AData = randomFloats(Elems + Slack, 0xA0 + N, -1, 1);
+  std::vector<float> BData = randomFloats(Elems + Slack, 0xB0 + N, -1, 1);
+
+  DeviceBuffer ABuf = DeviceBuffer::fromFloats(AData);
+  DeviceBuffer BBuf = DeviceBuffer::fromFloats(BData);
+  DeviceBuffer CBuf = DeviceBuffer::zeroed(Elems);
+
+  Kernel K = buildKernel(P);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &ABuf);
+  Bind.bindBuffer(1, &BBuf);
+  Bind.bindBuffer(2, &CBuf);
+  Bind.setS32(3, int32_t(N));
+  Bind.setS32(4, int32_t(N));
+  emulateKernel(K, launch(P), Bind);
+
+  std::vector<float> Want(Elems);
+  matMulRef(N, std::span<const float>(AData).first(Elems),
+            std::span<const float>(BData).first(Elems), Want);
+  std::vector<float> Got = CBuf.toFloats();
+  return maxRelError(Got, Want, /*Floor=*/1e-2);
+}

@@ -1,0 +1,73 @@
+//===- kernels/MatMul.h - Tiled dense matrix multiplication -----------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running example (§3, Fig. 2-3, §4 worked example): dense
+/// N x N single-precision matrix multiplication with shared-memory tiling.
+///
+/// Optimization space (Table 4: "tile/block size, rectangular tile
+/// dimension, unroll factor, prefetching, register spilling"):
+///   tile      {8, 16}        square thread-block tile edge
+///   rect      {1, 2, 4}      output elements per thread (1xR tiling,
+///                            Fig. 2(b))
+///   unroll    {1, 2, 4, 0}   inner k-loop unroll; 0 = complete (Fig. 2(c))
+///   prefetch  {0, 1}         software prefetch of the next tile pair into
+///                            registers (Fig. 2(d))
+///   spill     {0, 1}         proactive register spilling of cold values
+///                            to local memory (§3.1 resource balancing)
+///
+/// Coalescing: with 16-wide tiles a half-warp touches 16 consecutive
+/// words (coalesced); with 8-wide tiles it spans two rows and the G80
+/// serializes it into per-thread 32-byte transactions — the §5.3
+/// bandwidth wall that separates the 8x8 configs from the 16x16 ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_KERNELS_MATMUL_H
+#define G80TUNE_KERNELS_MATMUL_H
+
+#include "core/TunableApp.h"
+
+namespace g80 {
+
+/// Problem description: C = A * B, all square N x N.
+struct MatMulProblem {
+  unsigned N = 512;
+
+  /// Small instance for functional verification through the emulator.
+  static MatMulProblem emulation() { return {64}; }
+  /// Simulation-scale instance for timing experiments (the paper also
+  /// scaled inputs down for full-space exploration, §5).
+  static MatMulProblem bench() { return {512}; }
+  /// The paper's metric worked example uses 4k x 4k (§4).
+  static MatMulProblem paper() { return {4096}; }
+};
+
+class MatMulApp : public TunableApp {
+public:
+  explicit MatMulApp(MatMulProblem Problem);
+
+  std::string_view name() const override { return "matmul"; }
+  const ConfigSpace &space() const override { return Space; }
+  bool isExpressible(const ConfigPoint &P) const override;
+  Kernel buildKernel(const ConfigPoint &P) const override;
+  LaunchConfig launch(const ConfigPoint &P) const override;
+  double verifyConfig(const ConfigPoint &P) const override;
+
+  const MatMulProblem &problem() const { return Problem; }
+
+  /// The §4 worked-example configuration: 16x16 tile, 1x1 rect, complete
+  /// unroll, no prefetch, no spill.
+  ConfigPoint paperExampleConfig() const;
+
+private:
+  MatMulProblem Problem;
+  ConfigSpace Space;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_KERNELS_MATMUL_H

@@ -1,0 +1,182 @@
+//===- kernels/MriFhd.cpp -------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/MriFhd.h"
+
+#include "emu/Emulator.h"
+#include "kernels/Workloads.h"
+#include "ptx/Builder.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace g80;
+
+namespace {
+
+struct MriConfig {
+  unsigned Tpb;
+  unsigned Unroll;
+  unsigned Work; ///< Number of invocations the voxel space splits into.
+};
+
+MriConfig decode(const ConfigSpace &S, const ConfigPoint &P) {
+  MriConfig C;
+  C.Tpb = static_cast<unsigned>(S.valueOf(P, "tpb"));
+  C.Unroll = static_cast<unsigned>(S.valueOf(P, "unroll"));
+  C.Work = static_cast<unsigned>(S.valueOf(P, "work"));
+  return C;
+}
+
+std::vector<MriSample> makeSamples(unsigned Count) {
+  Rng R(0x3177 + Count);
+  std::vector<MriSample> S(Count);
+  for (MriSample &M : S) {
+    // Non-Cartesian trajectory points in cycles/unit; modest magnitudes
+    // keep the sin/cos arguments well conditioned in float.
+    M.Kx = R.nextFloatIn(-0.5f, 0.5f);
+    M.Ky = R.nextFloatIn(-0.5f, 0.5f);
+    M.Kz = R.nextFloatIn(-0.5f, 0.5f);
+    M.RhoR = R.nextFloatIn(-1.0f, 1.0f);
+    M.RhoI = R.nextFloatIn(-1.0f, 1.0f);
+  }
+  return S;
+}
+
+constexpr float TwoPi = 6.2831853071795864769f;
+
+} // namespace
+
+MriFhdApp::MriFhdApp(MriProblem Problem)
+    : Problem(Problem), Samples(makeSamples(Problem.NumSamples)) {
+  Space.addDim("tpb", {32, 64, 128, 256, 512});
+  Space.addDim("unroll", {1, 2, 4, 8, 16});
+  Space.addDim("work", {1, 2, 4, 8, 16, 32, 64});
+}
+
+bool MriFhdApp::isExpressible(const ConfigPoint &P) const {
+  MriConfig C = decode(Space, P);
+  // Each invocation's voxel share must be whole blocks.
+  if (Problem.NumVoxels % (C.Tpb * C.Work) != 0)
+    return false;
+  return Problem.NumSamples % C.Unroll == 0;
+}
+
+LaunchConfig MriFhdApp::launch(const ConfigPoint &P) const {
+  MriConfig C = decode(Space, P);
+  return LaunchConfig(Dim3(Problem.NumVoxels / (C.Tpb * C.Work)),
+                      Dim3(C.Tpb));
+}
+
+uint64_t MriFhdApp::invocations(const ConfigPoint &P) const {
+  return static_cast<uint64_t>(Space.valueOf(P, "work"));
+}
+
+Kernel MriFhdApp::buildKernel(const ConfigPoint &P) const {
+  assert(isExpressible(P) && "building an inexpressible configuration");
+  MriConfig C = decode(Space, P);
+  const unsigned U = C.Unroll;
+
+  KernelBuilder B("mrifhd_tpb" + std::to_string(C.Tpb) + "_u" +
+                  std::to_string(U) + "_w" + std::to_string(C.Work));
+  unsigned PX = B.addGlobalPtr("x");
+  unsigned PY = B.addGlobalPtr("y");
+  unsigned PZ = B.addGlobalPtr("z");
+  unsigned POutR = B.addGlobalPtr("outR");
+  unsigned POutI = B.addGlobalPtr("outI");
+  // The whole k-space sample set, (kx, ky, kz, rhoR, rhoI) per record.
+  unsigned PK = B.addConstPtr("kdata");
+  // First voxel of this invocation's share of the grid.
+  unsigned PVoxBase = B.addScalarS32("voxBase");
+
+  //===--- Prologue: load voxel coordinates and accumulators ---------------===//
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg VoxBase = B.mov(B.param(PVoxBase));
+  Reg VoxLocal =
+      B.madi(B.special(SpecialReg::CtaIdX), B.imm(int32_t(C.Tpb)), Tx);
+  Reg Vox = B.addi(VoxLocal, VoxBase);
+  Reg VAddr = B.shli(Vox, B.imm(2));
+  Reg X = B.ldGlobal(PX, VAddr);
+  Reg Y = B.ldGlobal(PY, VAddr);
+  Reg Z = B.ldGlobal(PZ, VAddr);
+  Reg AccR = B.mov(B.imm(0.0f));
+  Reg AccI = B.mov(B.imm(0.0f));
+
+  //===--- Sample loop ------------------------------------------------------//
+  Reg KAddr = B.mov(B.imm(0));
+  B.forLoop(Problem.NumSamples / U, [&] {
+    for (unsigned Uu = 0; Uu != U; ++Uu) {
+      int32_t Off = int32_t(Uu * 20);
+      Reg Kx = B.ldConst(PK, KAddr, Off + 0);
+      Reg Ky = B.ldConst(PK, KAddr, Off + 4);
+      Reg Kz = B.ldConst(PK, KAddr, Off + 8);
+      Reg Rr = B.ldConst(PK, KAddr, Off + 12);
+      Reg Ri = B.ldConst(PK, KAddr, Off + 16);
+      Reg T1 = B.mulf(Kx, X);
+      Reg T2 = B.madf(Ky, Y, T1);
+      Reg T3 = B.madf(Kz, Z, T2);
+      Reg Arg = B.mulf(T3, B.imm(TwoPi));
+      Reg Cv = B.cosf(Arg);
+      Reg Sv = B.sinf(Arg);
+      B.madfAcc(AccR, Rr, Cv);
+      Reg NRi = B.negf(Ri);
+      B.madfAcc(AccR, NRi, Sv);
+      B.madfAcc(AccI, Ri, Cv);
+      B.madfAcc(AccI, Rr, Sv);
+    }
+    B.addiTo(KAddr, KAddr, B.imm(int32_t(U * 20)));
+  });
+
+  //===--- Epilogue ---------------------------------------------------------//
+  B.stGlobal(POutR, VAddr, 0, AccR);
+  B.stGlobal(POutI, VAddr, 0, AccI);
+
+  return B.take();
+}
+
+double MriFhdApp::verifyConfig(const ConfigPoint &P) const {
+  const unsigned V = Problem.NumVoxels;
+  std::vector<float> X = randomFloats(V, 0x11A, 0.0f, 1.0f);
+  std::vector<float> Y = randomFloats(V, 0x11B, 0.0f, 1.0f);
+  std::vector<float> Z = randomFloats(V, 0x11C, 0.0f, 1.0f);
+
+  DeviceBuffer XBuf = DeviceBuffer::fromFloats(X);
+  DeviceBuffer YBuf = DeviceBuffer::fromFloats(Y);
+  DeviceBuffer ZBuf = DeviceBuffer::fromFloats(Z);
+  DeviceBuffer OutR = DeviceBuffer::zeroed(V);
+  DeviceBuffer OutI = DeviceBuffer::zeroed(V);
+
+  std::vector<float> KData;
+  KData.reserve(size_t(Samples.size()) * 5);
+  for (const MriSample &S : Samples)
+    KData.insert(KData.end(), {S.Kx, S.Ky, S.Kz, S.RhoR, S.RhoI});
+  DeviceBuffer KBuf = DeviceBuffer::fromFloats(KData);
+
+  Kernel K = buildKernel(P);
+  LaunchConfig LC = launch(P);
+  unsigned Work = static_cast<unsigned>(invocations(P));
+  unsigned VoxPerInv = V / Work;
+
+  // One launch per voxel share.
+  for (unsigned Inv = 0; Inv != Work; ++Inv) {
+    LaunchBindings Bind(K);
+    Bind.bindBuffer(0, &XBuf);
+    Bind.bindBuffer(1, &YBuf);
+    Bind.bindBuffer(2, &ZBuf);
+    Bind.bindBuffer(3, &OutR);
+    Bind.bindBuffer(4, &OutI);
+    Bind.bindBuffer(5, &KBuf);
+    Bind.setS32(6, int32_t(Inv * VoxPerInv));
+    emulateKernel(K, LC, Bind);
+  }
+
+  std::vector<float> WantR(V, 0.0f), WantI(V, 0.0f);
+  mriFhdRef(X, Y, Z, Samples, WantR, WantI);
+  double ErrR = maxRelError(OutR.toFloats(), WantR, /*Floor=*/0.5);
+  double ErrI = maxRelError(OutI.toFloats(), WantI, /*Floor=*/0.5);
+  return ErrR > ErrI ? ErrR : ErrI;
+}

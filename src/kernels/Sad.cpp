@@ -1,0 +1,249 @@
+//===- kernels/Sad.cpp ----------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Sad.h"
+
+#include "emu/Emulator.h"
+#include "kernels/Workloads.h"
+#include "ptx/Builder.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace g80;
+
+namespace {
+
+struct SadConfig {
+  unsigned Tpb;    ///< Threads per block.
+  unsigned Tiling; ///< F: offsets per thread.
+  unsigned UOff;   ///< Offset-loop unroll.
+  unsigned URow;   ///< Row-loop unroll (rows per 4x4 block).
+  unsigned UCol;   ///< Column-loop unroll.
+};
+
+SadConfig decode(const ConfigSpace &S, const ConfigPoint &P) {
+  SadConfig C;
+  C.Tpb = static_cast<unsigned>(S.valueOf(P, "tpb"));
+  C.Tiling = static_cast<unsigned>(S.valueOf(P, "tiling"));
+  C.UOff = static_cast<unsigned>(S.valueOf(P, "uoff"));
+  C.URow = static_cast<unsigned>(S.valueOf(P, "urow"));
+  C.UCol = static_cast<unsigned>(S.valueOf(P, "ucol"));
+  return C;
+}
+
+unsigned log2Exact(unsigned V) {
+  unsigned L = 0;
+  while ((1u << L) < V)
+    ++L;
+  assert((1u << L) == V && "not a power of two");
+  return L;
+}
+
+} // namespace
+
+SadApp::SadApp(SadProblem Problem) : Problem(Problem) {
+  assert((Problem.blocksX() & (Problem.blocksX() - 1)) == 0 &&
+         "SAD frame width must give a power-of-two macroblock row");
+  assert((Problem.SearchDim & (Problem.SearchDim - 1)) == 0 &&
+         "search dimension must be a power of two");
+  Space.addDim("tpb",
+               {32, 64, 96, 128, 160, 192, 224, 256, 288, 320, 352, 384});
+  Space.addDim("tiling", {1, 2, 4, 8, 16});
+  Space.addDim("uoff", {1, 2, 4});
+  Space.addDim("urow", {1, 2, 4});
+  Space.addDim("ucol", {1, 2, 4});
+}
+
+bool SadApp::isExpressible(const ConfigPoint &P) const {
+  SadConfig C = decode(Space, P);
+  unsigned Offsets = Problem.offsetsPerBlock();
+  if (C.Tpb * C.Tiling > Offsets)
+    return false;
+  return C.UOff <= C.Tiling && C.Tiling % C.UOff == 0;
+}
+
+LaunchConfig SadApp::launch(const ConfigPoint &P) const {
+  SadConfig C = decode(Space, P);
+  unsigned Offsets = Problem.offsetsPerBlock();
+  unsigned PerBlock = C.Tpb * C.Tiling;
+  unsigned Groups = (Offsets + PerBlock - 1) / PerBlock;
+  return LaunchConfig(Dim3(Groups, Problem.numMacroblocks()),
+                      Dim3(C.Tpb, 1));
+}
+
+Kernel SadApp::buildKernel(const ConfigPoint &P) const {
+  assert(isExpressible(P) && "building an inexpressible configuration");
+  SadConfig C = decode(Space, P);
+  const unsigned W = Problem.Width;
+  const unsigned WP = Problem.paddedWidth();
+  const unsigned SD = Problem.SearchDim;
+  const unsigned Offsets = SD * SD;
+  const unsigned BlocksX = Problem.blocksX();
+  const bool NeedGuard = Offsets % (C.Tpb * C.Tiling) != 0;
+  const unsigned EffSt =
+      C.Tiling == 1 ? 4 : (C.Tiling >= 8 ? 32 : 4 * C.Tiling);
+
+  KernelBuilder B("sad_tpb" + std::to_string(C.Tpb) + "_f" +
+                  std::to_string(C.Tiling) + "_u" + std::to_string(C.UOff) +
+                  std::to_string(C.URow) + std::to_string(C.UCol));
+  unsigned PCur = B.addGlobalPtr("cur");
+  unsigned PRef = B.addTexPtr("ref");
+  unsigned POut = B.addGlobalPtr("out");
+  unsigned CurS = B.addShared("curS", 16 * 4);
+
+  // Emits body once when the computed trip count is 1 (complete unroll:
+  // no loop, no loop-control overhead), else a counted loop.
+  auto maybeLoop = [&](unsigned Trips, auto &&Fn) {
+    if (Trips == 1)
+      Fn();
+    else
+      B.forLoop(Trips, Fn);
+  };
+
+  //===--- Prologue: stage the 4x4 current block into shared memory --------===//
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg Macro = B.mov(B.special(SpecialReg::CtaIdY));
+  Reg Mbx = B.andi(Macro, B.imm(int32_t(BlocksX - 1)));
+  Reg Mby = B.shri(Macro, B.imm(int32_t(log2Exact(BlocksX))));
+  Reg Group = B.muli(B.special(SpecialReg::CtaIdX),
+                     B.imm(int32_t(C.Tpb * C.Tiling)));
+  Reg O0 = B.madi(Tx, B.imm(int32_t(C.Tiling)), Group);
+
+  Reg Pred16 = B.setpi(CmpKind::Lt, Tx, B.imm(16));
+  B.ifThen(Pred16, /*Uniform=*/false, [&] {
+    Reg Row = B.shri(Tx, B.imm(2));
+    Reg Col = B.andi(Tx, B.imm(3));
+    Reg RowIdx = B.madi(Mby, B.imm(4), Row);
+    Reg ColIdx = B.madi(Mbx, B.imm(4), Col);
+    Reg Idx = B.madi(RowIdx, B.imm(int32_t(W)), ColIdx);
+    Reg Addr = B.shli(Idx, B.imm(2));
+    // A 4x4 gather: four short rows, nowhere near a coalesced half-warp.
+    Reg V = B.ldGlobal(PCur, Addr, 0, 32);
+    Reg SAddr = B.shli(Tx, B.imm(2));
+    B.stShared(CurS, SAddr, 0, V);
+  });
+  B.bar();
+
+  // Reference-frame word base of this macroblock within the padded frame.
+  Reg RefBaseW =
+      B.madi(Mbx, B.imm(4), B.muli(Mby, B.imm(int32_t(4 * WP))));
+  Reg OutBase = B.muli(Macro, B.imm(int32_t(Offsets * 4)));
+
+  //===--- One search offset ------------------------------------------------//
+  auto emitOffset = [&](Reg OVal) {
+    Reg Oy = B.shri(OVal, B.imm(int32_t(log2Exact(SD))));
+    Reg Ox = B.andi(OVal, B.imm(int32_t(SD - 1)));
+    Reg RefW = B.addi(B.madi(Oy, B.imm(int32_t(WP)), Ox), RefBaseW);
+    Reg RefAddr = B.shli(RefW, B.imm(2));
+    Reg Acc = B.mov(B.imm(0.0f));
+
+    // One 4x4 element: texture fetch, shared fetch, |diff| accumulate.
+    auto emitElem = [&](Operand RefBase, int32_t RefOff, Operand ShBase,
+                        int32_t ShOff) {
+      Reg RefV = B.ldTex(PRef, RefBase, RefOff);
+      Reg CurV = B.ldShared(CurS, ShBase, ShOff);
+      Reg D = B.subf(CurV, RefV);
+      Reg Ad = B.absf(D);
+      B.emitTo(Acc, Opcode::AddF, Acc, Ad);
+    };
+
+    // One row instance: either a column loop or fully unrolled columns.
+    auto emitRow = [&](Operand RowRef, int32_t RowRefOff, Operand RowSh,
+                       int32_t RowShOff) {
+      if (C.UCol == 4) {
+        for (unsigned Cu = 0; Cu != 4; ++Cu)
+          emitElem(RowRef, RowRefOff + int32_t(Cu * 4), RowSh,
+                   RowShOff + int32_t(Cu * 4));
+        return;
+      }
+      Reg CPtr = RowRefOff == 0 && RowRef.isReg()
+                     ? B.mov(RowRef)
+                     : B.addi(RowRef, B.imm(RowRefOff));
+      Reg SPtr = RowSh.isNone() ? B.mov(B.imm(RowShOff))
+                                : B.addi(RowSh, B.imm(RowShOff));
+      B.forLoop(4 / C.UCol, [&] {
+        for (unsigned Cu = 0; Cu != C.UCol; ++Cu)
+          emitElem(CPtr, int32_t(Cu * 4), SPtr, int32_t(Cu * 4));
+        B.addiTo(CPtr, CPtr, B.imm(int32_t(C.UCol * 4)));
+        B.addiTo(SPtr, SPtr, B.imm(int32_t(C.UCol * 4)));
+      });
+    };
+
+    if (C.URow == 4) {
+      for (unsigned Ru = 0; Ru != 4; ++Ru)
+        emitRow(RefAddr, int32_t(Ru * WP * 4), Operand(),
+                int32_t(Ru * 16));
+    } else {
+      Reg RPtr = B.mov(RefAddr);
+      Reg ShPtr = B.mov(B.imm(0));
+      B.forLoop(4 / C.URow, [&] {
+        for (unsigned Ru = 0; Ru != C.URow; ++Ru)
+          emitRow(RPtr, int32_t(Ru * WP * 4), ShPtr, int32_t(Ru * 16));
+        B.addiTo(RPtr, RPtr, B.imm(int32_t(C.URow * WP * 4)));
+        B.addiTo(ShPtr, ShPtr, B.imm(int32_t(C.URow * 16)));
+      });
+    }
+
+    Reg OutAddr = B.madi(OVal, B.imm(4), OutBase);
+    B.stGlobal(POut, OutAddr, 0, Acc, EffSt);
+  };
+
+  //===--- Offset loop -------------------------------------------------------//
+  auto emitOffsetGuarded = [&](Reg OVal) {
+    if (!NeedGuard) {
+      emitOffset(OVal);
+      return;
+    }
+    Reg InRange = B.setpi(CmpKind::Lt, OVal, B.imm(int32_t(Offsets)));
+    B.ifThen(InRange, /*Uniform=*/false, [&] { emitOffset(OVal); });
+  };
+
+  if (C.Tiling == C.UOff) {
+    // Offset loop fully unrolled.
+    for (unsigned U = 0; U != C.UOff; ++U) {
+      Reg OVal = U == 0 ? O0 : B.addi(O0, B.imm(int32_t(U)));
+      emitOffsetGuarded(OVal);
+    }
+  } else {
+    Reg OIdx = B.mov(O0);
+    maybeLoop(C.Tiling / C.UOff, [&] {
+      for (unsigned U = 0; U != C.UOff; ++U) {
+        Reg OVal = U == 0 ? OIdx : B.addi(OIdx, B.imm(int32_t(U)));
+        emitOffsetGuarded(OVal);
+      }
+      B.addiTo(OIdx, OIdx, B.imm(int32_t(C.UOff)));
+    });
+  }
+
+  return B.take();
+}
+
+double SadApp::verifyConfig(const ConfigPoint &P) const {
+  const SadProblem &Pr = Problem;
+  std::vector<float> Cur =
+      randomFloats(size_t(Pr.Width) * Pr.Height, 0x5AD1, 0, 255);
+  std::vector<float> Ref = randomFloats(
+      size_t(Pr.paddedWidth()) * Pr.paddedHeight(), 0x5AD2, 0, 255);
+
+  DeviceBuffer CurBuf = DeviceBuffer::fromFloats(Cur);
+  DeviceBuffer RefBuf = DeviceBuffer::fromFloats(Ref);
+  DeviceBuffer OutBuf = DeviceBuffer::zeroed(size_t(Pr.numMacroblocks()) *
+                                             Pr.offsetsPerBlock());
+
+  Kernel K = buildKernel(P);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &CurBuf);
+  Bind.bindBuffer(1, &RefBuf);
+  Bind.bindBuffer(2, &OutBuf);
+  emulateKernel(K, launch(P), Bind);
+
+  std::vector<float> Want(size_t(Pr.numMacroblocks()) *
+                          Pr.offsetsPerBlock());
+  sadRef(Pr, Cur, Ref, Want);
+  std::vector<float> Got = OutBuf.toFloats();
+  return maxRelError(Got, Want, /*Floor=*/1.0);
+}

@@ -1,0 +1,63 @@
+//===- kernels/Sad.h - Sum of absolute differences (SAD) --------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SAD application (Table 3): "SADs are computed between 4x4 pixel
+/// blocks in two images over a 32 pixel square search area" — the motion-
+/// estimation metric of MPEG encoders.  The reference frame is read
+/// through the texture path (high 2D locality, Table 1), the current 4x4
+/// block is staged in shared memory.
+///
+/// Optimization space (Table 4: "per-thread tiling, unroll factor
+/// (3 loops), work per block"):
+///   tpb    {32..384 step 32}  threads per block — Fig. 4's x axis
+///   tiling {1, 2, 4, 8, 16}   search offsets per thread
+///   uoff   {1, 2, 4}          unroll of the per-thread offset loop
+///   urow   {1, 2, 4}          unroll of the 4-row loop
+///   ucol   {1, 2, 4}          unroll of the 4-column loop
+///
+/// A configuration is expressible when tpb*tiling <= 1024 offsets and
+/// uoff divides tiling; when tpb*tiling does not divide 1024 the kernel
+/// carries a divergent range guard, exactly like a hand-written guarded
+/// CUDA kernel would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_KERNELS_SAD_H
+#define G80TUNE_KERNELS_SAD_H
+
+#include "core/TunableApp.h"
+#include "cpu/Reference.h"
+
+namespace g80 {
+
+class SadApp : public TunableApp {
+public:
+  explicit SadApp(SadProblem Problem);
+
+  /// Small instance for emulator-based verification.
+  static SadProblem emulationProblem() { return {32, 32, 32}; }
+  /// Simulation-scale instance (a 128x128 frame stands in for QCIF so the
+  /// macroblock count stays a power of two; see DESIGN.md).
+  static SadProblem benchProblem() { return {128, 128, 32}; }
+
+  std::string_view name() const override { return "sad"; }
+  const ConfigSpace &space() const override { return Space; }
+  bool isExpressible(const ConfigPoint &P) const override;
+  Kernel buildKernel(const ConfigPoint &P) const override;
+  LaunchConfig launch(const ConfigPoint &P) const override;
+  double verifyConfig(const ConfigPoint &P) const override;
+
+  const SadProblem &problem() const { return Problem; }
+
+private:
+  SadProblem Problem;
+  ConfigSpace Space;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_KERNELS_SAD_H

@@ -1,0 +1,58 @@
+//===- kernels/Workloads.h - Shared workload-generation helpers -------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic input generation and output comparison shared by the
+/// four applications' verifyConfig implementations and by tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_KERNELS_WORKLOADS_H
+#define G80TUNE_KERNELS_WORKLOADS_H
+
+#include "support/Random.h"
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace g80 {
+
+/// \p Count uniform floats in [\p Lo, \p Hi), deterministic in \p Seed.
+inline std::vector<float> randomFloats(size_t Count, uint64_t Seed,
+                                       float Lo = 0.0f, float Hi = 1.0f) {
+  Rng R(Seed);
+  std::vector<float> Out(Count);
+  for (float &V : Out)
+    V = R.nextFloatIn(Lo, Hi);
+  return Out;
+}
+
+/// Maximum elementwise relative error between \p Got and \p Want,
+/// normalized per element by max(|want|, Floor) so near-zero expected
+/// values do not blow up the ratio.
+inline double maxRelError(std::span<const float> Got,
+                          std::span<const float> Want,
+                          double Floor = 1e-3) {
+  double Max = 0;
+  size_t N = Got.size() < Want.size() ? Got.size() : Want.size();
+  for (size_t I = 0; I != N; ++I) {
+    double Denom = std::fabs(double(Want[I]));
+    if (Denom < Floor)
+      Denom = Floor;
+    double Err = std::fabs(double(Got[I]) - double(Want[I])) / Denom;
+    if (Err > Max)
+      Max = Err;
+  }
+  if (Got.size() != Want.size())
+    return 1.0; // Size mismatch is a full-scale error.
+  return Max;
+}
+
+} // namespace g80
+
+#endif // G80TUNE_KERNELS_WORKLOADS_H

@@ -1,0 +1,103 @@
+//===- metrics/Metrics.h - The paper's Efficiency/Utilization metrics ------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements §4 of the paper:
+///
+///   Efficiency  = 1 / (Instr * Threads)                          (Eq. 1)
+///   Utilization = (Instr / Regions)
+///               * [ (W_TB - 1)/2 + (B_SM - 1) * W_TB ]           (Eq. 2)
+///
+/// plus the bandwidth screen of §4 ¶2 / §5.3: the metrics predict relative
+/// performance only for kernels that are not global-memory-bandwidth
+/// bound, so bandwidth-bound configurations must be screened away before
+/// the Pareto curve is drawn.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_METRICS_METRICS_H
+#define G80TUNE_METRICS_METRICS_H
+
+#include "arch/LaunchConfig.h"
+#include "arch/MachineModel.h"
+#include "arch/Occupancy.h"
+#include "ptx/ResourceEstimator.h"
+#include "ptx/StaticProfile.h"
+
+#include <cstdint>
+
+namespace g80 {
+
+class Kernel;
+
+/// Equation 1.  \p Threads is the total thread count of the launch.
+double efficiencyMetric(uint64_t Instr, uint64_t Threads);
+
+/// Variants of Equation 2's bracket term, for the ablation study of the
+/// paper's "division by two ... captures the first order effects" choice.
+enum class UtilizationVariant {
+  /// The paper's formula: (W_TB - 1)/2 + (B_SM - 1) * W_TB.
+  Paper,
+  /// No halving of same-block warps: (W_TB - 1) + (B_SM - 1) * W_TB.
+  NoSyncHalving,
+  /// Only other blocks' warps help: (B_SM - 1) * W_TB.
+  OtherBlocksOnly,
+};
+
+/// Equation 2 (or a variant of its bracket term).
+double utilizationMetric(uint64_t Instr, uint64_t Regions,
+                         unsigned WarpsPerBlock, unsigned BlocksPerSM,
+                         UtilizationVariant Variant =
+                             UtilizationVariant::Paper);
+
+/// Everything the tuner needs to place one configuration on the
+/// Efficiency/Utilization plot.
+struct KernelMetrics {
+  bool Valid = false; ///< False when not even one block fits on an SM.
+
+  double Efficiency = 0;
+  double Utilization = 0;
+
+  // Inputs, kept for reporting.
+  StaticProfile Profile;
+  Occupancy Occ;
+  KernelResources Resources;
+  uint64_t Threads = 0;
+
+  /// Ratio of demanded to available global-memory bandwidth at peak issue
+  /// rate (see bandwidthDemandRatio below); > 1 means bandwidth-bound.
+  double BandwidthDemandRatio = 0;
+  bool bandwidthBound() const { return BandwidthDemandRatio > 1.0; }
+};
+
+/// Ratio of the kernel's global-memory traffic demand to the machine's
+/// per-SM bandwidth share, assuming the SM issues at peak rate.
+///
+/// Demand = (effective DRAM bytes per thread / Instr)
+///        * (threads issued per cycle at peak = WarpSize / issue cycles);
+/// available = chip bandwidth / #SMs, in bytes per SP clock.  Effective
+/// bytes include the coalescing multiplier — an uncoalesced access wastes
+/// most of each 32-byte DRAM transaction, which is what makes the paper's
+/// 8x8-tile matmul configurations bandwidth-bound (§5.3).
+double bandwidthDemandRatio(const StaticProfile &Profile,
+                            const MachineModel &Machine);
+
+/// Options for computeKernelMetrics.
+struct MetricOptions {
+  UtilizationVariant Variant = UtilizationVariant::Paper;
+  ResourceEstimatorOptions Resources;
+};
+
+/// One-stop computation: profile + resource estimate + occupancy +
+/// Equations 1 and 2 + bandwidth screen, for kernel \p K launched with
+/// \p Launch on \p Machine.
+KernelMetrics computeKernelMetrics(const Kernel &K, const LaunchConfig &Launch,
+                                   const MachineModel &Machine,
+                                   const MetricOptions &Opts = {});
+
+} // namespace g80
+
+#endif // G80TUNE_METRICS_METRICS_H

@@ -1,0 +1,309 @@
+//===- ptx/Builder.h - Kernel construction API ------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An IRBuilder-style API for emitting kernels.  The kernel generators in
+/// src/kernels/ — and user code writing its own kernels, see
+/// examples/custom_kernel.cpp — construct every optimization-configuration
+/// variant through this interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_PTX_BUILDER_H
+#define G80TUNE_PTX_BUILDER_H
+
+#include "ptx/Kernel.h"
+
+#include <cassert>
+#include <utility>
+
+namespace g80 {
+
+/// Builds one Kernel.  Emission methods append to the innermost open
+/// region; forLoop()/ifThen() open nested regions for the duration of a
+/// callable.  Each value-producing method returns a freshly allocated
+/// virtual register unless an explicit destination overload is used
+/// (accumulators need stable registers across loop iterations).
+class KernelBuilder {
+public:
+  explicit KernelBuilder(std::string Name) : K(std::move(Name)) {
+    BodyStack.push_back(&K.body());
+  }
+
+  Kernel &kernel() { return K; }
+
+  /// Finalizes and returns the kernel.  The builder must be back at the
+  /// top-level region (every forLoop/ifThen closed).
+  Kernel take() {
+    assert(BodyStack.size() == 1 && "unclosed region at take()");
+    return std::move(K);
+  }
+
+  //===--- Declarations ----------------------------------------------------//
+  unsigned addGlobalPtr(std::string Name) {
+    return K.addParam(ParamKind::GlobalPtr, std::move(Name));
+  }
+  unsigned addConstPtr(std::string Name) {
+    return K.addParam(ParamKind::ConstPtr, std::move(Name));
+  }
+  unsigned addTexPtr(std::string Name) {
+    return K.addParam(ParamKind::TexPtr, std::move(Name));
+  }
+  unsigned addScalarF32(std::string Name) {
+    return K.addParam(ParamKind::F32, std::move(Name));
+  }
+  unsigned addScalarS32(std::string Name) {
+    return K.addParam(ParamKind::S32, std::move(Name));
+  }
+  unsigned addShared(std::string Name, unsigned Bytes) {
+    return K.allocShared(std::move(Name), Bytes);
+  }
+
+  //===--- Operands --------------------------------------------------------//
+  static Operand imm(float V) { return Operand::immF32(V); }
+  static Operand imm(int32_t V) { return Operand::immS32(V); }
+  static Operand special(SpecialReg S) { return Operand::special(S); }
+  static Operand param(unsigned Index) { return Operand::param(Index); }
+
+  Reg reg() { return K.createReg(); }
+
+  //===--- Generic emission -------------------------------------------------//
+  /// Emits \p Op with sources \p A, \p B, \p C into a fresh register.
+  Reg emit(Opcode Op, Operand A = Operand(), Operand B = Operand(),
+           Operand C = Operand()) {
+    Reg Dst = opcodeHasDst(Op) ? K.createReg() : Reg();
+    emitTo(Dst, Op, A, B, C);
+    return Dst;
+  }
+
+  /// Emits \p Op into an existing register \p Dst.
+  void emitTo(Reg Dst, Opcode Op, Operand A = Operand(),
+              Operand B = Operand(), Operand C = Operand()) {
+    Instruction I;
+    I.Op = Op;
+    I.Dst = Dst;
+    I.A = A;
+    I.B = B;
+    I.C = C;
+    append(std::move(I));
+  }
+
+  //===--- Arithmetic ------------------------------------------------------//
+  Reg mov(Operand A) { return emit(Opcode::Mov, A); }
+  void movTo(Reg Dst, Operand A) { emitTo(Dst, Opcode::Mov, A); }
+
+  Reg addf(Operand A, Operand B) { return emit(Opcode::AddF, A, B); }
+  Reg subf(Operand A, Operand B) { return emit(Opcode::SubF, A, B); }
+  Reg mulf(Operand A, Operand B) { return emit(Opcode::MulF, A, B); }
+  Reg madf(Operand A, Operand B, Operand C) {
+    return emit(Opcode::MadF, A, B, C);
+  }
+  /// Acc = A * B + Acc — the matrix-multiply inner-product step.
+  void madfAcc(Reg Acc, Operand A, Operand B) {
+    emitTo(Acc, Opcode::MadF, A, B, Acc);
+  }
+  void addfTo(Reg Dst, Operand A, Operand B) {
+    emitTo(Dst, Opcode::AddF, A, B);
+  }
+  Reg minf(Operand A, Operand B) { return emit(Opcode::MinF, A, B); }
+  Reg maxf(Operand A, Operand B) { return emit(Opcode::MaxF, A, B); }
+  Reg absf(Operand A) { return emit(Opcode::AbsF, A); }
+  Reg negf(Operand A) { return emit(Opcode::NegF, A); }
+
+  Reg addi(Operand A, Operand B) { return emit(Opcode::AddI, A, B); }
+  void addiTo(Reg Dst, Operand A, Operand B) {
+    emitTo(Dst, Opcode::AddI, A, B);
+  }
+  Reg subi(Operand A, Operand B) { return emit(Opcode::SubI, A, B); }
+  Reg muli(Operand A, Operand B) { return emit(Opcode::MulI, A, B); }
+  Reg madi(Operand A, Operand B, Operand C) {
+    return emit(Opcode::MadI, A, B, C);
+  }
+  Reg mini(Operand A, Operand B) { return emit(Opcode::MinI, A, B); }
+  Reg maxi(Operand A, Operand B) { return emit(Opcode::MaxI, A, B); }
+  Reg absi(Operand A) { return emit(Opcode::AbsI, A); }
+  Reg andi(Operand A, Operand B) { return emit(Opcode::AndI, A, B); }
+  Reg ori(Operand A, Operand B) { return emit(Opcode::OrI, A, B); }
+  Reg xori(Operand A, Operand B) { return emit(Opcode::XorI, A, B); }
+  Reg shli(Operand A, Operand B) { return emit(Opcode::ShlI, A, B); }
+  Reg shri(Operand A, Operand B) { return emit(Opcode::ShrI, A, B); }
+
+  Reg cvtFI(Operand A) { return emit(Opcode::CvtFI, A); }
+  Reg cvtIF(Operand A) { return emit(Opcode::CvtIF, A); }
+
+  //===--- Predicates ------------------------------------------------------//
+  Reg setpi(CmpKind Cmp, Operand A, Operand B) {
+    Reg Dst = K.createReg();
+    Instruction I;
+    I.Op = Opcode::SetPI;
+    I.Dst = Dst;
+    I.A = A;
+    I.B = B;
+    I.Cmp = Cmp;
+    append(std::move(I));
+    return Dst;
+  }
+  Reg setpf(CmpKind Cmp, Operand A, Operand B) {
+    Reg Dst = K.createReg();
+    Instruction I;
+    I.Op = Opcode::SetPF;
+    I.Dst = Dst;
+    I.A = A;
+    I.B = B;
+    I.Cmp = Cmp;
+    append(std::move(I));
+    return Dst;
+  }
+  /// Dst = Pred ? A : B.
+  Reg selp(Operand A, Operand B, Operand Pred) {
+    return emit(Opcode::SelP, A, B, Pred);
+  }
+
+  //===--- SFU -------------------------------------------------------------//
+  Reg rcpf(Operand A) { return emit(Opcode::RcpF, A); }
+  Reg rsqrtf(Operand A) { return emit(Opcode::RsqrtF, A); }
+  Reg sinf(Operand A) { return emit(Opcode::SinF, A); }
+  Reg cosf(Operand A) { return emit(Opcode::CosF, A); }
+
+  //===--- Memory ----------------------------------------------------------//
+  /// Loads [Param + AddrBase + Offset] from global memory.
+  /// \p EffBytesPerThread models coalescing: 4 for a fully coalesced
+  /// access, 32 for a fully serialized one (G80 32-byte minimum DRAM
+  /// transaction per thread).
+  Reg ldGlobal(unsigned Param, Operand AddrBase, int32_t Offset = 0,
+               unsigned EffBytesPerThread = 4) {
+    Reg Dst = K.createReg();
+    ldGlobalTo(Dst, Param, AddrBase, Offset, EffBytesPerThread);
+    return Dst;
+  }
+  void ldGlobalTo(Reg Dst, unsigned Param, Operand AddrBase,
+                  int32_t Offset = 0, unsigned EffBytesPerThread = 4) {
+    appendMem(Opcode::Ld, MemSpace::Global, Param, AddrBase, Offset,
+              Operand(), Dst, EffBytesPerThread);
+  }
+  void stGlobal(unsigned Param, Operand AddrBase, int32_t Offset,
+                Operand Value, unsigned EffBytesPerThread = 4) {
+    appendMem(Opcode::St, MemSpace::Global, Param, AddrBase, Offset, Value,
+              Reg(), EffBytesPerThread);
+  }
+
+  Reg ldShared(unsigned ArrayId, Operand AddrBase, int32_t Offset = 0) {
+    Reg Dst = K.createReg();
+    appendMem(Opcode::Ld, MemSpace::Shared, ArrayId, AddrBase, Offset,
+              Operand(), Dst, 4);
+    return Dst;
+  }
+  void stShared(unsigned ArrayId, Operand AddrBase, int32_t Offset,
+                Operand Value) {
+    appendMem(Opcode::St, MemSpace::Shared, ArrayId, AddrBase, Offset, Value,
+              Reg(), 4);
+  }
+
+  Reg ldConst(unsigned Param, Operand AddrBase, int32_t Offset = 0) {
+    Reg Dst = K.createReg();
+    appendMem(Opcode::Ld, MemSpace::Const, Param, AddrBase, Offset, Operand(),
+              Dst, 4);
+    return Dst;
+  }
+
+  /// Texture fetch: long-latency but cache-served (no DRAM bandwidth
+  /// charge under the 2D-locality assumption of Table 1).
+  Reg ldTex(unsigned Param, Operand AddrBase, int32_t Offset = 0) {
+    Reg Dst = K.createReg();
+    appendMem(Opcode::Ld, MemSpace::Texture, Param, AddrBase, Offset,
+              Operand(), Dst, 4);
+    return Dst;
+  }
+
+  /// Per-thread local memory (explicit spill slots).  Local accesses cost
+  /// the same as global (Table 1) but are always coalesced by the
+  /// hardware's per-thread interleaving.
+  Reg ldLocal(Operand AddrBase, int32_t Offset = 0) {
+    Reg Dst = K.createReg();
+    appendMem(Opcode::Ld, MemSpace::Local, 0, AddrBase, Offset, Operand(),
+              Dst, 4);
+    return Dst;
+  }
+  void ldLocalTo(Reg Dst, Operand AddrBase, int32_t Offset = 0) {
+    appendMem(Opcode::Ld, MemSpace::Local, 0, AddrBase, Offset, Operand(),
+              Dst, 4);
+  }
+  void stLocal(Operand AddrBase, int32_t Offset, Operand Value) {
+    appendMem(Opcode::St, MemSpace::Local, 0, AddrBase, Offset, Value, Reg(),
+              4);
+  }
+
+  void bar() { emitTo(Reg(), Opcode::Bar); }
+
+  //===--- Structure -------------------------------------------------------//
+  /// Emits a counted loop; \p Fn emits the body.
+  template <typename Fn> void forLoop(uint64_t TripCount, Fn &&EmitBody) {
+    Loop L;
+    L.TripCount = TripCount;
+    current().push_back(BodyNode(std::move(L)));
+    BodyStack.push_back(&current().back().loop().LoopBody);
+    std::forward<Fn>(EmitBody)();
+    BodyStack.pop_back();
+  }
+
+  /// Emits an if-then region.
+  template <typename Fn>
+  void ifThen(Reg Pred, bool Uniform, Fn &&EmitThen) {
+    If Node;
+    Node.Pred = Pred;
+    Node.Uniform = Uniform;
+    current().push_back(BodyNode(std::move(Node)));
+    BodyStack.push_back(&current().back().ifNode().Then);
+    std::forward<Fn>(EmitThen)();
+    BodyStack.pop_back();
+  }
+
+  /// Emits an if-then-else region.
+  template <typename FnT, typename FnE>
+  void ifThenElse(Reg Pred, bool Uniform, FnT &&EmitThen, FnE &&EmitElse) {
+    If Node;
+    Node.Pred = Pred;
+    Node.Uniform = Uniform;
+    current().push_back(BodyNode(std::move(Node)));
+    If &Placed = current().back().ifNode();
+    BodyStack.push_back(&Placed.Then);
+    std::forward<FnT>(EmitThen)();
+    BodyStack.pop_back();
+    BodyStack.push_back(&Placed.Else);
+    std::forward<FnE>(EmitElse)();
+    BodyStack.pop_back();
+  }
+
+private:
+  Body &current() { return *BodyStack.back(); }
+
+  void append(Instruction I) { current().push_back(BodyNode(std::move(I))); }
+
+  void appendMem(Opcode Op, MemSpace Space, unsigned BufferParam,
+                 Operand AddrBase, int32_t Offset, Operand Value, Reg Dst,
+                 unsigned EffBytesPerThread) {
+    Instruction I;
+    I.Op = Op;
+    I.Dst = Dst;
+    I.A = Value;
+    I.Space = Space;
+    I.BufferParam = BufferParam;
+    I.AddrBase = AddrBase;
+    I.AddrOffset = Offset;
+    I.EffBytesPerThread = static_cast<uint8_t>(EffBytesPerThread);
+    append(std::move(I));
+  }
+
+  Kernel K;
+  // Only the innermost body ever grows while it is on the stack, so the
+  // raw pointers cannot dangle (outer bodies are frozen until their child
+  // region closes).
+  std::vector<Body *> BodyStack;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_PTX_BUILDER_H

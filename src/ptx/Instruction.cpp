@@ -1,0 +1,228 @@
+//===- ptx/Instruction.cpp ------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ptx/Instruction.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace g80;
+
+const char *g80::specialRegName(SpecialReg S) {
+  switch (S) {
+  case SpecialReg::TidX:
+    return "%tid.x";
+  case SpecialReg::TidY:
+    return "%tid.y";
+  case SpecialReg::TidZ:
+    return "%tid.z";
+  case SpecialReg::CtaIdX:
+    return "%ctaid.x";
+  case SpecialReg::CtaIdY:
+    return "%ctaid.y";
+  case SpecialReg::NTidX:
+    return "%ntid.x";
+  case SpecialReg::NTidY:
+    return "%ntid.y";
+  case SpecialReg::NCtaIdX:
+    return "%nctaid.x";
+  case SpecialReg::NCtaIdY:
+    return "%nctaid.y";
+  }
+  G80_UNREACHABLE("unknown special register");
+}
+
+const char *g80::memSpaceName(MemSpace Space) {
+  switch (Space) {
+  case MemSpace::Global:
+    return "global";
+  case MemSpace::Shared:
+    return "shared";
+  case MemSpace::Const:
+    return "const";
+  case MemSpace::Local:
+    return "local";
+  case MemSpace::Texture:
+    return "tex";
+  }
+  G80_UNREACHABLE("unknown memory space");
+}
+
+const char *g80::cmpKindName(CmpKind Cmp) {
+  switch (Cmp) {
+  case CmpKind::Eq:
+    return "eq";
+  case CmpKind::Ne:
+    return "ne";
+  case CmpKind::Lt:
+    return "lt";
+  case CmpKind::Le:
+    return "le";
+  case CmpKind::Gt:
+    return "gt";
+  case CmpKind::Ge:
+    return "ge";
+  }
+  G80_UNREACHABLE("unknown compare kind");
+}
+
+const char *g80::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::AddF:
+    return "add.f32";
+  case Opcode::SubF:
+    return "sub.f32";
+  case Opcode::MulF:
+    return "mul.f32";
+  case Opcode::MadF:
+    return "mad.f32";
+  case Opcode::MinF:
+    return "min.f32";
+  case Opcode::MaxF:
+    return "max.f32";
+  case Opcode::AbsF:
+    return "abs.f32";
+  case Opcode::NegF:
+    return "neg.f32";
+  case Opcode::AddI:
+    return "add.s32";
+  case Opcode::SubI:
+    return "sub.s32";
+  case Opcode::MulI:
+    return "mul.lo.s32";
+  case Opcode::MadI:
+    return "mad.lo.s32";
+  case Opcode::MinI:
+    return "min.s32";
+  case Opcode::MaxI:
+    return "max.s32";
+  case Opcode::AbsI:
+    return "abs.s32";
+  case Opcode::AndI:
+    return "and.b32";
+  case Opcode::OrI:
+    return "or.b32";
+  case Opcode::XorI:
+    return "xor.b32";
+  case Opcode::ShlI:
+    return "shl.b32";
+  case Opcode::ShrI:
+    return "shr.u32";
+  case Opcode::CvtFI:
+    return "cvt.f32.s32";
+  case Opcode::CvtIF:
+    return "cvt.rzi.s32.f32";
+  case Opcode::SetPF:
+    return "setp.f32";
+  case Opcode::SetPI:
+    return "setp.s32";
+  case Opcode::SelP:
+    return "selp.b32";
+  case Opcode::RcpF:
+    return "rcp.f32";
+  case Opcode::RsqrtF:
+    return "rsqrt.f32";
+  case Opcode::SinF:
+    return "sin.f32";
+  case Opcode::CosF:
+    return "cos.f32";
+  case Opcode::Ld:
+    return "ld";
+  case Opcode::St:
+    return "st";
+  case Opcode::Bar:
+    return "bar.sync";
+  }
+  G80_UNREACHABLE("unknown opcode");
+}
+
+bool g80::opcodeHasDst(Opcode Op) {
+  switch (Op) {
+  case Opcode::St:
+  case Opcode::Bar:
+    return false;
+  default:
+    return true;
+  }
+}
+
+unsigned g80::opcodeNumSrcs(Opcode Op) {
+  switch (Op) {
+  case Opcode::Bar:
+  case Opcode::Ld:
+    return 0; // Ld reads only its address operand.
+  case Opcode::Mov:
+  case Opcode::AbsF:
+  case Opcode::NegF:
+  case Opcode::AbsI:
+  case Opcode::CvtFI:
+  case Opcode::CvtIF:
+  case Opcode::RcpF:
+  case Opcode::RsqrtF:
+  case Opcode::SinF:
+  case Opcode::CosF:
+  case Opcode::St: // St's A is the stored value.
+    return 1;
+  case Opcode::AddF:
+  case Opcode::SubF:
+  case Opcode::MulF:
+  case Opcode::MinF:
+  case Opcode::MaxF:
+  case Opcode::AddI:
+  case Opcode::SubI:
+  case Opcode::MulI:
+  case Opcode::MinI:
+  case Opcode::MaxI:
+  case Opcode::AndI:
+  case Opcode::OrI:
+  case Opcode::XorI:
+  case Opcode::ShlI:
+  case Opcode::ShrI:
+  case Opcode::SetPF:
+  case Opcode::SetPI:
+    return 2;
+  case Opcode::MadF:
+  case Opcode::MadI:
+  case Opcode::SelP:
+    return 3;
+  }
+  G80_UNREACHABLE("unknown opcode");
+}
+
+bool g80::opcodeIsSfu(Opcode Op) {
+  switch (Op) {
+  case Opcode::RcpF:
+  case Opcode::RsqrtF:
+  case Opcode::SinF:
+  case Opcode::CosF:
+    return true;
+  default:
+    return false;
+  }
+}
+
+LatencyClass Instruction::latencyClass() const {
+  if (Op == Opcode::Bar)
+    return LatencyClass::Barrier;
+  if (Op == Opcode::Ld || Op == Opcode::St) {
+    switch (Space) {
+    case MemSpace::Global:
+    case MemSpace::Local:
+      return LatencyClass::GlobalMem;
+    case MemSpace::Shared:
+      return LatencyClass::SharedMem;
+    case MemSpace::Const:
+      return LatencyClass::ConstMem;
+    case MemSpace::Texture:
+      return LatencyClass::TexMem;
+    }
+    G80_UNREACHABLE("unknown memory space");
+  }
+  if (opcodeIsSfu(Op))
+    return LatencyClass::Sfu;
+  return LatencyClass::Alu;
+}

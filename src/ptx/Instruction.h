@@ -1,0 +1,284 @@
+//===- ptx/Instruction.h - PTX-like instruction set ------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set of g80tune's PTX-like IR.  It models the subset of
+/// CUDA 1.0 PTX that the paper's four applications and five optimization
+/// categories exercise: 32-bit float/integer arithmetic with multiply-add,
+/// SFU transcendentals, loads/stores against the Table-1 memory spaces,
+/// predicates/selects, and barrier synchronization.
+///
+/// The paper's metrics consume instruction *counts and mix* from `-ptx`
+/// output; the timing simulator additionally needs latency classes and, for
+/// global accesses, the effective DRAM traffic per thread (coalescing).
+/// Both are derivable from this representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_PTX_INSTRUCTION_H
+#define G80TUNE_PTX_INSTRUCTION_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace g80 {
+
+/// A virtual register id.  The IR is register-based with an unbounded
+/// virtual register file; ResourceEstimator maps this onto an estimated
+/// physical register count the way `-cubin` would report it.
+struct Reg {
+  static constexpr unsigned InvalidId = ~0u;
+
+  unsigned Id = InvalidId;
+
+  constexpr Reg() = default;
+  constexpr explicit Reg(unsigned Id) : Id(Id) {}
+
+  constexpr bool isValid() const { return Id != InvalidId; }
+
+  friend constexpr bool operator==(Reg A, Reg B) { return A.Id == B.Id; }
+};
+
+/// Hardware-provided per-thread values (PTX special registers).
+enum class SpecialReg : uint8_t {
+  TidX,
+  TidY,
+  TidZ,
+  CtaIdX,
+  CtaIdY,
+  NTidX,  ///< Block width.
+  NTidY,  ///< Block height.
+  NCtaIdX, ///< Grid width.
+  NCtaIdY, ///< Grid height.
+};
+
+/// Returns the PTX spelling of \p S (e.g. "%tid.x").
+const char *specialRegName(SpecialReg S);
+
+/// An instruction operand.
+class Operand {
+public:
+  enum class Kind : uint8_t {
+    None,    ///< Operand slot unused.
+    Reg,     ///< Virtual register.
+    ImmF32,  ///< Float immediate.
+    ImmS32,  ///< Integer immediate.
+    Special, ///< Special register (%tid.x, ...).
+    Param,   ///< Scalar kernel parameter (reads are register-speed; the
+             ///< parameter block lives in shared memory on real CUDA 1.0,
+             ///< which is what the 40-byte shared overhead pays for).
+  };
+
+  Operand() : K(Kind::None) {}
+
+  /// Registers convert implicitly: they are by far the most common operand
+  /// and generator code reads much better as madf(Acc, X, Y) than
+  /// madf(Operand::reg(Acc), ...).
+  Operand(Reg R) : K(Kind::Reg) {
+    assert(R.isValid() && "operand from invalid register");
+    RegId = R.Id;
+  }
+
+  static Operand reg(Reg R) {
+    assert(R.isValid() && "operand from invalid register");
+    Operand O(Kind::Reg);
+    O.RegId = R.Id;
+    return O;
+  }
+  static Operand immF32(float V) {
+    Operand O(Kind::ImmF32);
+    O.F = V;
+    return O;
+  }
+  static Operand immS32(int32_t V) {
+    Operand O(Kind::ImmS32);
+    O.I = V;
+    return O;
+  }
+  static Operand special(SpecialReg S) {
+    Operand O(Kind::Special);
+    O.S = S;
+    return O;
+  }
+  static Operand param(unsigned Index) {
+    Operand O(Kind::Param);
+    O.ParamIdx = Index;
+    return O;
+  }
+
+  Kind kind() const { return K; }
+  bool isNone() const { return K == Kind::None; }
+  bool isReg() const { return K == Kind::Reg; }
+
+  Reg getReg() const {
+    assert(K == Kind::Reg && "not a register operand");
+    return Reg(RegId);
+  }
+  float getImmF32() const {
+    assert(K == Kind::ImmF32 && "not a float immediate");
+    return F;
+  }
+  int32_t getImmS32() const {
+    assert(K == Kind::ImmS32 && "not an integer immediate");
+    return I;
+  }
+  SpecialReg getSpecial() const {
+    assert(K == Kind::Special && "not a special register");
+    return S;
+  }
+  unsigned getParamIndex() const {
+    assert(K == Kind::Param && "not a parameter operand");
+    return ParamIdx;
+  }
+
+private:
+  explicit Operand(Kind K) : K(K) {}
+
+  Kind K;
+  union {
+    unsigned RegId;
+    float F;
+    int32_t I;
+    SpecialReg S;
+    unsigned ParamIdx;
+  };
+};
+
+/// Memory spaces of Table 1.
+enum class MemSpace : uint8_t {
+  Global,  ///< Off-chip DRAM, 200-300 cycle latency, bandwidth-limited.
+  Shared,  ///< 16KB on-chip scratchpad per SM.
+  Const,   ///< Cached read-only (8KB cache/SM); register-speed on hit.
+  Local,   ///< Off-chip per-thread spill space (same cost as global).
+  Texture, ///< Cached read-only, >100 cycle latency, 2D locality.
+};
+
+/// Returns the PTX spelling of \p Space ("global", "shared", ...).
+const char *memSpaceName(MemSpace Space);
+
+/// Comparison kinds for SetP.
+enum class CmpKind : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/// Returns the PTX spelling of \p Cmp ("eq", "lt", ...).
+const char *cmpKindName(CmpKind Cmp);
+
+/// Opcodes.  The *F suffix means f32 semantics, *I means s32.
+enum class Opcode : uint8_t {
+  // Data movement.
+  Mov, ///< Dst = A.
+
+  // f32 arithmetic (MAD-unit class).
+  AddF,
+  SubF,
+  MulF,
+  MadF, ///< Dst = A * B + C (the G80 SP's fused op).
+  MinF,
+  MaxF,
+  AbsF,
+  NegF,
+
+  // s32 arithmetic (MAD-unit class).
+  AddI,
+  SubI,
+  MulI, ///< Low 32 bits.
+  MadI, ///< Dst = A * B + C.
+  MinI,
+  MaxI,
+  AbsI,
+  AndI,
+  OrI,
+  XorI,
+  ShlI,
+  ShrI, ///< Logical shift right.
+
+  // Conversions.
+  CvtFI, ///< s32 -> f32.
+  CvtIF, ///< f32 -> s32, truncating.
+
+  // Predicates.
+  SetPF, ///< Dst = (A <Cmp> B) ? 1 : 0, f32 compare.
+  SetPI, ///< Dst = (A <Cmp> B) ? 1 : 0, s32 compare.
+  SelP,  ///< Dst = C(!=0) ? A : B.
+
+  // SFU transcendentals (§2.1: reciprocal square root, sine, cosine).
+  RcpF,
+  RsqrtF,
+  SinF,
+  CosF,
+
+  // Memory.
+  Ld, ///< Dst = [Space : AddrBase + AddrOffset].
+  St, ///< [Space : AddrBase + AddrOffset] = A.
+
+  // Synchronization.
+  Bar, ///< __syncthreads().
+};
+
+/// Returns the assembly mnemonic for \p Op ("mad.f32", "ld", ...).
+const char *opcodeName(Opcode Op);
+
+/// Functional-unit / latency class of an opcode.
+enum class LatencyClass : uint8_t {
+  Alu,      ///< MAD-pipeline op.
+  Sfu,      ///< Special functional unit op.
+  SharedMem,
+  ConstMem,
+  GlobalMem, ///< Also local (spill) accesses.
+  TexMem,   ///< Texture fetch: long latency, cache-served bandwidth.
+  Barrier,
+};
+
+/// True for opcodes computing into Dst.
+bool opcodeHasDst(Opcode Op);
+/// Number of generic source operand slots (A, B, C) the opcode reads.
+unsigned opcodeNumSrcs(Opcode Op);
+/// True for the SFU transcendentals.
+bool opcodeIsSfu(Opcode Op);
+
+/// One IR instruction.
+///
+/// Loads/stores address memory as `[AddrBase + AddrOffset]` where AddrBase
+/// is a register (or None for offset-only addressing) holding a *byte*
+/// offset.  Global/const/local accesses additionally name which pointer
+/// parameter they address via BufferParam; shared accesses address the
+/// block's shared-memory allocation directly.  Constant offsets are first
+/// class because unrolling replaces induction arithmetic with fixed offsets
+/// (§2.3 of the paper observes exactly this in PTX output).
+struct Instruction {
+  Opcode Op = Opcode::Mov;
+  Reg Dst;
+  Operand A, B, C;
+
+  // Memory fields (Ld/St only).
+  MemSpace Space = MemSpace::Global;
+  unsigned BufferParam = 0;  ///< Pointer-parameter index, or shared-array id.
+  Operand AddrBase;          ///< Byte-offset register (may be None).
+  int32_t AddrOffset = 0;    ///< Constant byte offset.
+  /// Effective DRAM bytes moved per thread for a global/local access.
+  /// 4 = perfectly coalesced; 32 = fully uncoalesced on the G80 (each
+  /// thread's 4-byte access occupies a 32-byte minimum DRAM transaction).
+  uint8_t EffBytesPerThread = 4;
+
+  // SetP only.
+  CmpKind Cmp = CmpKind::Eq;
+
+  /// Latency/functional-unit class, considering the memory space.
+  LatencyClass latencyClass() const;
+
+  /// True if this is a global-memory or texture-class access — a "long
+  /// latency" operation in the paper's Regions computation.
+  bool isLongLatencyMem() const {
+    return (Op == Opcode::Ld || Op == Opcode::St) &&
+           (Space == MemSpace::Global || Space == MemSpace::Local ||
+            Space == MemSpace::Texture);
+  }
+
+  bool isBarrier() const { return Op == Opcode::Bar; }
+};
+
+} // namespace g80
+
+#endif // G80TUNE_PTX_INSTRUCTION_H

@@ -1,0 +1,21 @@
+//===- ptx/Kernel.cpp -----------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ptx/Kernel.h"
+
+using namespace g80;
+
+unsigned Kernel::allocShared(std::string ArrayName, unsigned Bytes) {
+  // Keep 4-byte alignment; all our element types are 32-bit.
+  unsigned Aligned = (Bytes + 3u) & ~3u;
+  SharedArray Arr;
+  Arr.Name = std::move(ArrayName);
+  Arr.Bytes = Aligned;
+  Arr.ByteOffset = SharedBytes;
+  Shared.push_back(std::move(Arr));
+  SharedBytes += Aligned;
+  return static_cast<unsigned>(Shared.size() - 1);
+}

@@ -1,0 +1,164 @@
+//===- ptx/Kernel.h - Structured kernel IR ---------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel container: parameters, shared-memory allocations, a virtual
+/// register file, and a *structured* body (straight-line instructions plus
+/// counted Loop and If regions).
+///
+/// Structure instead of a flat CFG is a deliberate choice: the paper's
+/// static metrics require dynamic instruction counts obtained by annotating
+/// loops with trip counts ("we manually annotate the average iteration
+/// counts of the major loops", §4).  Counted loop regions make that
+/// annotation part of the IR, and both the functional emulator and the
+/// timing simulator execute the same annotated structure, so the metric
+/// inputs and the ground truth can never disagree about loop bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_PTX_KERNEL_H
+#define G80TUNE_PTX_KERNEL_H
+
+#include "ptx/Instruction.h"
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace g80 {
+
+struct BodyNode;
+/// A sequence of IR nodes executed in order.
+using Body = std::vector<BodyNode>;
+
+/// A counted loop region.  The body executes TripCount times per thread.
+/// Induction-variable updates are ordinary instructions inside the body;
+/// the count is an annotation used by metrics, emulation and timing alike.
+struct Loop {
+  uint64_t TripCount = 0;
+  Body LoopBody;
+};
+
+/// A structured if region.
+///
+/// \c Uniform marks conditions that are warp-invariant (e.g. block-level
+/// bounds tests): a uniform branch costs only the taken side, whereas a
+/// divergent warp serializes through both sides on SIMD hardware.
+struct If {
+  Reg Pred;
+  bool Uniform = false;
+  Body Then;
+  Body Else;
+};
+
+/// One node of a kernel body.
+struct BodyNode {
+  std::variant<Instruction, Loop, If> V;
+
+  BodyNode(Instruction I) : V(std::move(I)) {}
+  BodyNode(Loop L) : V(std::move(L)) {}
+  BodyNode(If I) : V(std::move(I)) {}
+
+  bool isInstr() const { return std::holds_alternative<Instruction>(V); }
+  bool isLoop() const { return std::holds_alternative<Loop>(V); }
+  bool isIf() const { return std::holds_alternative<If>(V); }
+
+  const Instruction &instr() const { return std::get<Instruction>(V); }
+  Instruction &instr() { return std::get<Instruction>(V); }
+  const Loop &loop() const { return std::get<Loop>(V); }
+  Loop &loop() { return std::get<Loop>(V); }
+  const If &ifNode() const { return std::get<If>(V); }
+  If &ifNode() { return std::get<If>(V); }
+};
+
+/// Kinds of kernel parameter.
+enum class ParamKind : uint8_t {
+  GlobalPtr, ///< Pointer into global memory (a buffer binding).
+  ConstPtr,  ///< Pointer into constant memory (a read-only binding).
+  TexPtr,    ///< A bound texture (read-only buffer binding).
+  F32,       ///< Scalar float argument.
+  S32,       ///< Scalar integer argument.
+};
+
+/// A kernel parameter declaration.
+struct ParamInfo {
+  ParamKind Kind;
+  std::string Name;
+};
+
+/// A named shared-memory allocation within the block's 16KB scratchpad.
+struct SharedArray {
+  std::string Name;
+  unsigned Bytes = 0;
+  unsigned ByteOffset = 0; ///< Offset within the block's shared segment.
+};
+
+/// A complete kernel: the unit the tuner generates per optimization
+/// configuration, and the unit the emulator/simulator execute.
+class Kernel {
+public:
+  explicit Kernel(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  //===--- Registers -------------------------------------------------------//
+  /// Allocates a fresh virtual register.
+  Reg createReg() { return Reg(NumVRegs++); }
+  unsigned numVRegs() const { return NumVRegs; }
+  /// Grows the virtual register file to at least \p Count registers.
+  /// Used by the parser, which learns register ids from the text.
+  void ensureNumVRegs(unsigned Count) {
+    if (Count > NumVRegs)
+      NumVRegs = Count;
+  }
+
+  //===--- Parameters ------------------------------------------------------//
+  /// Declares a parameter; returns its index (used by Operand::param and by
+  /// Ld/St BufferParam fields).
+  unsigned addParam(ParamKind Kind, std::string ParamName) {
+    Params.push_back({Kind, std::move(ParamName)});
+    return static_cast<unsigned>(Params.size() - 1);
+  }
+  const std::vector<ParamInfo> &params() const { return Params; }
+
+  //===--- Shared memory ---------------------------------------------------//
+  /// Declares a shared array of \p Bytes bytes; returns its array id (used
+  /// as the BufferParam of shared Ld/St).  Data offsets are assigned
+  /// sequentially with 4-byte alignment.
+  unsigned allocShared(std::string ArrayName, unsigned Bytes);
+  const std::vector<SharedArray> &sharedArrays() const { return Shared; }
+  /// Shared data bytes, excluding the toolchain parameter-block overhead.
+  unsigned sharedDataBytes() const { return SharedBytes; }
+
+  //===--- Local (spill) memory --------------------------------------------//
+  /// Reserves \p Bytes of per-thread local memory (explicit register
+  /// spilling — the paper's "resource balancing" optimization).  Returns
+  /// the previous size, i.e. the byte offset of the new region.
+  unsigned allocLocal(unsigned Bytes) {
+    unsigned Offset = LocalBytes;
+    LocalBytes += Bytes;
+    return Offset;
+  }
+  unsigned localBytesPerThread() const { return LocalBytes; }
+
+  //===--- Body -------------------------------------------------------------//
+  Body &body() { return TopBody; }
+  const Body &body() const { return TopBody; }
+
+private:
+  std::string Name;
+  unsigned NumVRegs = 0;
+  std::vector<ParamInfo> Params;
+  std::vector<SharedArray> Shared;
+  unsigned SharedBytes = 0;
+  unsigned LocalBytes = 0;
+  Body TopBody;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_PTX_KERNEL_H

@@ -1,0 +1,641 @@
+//===- ptx/Parser.cpp -----------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ptx/Parser.h"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+using namespace g80;
+
+namespace {
+
+/// All opcodes, for building the mnemonic lookup table.
+constexpr Opcode AllOpcodes[] = {
+    Opcode::Mov,   Opcode::AddF,   Opcode::SubF,  Opcode::MulF,
+    Opcode::MadF,  Opcode::MinF,   Opcode::MaxF,  Opcode::AbsF,
+    Opcode::NegF,  Opcode::AddI,   Opcode::SubI,  Opcode::MulI,
+    Opcode::MadI,  Opcode::MinI,   Opcode::MaxI,  Opcode::AbsI,
+    Opcode::AndI,  Opcode::OrI,    Opcode::XorI,  Opcode::ShlI,
+    Opcode::ShrI,  Opcode::CvtFI,  Opcode::CvtIF, Opcode::SetPF,
+    Opcode::SetPI, Opcode::SelP,   Opcode::RcpF,  Opcode::RsqrtF,
+    Opcode::SinF,  Opcode::CosF};
+
+constexpr SpecialReg AllSpecials[] = {
+    SpecialReg::TidX,   SpecialReg::TidY,    SpecialReg::TidZ,
+    SpecialReg::CtaIdX, SpecialReg::CtaIdY,  SpecialReg::NTidX,
+    SpecialReg::NTidY,  SpecialReg::NCtaIdX, SpecialReg::NCtaIdY};
+
+constexpr CmpKind AllCmps[] = {CmpKind::Eq, CmpKind::Ne, CmpKind::Lt,
+                               CmpKind::Le, CmpKind::Gt, CmpKind::Ge};
+
+std::string_view trim(std::string_view S) {
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.front())))
+    S.remove_prefix(1);
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.back())))
+    S.remove_suffix(1);
+  return S;
+}
+
+bool startsWith(std::string_view S, std::string_view Prefix) {
+  return S.substr(0, Prefix.size()) == Prefix;
+}
+
+/// One preprocessed input line.
+struct Line {
+  std::string Text;     ///< Comment-stripped, trimmed.
+  unsigned Number = 0;  ///< 1-based source line.
+  unsigned EffBytes = 0; ///< From a "NB/thread DRAM" comment, 0 if absent.
+};
+
+class ParserImpl {
+public:
+  explicit ParserImpl(std::string_view Text) { preprocess(Text); }
+
+  ParseResult run() {
+    parseHeader();
+    parseDecls();
+    parseBody();
+    if (!Failed && Cursor != Lines.size())
+      fail(Lines[Cursor].Number, "trailing text after kernel body");
+    ParseResult R;
+    if (Failed) {
+      R.Error = Error;
+      R.ErrorLine = ErrorLine;
+      return R;
+    }
+    K->ensureNumVRegs(MaxRegId + 1);
+    R.K = std::move(*K);
+    return R;
+  }
+
+private:
+  //===--- Diagnostics ------------------------------------------------------//
+  void fail(unsigned LineNo, std::string Msg) {
+    if (Failed)
+      return;
+    Failed = true;
+    Error = std::move(Msg);
+    ErrorLine = LineNo;
+  }
+
+  //===--- Preprocessing ----------------------------------------------------//
+  void preprocess(std::string_view Text) {
+    unsigned LineNo = 0;
+    while (!Text.empty()) {
+      size_t Eol = Text.find('\n');
+      std::string_view Raw =
+          Eol == std::string_view::npos ? Text : Text.substr(0, Eol);
+      Text.remove_prefix(Eol == std::string_view::npos ? Text.size()
+                                                       : Eol + 1);
+      ++LineNo;
+
+      Line L;
+      L.Number = LineNo;
+
+      // Harvest the coalescing annotation before stripping comments.
+      size_t Slash = Raw.find("//");
+      if (Slash != std::string_view::npos) {
+        std::string_view Comment = Raw.substr(Slash + 2);
+        size_t Mark = Comment.find("B/thread DRAM");
+        if (Mark != std::string_view::npos) {
+          // Walk back over the digits.
+          size_t End = Mark;
+          size_t Begin = End;
+          while (Begin > 0 &&
+                 std::isdigit(static_cast<unsigned char>(Comment[Begin - 1])))
+            --Begin;
+          if (Begin != End)
+            L.EffBytes = static_cast<unsigned>(
+                std::strtoul(std::string(Comment.substr(Begin, End - Begin))
+                                 .c_str(),
+                             nullptr, 10));
+        }
+        Raw = Raw.substr(0, Slash);
+      }
+
+      // Strip single-line /* ... */ comments (the printer's float hints).
+      std::string Clean;
+      Clean.reserve(Raw.size());
+      for (size_t I = 0; I < Raw.size();) {
+        if (I + 1 < Raw.size() && Raw[I] == '/' && Raw[I + 1] == '*') {
+          size_t End = Raw.find("*/", I + 2);
+          if (End == std::string_view::npos)
+            break; // Unterminated: drop the rest.
+          I = End + 2;
+          continue;
+        }
+        Clean += Raw[I++];
+      }
+
+      L.Text = std::string(trim(Clean));
+      if (!L.Text.empty())
+        Lines.push_back(std::move(L));
+    }
+  }
+
+  const Line *peek() const {
+    return Cursor < Lines.size() ? &Lines[Cursor] : nullptr;
+  }
+  const Line *next() {
+    return Cursor < Lines.size() ? &Lines[Cursor++] : nullptr;
+  }
+
+  //===--- Header and declarations ------------------------------------------//
+  void parseHeader() {
+    const Line *L = next();
+    if (!L || !startsWith(L->Text, ".entry ")) {
+      fail(L ? L->Number : 0, "expected '.entry <name> (<params>)'");
+      return;
+    }
+    // The parameter list may wrap across lines; accumulate to the ')'.
+    std::string Header = L->Text;
+    while (Header.find(')') == std::string::npos) {
+      const Line *More = next();
+      if (!More) {
+        fail(L->Number, "unterminated .entry parameter list");
+        return;
+      }
+      Header += ' ';
+      Header += More->Text;
+    }
+    std::string_view Rest = trim(std::string_view(Header).substr(7));
+    size_t Paren = Rest.find('(');
+    if (Paren == std::string_view::npos || Rest.back() != ')') {
+      fail(L->Number, "malformed .entry parameter list");
+      return;
+    }
+    std::string Name(trim(Rest.substr(0, Paren)));
+    K.emplace(Name);
+
+    std::string_view Params = Rest.substr(Paren + 1);
+    Params.remove_suffix(1); // ')'
+    Params = trim(Params);
+    while (!Params.empty() && !Failed) {
+      size_t Comma = Params.find(',');
+      std::string_view Decl = trim(
+          Comma == std::string_view::npos ? Params : Params.substr(0, Comma));
+      Params.remove_prefix(Comma == std::string_view::npos
+                               ? Params.size()
+                               : Comma + 1);
+      Params = trim(Params);
+      parseParamDecl(L->Number, Decl);
+    }
+  }
+
+  void parseParamDecl(unsigned LineNo, std::string_view Decl) {
+    std::vector<std::string_view> Toks = split(Decl);
+    auto Declare = [&](ParamKind Kind, std::string_view Name) {
+      ParamByName[std::string(Name)] =
+          K->addParam(Kind, std::string(Name));
+    };
+    if (Toks.size() == 4 && Toks[0] == ".param" && Toks[2] == ".f32*") {
+      if (Toks[1] == ".global")
+        return Declare(ParamKind::GlobalPtr, Toks[3]);
+      if (Toks[1] == ".const")
+        return Declare(ParamKind::ConstPtr, Toks[3]);
+    } else if (Toks.size() == 3 && Toks[0] == ".param") {
+      if (Toks[1] == ".texref")
+        return Declare(ParamKind::TexPtr, Toks[2]);
+      if (Toks[1] == ".f32")
+        return Declare(ParamKind::F32, Toks[2]);
+      if (Toks[1] == ".s32")
+        return Declare(ParamKind::S32, Toks[2]);
+    }
+    fail(LineNo, "malformed parameter declaration");
+  }
+
+  void parseDecls() {
+    while (!Failed) {
+      const Line *L = peek();
+      if (!L) {
+        fail(0, "missing kernel body");
+        return;
+      }
+      if (L->Text == "{") {
+        ++Cursor;
+        return;
+      }
+      if (startsWith(L->Text, ".shared ")) {
+        // .shared name[bytes]
+        std::string_view Rest = trim(std::string_view(L->Text).substr(8));
+        size_t Bracket = Rest.find('[');
+        size_t End = Rest.find(']');
+        if (Bracket == std::string_view::npos ||
+            End == std::string_view::npos || End < Bracket) {
+          fail(L->Number, "malformed .shared declaration");
+          return;
+        }
+        std::string Name(trim(Rest.substr(0, Bracket)));
+        unsigned Bytes = static_cast<unsigned>(std::strtoul(
+            std::string(Rest.substr(Bracket + 1, End - Bracket - 1)).c_str(),
+            nullptr, 10));
+        SharedByName[Name] = K->allocShared(Name, Bytes);
+        ++Cursor;
+        continue;
+      }
+      if (startsWith(L->Text, ".local ")) {
+        unsigned Bytes = static_cast<unsigned>(std::strtoul(
+            std::string(L->Text).c_str() + 7, nullptr, 10));
+        K->allocLocal(Bytes);
+        ++Cursor;
+        continue;
+      }
+      fail(L->Number, "expected .shared/.local declaration or '{'");
+      return;
+    }
+  }
+
+  //===--- Body --------------------------------------------------------------//
+  struct Ctx {
+    enum class Kind { Loop, IfThen, IfElse } K;
+    Body *ParentBody;  ///< Body the region node lives in.
+    size_t NodeIndex;  ///< Index of the region node in ParentBody.
+  };
+
+  Body &currentBody() {
+    if (CtxStack.empty())
+      return K->body();
+    const Ctx &C = CtxStack.back();
+    BodyNode &N = (*C.ParentBody)[C.NodeIndex];
+    if (C.K == Ctx::Kind::Loop)
+      return N.loop().LoopBody;
+    return C.K == Ctx::Kind::IfThen ? N.ifNode().Then : N.ifNode().Else;
+  }
+
+  void parseBody() {
+    while (!Failed) {
+      const Line *L = next();
+      if (!L) {
+        fail(0, "unexpected end of input inside kernel body");
+        return;
+      }
+      if (L->Text == "}") {
+        if (CtxStack.empty())
+          return; // Kernel closed.
+        CtxStack.pop_back();
+        continue;
+      }
+      if (L->Text == "} else {") {
+        if (CtxStack.empty() || CtxStack.back().K != Ctx::Kind::IfThen) {
+          fail(L->Number, "'else' without a matching if");
+          return;
+        }
+        CtxStack.back().K = Ctx::Kind::IfElse;
+        continue;
+      }
+      if (startsWith(L->Text, "loop x")) {
+        parseLoopHeader(*L);
+        continue;
+      }
+      if (startsWith(L->Text, "@uniform ") ||
+          startsWith(L->Text, "@divergent ")) {
+        parseIfHeader(*L);
+        continue;
+      }
+      parseInstruction(*L);
+    }
+  }
+
+  void parseLoopHeader(const Line &L) {
+    // loop xN {
+    std::string_view Rest = std::string_view(L.Text).substr(6);
+    char *End = nullptr;
+    unsigned long long Trips =
+        std::strtoull(std::string(Rest).c_str(), &End, 10);
+    if (Trips == 0 || trim(std::string_view(L.Text)).back() != '{') {
+      fail(L.Number, "malformed loop header");
+      return;
+    }
+    Body &B = currentBody();
+    Loop Node;
+    Node.TripCount = Trips;
+    B.push_back(BodyNode(std::move(Node)));
+    CtxStack.push_back({Ctx::Kind::Loop, &B, B.size() - 1});
+  }
+
+  void parseIfHeader(const Line &L) {
+    // @uniform %rK if {   /   @divergent %rK if {
+    bool Uniform = startsWith(L.Text, "@uniform ");
+    std::string_view Rest =
+        trim(std::string_view(L.Text).substr(Uniform ? 9 : 11));
+    size_t Sp = Rest.find(' ');
+    if (Sp == std::string_view::npos ||
+        trim(Rest.substr(Sp)) != "if {") {
+      fail(L.Number, "malformed if header");
+      return;
+    }
+    Operand Pred = parseOperand(L.Number, trim(Rest.substr(0, Sp)));
+    if (Failed)
+      return;
+    if (!Pred.isReg()) {
+      fail(L.Number, "if predicate must be a register");
+      return;
+    }
+    Body &B = currentBody();
+    If Node;
+    Node.Pred = Pred.getReg();
+    Node.Uniform = Uniform;
+    B.push_back(BodyNode(std::move(Node)));
+    CtxStack.push_back({Ctx::Kind::IfThen, &B, B.size() - 1});
+  }
+
+  //===--- Instructions -------------------------------------------------------//
+  static std::vector<std::string_view> split(std::string_view S) {
+    std::vector<std::string_view> Out;
+    while (true) {
+      S = trim(S);
+      if (S.empty())
+        return Out;
+      size_t Sp = S.find_first_of(" \t");
+      Out.push_back(S.substr(0, Sp));
+      if (Sp == std::string_view::npos)
+        return Out;
+      S.remove_prefix(Sp);
+    }
+  }
+
+  /// Splits "a, b, c" (outside brackets) into operand strings.
+  static std::vector<std::string_view> splitCommas(std::string_view S) {
+    std::vector<std::string_view> Out;
+    int Depth = 0;
+    size_t Start = 0;
+    for (size_t I = 0; I <= S.size(); ++I) {
+      if (I == S.size() || (S[I] == ',' && Depth == 0)) {
+        std::string_view Part = trim(S.substr(Start, I - Start));
+        if (!Part.empty())
+          Out.push_back(Part);
+        Start = I + 1;
+        continue;
+      }
+      if (S[I] == '[')
+        ++Depth;
+      else if (S[I] == ']')
+        --Depth;
+    }
+    return Out;
+  }
+
+  Operand parseOperand(unsigned LineNo, std::string_view Tok) {
+    if (Tok.empty()) {
+      fail(LineNo, "empty operand");
+      return Operand();
+    }
+    if (startsWith(Tok, "%r")) {
+      char *End = nullptr;
+      unsigned long Id =
+          std::strtoul(std::string(Tok.substr(2)).c_str(), &End, 10);
+      MaxRegId = std::max(MaxRegId, static_cast<unsigned>(Id));
+      return Operand::reg(Reg(static_cast<unsigned>(Id)));
+    }
+    if (Tok.front() == '%') {
+      for (SpecialReg S : AllSpecials)
+        if (Tok == specialRegName(S))
+          return Operand::special(S);
+      fail(LineNo, "unknown special register");
+      return Operand();
+    }
+    if (Tok.front() == '[' && Tok.back() == ']') {
+      std::string Name(trim(Tok.substr(1, Tok.size() - 2)));
+      auto It = ParamByName.find(Name);
+      if (It == ParamByName.end()) {
+        fail(LineNo, "unknown parameter in scalar operand");
+        return Operand();
+      }
+      return Operand::param(It->second);
+    }
+    if (startsWith(Tok, "0f") || startsWith(Tok, "0F")) {
+      uint32_t Bits = static_cast<uint32_t>(
+          std::strtoul(std::string(Tok.substr(2)).c_str(), nullptr, 16));
+      return Operand::immF32(std::bit_cast<float>(Bits));
+    }
+    std::string S(Tok);
+    if (S.find_first_of(".eE") != std::string::npos &&
+        S.find("0x") == std::string::npos) {
+      return Operand::immF32(std::strtof(S.c_str(), nullptr));
+    }
+    return Operand::immS32(
+        static_cast<int32_t>(std::strtol(S.c_str(), nullptr, 0)));
+  }
+
+  /// Parses "[buf + %rN + off]" into the memory fields of \p I.
+  void parseAddress(unsigned LineNo, std::string_view Addr, MemSpace Space,
+                    Instruction &I) {
+    Addr = trim(Addr);
+    if (Addr.size() < 2 || Addr.front() != '[' || Addr.back() != ']') {
+      fail(LineNo, "malformed memory address");
+      return;
+    }
+    Addr = trim(Addr.substr(1, Addr.size() - 2));
+
+    // Split on '+' at top level.
+    std::vector<std::string_view> Parts;
+    size_t Start = 0;
+    for (size_t P = 0; P <= Addr.size(); ++P) {
+      if (P == Addr.size() || Addr[P] == '+') {
+        std::string_view Part = trim(Addr.substr(Start, P - Start));
+        if (!Part.empty())
+          Parts.push_back(Part);
+        Start = P + 1;
+      }
+    }
+    if (Parts.empty()) {
+      fail(LineNo, "empty memory address");
+      return;
+    }
+
+    // First part names the buffer.
+    std::string Buf(Parts[0]);
+    I.Space = Space;
+    switch (Space) {
+    case MemSpace::Shared: {
+      auto It = SharedByName.find(Buf);
+      if (It == SharedByName.end()) {
+        fail(LineNo, "unknown shared array '" + Buf + "'");
+        return;
+      }
+      I.BufferParam = It->second;
+      break;
+    }
+    case MemSpace::Local:
+      if (Buf != "local") {
+        fail(LineNo, "local access must address 'local'");
+        return;
+      }
+      I.BufferParam = 0;
+      break;
+    default: {
+      auto It = ParamByName.find(Buf);
+      if (It == ParamByName.end()) {
+        fail(LineNo, "unknown buffer parameter '" + Buf + "'");
+        return;
+      }
+      I.BufferParam = It->second;
+      break;
+    }
+    }
+
+    for (size_t P = 1; P != Parts.size(); ++P) {
+      if (startsWith(Parts[P], "%")) {
+        I.AddrBase = parseOperand(LineNo, Parts[P]);
+      } else {
+        I.AddrOffset = static_cast<int32_t>(
+            std::strtol(std::string(Parts[P]).c_str(), nullptr, 10));
+      }
+    }
+  }
+
+  std::optional<MemSpace> spaceByName(std::string_view Name) {
+    for (MemSpace S : {MemSpace::Global, MemSpace::Shared, MemSpace::Const,
+                       MemSpace::Local, MemSpace::Texture})
+      if (Name == memSpaceName(S))
+        return S;
+    return std::nullopt;
+  }
+
+  void parseInstruction(const Line &L) {
+    std::string_view Text = L.Text;
+    if (Text.back() != ';') {
+      fail(L.Number, "missing ';'");
+      return;
+    }
+    Text.remove_suffix(1);
+    Text = trim(Text);
+
+    if (startsWith(Text, "bar.sync")) {
+      Instruction I;
+      I.Op = Opcode::Bar;
+      currentBody().push_back(BodyNode(I));
+      return;
+    }
+
+    size_t Sp = Text.find(' ');
+    std::string_view Mnemonic = Sp == std::string_view::npos
+                                    ? Text
+                                    : Text.substr(0, Sp);
+    std::string_view Rest =
+        Sp == std::string_view::npos ? std::string_view() : Text.substr(Sp);
+
+    // Loads and stores: "ld.<space>.f32" / "st.<space>.f32".
+    if (startsWith(Mnemonic, "ld.") || startsWith(Mnemonic, "st.")) {
+      bool IsLoad = Mnemonic[0] == 'l';
+      std::string_view SpaceName = Mnemonic.substr(3);
+      size_t Dot = SpaceName.find('.');
+      if (Dot != std::string_view::npos)
+        SpaceName = SpaceName.substr(0, Dot);
+      std::optional<MemSpace> Space = spaceByName(SpaceName);
+      if (!Space) {
+        fail(L.Number, "unknown memory space");
+        return;
+      }
+      std::vector<std::string_view> Ops = splitCommas(Rest);
+      Instruction I;
+      I.Op = IsLoad ? Opcode::Ld : Opcode::St;
+      if (L.EffBytes)
+        I.EffBytesPerThread = static_cast<uint8_t>(L.EffBytes);
+      if (IsLoad) {
+        if (Ops.size() != 2) {
+          fail(L.Number, "load needs a destination and an address");
+          return;
+        }
+        Operand Dst = parseOperand(L.Number, Ops[0]);
+        if (Failed)
+          return;
+        if (!Dst.isReg()) {
+          fail(L.Number, "load destination must be a register");
+          return;
+        }
+        I.Dst = Dst.getReg();
+        parseAddress(L.Number, Ops[1], *Space, I);
+      } else {
+        if (Ops.size() != 2) {
+          fail(L.Number, "store needs an address and a value");
+          return;
+        }
+        parseAddress(L.Number, Ops[0], *Space, I);
+        I.A = parseOperand(L.Number, Ops[1]);
+      }
+      if (!Failed)
+        currentBody().push_back(BodyNode(I));
+      return;
+    }
+
+    // setp.<type>.<cmp>.
+    Instruction I;
+    bool Matched = false;
+    if (startsWith(Mnemonic, "setp.")) {
+      for (Opcode Op : {Opcode::SetPF, Opcode::SetPI}) {
+        std::string Base = opcodeName(Op);
+        if (!startsWith(Mnemonic, Base + "."))
+          continue;
+        std::string_view CmpName = Mnemonic.substr(Base.size() + 1);
+        for (CmpKind C : AllCmps) {
+          if (CmpName == cmpKindName(C)) {
+            I.Op = Op;
+            I.Cmp = C;
+            Matched = true;
+          }
+        }
+      }
+    } else {
+      for (Opcode Op : AllOpcodes) {
+        if (Mnemonic == opcodeName(Op)) {
+          I.Op = Op;
+          Matched = true;
+          break;
+        }
+      }
+    }
+    if (!Matched) {
+      fail(L.Number, "unknown mnemonic '" + std::string(Mnemonic) + "'");
+      return;
+    }
+
+    std::vector<std::string_view> Ops = splitCommas(Rest);
+    unsigned NumSrcs = opcodeNumSrcs(I.Op);
+    if (Ops.size() != NumSrcs + 1) {
+      fail(L.Number, "wrong operand count for '" + std::string(Mnemonic) +
+                         "'");
+      return;
+    }
+    Operand Dst = parseOperand(L.Number, Ops[0]);
+    if (Failed)
+      return;
+    if (!Dst.isReg()) {
+      fail(L.Number, "destination must be a register");
+      return;
+    }
+    I.Dst = Dst.getReg();
+    Operand *Slots[] = {&I.A, &I.B, &I.C};
+    for (unsigned S = 0; S != NumSrcs && !Failed; ++S)
+      *Slots[S] = parseOperand(L.Number, Ops[S + 1]);
+    if (!Failed)
+      currentBody().push_back(BodyNode(I));
+  }
+
+  std::vector<Line> Lines;
+  size_t Cursor = 0;
+
+  std::optional<Kernel> K;
+  std::map<std::string, unsigned> ParamByName;
+  std::map<std::string, unsigned> SharedByName;
+  std::vector<Ctx> CtxStack;
+  unsigned MaxRegId = 0;
+
+  bool Failed = false;
+  std::string Error;
+  unsigned ErrorLine = 0;
+};
+
+} // namespace
+
+ParseResult g80::parseKernel(std::string_view Text) {
+  return ParserImpl(Text).run();
+}

@@ -1,0 +1,62 @@
+//===- ptx/Parser.h - Textual kernel parser -----------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the PTX-flavored syntax that ptx/Printer.h emits back into a
+/// Kernel.  Printing and re-parsing is a bit-exact round trip (float
+/// immediates use PTX's 0fXXXXXXXX form), so kernels can be dumped,
+/// hand-edited or written from scratch as text, then verified, profiled,
+/// emulated and timed like generated ones.  tools/tune uses this to
+/// accept kernels from files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_PTX_PARSER_H
+#define G80TUNE_PTX_PARSER_H
+
+#include "ptx/Kernel.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace g80 {
+
+/// Outcome of a parse: either a kernel or a diagnostic.
+struct ParseResult {
+  std::optional<Kernel> K;
+  std::string Error;   ///< Empty on success.
+  unsigned ErrorLine = 0; ///< 1-based line of the first error.
+
+  bool ok() const { return K.has_value(); }
+};
+
+/// Parses one kernel from \p Text.
+///
+/// Accepted syntax is exactly the printer's output:
+/// \code
+///   .entry name (.param .global .f32* A, .param .s32 n)
+///     .shared tile[2048]
+///     .local 8 bytes/thread
+///   {
+///     mov %r0, %tid.x;
+///     loop x256 {
+///       ld.global.f32 %r1, [A + %r0 + 16];
+///       @divergent %r2 if {
+///         st.global.f32 [A + %r0], %r1;
+///       }
+///     }
+///   }
+/// \endcode
+/// Comments (`// ...` and `/* ... */`) are ignored, except that the
+/// printer's `// NB/thread DRAM` annotation on global/local accesses is
+/// honored as the access's effective coalescing traffic.  Float
+/// immediates accept both `0fXXXXXXXX` and decimal forms.
+ParseResult parseKernel(std::string_view Text);
+
+} // namespace g80
+
+#endif // G80TUNE_PTX_PARSER_H

@@ -1,0 +1,34 @@
+//===- ptx/Printer.h - Textual kernel dump ----------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a Kernel as PTX-flavored assembly.  The paper's workflow reads
+/// `nvcc -ptx` output to understand why an optimization helped or hurt
+/// (§2.3); this printer serves the same role for generated kernels — e.g.
+/// examples/quickstart.cpp prints the winning configuration's code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_PTX_PRINTER_H
+#define G80TUNE_PTX_PRINTER_H
+
+#include <iosfwd>
+#include <string>
+
+namespace g80 {
+
+class Kernel;
+
+/// Prints \p K to \p OS in a PTX-like syntax with structured loop/if
+/// regions rendered as indented blocks annotated with trip counts.
+void printKernel(const Kernel &K, std::ostream &OS);
+
+/// Returns printKernel output as a string.
+std::string kernelToString(const Kernel &K);
+
+} // namespace g80
+
+#endif // G80TUNE_PTX_PRINTER_H

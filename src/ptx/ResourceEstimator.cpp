@@ -1,0 +1,160 @@
+//===- ptx/ResourceEstimator.cpp ------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ptx/ResourceEstimator.h"
+
+#include "ptx/Kernel.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace g80;
+
+namespace {
+
+/// Computes live intervals over a single linearization of the structured
+/// body.  Loop-carried values — registers whose first event inside a loop
+/// body is a *read* (the value flows in from before the loop or from the
+/// previous iteration: accumulators, streaming indices, hoisted
+/// invariants) — have their intervals widened to the loop's whole span.
+/// Registers first *written* inside the body are iteration-local and keep
+/// their tight interval, which is what a real allocator exploits when it
+/// recycles unrolled-body temporaries.
+class LivenessWalk {
+public:
+  explicit LivenessWalk(const Kernel &K)
+      : NumRegs(K.numVRegs()), First(NumRegs, ~0u), Last(NumRegs, 0) {}
+
+  void run(const Body &B) { walkBody(B, /*Depth=*/0); }
+
+  /// Maximum simultaneously live registers, counting one implied loop
+  /// counter per enclosing loop.
+  unsigned maxLive() const {
+    if (Pos == 0)
+      return 0;
+    std::vector<int> Delta(Pos + 1, 0);
+    for (unsigned R = 0; R != NumRegs; ++R) {
+      if (First[R] == ~0u)
+        continue;
+      ++Delta[First[R]];
+      --Delta[Last[R] + 1];
+    }
+    int Live = 0, Max = 0;
+    for (unsigned P = 0; P != Pos; ++P) {
+      Live += Delta[P];
+      Max = std::max(Max, Live + static_cast<int>(DepthAt[P]));
+    }
+    return static_cast<unsigned>(Max);
+  }
+
+private:
+  /// Per-open-loop record of the first event each register had inside it.
+  struct LoopCtx {
+    unsigned StartPos;
+    // 0 = unseen, 1 = first event was a read, 2 = first event was a write.
+    std::vector<uint8_t> FirstEvent;
+
+    explicit LoopCtx(unsigned StartPos, unsigned NumRegs)
+        : StartPos(StartPos), FirstEvent(NumRegs, 0) {}
+  };
+
+  void touch(Reg R) {
+    if (!R.isValid() || R.Id >= NumRegs)
+      return;
+    First[R.Id] = std::min(First[R.Id], Pos);
+    Last[R.Id] = std::max(Last[R.Id], Pos);
+  }
+
+  void noteRead(Reg R) {
+    if (!R.isValid() || R.Id >= NumRegs)
+      return;
+    touch(R);
+    for (LoopCtx &L : OpenLoops)
+      if (L.FirstEvent[R.Id] == 0)
+        L.FirstEvent[R.Id] = 1;
+  }
+
+  void noteWrite(Reg R) {
+    if (!R.isValid() || R.Id >= NumRegs)
+      return;
+    touch(R);
+    for (LoopCtx &L : OpenLoops)
+      if (L.FirstEvent[R.Id] == 0)
+        L.FirstEvent[R.Id] = 2;
+  }
+
+  void noteOperand(const Operand &O) {
+    if (O.isReg())
+      noteRead(O.getReg());
+  }
+
+  void visit(const Instruction &I, unsigned Depth) {
+    DepthAt.push_back(Depth);
+    // Reads logically precede the write.
+    noteOperand(I.A);
+    noteOperand(I.B);
+    noteOperand(I.C);
+    noteOperand(I.AddrBase);
+    noteWrite(I.Dst);
+    ++Pos;
+  }
+
+  void walkBody(const Body &B, unsigned Depth) {
+    for (const BodyNode &N : B) {
+      if (N.isInstr()) {
+        visit(N.instr(), Depth);
+      } else if (N.isLoop()) {
+        OpenLoops.emplace_back(Pos, NumRegs);
+        walkBody(N.loop().LoopBody, Depth + 1);
+        unsigned EndPos = Pos == 0 ? 0 : Pos - 1;
+        LoopCtx Ctx = std::move(OpenLoops.back());
+        OpenLoops.pop_back();
+        // Loop-carried values stay live across the whole loop span.
+        for (unsigned R = 0; R != NumRegs; ++R) {
+          if (Ctx.FirstEvent[R] != 1)
+            continue;
+          First[R] = std::min(First[R], Ctx.StartPos);
+          Last[R] = std::max(Last[R], EndPos);
+          // Propagate carried-ness outward: the enclosing loop also sees
+          // this register's first event as a read.
+          for (LoopCtx &Outer : OpenLoops)
+            if (Outer.FirstEvent[R] == 0)
+              Outer.FirstEvent[R] = 1;
+        }
+      } else {
+        const If &IfN = N.ifNode();
+        noteRead(IfN.Pred);
+        walkBody(IfN.Then, Depth);
+        walkBody(IfN.Else, Depth);
+      }
+    }
+  }
+
+  const unsigned NumRegs;
+  std::vector<unsigned> First, Last;
+  std::vector<unsigned> DepthAt;
+  std::vector<LoopCtx> OpenLoops;
+  unsigned Pos = 0;
+};
+
+} // namespace
+
+unsigned g80::estimateRegisters(const Kernel &K,
+                                const ResourceEstimatorOptions &Opts) {
+  LivenessWalk Walk(K);
+  Walk.run(K.body());
+  return Walk.maxLive() + Opts.SystemRegisters;
+}
+
+KernelResources g80::estimateResources(const Kernel &K,
+                                       const MachineModel &Machine,
+                                       const ResourceEstimatorOptions &Opts) {
+  KernelResources Res;
+  Res.RegsPerThread = estimateRegisters(K, Opts);
+  Res.SharedMemPerBlockBytes =
+      K.sharedDataBytes() + Machine.SharedMemBlockOverheadBytes;
+  return Res;
+}

@@ -1,0 +1,56 @@
+//===- ptx/ResourceEstimator.h - -cubin style resource report --------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Estimates the physical resource usage a toolchain would report for a
+/// kernel: registers per thread and shared memory per block — the inputs
+/// the paper extracts with `nvcc -cubin` (§2.3) and feeds into the B_SM
+/// occupancy calculation (§4).
+///
+/// Register estimation is a live-interval maximum over a linearization of
+/// the structured body (loop bodies are walked twice so loop-carried values
+/// stay live across the back edge), plus one register per enclosing loop
+/// for the hardware's induction counter and a small fixed overhead for
+/// system-reserved registers.  This is deterministic, unlike the CUDA 1.0
+/// runtime's allocator whose opacity the paper laments (§2.3); DESIGN.md
+/// discusses the deviation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_PTX_RESOURCEESTIMATOR_H
+#define G80TUNE_PTX_RESOURCEESTIMATOR_H
+
+#include "arch/MachineModel.h"
+#include "arch/Occupancy.h"
+
+namespace g80 {
+
+class Kernel;
+
+/// Options controlling the register estimate.
+struct ResourceEstimatorOptions {
+  /// Registers reserved by the ABI/system (stack pointer analogue,
+  /// parameter base).  Chosen so the paper's §4 worked example (matmul,
+  /// 16x16 tile, complete unroll: 13 registers/thread) is reproduced.
+  unsigned SystemRegisters = 1;
+};
+
+/// Returns the estimated -cubin resource report for \p K on \p Machine.
+/// Shared memory includes the Machine's per-block parameter overhead
+/// (2088 = 2048 + 40 in the paper's example).
+KernelResources
+estimateResources(const Kernel &K, const MachineModel &Machine,
+                  const ResourceEstimatorOptions &Opts = {});
+
+/// Returns only the register-pressure part of the estimate (max
+/// simultaneously live virtual registers + loop counters + system
+/// registers).  Exposed for tests.
+unsigned estimateRegisters(const Kernel &K,
+                           const ResourceEstimatorOptions &Opts = {});
+
+} // namespace g80
+
+#endif // G80TUNE_PTX_RESOURCEESTIMATOR_H

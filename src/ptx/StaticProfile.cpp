@@ -1,0 +1,306 @@
+//===- ptx/StaticProfile.cpp ----------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ptx/StaticProfile.h"
+
+#include "ptx/Kernel.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace g80;
+
+namespace {
+
+/// Dynamic counters accumulated by the walk.  Addable and scalable so loop
+/// bodies can be measured once and multiplied by the trip count.
+struct Counts {
+  uint64_t DynInstrs = 0;
+  uint64_t BlockingUnits = 0;
+  uint64_t Alu = 0;
+  uint64_t Sfu = 0;
+  uint64_t SharedAcc = 0;
+  uint64_t ConstAcc = 0;
+  uint64_t GLoads = 0;
+  uint64_t GStores = 0;
+  uint64_t TexLoads = 0;
+  uint64_t Bars = 0;
+  uint64_t GBytesUseful = 0;
+  uint64_t GBytesEffective = 0;
+
+  Counts &operator+=(const Counts &O) {
+    DynInstrs += O.DynInstrs;
+    BlockingUnits += O.BlockingUnits;
+    Alu += O.Alu;
+    Sfu += O.Sfu;
+    SharedAcc += O.SharedAcc;
+    ConstAcc += O.ConstAcc;
+    GLoads += O.GLoads;
+    GStores += O.GStores;
+    TexLoads += O.TexLoads;
+    Bars += O.Bars;
+    GBytesUseful += O.GBytesUseful;
+    GBytesEffective += O.GBytesEffective;
+    return *this;
+  }
+
+  Counts scaled(uint64_t Factor) const {
+    Counts R = *this;
+    R.DynInstrs *= Factor;
+    R.BlockingUnits *= Factor;
+    R.Alu *= Factor;
+    R.Sfu *= Factor;
+    R.SharedAcc *= Factor;
+    R.ConstAcc *= Factor;
+    R.GLoads *= Factor;
+    R.GStores *= Factor;
+    R.TexLoads *= Factor;
+    R.Bars *= Factor;
+    R.GBytesUseful *= Factor;
+    R.GBytesEffective *= Factor;
+    return R;
+  }
+};
+
+/// The load-run state machine: registers whose long-latency producer is
+/// still outstanding.  A nonempty set means a blocking unit is open and
+/// further long-latency producers join it for free.
+struct RunState {
+  std::vector<unsigned> Outstanding; // Sorted register ids.
+
+  bool open() const { return !Outstanding.empty(); }
+
+  void clear() { Outstanding.clear(); }
+
+  void add(Reg R) {
+    if (!R.isValid())
+      return;
+    auto It = std::lower_bound(Outstanding.begin(), Outstanding.end(), R.Id);
+    if (It == Outstanding.end() || *It != R.Id)
+      Outstanding.insert(It, R.Id);
+  }
+
+  bool contains(Reg R) const {
+    return R.isValid() && std::binary_search(Outstanding.begin(),
+                                             Outstanding.end(), R.Id);
+  }
+
+  friend bool operator==(const RunState &A, const RunState &B) {
+    return A.Outstanding == B.Outstanding;
+  }
+};
+
+/// Walks the structured body accumulating Counts, threading the RunState
+/// through so load runs can span non-consuming instructions (and, across
+/// loop back edges, whole iterations).
+class ProfileWalk {
+public:
+  explicit ProfileWalk(bool SfuIsBlocking) : SfuIsBlocking(SfuIsBlocking) {}
+
+  Counts Total;
+  RunState State;
+
+  void walkBody(const Body &B) {
+    for (const BodyNode &N : B) {
+      if (N.isInstr())
+        visit(N.instr());
+      else if (N.isLoop())
+        visitLoop(N.loop());
+      else
+        visitIf(N.ifNode());
+    }
+  }
+
+private:
+  bool usesOutstanding(const Instruction &I) const {
+    const Operand *Ops[] = {&I.A, &I.B, &I.C, &I.AddrBase};
+    for (const Operand *O : Ops)
+      if (O->isReg() && State.contains(O->getReg()))
+        return true;
+    return false;
+  }
+
+  /// True if \p I starts-or-joins a blocking run: global/local/texture
+  /// loads, and SFU ops when the kernel has no longer-latency operations
+  /// (§4).
+  bool isBlockingProducer(const Instruction &I) const {
+    if (I.Op == Opcode::Ld && I.Space != MemSpace::Shared &&
+        I.Space != MemSpace::Const)
+      return true;
+    return SfuIsBlocking && opcodeIsSfu(I.Op);
+  }
+
+  void visit(const Instruction &I) {
+    ++Total.DynInstrs;
+
+    // Consuming an outstanding value closes the current run; the next
+    // long-latency producer then opens a fresh unit (and a fresh stall).
+    if (State.open() && usesOutstanding(I))
+      State.clear();
+
+    switch (I.latencyClass()) {
+    case LatencyClass::Alu:
+      ++Total.Alu;
+      break;
+    case LatencyClass::Sfu:
+      ++Total.Sfu;
+      break;
+    case LatencyClass::SharedMem:
+      ++Total.SharedAcc;
+      break;
+    case LatencyClass::ConstMem:
+      ++Total.ConstAcc;
+      break;
+    case LatencyClass::GlobalMem:
+      if (I.Op == Opcode::Ld)
+        ++Total.GLoads;
+      else
+        ++Total.GStores;
+      Total.GBytesUseful += 4;
+      Total.GBytesEffective += I.EffBytesPerThread;
+      break;
+    case LatencyClass::TexMem:
+      // Cache-served under Table 1's 2D-locality assumption: long latency
+      // but no DRAM bandwidth charge.
+      ++Total.TexLoads;
+      break;
+    case LatencyClass::Barrier:
+      ++Total.Bars;
+      ++Total.BlockingUnits;
+      State.clear();
+      return;
+    }
+
+    if (isBlockingProducer(I)) {
+      if (!State.open())
+        ++Total.BlockingUnits; // Opens a new unit.
+      State.add(I.Dst);
+    }
+  }
+
+  void visitLoop(const Loop &L) {
+    assert(L.TripCount > 0 && "loop with zero trip count");
+
+    // First iteration from the incoming state.
+    Counts Before = Total;
+    walkBody(L.LoopBody);
+    chargeLoopControl();
+    Counts FirstIter = diff(Before, Total);
+
+    if (L.TripCount == 1)
+      return;
+
+    // Find the steady-state iteration: the run state is a function of the
+    // body suffix, so it stabilizes after at most a few passes.
+    uint64_t Remaining = L.TripCount - 1;
+    for (int Attempt = 0; Attempt != 4 && Remaining != 0; ++Attempt) {
+      RunState Entry = State;
+      Counts IterBefore = Total;
+      walkBody(L.LoopBody);
+      chargeLoopControl();
+      --Remaining;
+      if (State == Entry) {
+        // Steady: every remaining iteration costs the same.
+        Counts Steady = diff(IterBefore, Total);
+        Total += Steady.scaled(Remaining);
+        Remaining = 0;
+      }
+    }
+    if (Remaining != 0) {
+      // Did not stabilize (pathological rotating-register pattern):
+      // approximate the tail with the first-iteration cost.
+      Total += FirstIter.scaled(Remaining);
+    }
+  }
+
+  void visitIf(const If &IfN) {
+    // A divergent warp serializes through both sides; a uniform branch
+    // takes one.  Either way the run state is clobbered conservatively:
+    // control flow on G80 ends scheduling regions.
+    State.clear();
+    walkBody(IfN.Then);
+    if (!IfN.Uniform) {
+      RunState AfterThen = State;
+      State.clear();
+      walkBody(IfN.Else);
+      State.clear();
+      (void)AfterThen;
+    }
+  }
+
+  void chargeLoopControl() {
+    Total.DynInstrs += LoopControlInstrsPerIter;
+    Total.Alu += LoopControlInstrsPerIter;
+  }
+
+  static Counts diff(const Counts &Before, const Counts &After) {
+    Counts D;
+    D.DynInstrs = After.DynInstrs - Before.DynInstrs;
+    D.BlockingUnits = After.BlockingUnits - Before.BlockingUnits;
+    D.Alu = After.Alu - Before.Alu;
+    D.Sfu = After.Sfu - Before.Sfu;
+    D.SharedAcc = After.SharedAcc - Before.SharedAcc;
+    D.ConstAcc = After.ConstAcc - Before.ConstAcc;
+    D.GLoads = After.GLoads - Before.GLoads;
+    D.GStores = After.GStores - Before.GStores;
+    D.Bars = After.Bars - Before.Bars;
+    D.GBytesUseful = After.GBytesUseful - Before.GBytesUseful;
+    D.GBytesEffective = After.GBytesEffective - Before.GBytesEffective;
+    return D;
+  }
+
+  const bool SfuIsBlocking;
+};
+
+/// Quick pre-pass: does the kernel execute any global/local/texture load
+/// or any barrier?  (Static presence is enough; a loop body executes at
+/// least once.)
+bool hasLongLatencyOps(const Body &B) {
+  for (const BodyNode &N : B) {
+    if (N.isInstr()) {
+      const Instruction &I = N.instr();
+      if (I.isBarrier())
+        return true;
+      if (I.Op == Opcode::Ld && I.Space != MemSpace::Shared &&
+          I.Space != MemSpace::Const)
+        return true;
+    } else if (N.isLoop()) {
+      if (hasLongLatencyOps(N.loop().LoopBody))
+        return true;
+    } else {
+      if (hasLongLatencyOps(N.ifNode().Then) ||
+          hasLongLatencyOps(N.ifNode().Else))
+        return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+StaticProfile g80::computeStaticProfile(const Kernel &K) {
+  bool SfuIsBlocking = !hasLongLatencyOps(K.body());
+
+  ProfileWalk Walk(SfuIsBlocking);
+  Walk.walkBody(K.body());
+
+  StaticProfile P;
+  const Counts &C = Walk.Total;
+  P.DynInstrs = C.DynInstrs;
+  P.BlockingUnits = C.BlockingUnits;
+  P.AluInstrs = C.Alu;
+  P.SfuInstrs = C.Sfu;
+  P.SharedAccesses = C.SharedAcc;
+  P.ConstAccesses = C.ConstAcc;
+  P.GlobalLoads = C.GLoads;
+  P.GlobalStores = C.GStores;
+  P.TextureLoads = C.TexLoads;
+  P.Barriers = C.Bars;
+  P.GlobalBytesUseful = C.GBytesUseful;
+  P.GlobalBytesEffective = C.GBytesEffective;
+  return P;
+}

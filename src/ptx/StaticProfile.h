@@ -1,0 +1,91 @@
+//===- ptx/StaticProfile.h - -ptx style execution profile -------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derives the paper's per-thread execution profile from a kernel's
+/// structured IR: the dynamic instruction count (`Instr` of Equation 1),
+/// the count of blocking-delimited intervals (`Regions` of Equation 2),
+/// the instruction mix, and global-memory traffic.  This replaces the
+/// paper's manual workflow of reading `nvcc -ptx` output and annotating
+/// loop trip counts (§4) — trip counts are IR annotations here.
+///
+/// Definitions (paper §4):
+///  - Blocking instructions are global/local(texture-class) *loads* and
+///    `bar.sync`; "sequences of independent, long-latency loads are
+///    considered a unit" — a run of loads stays one unit until a barrier
+///    or an instruction that consumes one of the outstanding loaded values
+///    ends it.  Global stores are fire-and-forget on the G80 and do not
+///    block.
+///  - SFU instructions count as blocking only "when longer latency
+///    operations are not present", i.e. in kernels with no dynamic global
+///    loads and no barriers.
+///  - Regions = dynamic blocking units + 1.
+///  - Every loop iteration additionally executes 3 loop-control
+///    instructions (counter add, setp, branch) that the structured Loop
+///    node implies; full unrolling eliminates them, which is exactly the
+///    instruction-count benefit the paper's unrolling study measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_PTX_STATICPROFILE_H
+#define G80TUNE_PTX_STATICPROFILE_H
+
+#include <cstdint>
+
+namespace g80 {
+
+class Kernel;
+
+/// Dynamic instruction-control overhead charged per loop iteration
+/// (counter add + setp + branch).  The timing simulator charges the same
+/// three issues so metrics and ground truth agree on loop cost.
+inline constexpr uint64_t LoopControlInstrsPerIter = 3;
+
+/// Per-thread execution profile of a kernel.
+struct StaticProfile {
+  /// Dynamic instructions per thread — `Instr` in Equation 1.
+  uint64_t DynInstrs = 0;
+  /// Dynamic blocking units (load runs + barriers, or SFU ops for kernels
+  /// with no loads/barriers).
+  uint64_t BlockingUnits = 0;
+  /// Blocking-delimited intervals — `Regions` in Equation 2.
+  uint64_t regions() const { return BlockingUnits + 1; }
+
+  // Instruction mix (dynamic, per thread).
+  uint64_t AluInstrs = 0;       ///< Includes loop control.
+  uint64_t SfuInstrs = 0;
+  uint64_t SharedAccesses = 0;
+  uint64_t ConstAccesses = 0;
+  uint64_t GlobalLoads = 0;     ///< Includes local (spill) loads.
+  uint64_t GlobalStores = 0;    ///< Includes local (spill) stores.
+  uint64_t TextureLoads = 0;    ///< Cache-served, long-latency fetches.
+  uint64_t Barriers = 0;
+
+  /// Useful global bytes touched per thread (4 bytes per access).
+  uint64_t GlobalBytesUseful = 0;
+  /// Effective DRAM bytes per thread after coalescing effects (each
+  /// access's EffBytesPerThread annotation).
+  uint64_t GlobalBytesEffective = 0;
+
+  /// Fraction of dynamic instructions that access global memory.
+  double globalAccessFraction() const {
+    if (DynInstrs == 0)
+      return 0;
+    return double(GlobalLoads + GlobalStores) / double(DynInstrs);
+  }
+};
+
+/// Computes the per-thread profile of \p K.
+///
+/// Divergent if-regions charge both sides (a SIMD warp serializes through
+/// them); uniform if-regions charge the then-side only.  Loop bodies are
+/// analyzed once per distinct entry state, never once per iteration, so
+/// cost is linear in IR size even for billion-iteration loops.
+StaticProfile computeStaticProfile(const Kernel &K);
+
+} // namespace g80
+
+#endif // G80TUNE_PTX_STATICPROFILE_H

@@ -1,0 +1,208 @@
+//===- ptx/Verifier.cpp ---------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ptx/Verifier.h"
+
+#include "ptx/Kernel.h"
+
+#include <vector>
+
+using namespace g80;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Kernel &K)
+      : K(K), Defined(K.numVRegs(), false) {}
+
+  std::vector<std::string> run() {
+    checkBody(K.body());
+    return std::move(Errors);
+  }
+
+private:
+  void error(const std::string &Msg) {
+    // Cap the error list; a badly broken kernel would otherwise produce one
+    // message per instruction.
+    if (Errors.size() < 32)
+      Errors.push_back(Msg);
+  }
+
+  bool checkRegId(Reg R, const char *Role) {
+    if (!R.isValid() || R.Id >= K.numVRegs()) {
+      error(std::string(Role) + " register out of range");
+      return false;
+    }
+    return true;
+  }
+
+  void checkSrcOperand(const Operand &O, const char *Role) {
+    switch (O.kind()) {
+    case Operand::Kind::None:
+    case Operand::Kind::ImmF32:
+    case Operand::Kind::ImmS32:
+    case Operand::Kind::Special:
+      return;
+    case Operand::Kind::Reg: {
+      if (!checkRegId(O.getReg(), Role))
+        return;
+      if (!Defined[O.getReg().Id])
+        error(std::string(Role) + " reads register r" +
+              std::to_string(O.getReg().Id) + " before any definition");
+      return;
+    }
+    case Operand::Kind::Param: {
+      unsigned Idx = O.getParamIndex();
+      if (Idx >= K.params().size()) {
+        error("parameter operand index out of range");
+        return;
+      }
+      ParamKind Kind = K.params()[Idx].Kind;
+      if (Kind != ParamKind::F32 && Kind != ParamKind::S32)
+        error("pointer parameter '" + K.params()[Idx].Name +
+              "' used as a scalar operand");
+      return;
+    }
+    }
+  }
+
+  void checkMemAccess(const Instruction &I) {
+    switch (I.Space) {
+    case MemSpace::Global:
+    case MemSpace::Const:
+    case MemSpace::Texture: {
+      if (I.BufferParam >= K.params().size()) {
+        error("memory access names a parameter out of range");
+        return;
+      }
+      ParamKind Kind = K.params()[I.BufferParam].Kind;
+      ParamKind Want = I.Space == MemSpace::Global ? ParamKind::GlobalPtr
+                       : I.Space == MemSpace::Const ? ParamKind::ConstPtr
+                                                    : ParamKind::TexPtr;
+      if (Kind != Want)
+        error("memory access space does not match parameter kind for '" +
+              K.params()[I.BufferParam].Name + "'");
+      if (I.Space != MemSpace::Global && I.Op == Opcode::St)
+        error("store to read-only memory space");
+      break;
+    }
+    case MemSpace::Shared:
+      if (I.BufferParam >= K.sharedArrays().size())
+        error("shared access names an undeclared shared array");
+      break;
+    case MemSpace::Local:
+      if (K.localBytesPerThread() == 0)
+        error("local access without a local allocation");
+      break;
+    }
+    if (I.Space == MemSpace::Global || I.Space == MemSpace::Local) {
+      if (I.EffBytesPerThread < 4 || I.EffBytesPerThread > 32 ||
+          I.EffBytesPerThread % 4 != 0)
+        error("global access has implausible effective bytes/thread " +
+              std::to_string(unsigned(I.EffBytesPerThread)));
+    }
+    if (!I.AddrBase.isNone() && I.AddrBase.kind() != Operand::Kind::Reg)
+      error("address base must be a register or none");
+    else if (!I.AddrBase.isNone())
+      checkSrcOperand(I.AddrBase, "address base");
+  }
+
+  void checkInstr(const Instruction &I) {
+    if (opcodeHasDst(I.Op)) {
+      // Range-check only; the caller marks Dst defined after source checks.
+      checkRegId(I.Dst, "destination");
+    } else if (I.Dst.isValid()) {
+      error(std::string("opcode ") + opcodeName(I.Op) +
+            " must not have a destination");
+    }
+
+    if (I.Op == Opcode::Ld || I.Op == Opcode::St) {
+      checkMemAccess(I);
+      if (I.Op == Opcode::St)
+        checkSrcOperand(I.A, "store value");
+      else if (!I.A.isNone())
+        error("load must not have generic source operands");
+      return;
+    }
+
+    unsigned NumSrcs = opcodeNumSrcs(I.Op);
+    const Operand *Srcs[] = {&I.A, &I.B, &I.C};
+    static const char *const Roles[] = {"operand A", "operand B",
+                                        "operand C"};
+    for (unsigned Idx = 0; Idx != 3; ++Idx) {
+      if (Idx < NumSrcs) {
+        if (Srcs[Idx]->isNone())
+          error(std::string(opcodeName(I.Op)) + " missing " + Roles[Idx]);
+        else
+          checkSrcOperand(*Srcs[Idx], Roles[Idx]);
+      } else if (!Srcs[Idx]->isNone()) {
+        error(std::string(opcodeName(I.Op)) + " has unexpected " +
+              Roles[Idx]);
+      }
+    }
+  }
+
+  void checkBody(const Body &B) {
+    for (const BodyNode &N : B) {
+      if (N.isInstr()) {
+        const Instruction &I = N.instr();
+        checkInstr(I);
+        if (opcodeHasDst(I.Op) && I.Dst.isValid() &&
+            I.Dst.Id < K.numVRegs())
+          Defined[I.Dst.Id] = true;
+      } else if (N.isLoop()) {
+        const Loop &L = N.loop();
+        if (L.TripCount == 0)
+          error("loop with zero trip count");
+        // Two passes: pass one may report uses of registers that are only
+        // defined later in the body (genuinely undefined on the first
+        // iteration); pass two validates loop-carried uses.  To avoid false
+        // positives on rotating registers we run the body once to collect
+        // definitions, then once to check uses.
+        size_t ErrorsBefore = Errors.size();
+        std::vector<bool> Saved = Defined;
+        collectDefs(L.LoopBody);
+        Errors.resize(ErrorsBefore); // collectDefs reports nothing, but be safe.
+        checkBody(L.LoopBody);
+        (void)Saved;
+      } else {
+        const If &IfN = N.ifNode();
+        if (checkRegId(IfN.Pred, "if predicate") && !Defined[IfN.Pred.Id])
+          error("if predicate read before any definition");
+        checkBody(IfN.Then);
+        checkBody(IfN.Else);
+      }
+    }
+  }
+
+  /// Marks every register defined anywhere in \p B as defined, without
+  /// checking uses.  Used to admit loop-carried definitions.
+  void collectDefs(const Body &B) {
+    for (const BodyNode &N : B) {
+      if (N.isInstr()) {
+        const Instruction &I = N.instr();
+        if (opcodeHasDst(I.Op) && I.Dst.isValid() && I.Dst.Id < K.numVRegs())
+          Defined[I.Dst.Id] = true;
+      } else if (N.isLoop()) {
+        collectDefs(N.loop().LoopBody);
+      } else {
+        collectDefs(N.ifNode().Then);
+        collectDefs(N.ifNode().Else);
+      }
+    }
+  }
+
+  const Kernel &K;
+  std::vector<bool> Defined;
+  std::vector<std::string> Errors;
+};
+
+} // namespace
+
+std::vector<std::string> g80::verifyKernel(const Kernel &K) {
+  return VerifierImpl(K).run();
+}

@@ -1,0 +1,37 @@
+//===- ptx/Verifier.h - Kernel well-formedness checks ----------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validation of generated kernels.  Every kernel the generators
+/// produce is verified in tests before being emulated, profiled or timed;
+/// malformed IR fails loudly here instead of corrupting results downstream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_PTX_VERIFIER_H
+#define G80TUNE_PTX_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace g80 {
+
+class Kernel;
+
+/// Checks \p K for structural errors and returns human-readable messages,
+/// one per problem (empty means the kernel verified clean).  Checked:
+/// operand/parameter kind agreement, register ids within the virtual file,
+/// memory-space vs. buffer-kind agreement, shared/local accesses against
+/// declared allocations, trip counts, destination presence, coalescing
+/// annotations, and definite-assignment of registers before use (loop
+/// bodies are scanned twice so loop-carried definitions count; if-region
+/// definitions are unioned, so this is a liveness approximation that never
+/// reports false positives).
+std::vector<std::string> verifyKernel(const Kernel &K);
+
+} // namespace g80
+
+#endif // G80TUNE_PTX_VERIFIER_H

@@ -1,0 +1,348 @@
+//===- sim/Simulator.cpp --------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "ptx/Kernel.h"
+#include "ptx/ResourceEstimator.h"
+#include "sim/Trace.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+using namespace g80;
+
+namespace {
+
+constexpr uint64_t Never = std::numeric_limits<uint64_t>::max();
+
+/// Per-warp execution context.
+struct WarpCtx {
+  enum class State : uint8_t { Running, AtBarrier, Finished };
+
+  State St = State::Finished;
+  uint32_t PC = 0;
+  std::vector<uint64_t> LoopRemaining; // Stack of remaining trip counts.
+  std::vector<uint64_t> RegReady;      // Cycle each register is ready.
+
+  void reset(uint64_t Now, unsigned NumRegs) {
+    St = State::Running;
+    PC = 0;
+    LoopRemaining.clear();
+    RegReady.assign(NumRegs, Now);
+  }
+};
+
+/// Per-resident-block context.
+struct BlockCtx {
+  bool Occupied = false;
+  unsigned FirstWarp = 0; // Index into the warp array.
+  unsigned NumWarps = 0;
+  unsigned ActiveWarps = 0;
+  unsigned BarArrived = 0;
+};
+
+class SMSimulator {
+public:
+  SMSimulator(const TraceProgram &Prog, const MachineModel &Machine,
+              const Occupancy &Occ, uint64_t BlocksForThisSM,
+              const SimOptions &Opts)
+      : Prog(Prog), Machine(Machine), Occ(Occ),
+        BlocksRemaining(BlocksForThisSM), Opts(Opts) {
+    // Bandwidth: service cycles per byte, in 1/65536ths of a cycle so the
+    // queue stays integral and deterministic.
+    double BytesPerCycle = Machine.globalBytesPerCyclePerSM();
+    assert(BytesPerCycle > 0 && "machine without global bandwidth");
+    SubCyclesPerByte =
+        static_cast<uint64_t>(65536.0 / BytesPerCycle + 0.5);
+
+    unsigned Slots = Occ.BlocksPerSM;
+    Blocks.resize(Slots);
+    Warps.resize(size_t(Slots) * Occ.WarpsPerBlock);
+    for (unsigned S = 0; S != Slots; ++S) {
+      Blocks[S].FirstWarp = S * Occ.WarpsPerBlock;
+      Blocks[S].NumWarps = Occ.WarpsPerBlock;
+      tryLaunchBlock(S);
+    }
+  }
+
+  SimResult run() {
+    while (true) {
+      if (!issueOne()) {
+        if (allIdle())
+          break;
+        advanceToNextReady();
+      }
+      if (Res.IssuedWarpInstrs > Opts.MaxIssues)
+        reportFatalError("simulation exceeded the issue-count safety cap");
+    }
+    Res.Valid = true;
+    Res.Cycles = Cycle;
+    Res.Seconds = Machine.cyclesToSeconds(static_cast<double>(Cycle));
+    Res.Occ = Occ;
+    return Res;
+  }
+
+private:
+  //===--- Block lifecycle --------------------------------------------------//
+  void tryLaunchBlock(unsigned Slot) {
+    BlockCtx &B = Blocks[Slot];
+    if (BlocksRemaining == 0) {
+      B.Occupied = false;
+      return;
+    }
+    --BlocksRemaining;
+    ++Res.BlocksRun;
+    B.Occupied = true;
+    B.ActiveWarps = B.NumWarps;
+    B.BarArrived = 0;
+    for (unsigned W = 0; W != B.NumWarps; ++W)
+      Warps[B.FirstWarp + W].reset(Cycle, Prog.NumRegs);
+  }
+
+  //===--- Trace stepping ---------------------------------------------------//
+  /// Advances \p W's PC past loop bookkeeping to the next instruction.
+  /// Returns false when the warp has finished the kernel.
+  bool fetch(WarpCtx &W) {
+    while (W.PC < Prog.Entries.size()) {
+      const TraceEntry &E = Prog.Entries[W.PC];
+      switch (E.K) {
+      case TraceEntry::Kind::Instr:
+        return true;
+      case TraceEntry::Kind::LoopBegin:
+        W.LoopRemaining.push_back(E.TripCount);
+        ++W.PC;
+        break;
+      case TraceEntry::Kind::LoopEnd: {
+        assert(!W.LoopRemaining.empty() && "loop end without begin");
+        uint64_t &Rem = W.LoopRemaining.back();
+        assert(Rem > 0 && "loop underflow");
+        --Rem;
+        if (Rem == 0) {
+          W.LoopRemaining.pop_back();
+          ++W.PC;
+        } else {
+          W.PC = E.Match + 1;
+        }
+        break;
+      }
+      }
+    }
+    return false;
+  }
+
+  /// Earliest cycle at which \p W's next instruction can issue (operand
+  /// scoreboard, including the destination for WAW hazards).  Requires
+  /// fetch() to have succeeded.
+  uint64_t earliestIssue(const WarpCtx &W) const {
+    const Instruction &I = Prog.Entries[W.PC].I;
+    uint64_t T = 0;
+    auto Consider = [&](const Operand &O) {
+      if (O.isReg())
+        T = std::max(T, W.RegReady[O.getReg().Id]);
+    };
+    Consider(I.A);
+    Consider(I.B);
+    Consider(I.C);
+    Consider(I.AddrBase);
+    if (I.Dst.isValid())
+      T = std::max(T, W.RegReady[I.Dst.Id]);
+    return T;
+  }
+
+  //===--- Scheduling -------------------------------------------------------//
+  /// Tries to issue one instruction from any ready warp (round-robin from
+  /// the warp after the last issuer — the §2.1 zero-overhead interleave).
+  /// Returns false if no warp can issue at the current cycle.
+  bool issueOne() {
+    unsigned N = static_cast<unsigned>(Warps.size());
+    if (N == 0)
+      return false;
+    for (unsigned Step = 0; Step != N; ++Step) {
+      unsigned Idx = (RRNext + Step) % N;
+      WarpCtx &W = Warps[Idx];
+      if (W.St != WarpCtx::State::Running)
+        continue;
+      BlockCtx &B = Blocks[Idx / Occ.WarpsPerBlock];
+      if (!B.Occupied)
+        continue;
+      if (!fetch(W)) {
+        finishWarp(Idx, W, B);
+        continue;
+      }
+      if (earliestIssue(W) > Cycle)
+        continue;
+      issue(Idx, W, B);
+      RRNext = (Idx + 1) % N;
+      return true;
+    }
+    return false;
+  }
+
+  void finishWarp(unsigned Idx, WarpCtx &W, BlockCtx &B) {
+    (void)Idx;
+    W.St = WarpCtx::State::Finished;
+    assert(B.ActiveWarps > 0 && "warp finished in an empty block");
+    if (--B.ActiveWarps == 0)
+      tryLaunchBlock(static_cast<unsigned>(&B - Blocks.data()));
+  }
+
+  void issue(unsigned Idx, WarpCtx &W, BlockCtx &B) {
+    const TraceEntry &E = Prog.Entries[W.PC];
+    const Instruction &I = E.I;
+
+    ++Res.IssuedWarpInstrs;
+    if (E.SyntheticCtl)
+      ++Res.SyntheticCtlInstrs;
+
+    unsigned IssueCost = Machine.issueCyclesPerWarpInstr();
+
+    switch (I.latencyClass()) {
+    case LatencyClass::Alu:
+      writeDst(W, I, Cycle + IssueCost + Machine.ArithLatencyCycles);
+      break;
+    case LatencyClass::Sfu:
+      // The two SFUs take WarpSize/SFUs cycles to swallow a warp, holding
+      // the issue port correspondingly longer.
+      IssueCost = Machine.WarpSize / Machine.SFUsPerSM;
+      writeDst(W, I, Cycle + IssueCost + Machine.SfuLatencyCycles);
+      break;
+    case LatencyClass::SharedMem:
+      writeDst(W, I, Cycle + IssueCost + Machine.SharedLatencyCycles);
+      break;
+    case LatencyClass::ConstMem:
+      writeDst(W, I, Cycle + IssueCost + Machine.ConstLatencyCycles);
+      break;
+    case LatencyClass::TexMem:
+      // Long latency, but served from the texture cache (Table 1 assumes
+      // 2D locality), so no DRAM queue charge.
+      writeDst(W, I, Cycle + IssueCost + Machine.TexLatencyCycles);
+      break;
+    case LatencyClass::GlobalMem: {
+      uint64_t Bytes =
+          uint64_t(I.EffBytesPerThread) * Machine.WarpSize;
+      uint64_t Service = Bytes * SubCyclesPerByte; // In 1/65536 cycles.
+      uint64_t NowSub = Cycle << 16;
+      uint64_t StartSub = std::max(NowSub, MemFreeSub);
+      Res.MemQueueWaitCycles += (StartSub - NowSub) >> 16;
+      MemFreeSub = StartSub + Service;
+      if (I.Op == Opcode::Ld) {
+        uint64_t DoneCycle = (MemFreeSub >> 16) + Machine.GlobalLatencyCycles;
+        writeDst(W, I, DoneCycle);
+      }
+      // Stores are fire-and-forget: they consume bandwidth only.
+      break;
+    }
+    case LatencyClass::Barrier: {
+      ++W.PC;
+      Cycle += IssueCost;
+      ++B.BarArrived;
+      if (B.BarArrived == B.ActiveWarps) {
+        // Last warp: release everyone.
+        B.BarArrived = 0;
+        unsigned Base = B.FirstWarp;
+        for (unsigned J = 0; J != B.NumWarps; ++J)
+          if (Warps[Base + J].St == WarpCtx::State::AtBarrier)
+            Warps[Base + J].St = WarpCtx::State::Running;
+      } else {
+        W.St = WarpCtx::State::AtBarrier;
+      }
+      (void)Idx;
+      return;
+    }
+    }
+
+    ++W.PC;
+    Cycle += IssueCost;
+  }
+
+  void writeDst(WarpCtx &W, const Instruction &I, uint64_t ReadyAt) {
+    if (I.Dst.isValid())
+      W.RegReady[I.Dst.Id] = ReadyAt;
+  }
+
+  bool allIdle() const {
+    for (const BlockCtx &B : Blocks)
+      if (B.Occupied)
+        return false;
+    return BlocksRemaining == 0;
+  }
+
+  /// No warp was ready: jump to the earliest time one becomes ready.
+  void advanceToNextReady() {
+    uint64_t Next = Never;
+    for (unsigned Idx = 0; Idx != Warps.size(); ++Idx) {
+      WarpCtx &W = Warps[Idx];
+      if (W.St != WarpCtx::State::Running)
+        continue;
+      if (!Blocks[Idx / Occ.WarpsPerBlock].Occupied)
+        continue;
+      if (!fetch(W)) {
+        // Retire exhausted warps here too so barrier counts stay exact.
+        finishWarp(Idx, W, Blocks[Idx / Occ.WarpsPerBlock]);
+        // A block launch may have made new warps ready right now.
+        Next = std::min(Next, Cycle);
+        continue;
+      }
+      Next = std::min(Next, earliestIssue(W));
+    }
+    if (Next == Never)
+      reportFatalError("simulated SM deadlocked (barrier in divergent "
+                       "control flow or warp starvation)");
+    assert(Next >= Cycle && "time went backwards");
+    Res.IssueStallCycles += Next - Cycle;
+    Cycle = Next;
+  }
+
+  const TraceProgram &Prog;
+  const MachineModel &Machine;
+  const Occupancy Occ;
+  uint64_t BlocksRemaining;
+  const SimOptions Opts;
+
+  std::vector<BlockCtx> Blocks;
+  std::vector<WarpCtx> Warps;
+  unsigned RRNext = 0;
+
+  uint64_t Cycle = 0;
+  uint64_t MemFreeSub = 0; // Memory queue head, in 1/65536 cycles.
+  uint64_t SubCyclesPerByte = 0;
+
+  SimResult Res;
+};
+
+} // namespace
+
+SimResult g80::simulateKernel(const Kernel &K, const LaunchConfig &Launch,
+                              const MachineModel &Machine,
+                              const SimOptions &Opts) {
+  SimResult Invalid;
+
+  KernelResources Resources = estimateResources(K, Machine);
+  Occupancy Occ =
+      computeOccupancy(Machine, Launch.threadsPerBlock(), Resources);
+  if (!Occ.valid())
+    return Invalid;
+
+  uint64_t TotalBlocks = Launch.numBlocks();
+  if (TotalBlocks == 0) {
+    Invalid.Valid = true;
+    Invalid.Occ = Occ;
+    return Invalid;
+  }
+
+  // Each SM independently executes an equal share of the grid; simulate
+  // the busiest one.
+  uint64_t BlocksForThisSM =
+      (TotalBlocks + Machine.NumSMs - 1) / Machine.NumSMs;
+
+  TraceProgram Prog = buildTrace(K);
+  SMSimulator Sim(Prog, Machine, Occ, BlocksForThisSM, Opts);
+  return Sim.run();
+}

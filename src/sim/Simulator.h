@@ -1,0 +1,92 @@
+//===- sim/Simulator.h - G80 SM timing simulator -----------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wall-clock substitute: a timing model of a GeForce-8800 streaming
+/// multiprocessor executing a kernel launch.  Where the paper measures
+/// configurations on silicon, we measure them here; the tuner treats this
+/// as ground truth exactly as the paper treats run time.
+///
+/// Modeled first-order mechanisms (the ones the paper's §2-§3 analysis
+/// turns on):
+///  - single issue port per SM, one warp-instruction per 4 cycles (SFU
+///    ops occupy it for WarpSize/SFUs cycles);
+///  - zero-overhead warp interleaving: any ready warp from any resident
+///    block may issue ("the SM stalls only if there are no warps with
+///    ready operands available", §2.1);
+///  - register scoreboarding with non-blocking global loads: a load
+///    stalls the warp only when a later instruction consumes its result;
+///  - off-chip bandwidth as a service queue (the chip's 86.4 GB/s divided
+///    evenly among SMs), with per-access effective transaction sizes so
+///    uncoalesced accesses consume up to 8x their useful traffic;
+///  - intra-block barrier synchronization;
+///  - block residency from the occupancy calculation, with finished
+///    blocks replaced by queued ones until the SM's share of the grid is
+///    done.
+///
+/// One representative SM is simulated; SMs process equal shares of the
+/// grid independently (true for the paper's regular kernels), so kernel
+/// time equals the representative SM's busy time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SIM_SIMULATOR_H
+#define G80TUNE_SIM_SIMULATOR_H
+
+#include "arch/LaunchConfig.h"
+#include "arch/MachineModel.h"
+#include "arch/Occupancy.h"
+
+#include <cstdint>
+
+namespace g80 {
+
+class Kernel;
+
+/// Simulation controls.
+struct SimOptions {
+  /// Safety cap on scheduler steps; exceeding it is a fatal error (a
+  /// runaway trace, not a legitimate workload).
+  uint64_t MaxIssues = 1ull << 33;
+};
+
+/// Timing result and scheduler statistics.
+struct SimResult {
+  /// False when the kernel cannot launch (occupancy invalid) — the
+  /// paper's "invalid executable" outcome.  No other field is meaningful.
+  bool Valid = false;
+
+  uint64_t Cycles = 0;
+  double Seconds = 0;
+
+  Occupancy Occ;
+
+  uint64_t IssuedWarpInstrs = 0;   ///< Including synthetic loop control.
+  uint64_t SyntheticCtlInstrs = 0; ///< The loop-control subset.
+  /// Cycles the issue port sat idle because no resident warp had ready
+  /// operands — the quantity the Utilization metric predicts.
+  uint64_t IssueStallCycles = 0;
+  /// Cycles of memory-queue serialization beyond raw latency (bandwidth
+  /// pressure).
+  uint64_t MemQueueWaitCycles = 0;
+  uint64_t BlocksRun = 0; ///< Blocks executed on the simulated SM.
+
+  /// Fraction of cycles the issue port was busy.
+  double issueUtilization() const {
+    return Cycles == 0 ? 0 : 1.0 - double(IssueStallCycles) / double(Cycles);
+  }
+};
+
+/// Simulates \p K launched as \p Launch on \p Machine and returns timing.
+/// Resource usage (hence occupancy) is taken from the same estimator the
+/// metrics use, so metrics and ground truth agree about B_SM.
+SimResult simulateKernel(const Kernel &K, const LaunchConfig &Launch,
+                         const MachineModel &Machine,
+                         const SimOptions &Opts = {});
+
+} // namespace g80
+
+#endif // G80TUNE_SIM_SIMULATOR_H

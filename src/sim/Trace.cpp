@@ -1,0 +1,138 @@
+//===- sim/Trace.cpp ------------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Trace.h"
+
+#include "ptx/StaticProfile.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace g80;
+
+namespace {
+
+class TraceBuilder {
+public:
+  explicit TraceBuilder(const Kernel &K) : K(K) {}
+
+  TraceProgram run() {
+    walkBody(K.body(), /*Depth=*/0);
+    Prog.NumRegs = K.numVRegs() + 2 * Prog.MaxLoopDepth;
+    // Synthetic register ids were provisional (depth-indexed); rebase them
+    // after numVRegs now that the total is known.
+    for (TraceEntry &E : Prog.Entries) {
+      if (E.K != TraceEntry::Kind::Instr || !E.SyntheticCtl)
+        continue;
+      rebase(E.I.Dst);
+      rebaseOperand(E.I.A);
+      rebaseOperand(E.I.B);
+    }
+    return std::move(Prog);
+  }
+
+private:
+  /// Synthetic registers are encoded as SyntheticBase + (2*Depth + Slot)
+  /// while building, then rebased to follow the kernel's registers.
+  static constexpr unsigned SyntheticBase = 0x40000000;
+
+  void rebase(Reg &R) {
+    if (R.isValid() && R.Id >= SyntheticBase)
+      R = Reg(K.numVRegs() + (R.Id - SyntheticBase));
+  }
+
+  void rebaseOperand(Operand &O) {
+    if (!O.isReg())
+      return;
+    Reg R = O.getReg();
+    if (R.Id >= SyntheticBase)
+      O = Operand::reg(Reg(K.numVRegs() + (R.Id - SyntheticBase)));
+  }
+
+  void walkBody(const Body &B, unsigned Depth) {
+    for (const BodyNode &N : B) {
+      if (N.isInstr()) {
+        TraceEntry E;
+        E.K = TraceEntry::Kind::Instr;
+        E.I = N.instr();
+        Prog.Entries.push_back(E);
+      } else if (N.isLoop()) {
+        emitLoop(N.loop(), Depth);
+      } else {
+        const If &IfN = N.ifNode();
+        // Timing inline: uniform branches cost their taken side; divergent
+        // warps serialize through both sides.
+        walkBody(IfN.Then, Depth);
+        if (!IfN.Uniform)
+          walkBody(IfN.Else, Depth);
+      }
+    }
+  }
+
+  void emitLoop(const Loop &L, unsigned Depth) {
+    assert(L.TripCount > 0 && "zero-trip loop in trace");
+    Prog.MaxLoopDepth = std::max(Prog.MaxLoopDepth, Depth + 1);
+
+    uint32_t BeginIdx = static_cast<uint32_t>(Prog.Entries.size());
+    TraceEntry Begin;
+    Begin.K = TraceEntry::Kind::LoopBegin;
+    Begin.TripCount = L.TripCount;
+    Prog.Entries.push_back(Begin);
+
+    walkBody(L.LoopBody, Depth + 1);
+    emitLoopControl(Depth);
+
+    TraceEntry End;
+    End.K = TraceEntry::Kind::LoopEnd;
+    End.Match = BeginIdx;
+    Prog.Entries.push_back(End);
+  }
+
+  /// The counter-add / setp / branch chain implied by a structured loop.
+  /// A dependent ALU chain on the per-depth counter register: exactly the
+  /// LoopControlInstrsPerIter instructions StaticProfile charges.
+  void emitLoopControl(unsigned Depth) {
+    static_assert(LoopControlInstrsPerIter == 3,
+                  "trace loop control out of sync with StaticProfile");
+    Reg Ctr(SyntheticBase + 2 * Depth);
+    Reg Pred(SyntheticBase + 2 * Depth + 1);
+
+    TraceEntry Add;
+    Add.K = TraceEntry::Kind::Instr;
+    Add.SyntheticCtl = true;
+    Add.I.Op = Opcode::AddI;
+    Add.I.Dst = Ctr;
+    Add.I.A = Operand::reg(Ctr);
+    Add.I.B = Operand::immS32(1);
+    Prog.Entries.push_back(Add);
+
+    TraceEntry SetP;
+    SetP.K = TraceEntry::Kind::Instr;
+    SetP.SyntheticCtl = true;
+    SetP.I.Op = Opcode::SetPI;
+    SetP.I.Dst = Pred;
+    SetP.I.A = Operand::reg(Ctr);
+    SetP.I.B = Operand::immS32(0);
+    SetP.I.Cmp = CmpKind::Lt;
+    Prog.Entries.push_back(SetP);
+
+    // The branch: consumes the predicate; models the bra issue slot.
+    TraceEntry Bra;
+    Bra.K = TraceEntry::Kind::Instr;
+    Bra.SyntheticCtl = true;
+    Bra.I.Op = Opcode::Mov;
+    Bra.I.Dst = Pred;
+    Bra.I.A = Operand::reg(Pred);
+    Prog.Entries.push_back(Bra);
+  }
+
+  const Kernel &K;
+  TraceProgram Prog;
+};
+
+} // namespace
+
+TraceProgram g80::buildTrace(const Kernel &K) { return TraceBuilder(K).run(); }

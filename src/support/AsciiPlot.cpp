@@ -1,0 +1,64 @@
+//===- support/AsciiPlot.cpp ----------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AsciiPlot.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace g80;
+
+AsciiPlot::AsciiPlot(unsigned Width, unsigned Height)
+    : Width(Width), Height(Height),
+      Rows(Height, std::string(Width, ' ')) {}
+
+void AsciiPlot::setViewport(double MinX, double MaxX, double MinY,
+                            double MaxY) {
+  assert(MaxX > MinX && MaxY > MinY && "degenerate viewport");
+  this->MinX = MinX;
+  this->MaxX = MaxX;
+  this->MinY = MinY;
+  this->MaxY = MaxY;
+}
+
+void AsciiPlot::addPoint(double X, double Y, char Glyph) {
+  double FX = (X - MinX) / (MaxX - MinX);
+  double FY = (Y - MinY) / (MaxY - MinY);
+  if (FX < 0 || FX > 1 || FY < 0 || FY > 1)
+    return;
+  unsigned Col = std::min(Width - 1, unsigned(FX * Width));
+  unsigned RowFromBottom = std::min(Height - 1, unsigned(FY * Height));
+  Rows[Height - 1 - RowFromBottom][Col] = Glyph;
+}
+
+void AsciiPlot::print(std::ostream &OS) const {
+  if (!Title.empty())
+    OS << Title << '\n';
+  std::string YMax = fmtDouble(MaxY, 2), YMin = fmtDouble(MinY, 2);
+  size_t Margin = std::max(YMax.size(), YMin.size());
+  auto Pad = [Margin](const std::string &S) {
+    return std::string(Margin - S.size(), ' ') + S;
+  };
+  for (unsigned R = 0; R != Height; ++R) {
+    if (R == 0)
+      OS << Pad(YMax) << " |";
+    else if (R == Height - 1)
+      OS << Pad(YMin) << " |";
+    else
+      OS << std::string(Margin, ' ') << " |";
+    OS << Rows[R] << '\n';
+  }
+  OS << std::string(Margin + 1, ' ') << '+' << std::string(Width, '-')
+     << '\n';
+  OS << std::string(Margin + 2, ' ') << fmtDouble(MinX, 2)
+     << std::string(Width > 16 ? Width - 10 : 1, ' ') << fmtDouble(MaxX, 2)
+     << '\n';
+  if (!XLabel.empty() || !YLabel.empty())
+    OS << std::string(Margin + 2, ' ') << "x: " << XLabel
+       << "   y: " << YLabel << '\n';
+}

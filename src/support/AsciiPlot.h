@@ -1,0 +1,52 @@
+//===- support/AsciiPlot.h - Terminal scatter plots --------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small character-cell scatter plot.  The fig5/fig6 benchmark
+/// harnesses render the paper's metric plots directly into the terminal:
+/// normalized Efficiency on x, Utilization on y, Pareto points and the
+/// optimum marked with distinct glyphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_ASCIIPLOT_H
+#define G80TUNE_SUPPORT_ASCIIPLOT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace g80 {
+
+/// A fixed-size character canvas over a data-coordinate viewport.
+/// Later marks overwrite earlier ones, so draw background layers first.
+class AsciiPlot {
+public:
+  AsciiPlot(unsigned Width = 64, unsigned Height = 20);
+
+  /// Sets the data viewport; must be called before adding points.
+  void setViewport(double MinX, double MaxX, double MinY, double MaxY);
+
+  /// Plots \p Glyph at data coordinates; silently clips outside points.
+  void addPoint(double X, double Y, char Glyph);
+
+  void setTitle(std::string Title) { this->Title = std::move(Title); }
+  void setXLabel(std::string L) { XLabel = std::move(L); }
+  void setYLabel(std::string L) { YLabel = std::move(L); }
+
+  /// Renders with a simple frame and axis labels.
+  void print(std::ostream &OS) const;
+
+private:
+  unsigned Width, Height;
+  double MinX = 0, MaxX = 1, MinY = 0, MaxY = 1;
+  std::vector<std::string> Rows; // Row 0 is the top.
+  std::string Title, XLabel, YLabel;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_ASCIIPLOT_H

@@ -1,0 +1,32 @@
+//===- support/Csv.cpp ----------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+
+using namespace g80;
+
+std::string CsvWriter::escape(const std::string &Cell) {
+  bool NeedsQuoting = Cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!NeedsQuoting)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+void CsvWriter::writeRow(const std::vector<std::string> &Cells) {
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    if (I != 0)
+      OS << ',';
+    OS << escape(Cells[I]);
+  }
+  OS << '\n';
+}

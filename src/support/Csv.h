@@ -1,0 +1,40 @@
+//===- support/Csv.h - CSV output ------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal CSV writer (RFC-4180 quoting).  Benchmark harnesses can emit the
+/// data behind each figure as CSV for external plotting, in addition to the
+/// human-readable TextTable rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_CSV_H
+#define G80TUNE_SUPPORT_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace g80 {
+
+/// Streams rows of cells to an std::ostream as CSV.  Cells containing
+/// commas, quotes or newlines are quoted; embedded quotes are doubled.
+class CsvWriter {
+public:
+  explicit CsvWriter(std::ostream &OS) : OS(OS) {}
+
+  /// Writes one row.
+  void writeRow(const std::vector<std::string> &Cells);
+
+private:
+  static std::string escape(const std::string &Cell);
+
+  std::ostream &OS;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_CSV_H

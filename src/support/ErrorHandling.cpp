@@ -1,0 +1,23 @@
+//===- support/ErrorHandling.cpp ------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace g80;
+
+void g80::reportFatalError(const char *Reason) {
+  std::fprintf(stderr, "g80tune fatal error: %s\n", Reason);
+  std::abort();
+}
+
+void g80::unreachableInternal(const char *Msg, const char *File,
+                              unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

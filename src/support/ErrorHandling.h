@@ -1,0 +1,36 @@
+//===- support/ErrorHandling.h - Fatal errors and unreachable ------------===//
+//
+// Part of g80tune, a reproduction of Ryoo et al., "Program Optimization
+// Space Pruning for a Multithreaded GPU" (CGO 2008).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting used throughout the library.  The library does not
+/// use exceptions; unrecoverable conditions (malformed IR handed to the
+/// simulator, impossible machine descriptions, ...) abort with a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_ERRORHANDLING_H
+#define G80TUNE_SUPPORT_ERRORHANDLING_H
+
+namespace g80 {
+
+/// Prints \p Reason to stderr and aborts.  Never returns.
+[[noreturn]] void reportFatalError(const char *Reason);
+
+/// Implementation detail of G80_UNREACHABLE.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace g80
+
+/// Marks a point in code that should never be reached.  Unlike assert, this
+/// is checked in all build modes: silently falling through an unhandled
+/// opcode in the emulator or simulator would corrupt results rather than
+/// crash, so we always pay for the check.
+#define G80_UNREACHABLE(msg) ::g80::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // G80TUNE_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,52 @@
+//===- support/Format.h - Numeric formatting helpers ----------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// snprintf-backed numeric-to-string helpers so harness code can fill
+/// TextTable cells without streaming manipulators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_FORMAT_H
+#define G80TUNE_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace g80 {
+
+/// Formats \p Value with \p Decimals fractional digits, e.g. fmt(1.5, 2)
+/// == "1.50".
+inline std::string fmtDouble(double Value, int Decimals = 3) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+/// Formats \p Value in scientific notation, e.g. "3.93e-12".
+inline std::string fmtSci(double Value, int Decimals = 2) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*e", Decimals, Value);
+  return Buf;
+}
+
+/// Formats an integer.
+inline std::string fmtInt(int64_t Value) { return std::to_string(Value); }
+inline std::string fmtInt(uint64_t Value) { return std::to_string(Value); }
+inline std::string fmtInt(int Value) { return std::to_string(Value); }
+inline std::string fmtInt(unsigned Value) { return std::to_string(Value); }
+
+/// Formats \p Fraction (in [0,1]) as a percentage, e.g. "98.2%".
+inline std::string fmtPercent(double Fraction, int Decimals = 1) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Decimals, Fraction * 100.0);
+  return Buf;
+}
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_FORMAT_H

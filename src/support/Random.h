@@ -1,0 +1,68 @@
+//===- support/Random.h - Deterministic pseudo-random numbers ------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64).  Used by workload
+/// generators, the random-search baseline and property tests.  We avoid
+/// <random> engines so that results are bit-identical across standard
+/// library implementations — experiment outputs must be reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_RANDOM_H
+#define G80TUNE_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace g80 {
+
+/// SplitMix64 generator.  Passes BigCrush; one multiply-xor-shift chain per
+/// draw.  Deterministic for a given seed on every platform.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, Bound).  \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    // Multiply-shift range reduction (Lemire); bias is < 2^-64 * Bound and
+    // irrelevant for workload generation.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniform float in [0, 1).
+  float nextFloat() {
+    return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns a uniform float in [\p Lo, \p Hi).
+  float nextFloatIn(float Lo, float Hi) {
+    return Lo + (Hi - Lo) * nextFloat();
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_RANDOM_H

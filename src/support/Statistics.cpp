@@ -1,0 +1,122 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace g80;
+
+void SampleStats::add(double Value) { Samples.push_back(Value); }
+
+double SampleStats::min() const {
+  assert(!Samples.empty() && "min() of no samples");
+  return *std::min_element(Samples.begin(), Samples.end());
+}
+
+double SampleStats::max() const {
+  assert(!Samples.empty() && "max() of no samples");
+  return *std::max_element(Samples.begin(), Samples.end());
+}
+
+double SampleStats::mean() const {
+  assert(!Samples.empty() && "mean() of no samples");
+  double Sum = 0;
+  for (double S : Samples)
+    Sum += S;
+  return Sum / static_cast<double>(Samples.size());
+}
+
+double SampleStats::stddev() const {
+  assert(!Samples.empty() && "stddev() of no samples");
+  if (Samples.size() < 2)
+    return 0;
+  double M = mean();
+  double SumSq = 0;
+  for (double S : Samples)
+    SumSq += (S - M) * (S - M);
+  return std::sqrt(SumSq / static_cast<double>(Samples.size() - 1));
+}
+
+double SampleStats::geomean() const {
+  assert(!Samples.empty() && "geomean() of no samples");
+  double LogSum = 0;
+  for (double S : Samples) {
+    assert(S > 0 && "geomean() requires positive samples");
+    LogSum += std::log(S);
+  }
+  return std::exp(LogSum / static_cast<double>(Samples.size()));
+}
+
+double SampleStats::quantile(double Q) const {
+  assert(!Samples.empty() && "quantile() of no samples");
+  assert(Q >= 0 && Q <= 1 && "quantile fraction out of range");
+  std::vector<double> Sorted(Samples);
+  std::sort(Sorted.begin(), Sorted.end());
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Pos = Q * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return Sorted[Lo] + (Sorted[Hi] - Sorted[Lo]) * Frac;
+}
+
+double g80::relativeDifference(double A, double B) {
+  double MaxMag = std::max(std::fabs(A), std::fabs(B));
+  if (MaxMag == 0)
+    return 0;
+  return std::fabs(A - B) / MaxMag;
+}
+
+/// Fractional ranks of \p V (average rank across ties), 1-based.
+static std::vector<double> fractionalRanks(std::span<const double> V) {
+  std::vector<size_t> Order(V.size());
+  for (size_t I = 0; I != V.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(),
+            [&](size_t A, size_t B) { return V[A] < V[B]; });
+  std::vector<double> Ranks(V.size());
+  size_t I = 0;
+  while (I != Order.size()) {
+    size_t J = I;
+    while (J != Order.size() && V[Order[J]] == V[Order[I]])
+      ++J;
+    double AvgRank = (double(I) + double(J - 1)) / 2.0 + 1.0;
+    for (size_t K = I; K != J; ++K)
+      Ranks[Order[K]] = AvgRank;
+    I = J;
+  }
+  return Ranks;
+}
+
+double g80::spearmanCorrelation(std::span<const double> A,
+                                std::span<const double> B) {
+  assert(A.size() == B.size() && A.size() >= 2 &&
+         "spearman needs two equally sized samples");
+  std::vector<double> RA = fractionalRanks(A);
+  std::vector<double> RB = fractionalRanks(B);
+  // Pearson correlation of the ranks (correct under ties).
+  double MeanA = 0, MeanB = 0;
+  for (size_t I = 0; I != RA.size(); ++I) {
+    MeanA += RA[I];
+    MeanB += RB[I];
+  }
+  MeanA /= double(RA.size());
+  MeanB /= double(RB.size());
+  double Cov = 0, VarA = 0, VarB = 0;
+  for (size_t I = 0; I != RA.size(); ++I) {
+    double DA = RA[I] - MeanA, DB = RB[I] - MeanB;
+    Cov += DA * DB;
+    VarA += DA * DA;
+    VarB += DB * DB;
+  }
+  if (VarA == 0 || VarB == 0)
+    return 0; // A constant sequence carries no ranking information.
+  return Cov / std::sqrt(VarA * VarB);
+}

@@ -1,0 +1,62 @@
+//===- support/Statistics.h - Summary statistics helpers -----------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics over samples, used by the benchmark harnesses when
+/// reporting per-configuration times and by tests checking distributional
+/// properties of the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_STATISTICS_H
+#define G80TUNE_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace g80 {
+
+/// Accumulates samples and answers summary queries.  All queries are valid
+/// only once at least one sample has been added.
+class SampleStats {
+public:
+  void add(double Value);
+
+  size_t count() const { return Samples.size(); }
+  bool empty() const { return Samples.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample standard deviation (N-1 denominator); 0 for a single sample.
+  double stddev() const;
+  /// Geometric mean.  All samples must be positive.
+  double geomean() const;
+  /// Linear-interpolated quantile, \p Q in [0, 1].
+  double quantile(double Q) const;
+  double median() const { return quantile(0.5); }
+
+private:
+  // Kept unsorted; quantile() sorts a copy.  Sample sets here are small
+  // (one per configuration), so simplicity beats an online sketch.
+  std::vector<double> Samples;
+};
+
+/// Returns the relative difference |A - B| / max(|A|, |B|), or 0 when both
+/// are 0.  Used by tests comparing floating-point kernel outputs.
+double relativeDifference(double A, double B);
+
+/// Spearman rank correlation between \p A and \p B (equal length >= 2).
+/// Ties receive fractional (average) ranks.  Returns a value in [-1, 1];
+/// used by the metric-correlation ablation to quantify how well each
+/// static metric predicts measured run time on its own.
+double spearmanCorrelation(std::span<const double> A,
+                           std::span<const double> B);
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_STATISTICS_H

@@ -1,0 +1,62 @@
+//===- support/TextTable.cpp ----------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace g80;
+
+void TextTable::setHeader(std::vector<std::string> Names) {
+  assert(Header.empty() && Rows.empty() && "header must be set first");
+  Header = std::move(Names);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), /*IsSeparator=*/false});
+}
+
+void TextTable::addSeparator() { Rows.push_back({{}, /*IsSeparator=*/true}); }
+
+void TextTable::print(std::ostream &OS) const {
+  // Compute per-column widths over header and all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I != Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const Row &R : Rows)
+    Grow(R.Cells);
+
+  auto PrintCells = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I != Widths.size(); ++I) {
+      const std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      OS << Cell << std::string(Widths[I] - Cell.size(), ' ');
+      if (I + 1 != Widths.size())
+        OS << "  ";
+    }
+    OS << '\n';
+  };
+
+  size_t TotalWidth = Widths.empty() ? 0 : 2 * (Widths.size() - 1);
+  for (size_t W : Widths)
+    TotalWidth += W;
+
+  if (!Header.empty()) {
+    PrintCells(Header);
+    OS << std::string(TotalWidth, '-') << '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.IsSeparator)
+      OS << std::string(TotalWidth, '-') << '\n';
+    else
+      PrintCells(R.Cells);
+  }
+}

@@ -1,0 +1,55 @@
+//===- support/TextTable.h - Aligned plain-text tables --------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned plain-text table rendering.  The benchmark harnesses print
+/// every reproduced paper table/figure as one of these so the output reads
+/// like the paper's own tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_TEXTTABLE_H
+#define G80TUNE_SUPPORT_TEXTTABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace g80 {
+
+/// Builds a table row by row, then renders it with every column padded to
+/// its widest cell.  Numeric formatting is the caller's job (use the
+/// formatting helpers in Format.h).
+class TextTable {
+public:
+  /// Sets the header row.  May be called once, before any addRow().
+  void setHeader(std::vector<std::string> Names);
+
+  /// Appends a data row.  Rows may have differing lengths; short rows are
+  /// padded with empty cells at render time.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders the table to \p OS.
+  void print(std::ostream &OS) const;
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsSeparator = false;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_TEXTTABLE_H

@@ -1,0 +1,202 @@
+//===- tests/ArchTest.cpp - arch/ unit tests ---------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/LaunchConfig.h"
+#include "arch/MachineModel.h"
+#include "arch/Occupancy.h"
+
+#include <gtest/gtest.h>
+
+using namespace g80;
+
+namespace {
+
+//===--- MachineModel -------------------------------------------------------//
+
+TEST(MachineModel, GeForce8800DerivedQuantities) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  // §2.1: 16 SM * 18 FLOP/SM * 1.35GHz = 388.8 GFLOPS.
+  EXPECT_NEAR(M.peakGflops(), 388.8, 1e-9);
+  // 86.4 GB/s at 1.35 GHz = 64 bytes per SP clock, 4 per SM.
+  EXPECT_NEAR(M.globalBytesPerCycle(), 64.0, 1e-9);
+  EXPECT_NEAR(M.globalBytesPerCyclePerSM(), 4.0, 1e-9);
+  // §2.1: a warp issues in four cycles on the eight SPs.
+  EXPECT_EQ(M.issueCyclesPerWarpInstr(), 4u);
+  EXPECT_NEAR(M.cyclesToSeconds(1.35e9), 1.0, 1e-12);
+}
+
+TEST(MachineModel, Table2Limits) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  EXPECT_EQ(M.MaxThreadsPerSM, 768u);
+  EXPECT_EQ(M.MaxBlocksPerSM, 8u);
+  EXPECT_EQ(M.RegistersPerSM, 8192u);
+  EXPECT_EQ(M.SharedMemPerSMBytes, 16384u);
+  EXPECT_EQ(M.MaxThreadsPerBlock, 512u);
+}
+
+TEST(MachineModel, NextGenDiffers) {
+  MachineModel M = MachineModel::hypotheticalNextGen();
+  EXPECT_GT(M.RegistersPerSM,
+            MachineModel::geForce8800Gtx().RegistersPerSM);
+  EXPECT_GT(M.GlobalBandwidthGBps,
+            MachineModel::geForce8800Gtx().GlobalBandwidthGBps);
+}
+
+//===--- LaunchConfig -------------------------------------------------------//
+
+TEST(LaunchConfig, Counting) {
+  LaunchConfig LC(Dim3(4, 3), Dim3(16, 16));
+  EXPECT_EQ(LC.numBlocks(), 12u);
+  EXPECT_EQ(LC.threadsPerBlock(), 256u);
+  EXPECT_EQ(LC.totalThreads(), 3072u);
+}
+
+TEST(LaunchConfig, DefaultsToOne) {
+  Dim3 D;
+  EXPECT_EQ(D.count(), 1u);
+  EXPECT_EQ(LaunchConfig().totalThreads(), 1u);
+}
+
+//===--- Occupancy: the paper's §2.2 example --------------------------------//
+
+TEST(Occupancy, PaperExampleThreeBlocks) {
+  // "256 threads per block, 10 registers per thread, and 4KB of shared
+  // memory per thread block ... can schedule 3 thread blocks and 768
+  // threads on each SM."
+  MachineModel M = MachineModel::geForce8800Gtx();
+  Occupancy O = computeOccupancy(M, 256, {10, 4096});
+  EXPECT_EQ(O.BlocksPerSM, 3u);
+  EXPECT_EQ(O.ThreadsPerSM, 768u);
+  EXPECT_EQ(O.WarpsPerBlock, 8u);
+  EXPECT_EQ(O.Limit, OccupancyLimit::Threads);
+}
+
+TEST(Occupancy, PaperExampleRegisterCliff) {
+  // "an optimization that increases each thread's register usage from 10
+  // to 11 (an increase of only 10%) will decrease the number of blocks
+  // per SM from three to two" (8448 > 8192).
+  MachineModel M = MachineModel::geForce8800Gtx();
+  Occupancy O = computeOccupancy(M, 256, {11, 4096});
+  EXPECT_EQ(O.BlocksPerSM, 2u);
+  EXPECT_EQ(O.Limit, OccupancyLimit::Registers);
+}
+
+TEST(Occupancy, PaperExampleSharedIncreaseHarmless) {
+  // "an optimization that increases each thread block's shared memory
+  // usage by 1KB (an increase of 25%) does not decrease the number of
+  // blocks per SM."
+  MachineModel M = MachineModel::geForce8800Gtx();
+  Occupancy O = computeOccupancy(M, 256, {10, 5120});
+  EXPECT_EQ(O.BlocksPerSM, 3u);
+}
+
+TEST(Occupancy, WorkedExampleMatMul) {
+  // §4: 13 registers, 256 threads: B_SM = floor(8192 / (13*256)) = 2.
+  MachineModel M = MachineModel::geForce8800Gtx();
+  Occupancy O = computeOccupancy(M, 256, {13, 2088});
+  EXPECT_EQ(O.BlocksPerSM, 2u);
+  EXPECT_EQ(O.Limit, OccupancyLimit::Registers);
+}
+
+//===--- Occupancy: limits and invalidity -----------------------------------//
+
+TEST(Occupancy, BlockCapAtEight) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  Occupancy O = computeOccupancy(M, 32, {4, 64});
+  EXPECT_EQ(O.BlocksPerSM, 8u);
+  EXPECT_EQ(O.Limit, OccupancyLimit::Blocks);
+}
+
+TEST(Occupancy, SharedMemoryLimits) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  Occupancy O = computeOccupancy(M, 64, {8, 6000});
+  EXPECT_EQ(O.BlocksPerSM, 2u);
+  EXPECT_EQ(O.Limit, OccupancyLimit::SharedMemory);
+}
+
+TEST(Occupancy, InvalidWhenBlockTooLarge) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  EXPECT_FALSE(computeOccupancy(M, 513, {8, 256}).valid());
+  EXPECT_FALSE(computeOccupancy(M, 0, {8, 256}).valid());
+}
+
+TEST(Occupancy, InvalidWhenRegistersExplode) {
+  // The Fig. 3 far-right case: register usage beyond what is available
+  // produces an invalid executable.
+  MachineModel M = MachineModel::geForce8800Gtx();
+  Occupancy O = computeOccupancy(M, 256, {33, 2088});
+  EXPECT_FALSE(O.valid());
+  EXPECT_EQ(O.Limit, OccupancyLimit::Invalid);
+}
+
+TEST(Occupancy, InvalidWhenSharedExceedsSM) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  EXPECT_FALSE(computeOccupancy(M, 64, {8, 17000}).valid());
+}
+
+TEST(Occupancy, PartialWarpRoundsUp) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  EXPECT_EQ(computeOccupancy(M, 48, {8, 0}).WarpsPerBlock, 2u);
+  EXPECT_EQ(computeOccupancy(M, 33, {8, 0}).WarpsPerBlock, 2u);
+  EXPECT_EQ(computeOccupancy(M, 32, {8, 0}).WarpsPerBlock, 1u);
+}
+
+TEST(Occupancy, ZeroResourceKernelIsBlockLimited) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  Occupancy O = computeOccupancy(M, 32, {0, 0});
+  EXPECT_EQ(O.BlocksPerSM, 8u);
+}
+
+TEST(Occupancy, LimitNamesAreStable) {
+  EXPECT_STREQ(occupancyLimitName(OccupancyLimit::Registers),
+               "registers/SM");
+  EXPECT_STREQ(occupancyLimitName(OccupancyLimit::Invalid), "invalid");
+}
+
+//===--- Occupancy: monotonicity properties ---------------------------------//
+
+class OccupancyMonotonicity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OccupancyMonotonicity, MoreRegistersNeverMoreBlocks) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  unsigned Threads = GetParam();
+  unsigned Prev = ~0u;
+  for (unsigned Regs = 1; Regs <= 64; ++Regs) {
+    Occupancy O = computeOccupancy(M, Threads, {Regs, 1024});
+    EXPECT_LE(O.BlocksPerSM, Prev) << "regs=" << Regs;
+    Prev = O.BlocksPerSM;
+  }
+}
+
+TEST_P(OccupancyMonotonicity, MoreSharedNeverMoreBlocks) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  unsigned Threads = GetParam();
+  unsigned Prev = ~0u;
+  for (unsigned Smem = 64; Smem <= 20480; Smem += 512) {
+    Occupancy O = computeOccupancy(M, Threads, {10, Smem});
+    EXPECT_LE(O.BlocksPerSM, Prev) << "smem=" << Smem;
+    Prev = O.BlocksPerSM;
+  }
+}
+
+TEST_P(OccupancyMonotonicity, ThreadsPerSMWithinLimit) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  unsigned Threads = GetParam();
+  for (unsigned Regs = 1; Regs <= 40; Regs += 3) {
+    Occupancy O = computeOccupancy(M, Threads, {Regs, 2048});
+    if (O.valid()) {
+      EXPECT_LE(O.ThreadsPerSM, M.MaxThreadsPerSM);
+      EXPECT_LE(O.BlocksPerSM, M.MaxBlocksPerSM);
+      EXPECT_LE(uint64_t(Regs) * O.ThreadsPerSM, M.RegistersPerSM);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, OccupancyMonotonicity,
+                         ::testing::Values(32u, 64u, 96u, 128u, 192u, 256u,
+                                           384u, 512u));
+
+} // namespace

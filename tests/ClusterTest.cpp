@@ -1,0 +1,109 @@
+//===- tests/ClusterTest.cpp - core/Cluster unit tests -----------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Cluster.h"
+
+#include <gtest/gtest.h>
+
+using namespace g80;
+
+namespace {
+
+ConfigEval makeEval(double Eff, double Util) {
+  ConfigEval E;
+  E.Expressible = true;
+  E.Metrics.Valid = true;
+  E.EfficiencyTotal = Eff;
+  E.Metrics.Utilization = Util;
+  return E;
+}
+
+std::vector<size_t> allIndices(size_t N) {
+  std::vector<size_t> V(N);
+  for (size_t I = 0; I != N; ++I)
+    V[I] = I;
+  return V;
+}
+
+TEST(Cluster, ExactDuplicatesShareOneCluster) {
+  std::vector<ConfigEval> Evals;
+  for (int I = 0; I != 7; ++I)
+    Evals.push_back(makeEval(2.0, 300.0));
+  auto Clusters = clusterByMetrics(Evals, allIndices(7), 1e-3);
+  ASSERT_EQ(Clusters.size(), 1u);
+  EXPECT_EQ(Clusters[0].size(), 7u);
+}
+
+TEST(Cluster, DistinctPointsSeparate) {
+  std::vector<ConfigEval> Evals;
+  Evals.push_back(makeEval(1.0, 100));
+  Evals.push_back(makeEval(2.0, 100));
+  Evals.push_back(makeEval(4.0, 100));
+  auto Clusters = clusterByMetrics(Evals, allIndices(3), 1e-3);
+  EXPECT_EQ(Clusters.size(), 3u);
+}
+
+TEST(Cluster, ToleranceBoundary) {
+  std::vector<ConfigEval> Evals;
+  Evals.push_back(makeEval(1.000, 100));
+  Evals.push_back(makeEval(1.0005, 100)); // 0.05% apart.
+  Evals.push_back(makeEval(1.10, 100));   // 10% apart.
+  auto Clusters = clusterByMetrics(Evals, allIndices(3), 1e-3);
+  ASSERT_EQ(Clusters.size(), 2u);
+  EXPECT_EQ(Clusters[0].size(), 2u);
+  EXPECT_EQ(Clusters[1].size(), 1u);
+}
+
+TEST(Cluster, UtilizationAloneSeparates) {
+  std::vector<ConfigEval> Evals;
+  Evals.push_back(makeEval(1.0, 100));
+  Evals.push_back(makeEval(1.0, 200));
+  auto Clusters = clusterByMetrics(Evals, allIndices(2), 1e-3);
+  EXPECT_EQ(Clusters.size(), 2u);
+}
+
+TEST(Cluster, ZeroToleranceMergesOnlyExactTies) {
+  std::vector<ConfigEval> Evals;
+  Evals.push_back(makeEval(1.0, 100));
+  Evals.push_back(makeEval(1.0, 100));
+  Evals.push_back(makeEval(1.0 + 1e-15, 100));
+  auto Clusters = clusterByMetrics(Evals, allIndices(3), 0.0);
+  // The 1e-15 perturbation is within double noise of relative 1e-15 —
+  // strictly greater than 0, so it forms its own cluster.
+  EXPECT_EQ(Clusters.size(), 2u);
+}
+
+TEST(Cluster, SubsetRestricts) {
+  std::vector<ConfigEval> Evals;
+  Evals.push_back(makeEval(1.0, 100));
+  Evals.push_back(makeEval(1.0, 100));
+  Evals.push_back(makeEval(9.0, 900));
+  std::vector<size_t> Subset = {0, 2};
+  auto Clusters = clusterByMetrics(Evals, Subset, 1e-3);
+  ASSERT_EQ(Clusters.size(), 2u);
+  EXPECT_EQ(Clusters[0], std::vector<size_t>({0}));
+  EXPECT_EQ(Clusters[1], std::vector<size_t>({2}));
+}
+
+TEST(Cluster, DeterministicOrdering) {
+  std::vector<ConfigEval> Evals;
+  Evals.push_back(makeEval(5.0, 1));
+  Evals.push_back(makeEval(1.0, 1));
+  Evals.push_back(makeEval(5.0, 1));
+  Evals.push_back(makeEval(1.0, 1));
+  auto Clusters = clusterByMetrics(Evals, allIndices(4), 1e-3);
+  ASSERT_EQ(Clusters.size(), 2u);
+  // Ordered by smallest member; members sorted.
+  EXPECT_EQ(Clusters[0], std::vector<size_t>({0, 2}));
+  EXPECT_EQ(Clusters[1], std::vector<size_t>({1, 3}));
+}
+
+TEST(Cluster, EmptySubset) {
+  std::vector<ConfigEval> Evals;
+  EXPECT_TRUE(clusterByMetrics(Evals, {}, 1e-3).empty());
+}
+
+} // namespace

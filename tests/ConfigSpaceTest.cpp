@@ -1,0 +1,120 @@
+//===- tests/ConfigSpaceTest.cpp - config space + plot helpers ----------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConfigSpace.h"
+#include "support/AsciiPlot.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace g80;
+
+namespace {
+
+ConfigSpace makeSpace() {
+  ConfigSpace S;
+  S.addDim("a", {1, 2});
+  S.addDim("b", {10, 20, 30});
+  S.addDim("c", {0, 1});
+  return S;
+}
+
+TEST(ConfigSpace, RawSizeIsProduct) {
+  EXPECT_EQ(makeSpace().rawSize(), 12u);
+  ConfigSpace Empty;
+  EXPECT_EQ(Empty.rawSize(), 1u); // Empty product.
+}
+
+TEST(ConfigSpace, PointAtLexicographicOrder) {
+  ConfigSpace S = makeSpace();
+  // Last dimension varies fastest.
+  EXPECT_EQ(S.pointAt(0), (ConfigPoint{1, 10, 0}));
+  EXPECT_EQ(S.pointAt(1), (ConfigPoint{1, 10, 1}));
+  EXPECT_EQ(S.pointAt(2), (ConfigPoint{1, 20, 0}));
+  EXPECT_EQ(S.pointAt(11), (ConfigPoint{2, 30, 1}));
+}
+
+TEST(ConfigSpace, EnumerateCoversAllDistinctPoints) {
+  ConfigSpace S = makeSpace();
+  std::vector<ConfigPoint> All = S.enumerate();
+  ASSERT_EQ(All.size(), 12u);
+  std::set<ConfigPoint> Unique(All.begin(), All.end());
+  EXPECT_EQ(Unique.size(), 12u);
+}
+
+TEST(ConfigSpace, EnumerateMatchesPointAt) {
+  ConfigSpace S = makeSpace();
+  std::vector<ConfigPoint> All = S.enumerate();
+  for (uint64_t I = 0; I != All.size(); ++I)
+    EXPECT_EQ(All[I], S.pointAt(I));
+}
+
+TEST(ConfigSpace, ValueLookup) {
+  ConfigSpace S = makeSpace();
+  ConfigPoint P = {2, 20, 1};
+  EXPECT_EQ(S.valueOf(P, "a"), 2);
+  EXPECT_EQ(S.valueOf(P, "b"), 20);
+  EXPECT_EQ(S.valueOf(P, "c"), 1);
+  EXPECT_EQ(S.dimIndex("b"), 1u);
+}
+
+TEST(ConfigSpace, Describe) {
+  ConfigSpace S = makeSpace();
+  EXPECT_EQ(S.describe({1, 30, 0}), "a=1 b=30 c=0");
+}
+
+TEST(ConfigSpaceDeath, UnknownDimensionIsFatal) {
+  ConfigSpace S = makeSpace();
+  ConfigPoint P = {1, 10, 0};
+  EXPECT_DEATH((void)S.valueOf(P, "nope"), "no dimension");
+}
+
+//===--- AsciiPlot --------------------------------------------------------------//
+
+TEST(AsciiPlot, PlotsAndClips) {
+  AsciiPlot P(10, 5);
+  P.setViewport(0, 1, 0, 1);
+  P.addPoint(0.05, 0.05, 'a');   // Bottom-left.
+  P.addPoint(0.95, 0.95, 'b');   // Top-right.
+  P.addPoint(5.0, 5.0, 'x');     // Clipped silently.
+  std::ostringstream OS;
+  P.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find('a'), std::string::npos);
+  EXPECT_NE(Out.find('b'), std::string::npos);
+  EXPECT_EQ(Out.find('x'), std::string::npos);
+  // 'b' appears on an earlier line (higher y) than 'a'.
+  EXPECT_LT(Out.find('b'), Out.find('a'));
+}
+
+TEST(AsciiPlot, LaterMarksOverwrite) {
+  AsciiPlot P(8, 4);
+  P.setViewport(0, 1, 0, 1);
+  P.addPoint(0.5, 0.5, '#');
+  P.addPoint(0.5, 0.5, '*');
+  std::ostringstream OS;
+  P.print(OS);
+  EXPECT_EQ(OS.str().find('#'), std::string::npos);
+  EXPECT_NE(OS.str().find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, TitleAndLabelsRendered) {
+  AsciiPlot P(8, 4);
+  P.setViewport(0, 2, 0, 4);
+  P.setTitle("my plot");
+  P.setXLabel("xs");
+  P.setYLabel("ys");
+  std::ostringstream OS;
+  P.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("my plot"), std::string::npos);
+  EXPECT_NE(Out.find("x: xs"), std::string::npos);
+  EXPECT_NE(Out.find("4.00"), std::string::npos); // Max-y tick.
+}
+
+} // namespace

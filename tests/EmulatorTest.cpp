@@ -1,0 +1,383 @@
+//===- tests/EmulatorTest.cpp - functional emulator tests --------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "emu/Emulator.h"
+
+#include "ptx/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace g80;
+
+namespace {
+
+//===--- Basic data flow ------------------------------------------------------//
+
+TEST(Emulator, VectorAdd) {
+  KernelBuilder B("vadd");
+  unsigned PA = B.addGlobalPtr("a");
+  unsigned PB = B.addGlobalPtr("b");
+  unsigned PC = B.addGlobalPtr("c");
+  Reg Idx = B.madi(B.special(SpecialReg::CtaIdX),
+                   B.special(SpecialReg::NTidX),
+                   B.special(SpecialReg::TidX));
+  Reg Addr = B.shli(Idx, B.imm(2));
+  Reg VA = B.ldGlobal(PA, Addr);
+  Reg VB = B.ldGlobal(PB, Addr);
+  Reg S = B.addf(VA, VB);
+  B.stGlobal(PC, Addr, 0, S);
+  Kernel K = B.take();
+
+  std::vector<float> A(64), C(64);
+  for (size_t I = 0; I != 64; ++I) {
+    A[I] = float(I);
+    C[I] = float(2 * I);
+  }
+  DeviceBuffer BufA = DeviceBuffer::fromFloats(A);
+  DeviceBuffer BufB = DeviceBuffer::fromFloats(C);
+  DeviceBuffer BufC = DeviceBuffer::zeroed(64);
+
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &BufA);
+  Bind.bindBuffer(1, &BufB);
+  Bind.bindBuffer(2, &BufC);
+  EmulationStats Stats = emulateKernel(K, {Dim3(4), Dim3(16)}, Bind);
+
+  for (size_t I = 0; I != 64; ++I)
+    EXPECT_FLOAT_EQ(BufC.floatAt(I), float(3 * I)) << I;
+  EXPECT_EQ(Stats.Blocks, 4u);
+  // madi, shli, two loads, add, store: six instructions per thread.
+  EXPECT_EQ(Stats.ThreadInstrs, 64u * 6u);
+}
+
+TEST(Emulator, ScalarParamsAndSaxpy) {
+  KernelBuilder B("saxpy");
+  unsigned PX = B.addGlobalPtr("x");
+  unsigned PY = B.addGlobalPtr("y");
+  unsigned PAlpha = B.addScalarF32("alpha");
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg Addr = B.shli(Tx, B.imm(2));
+  Reg X = B.ldGlobal(PX, Addr);
+  Reg Y = B.ldGlobal(PY, Addr);
+  Reg Alpha = B.mov(B.param(PAlpha));
+  Reg R = B.madf(Alpha, X, Y);
+  B.stGlobal(PY, Addr, 0, R);
+  Kernel K = B.take();
+
+  std::vector<float> X0 = {1, 2, 3, 4};
+  std::vector<float> Y0 = {10, 20, 30, 40};
+  DeviceBuffer BX = DeviceBuffer::fromFloats(X0);
+  DeviceBuffer BY = DeviceBuffer::fromFloats(Y0);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &BX);
+  Bind.bindBuffer(1, &BY);
+  Bind.setF32(2, 2.5f);
+  emulateKernel(K, {Dim3(1), Dim3(4)}, Bind);
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_FLOAT_EQ(BY.floatAt(I), 2.5f * X0[I] + Y0[I]);
+}
+
+//===--- Integer and bit operations --------------------------------------------//
+
+TEST(Emulator, IntegerOps) {
+  KernelBuilder B("iops");
+  unsigned Out = B.addGlobalPtr("out");
+  Reg A = B.mov(B.imm(13));
+  Reg C = B.mov(B.imm(-5));
+  auto Store = [&](unsigned Slot, Reg V) {
+    B.stGlobal(Out, Operand(), int32_t(Slot * 4), V);
+  };
+  Store(0, B.addi(A, C));               // 8
+  Store(1, B.subi(A, C));               // 18
+  Store(2, B.muli(A, C));               // -65
+  Store(3, B.madi(A, C, B.imm(100)));   // 35
+  Store(4, B.mini(A, C));               // -5
+  Store(5, B.maxi(A, C));               // 13
+  Store(6, B.absi(C));                  // 5
+  Store(7, B.andi(A, B.imm(6)));        // 4
+  Store(8, B.ori(A, B.imm(6)));         // 15
+  Store(9, B.xori(A, B.imm(6)));        // 11
+  Store(10, B.shli(A, B.imm(2)));       // 52
+  Store(11, B.shri(B.mov(B.imm(64)), B.imm(3))); // 8
+  Kernel K = B.take();
+
+  DeviceBuffer Buf = DeviceBuffer::zeroed(12);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  emulateKernel(K, {Dim3(1), Dim3(1)}, Bind);
+  int32_t Want[12] = {8, 18, -65, 35, -5, 13, 5, 4, 15, 11, 52, 8};
+  for (size_t I = 0; I != 12; ++I)
+    EXPECT_EQ(Buf.intAt(I), Want[I]) << "slot " << I;
+}
+
+TEST(Emulator, FloatOpsAndConversions) {
+  KernelBuilder B("fops");
+  unsigned Out = B.addGlobalPtr("out");
+  Reg A = B.mov(B.imm(-2.25f));
+  auto Store = [&](unsigned Slot, Reg V) {
+    B.stGlobal(Out, Operand(), int32_t(Slot * 4), V);
+  };
+  Store(0, B.absf(A));                         // 2.25
+  Store(1, B.negf(A));                         // 2.25
+  Store(2, B.minf(A, B.imm(1.0f)));            // -2.25
+  Store(3, B.maxf(A, B.imm(1.0f)));            // 1.0
+  Store(4, B.cvtFI(B.mov(B.imm(7))));          // 7.0f
+  Store(5, B.cvtIF(B.mov(B.imm(-2.9f))));      // -2 (truncation)
+  Store(6, B.subf(A, B.imm(0.75f)));           // -3.0
+  Kernel K = B.take();
+
+  DeviceBuffer Buf = DeviceBuffer::zeroed(7);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  emulateKernel(K, {Dim3(1), Dim3(1)}, Bind);
+  EXPECT_FLOAT_EQ(Buf.floatAt(0), 2.25f);
+  EXPECT_FLOAT_EQ(Buf.floatAt(1), 2.25f);
+  EXPECT_FLOAT_EQ(Buf.floatAt(2), -2.25f);
+  EXPECT_FLOAT_EQ(Buf.floatAt(3), 1.0f);
+  EXPECT_FLOAT_EQ(Buf.floatAt(4), 7.0f);
+  EXPECT_EQ(Buf.intAt(5), -2);
+  EXPECT_FLOAT_EQ(Buf.floatAt(6), -3.0f);
+}
+
+TEST(Emulator, SfuFunctions) {
+  KernelBuilder B("sfu");
+  unsigned Out = B.addGlobalPtr("out");
+  Reg X = B.mov(B.imm(0.25f));
+  B.stGlobal(Out, Operand(), 0, B.rcpf(X));    // 4
+  B.stGlobal(Out, Operand(), 4, B.rsqrtf(X));  // 2
+  B.stGlobal(Out, Operand(), 8, B.sinf(B.mov(B.imm(0.0f))));  // 0
+  B.stGlobal(Out, Operand(), 12, B.cosf(B.mov(B.imm(0.0f)))); // 1
+  Kernel K = B.take();
+  DeviceBuffer Buf = DeviceBuffer::zeroed(4);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  emulateKernel(K, {Dim3(1), Dim3(1)}, Bind);
+  EXPECT_FLOAT_EQ(Buf.floatAt(0), 4.0f);
+  EXPECT_FLOAT_EQ(Buf.floatAt(1), 2.0f);
+  EXPECT_FLOAT_EQ(Buf.floatAt(2), 0.0f);
+  EXPECT_FLOAT_EQ(Buf.floatAt(3), 1.0f);
+}
+
+//===--- Predicates and divergence ---------------------------------------------//
+
+TEST(Emulator, SetpAndSelp) {
+  KernelBuilder B("pred");
+  unsigned Out = B.addGlobalPtr("out");
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg P = B.setpi(CmpKind::Lt, Tx, B.imm(2));
+  Reg V = B.selp(B.imm(100), B.imm(200), P);
+  Reg Addr = B.shli(Tx, B.imm(2));
+  B.stGlobal(Out, Addr, 0, V);
+  Kernel K = B.take();
+  DeviceBuffer Buf = DeviceBuffer::zeroed(4);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  emulateKernel(K, {Dim3(1), Dim3(4)}, Bind);
+  EXPECT_EQ(Buf.intAt(0), 100);
+  EXPECT_EQ(Buf.intAt(1), 100);
+  EXPECT_EQ(Buf.intAt(2), 200);
+  EXPECT_EQ(Buf.intAt(3), 200);
+}
+
+TEST(Emulator, DivergentIfMasksCorrectly) {
+  KernelBuilder B("div");
+  unsigned Out = B.addGlobalPtr("out");
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg Addr = B.shli(Tx, B.imm(2));
+  Reg P = B.setpi(CmpKind::Lt, Tx, B.imm(3));
+  B.ifThenElse(
+      P, /*Uniform=*/false,
+      [&] { B.stGlobal(Out, Addr, 0, B.mov(B.imm(1))); },
+      [&] { B.stGlobal(Out, Addr, 0, B.mov(B.imm(2))); });
+  Kernel K = B.take();
+  DeviceBuffer Buf = DeviceBuffer::zeroed(8);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  emulateKernel(K, {Dim3(1), Dim3(8)}, Bind);
+  for (int I = 0; I != 8; ++I)
+    EXPECT_EQ(Buf.intAt(I), I < 3 ? 1 : 2) << I;
+}
+
+TEST(Emulator, NestedDivergence) {
+  KernelBuilder B("nestdiv");
+  unsigned Out = B.addGlobalPtr("out");
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg Addr = B.shli(Tx, B.imm(2));
+  Reg P1 = B.setpi(CmpKind::Lt, Tx, B.imm(4));
+  Reg P2 = B.setpi(CmpKind::Eq, B.andi(Tx, B.imm(1)), B.imm(0));
+  B.ifThen(P1, false, [&] {
+    B.ifThenElse(
+        P2, false, [&] { B.stGlobal(Out, Addr, 0, B.mov(B.imm(10))); },
+        [&] { B.stGlobal(Out, Addr, 0, B.mov(B.imm(20))); });
+  });
+  Kernel K = B.take();
+  DeviceBuffer Buf = DeviceBuffer::zeroed(8);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  emulateKernel(K, {Dim3(1), Dim3(8)}, Bind);
+  int Want[8] = {10, 20, 10, 20, 0, 0, 0, 0};
+  for (int I = 0; I != 8; ++I)
+    EXPECT_EQ(Buf.intAt(I), Want[I]) << I;
+}
+
+//===--- Shared memory and barriers ---------------------------------------------//
+
+TEST(Emulator, SharedMemoryReversalAcrossBarrier) {
+  // Thread t writes slot t, reads slot (N-1-t) after the barrier: only
+  // correct if barrier semantics are exact.
+  constexpr unsigned N = 32;
+  KernelBuilder B("rev");
+  unsigned Out = B.addGlobalPtr("out");
+  unsigned Sh = B.addShared("buf", N * 4);
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg Addr = B.shli(Tx, B.imm(2));
+  B.stShared(Sh, Addr, 0, Tx);
+  B.bar();
+  Reg RevIdx = B.subi(B.imm(int32_t(N - 1)), Tx);
+  Reg RevAddr = B.shli(RevIdx, B.imm(2));
+  Reg V = B.ldShared(Sh, RevAddr, 0);
+  B.stGlobal(Out, Addr, 0, V);
+  Kernel K = B.take();
+  DeviceBuffer Buf = DeviceBuffer::zeroed(N);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  emulateKernel(K, {Dim3(1), Dim3(N)}, Bind);
+  for (unsigned I = 0; I != N; ++I)
+    EXPECT_EQ(Buf.intAt(I), int32_t(N - 1 - I));
+}
+
+TEST(Emulator, SharedMemoryIsPerBlock) {
+  // Each block writes its block id into shared and reads it back; no
+  // cross-block leakage.
+  KernelBuilder B("perblock");
+  unsigned Out = B.addGlobalPtr("out");
+  unsigned Sh = B.addShared("s", 4);
+  Reg Bx = B.mov(B.special(SpecialReg::CtaIdX));
+  B.stShared(Sh, Operand(), 0, Bx);
+  B.bar();
+  Reg V = B.ldShared(Sh, Operand(), 0);
+  Reg Addr = B.shli(Bx, B.imm(2));
+  B.stGlobal(Out, Addr, 0, V);
+  Kernel K = B.take();
+  DeviceBuffer Buf = DeviceBuffer::zeroed(4);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  emulateKernel(K, {Dim3(4), Dim3(1)}, Bind);
+  for (int I = 0; I != 4; ++I)
+    EXPECT_EQ(Buf.intAt(I), I);
+}
+
+//===--- Local (spill) memory ----------------------------------------------------//
+
+TEST(Emulator, LocalMemoryIsPerThread) {
+  KernelBuilder B("spill");
+  unsigned Out = B.addGlobalPtr("out");
+  B.kernel().allocLocal(4);
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  B.stLocal(Operand(), 0, B.muli(Tx, B.imm(7)));
+  Reg V = B.ldLocal(Operand(), 0);
+  Reg Addr = B.shli(Tx, B.imm(2));
+  B.stGlobal(Out, Addr, 0, V);
+  Kernel K = B.take();
+  DeviceBuffer Buf = DeviceBuffer::zeroed(8);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  emulateKernel(K, {Dim3(1), Dim3(8)}, Bind);
+  for (int I = 0; I != 8; ++I)
+    EXPECT_EQ(Buf.intAt(I), 7 * I);
+}
+
+//===--- Loops ---------------------------------------------------------------------//
+
+TEST(Emulator, LoopInduction) {
+  KernelBuilder B("loop");
+  unsigned Out = B.addGlobalPtr("out");
+  Reg Acc = B.mov(B.imm(0));
+  Reg I = B.mov(B.imm(0));
+  B.forLoop(10, [&] {
+    B.emitTo(Acc, Opcode::AddI, Acc, I);
+    B.emitTo(I, Opcode::AddI, I, B.imm(1));
+  });
+  B.stGlobal(Out, Operand(), 0, Acc);
+  Kernel K = B.take();
+  DeviceBuffer Buf = DeviceBuffer::zeroed(1);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  emulateKernel(K, {Dim3(1), Dim3(1)}, Bind);
+  EXPECT_EQ(Buf.intAt(0), 45); // 0+1+...+9.
+}
+
+//===--- Special registers and 2D geometry -----------------------------------------//
+
+TEST(Emulator, TwoDimensionalIds) {
+  KernelBuilder B("ids");
+  unsigned Out = B.addGlobalPtr("out");
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg Ty = B.mov(B.special(SpecialReg::TidY));
+  Reg Bx = B.mov(B.special(SpecialReg::CtaIdX));
+  Reg By = B.mov(B.special(SpecialReg::CtaIdY));
+  Reg Nx = B.mov(B.special(SpecialReg::NTidX));
+  // Global x = bx*nx+tx, global y = by*ny+ty over a (2x2)x(2x2) launch.
+  Reg Gx = B.madi(Bx, Nx, Tx);
+  Reg Gy = B.madi(By, B.mov(B.special(SpecialReg::NTidY)), Ty);
+  Reg Idx = B.madi(Gy, B.imm(4), Gx);
+  Reg Addr = B.shli(Idx, B.imm(2));
+  B.stGlobal(Out, Addr, 0, Idx);
+  Kernel K = B.take();
+  DeviceBuffer Buf = DeviceBuffer::zeroed(16);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  emulateKernel(K, {Dim3(2, 2), Dim3(2, 2)}, Bind);
+  for (int I = 0; I != 16; ++I)
+    EXPECT_EQ(Buf.intAt(I), I);
+}
+
+//===--- Error handling --------------------------------------------------------------//
+
+TEST(EmulatorDeath, OutOfBoundsGlobalAborts) {
+  KernelBuilder B("oob");
+  unsigned Out = B.addGlobalPtr("out");
+  B.stGlobal(Out, Operand(), 4000, B.mov(B.imm(1.0f)));
+  Kernel K = B.take();
+  DeviceBuffer Buf = DeviceBuffer::zeroed(4);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  EXPECT_DEATH(emulateKernel(K, {Dim3(1), Dim3(1)}, Bind), "out of bounds");
+}
+
+TEST(EmulatorDeath, MisalignedAccessAborts) {
+  KernelBuilder B("misaligned");
+  unsigned Out = B.addGlobalPtr("out");
+  B.stGlobal(Out, Operand(), 2, B.mov(B.imm(1.0f)));
+  Kernel K = B.take();
+  DeviceBuffer Buf = DeviceBuffer::zeroed(4);
+  LaunchBindings Bind(K);
+  Bind.bindBuffer(0, &Buf);
+  EXPECT_DEATH(emulateKernel(K, {Dim3(1), Dim3(1)}, Bind), "misaligned");
+}
+
+TEST(EmulatorDeath, MissingBindingAborts) {
+  KernelBuilder B("nobind");
+  unsigned Out = B.addGlobalPtr("out");
+  B.stGlobal(Out, Operand(), 0, B.mov(B.imm(1.0f)));
+  Kernel K = B.take();
+  LaunchBindings Bind(K);
+  EXPECT_DEATH(emulateKernel(K, {Dim3(1), Dim3(1)}, Bind), "no binding");
+}
+
+TEST(EmulatorDeath, BarrierInDivergentFlowAborts) {
+  KernelBuilder B("badbar");
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg P = B.setpi(CmpKind::Lt, Tx, B.imm(1));
+  B.ifThen(P, false, [&] { B.bar(); });
+  Kernel K = B.take();
+  LaunchBindings Bind(K);
+  EXPECT_DEATH(emulateKernel(K, {Dim3(1), Dim3(2)}, Bind), "divergent");
+}
+
+} // namespace

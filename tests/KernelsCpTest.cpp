@@ -1,0 +1,138 @@
+//===- tests/KernelsCpTest.cpp - CP generator tests --------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Cp.h"
+
+#include "core/Evaluation.h"
+#include "metrics/Metrics.h"
+#include "ptx/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace g80;
+
+namespace {
+
+TEST(CpSpace, RawSize) {
+  CpApp App(CpProblem::bench());
+  EXPECT_EQ(App.space().rawSize(), 40u);
+}
+
+TEST(CpSpace, Table4ValidCountIs38) {
+  // Table 4: the CP space has 38 configurations — of 40 raw, the two
+  // 16x16-block / 16-point-tiling points blow the register budget.
+  CpApp App(CpProblem::bench());
+  MachineModel M = MachineModel::geForce8800Gtx();
+  Evaluator Ev(App, M);
+  std::vector<ConfigEval> Evals = Ev.evaluateMetrics();
+  unsigned Valid = 0;
+  for (const ConfigEval &E : Evals) {
+    if (E.usable()) {
+      ++Valid;
+      continue;
+    }
+    EXPECT_EQ(App.space().valueOf(E.Point, "blocky"), 16);
+    EXPECT_EQ(App.space().valueOf(E.Point, "tiling"), 16);
+  }
+  EXPECT_EQ(Valid, 38u);
+}
+
+TEST(CpSpace, LaunchGeometry) {
+  CpApp App(CpProblem::bench()); // 256 x 256 grid.
+  LaunchConfig L = App.launch({4, 2, 1});
+  EXPECT_EQ(L.Grid, Dim3(8, 64));
+  EXPECT_EQ(L.Block, Dim3(16, 4));
+  EXPECT_EQ(L.totalThreads() * 2, uint64_t(256) * 256); // 2 points/thread.
+}
+
+//===--- Fig. 5 shape: the efficiency/utilization tradeoff axis ---------------===//
+
+TEST(CpMetrics, EfficiencyImprovesMonotonicallyWithTiling) {
+  // Fig. 5: "efficiency improves monotonically ... with increasing
+  // tiling factor" (amortized atom loads).
+  CpApp App(CpProblem::bench());
+  MachineModel M = MachineModel::geForce8800Gtx();
+  double Prev = 0;
+  for (int F : {1, 2, 4, 8, 16}) {
+    ConfigPoint P = {8, F, 1};
+    KernelMetrics KM =
+        computeKernelMetrics(App.buildKernel(P), App.launch(P), M);
+    ASSERT_TRUE(KM.Valid) << F;
+    EXPECT_GT(KM.Efficiency, Prev) << "tiling=" << F;
+    Prev = KM.Efficiency;
+  }
+}
+
+TEST(CpMetrics, UtilizationWorsensMonotonicallyWithTiling) {
+  // Fig. 5: "utilization worsens monotonically with increasing tiling
+  // factor".
+  CpApp App(CpProblem::bench());
+  MachineModel M = MachineModel::geForce8800Gtx();
+  double Prev = 1e300;
+  for (int F : {1, 2, 4, 8, 16}) {
+    ConfigPoint P = {8, F, 1};
+    KernelMetrics KM =
+        computeKernelMetrics(App.buildKernel(P), App.launch(P), M);
+    ASSERT_TRUE(KM.Valid) << F;
+    EXPECT_LT(KM.Utilization, Prev) << "tiling=" << F;
+    Prev = KM.Utilization;
+  }
+}
+
+TEST(CpMetrics, SfuOpsAreTheBlockingInstructions) {
+  // No global loads, no barriers: rsqrt runs delimit the regions (§4).
+  CpApp App(CpProblem::bench());
+  Kernel K = App.buildKernel({8, 4, 1});
+  StaticProfile P = computeStaticProfile(K);
+  EXPECT_EQ(P.Barriers, 0u);
+  EXPECT_EQ(P.GlobalLoads, 0u);
+  EXPECT_EQ(P.SfuInstrs, uint64_t(App.problem().NumAtoms) * 4);
+  // One rsqrt-unit per point per atom iteration.
+  EXPECT_EQ(P.BlockingUnits, uint64_t(App.problem().NumAtoms) * 4);
+}
+
+TEST(CpMetrics, NotBandwidthBound) {
+  // Atom data comes from the constant cache; CP is compute-bound.
+  CpApp App(CpProblem::bench());
+  MachineModel M = MachineModel::geForce8800Gtx();
+  for (const ConfigPoint &P : App.space().enumerate()) {
+    if (!App.isExpressible(P))
+      continue;
+    KernelMetrics KM =
+        computeKernelMetrics(App.buildKernel(P), App.launch(P), M);
+    if (KM.Valid) {
+      EXPECT_FALSE(KM.bandwidthBound()) << App.space().describe(P);
+    }
+  }
+}
+
+TEST(CpCodegen, UncoalescedOutputCostsEffectiveBytes) {
+  CpApp App(CpProblem::bench());
+  StaticProfile Co = computeStaticProfile(App.buildKernel({8, 4, 1}));
+  StaticProfile Nc = computeStaticProfile(App.buildKernel({8, 4, 0}));
+  EXPECT_EQ(Co.GlobalStores, Nc.GlobalStores);
+  EXPECT_GT(Nc.GlobalBytesEffective, Co.GlobalBytesEffective);
+}
+
+//===--- Full-space functional verification ------------------------------------//
+
+class CpAllConfigs : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CpAllConfigs, VerifiesAgainstCpuReference) {
+  static CpApp App(CpProblem::emulation());
+  ConfigPoint P = App.space().pointAt(GetParam());
+  ASSERT_TRUE(App.isExpressible(P));
+  Kernel K = App.buildKernel(P);
+  std::vector<std::string> Errors = verifyKernel(K);
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << K.name() << ": " << E;
+  EXPECT_LE(App.verifyConfig(P), 2e-3) << App.space().describe(P);
+}
+
+INSTANTIATE_TEST_SUITE_P(FullSpace, CpAllConfigs,
+                         ::testing::Range(uint64_t(0), uint64_t(40)));
+
+} // namespace

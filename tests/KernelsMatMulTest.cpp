@@ -1,0 +1,180 @@
+//===- tests/KernelsMatMulTest.cpp - MatMul generator tests ------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/MatMul.h"
+
+#include "metrics/Metrics.h"
+#include "ptx/Printer.h"
+#include "ptx/StaticProfile.h"
+#include "ptx/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace g80;
+
+namespace {
+
+//===--- Space shape -----------------------------------------------------------//
+
+TEST(MatMulSpace, RawSizeAndDims) {
+  MatMulApp App(MatMulProblem::bench());
+  EXPECT_EQ(App.space().rawSize(), 96u);
+  EXPECT_EQ(App.space().numDims(), 5u);
+  EXPECT_EQ(App.space().dimIndex("tile"), 0u);
+}
+
+TEST(MatMulSpace, AllExpressibleAtStandardSizes) {
+  for (unsigned N : {64u, 128u, 512u}) {
+    MatMulApp App(MatMulProblem{N});
+    for (const ConfigPoint &P : App.space().enumerate())
+      EXPECT_TRUE(App.isExpressible(P)) << App.space().describe(P);
+  }
+}
+
+TEST(MatMulSpace, LaunchGeometry) {
+  MatMulApp App(MatMulProblem{512});
+  LaunchConfig L1 = App.launch({16, 1, 0, 0, 0});
+  EXPECT_EQ(L1.Grid, Dim3(32, 32));
+  EXPECT_EQ(L1.Block, Dim3(16, 16));
+  LaunchConfig L4 = App.launch({16, 4, 0, 0, 0});
+  EXPECT_EQ(L4.Grid, Dim3(8, 32)); // Rect tiling shrinks grid.x.
+  LaunchConfig L8 = App.launch({8, 2, 1, 0, 0});
+  EXPECT_EQ(L8.Grid, Dim3(32, 64));
+  EXPECT_EQ(L8.Block, Dim3(8, 8));
+}
+
+TEST(MatMulSpace, KernelNamesEncodeConfig) {
+  MatMulApp App(MatMulProblem{64});
+  EXPECT_EQ(App.buildKernel({16, 2, 4, 1, 0}).name(), "matmul_t16_r1x2_u4_pf");
+  EXPECT_EQ(App.buildKernel({8, 1, 0, 0, 1}).name(), "matmul_t8_r1x1_u8_sp");
+}
+
+//===--- Code properties ---------------------------------------------------------//
+
+TEST(MatMulCodegen, CoalescingFollowsTileWidth) {
+  MatMulApp App(MatMulProblem{512});
+  for (unsigned Tile : {8u, 16u}) {
+    Kernel K = App.buildKernel({int(Tile), 1, 1, 0, 0});
+    StaticProfile P = computeStaticProfile(K);
+    uint64_t ExpectedEffPerAccess = Tile >= 16 ? 4 : 32;
+    EXPECT_EQ(P.GlobalBytesEffective,
+              (P.GlobalLoads + P.GlobalStores) * ExpectedEffPerAccess);
+  }
+}
+
+TEST(MatMulCodegen, EightByEightIsBandwidthBound) {
+  // §5.3: the 8x8 configurations run into a memory bandwidth bottleneck.
+  MatMulApp App(MatMulProblem{512});
+  MachineModel M = MachineModel::geForce8800Gtx();
+  KernelMetrics M8 = computeKernelMetrics(App.buildKernel({8, 1, 0, 0, 0}),
+                                          App.launch({8, 1, 0, 0, 0}), M);
+  KernelMetrics M16 = computeKernelMetrics(App.buildKernel({16, 1, 0, 0, 0}),
+                                           App.launch({16, 1, 0, 0, 0}), M);
+  EXPECT_TRUE(M8.bandwidthBound());
+  EXPECT_FALSE(M16.bandwidthBound());
+}
+
+TEST(MatMulCodegen, UnrollingReducesInstructionCount) {
+  MatMulApp App(MatMulProblem{512});
+  uint64_t Prev = ~0ull;
+  for (int U : {1, 2, 4, 0}) {
+    StaticProfile P = computeStaticProfile(App.buildKernel({16, 1, U, 0, 0}));
+    EXPECT_LT(P.DynInstrs, Prev) << "unroll=" << U;
+    Prev = P.DynInstrs;
+  }
+}
+
+TEST(MatMulCodegen, RectTilingImprovesPerOutputEfficiency) {
+  MatMulApp App(MatMulProblem{512});
+  double PrevPerOutput = 1e30;
+  for (int R : {1, 2, 4}) {
+    StaticProfile P = computeStaticProfile(App.buildKernel({16, R, 0, 0, 0}));
+    double PerOutput = double(P.DynInstrs) / R;
+    EXPECT_LT(PerOutput, PrevPerOutput) << "rect=" << R;
+    PrevPerOutput = PerOutput;
+  }
+}
+
+TEST(MatMulCodegen, PrefetchKeepsLoopCostAddsPrologue) {
+  MatMulApp App(MatMulProblem{512});
+  StaticProfile NoPf = computeStaticProfile(App.buildKernel({16, 1, 0, 0, 0}));
+  StaticProfile Pf = computeStaticProfile(App.buildKernel({16, 1, 0, 1, 0}));
+  // Prefetch reorders the loop body; only the prologue loads (and the
+  // blocking unit they form) are extra.
+  EXPECT_GT(Pf.DynInstrs, NoPf.DynInstrs);
+  EXPECT_LE(Pf.DynInstrs - NoPf.DynInstrs, 4u);
+  EXPECT_LE(Pf.regions() - NoPf.regions(), 1u);
+}
+
+TEST(MatMulCodegen, PrefetchIncreasesRegisters) {
+  MatMulApp App(MatMulProblem{512});
+  unsigned NoPf = estimateRegisters(App.buildKernel({16, 4, 0, 0, 0}));
+  unsigned Pf = estimateRegisters(App.buildKernel({16, 4, 0, 1, 0}));
+  EXPECT_GT(Pf, NoPf);
+}
+
+TEST(MatMulCodegen, SpillReducesRegistersAddsLocalTraffic) {
+  MatMulApp App(MatMulProblem{512});
+  Kernel Plain = App.buildKernel({16, 2, 4, 0, 0});
+  Kernel Spilled = App.buildKernel({16, 2, 4, 0, 1});
+  EXPECT_LT(estimateRegisters(Spilled), estimateRegisters(Plain));
+  EXPECT_GT(Spilled.localBytesPerThread(), 0u);
+  StaticProfile PS = computeStaticProfile(Spilled);
+  StaticProfile PP = computeStaticProfile(Plain);
+  EXPECT_GT(PS.GlobalLoads, PP.GlobalLoads); // Local reloads count here.
+}
+
+TEST(MatMulCodegen, PaperWorkedExample) {
+  // §4 numbers for the 4k x 4k problem, complete unroll, 16x16, 1x1.
+  MatMulApp App(MatMulProblem::paper());
+  ConfigPoint P = App.paperExampleConfig();
+  MachineModel M = MachineModel::geForce8800Gtx();
+  KernelMetrics KM =
+      computeKernelMetrics(App.buildKernel(P), App.launch(P), M);
+  ASSERT_TRUE(KM.Valid);
+  EXPECT_EQ(KM.Threads, uint64_t(1) << 24);
+  EXPECT_NEAR(double(KM.Profile.DynInstrs), 15150, 0.02 * 15150);
+  EXPECT_EQ(KM.Profile.regions(), 769u);
+  EXPECT_EQ(KM.Profile.Barriers, 512u);
+  EXPECT_EQ(KM.Profile.GlobalLoads, 512u);
+  EXPECT_EQ(KM.Resources.RegsPerThread, 13u);
+  EXPECT_EQ(KM.Resources.SharedMemPerBlockBytes, 2088u);
+  EXPECT_EQ(KM.Occ.BlocksPerSM, 2u);
+  EXPECT_NEAR(KM.Efficiency, 3.93e-12, 0.02e-12);
+  EXPECT_NEAR(KM.Utilization, 227, 2);
+}
+
+TEST(MatMulCodegen, HeavyRectRunsOneBlockPerSM) {
+  // §3.2: "for 1x4 tiling of 16x16 tiles, each SM only runs one thread
+  // block of 256 threads at a time due to heavy register usage."
+  MatMulApp App(MatMulProblem{512});
+  MachineModel M = MachineModel::geForce8800Gtx();
+  KernelMetrics KM = computeKernelMetrics(App.buildKernel({16, 4, 0, 0, 0}),
+                                          App.launch({16, 4, 0, 0, 0}), M);
+  ASSERT_TRUE(KM.Valid);
+  EXPECT_EQ(KM.Occ.BlocksPerSM, 1u);
+  EXPECT_EQ(KM.Occ.Limit, OccupancyLimit::Registers);
+}
+
+//===--- Full-space functional verification ---------------------------------------//
+
+class MatMulAllConfigs : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatMulAllConfigs, VerifiesAgainstCpuReference) {
+  static MatMulApp App(MatMulProblem::emulation());
+  ConfigPoint P = App.space().pointAt(GetParam());
+  ASSERT_TRUE(App.isExpressible(P));
+  Kernel K = App.buildKernel(P);
+  std::vector<std::string> Errors = verifyKernel(K);
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << K.name() << ": " << E;
+  EXPECT_LE(App.verifyConfig(P), 1e-3) << App.space().describe(P);
+}
+
+INSTANTIATE_TEST_SUITE_P(FullSpace, MatMulAllConfigs,
+                         ::testing::Range(uint64_t(0), uint64_t(96)));
+
+} // namespace

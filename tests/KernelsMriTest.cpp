@@ -1,0 +1,147 @@
+//===- tests/KernelsMriTest.cpp - MRI-FHD generator tests --------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/MriFhd.h"
+
+#include "core/Cluster.h"
+#include "core/Evaluation.h"
+#include "metrics/Metrics.h"
+#include "ptx/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace g80;
+
+namespace {
+
+TEST(MriSpace, RawSizeMatchesTable4) {
+  MriFhdApp App(MriProblem::bench());
+  EXPECT_EQ(App.space().rawSize(), 175u); // 5 * 5 * 7, as in the paper.
+}
+
+TEST(MriSpace, AllExpressibleAtBenchScale) {
+  MriFhdApp App(MriProblem::bench());
+  for (const ConfigPoint &P : App.space().enumerate())
+    EXPECT_TRUE(App.isExpressible(P)) << App.space().describe(P);
+}
+
+TEST(MriSpace, WorkSplitsGrid) {
+  MriFhdApp App(MriProblem::bench()); // 524288 voxels.
+  EXPECT_EQ(App.launch({128, 1, 1}).Grid.X, 4096u);
+  EXPECT_EQ(App.launch({128, 1, 8}).Grid.X, 512u);
+  EXPECT_EQ(App.invocations({128, 1, 8}), 8u);
+  // Total threads over all invocations is invariant.
+  EXPECT_EQ(App.launch({128, 1, 8}).totalThreads() * 8,
+            App.launch({128, 1, 1}).totalThreads());
+}
+
+//===--- The §5.2 clustering property ------------------------------------------//
+
+TEST(MriMetrics, WorkDimensionLeavesMetricsUnchanged) {
+  // "changing the tiling factor affects neither the efficiency nor the
+  // utilization of this benchmark".
+  MriFhdApp App(MriProblem::bench());
+  MachineModel M = MachineModel::geForce8800Gtx();
+  Evaluator Ev(App, M);
+  std::vector<ConfigEval> Evals = Ev.evaluateMetrics();
+  for (const ConfigEval &E : Evals) {
+    if (!E.usable())
+      continue;
+    // Find the work=1 sibling.
+    ConfigPoint Base = E.Point;
+    Base[App.space().dimIndex("work")] = 1;
+    for (const ConfigEval &F : Evals) {
+      if (F.Point != Base || !F.usable())
+        continue;
+      EXPECT_DOUBLE_EQ(E.EfficiencyTotal, F.EfficiencyTotal)
+          << App.space().describe(E.Point);
+      EXPECT_DOUBLE_EQ(E.Metrics.Utilization, F.Metrics.Utilization)
+          << App.space().describe(E.Point);
+    }
+  }
+}
+
+TEST(MriMetrics, ConfigsClusterInGroupsOfSeven) {
+  // Fig. 6(b): "each point actually represents as many as seven
+  // configurations that have indistinguishable efficiency and
+  // utilization."
+  MriFhdApp App(MriProblem::bench());
+  MachineModel M = MachineModel::geForce8800Gtx();
+  Evaluator Ev(App, M);
+  std::vector<ConfigEval> Evals = Ev.evaluateMetrics();
+  std::vector<size_t> Usable;
+  for (size_t I = 0; I != Evals.size(); ++I)
+    if (Evals[I].usable())
+      Usable.push_back(I);
+  auto Clusters = clusterByMetrics(Evals, Usable, 1e-9);
+  for (const auto &C : Clusters)
+    EXPECT_EQ(C.size() % 7, 0u) << "cluster of " << C.size();
+}
+
+TEST(MriMetrics, UnrollTradesEfficiencyAgainstNothingElse) {
+  // Unrolling removes loop-control instructions: efficiency rises
+  // monotonically with the unroll factor at fixed block size.
+  MriFhdApp App(MriProblem::bench());
+  MachineModel M = MachineModel::geForce8800Gtx();
+  double Prev = 0;
+  for (int U : {1, 2, 4, 8, 16}) {
+    ConfigPoint P = {128, U, 1};
+    KernelMetrics KM =
+        computeKernelMetrics(App.buildKernel(P), App.launch(P), M);
+    ASSERT_TRUE(KM.Valid);
+    EXPECT_GT(KM.Efficiency, Prev) << "unroll=" << U;
+    Prev = KM.Efficiency;
+  }
+}
+
+TEST(MriMetrics, SfuNotBlockingBecauseGlobalLoadsExist) {
+  MriFhdApp App(MriProblem::bench());
+  StaticProfile P = computeStaticProfile(App.buildKernel({128, 4, 1}));
+  EXPECT_GT(P.SfuInstrs, 0u);
+  EXPECT_GT(P.GlobalLoads, 0u);
+  // Blocking units come from the prologue loads only, so regions stay
+  // tiny relative to the instruction count.
+  EXPECT_LT(P.regions(), 10u);
+}
+
+TEST(MriMetrics, BlockSizeChangesUtilizationOnly) {
+  MriFhdApp App(MriProblem::bench());
+  MachineModel M = MachineModel::geForce8800Gtx();
+  ConfigPoint A = {64, 4, 1}, B = {512, 4, 1};
+  KernelMetrics KA = computeKernelMetrics(App.buildKernel(A), App.launch(A), M);
+  KernelMetrics KB = computeKernelMetrics(App.buildKernel(B), App.launch(B), M);
+  ASSERT_TRUE(KA.Valid && KB.Valid);
+  EXPECT_DOUBLE_EQ(KA.Efficiency, KB.Efficiency);
+  EXPECT_NE(KA.Utilization, KB.Utilization);
+}
+
+//===--- Functional verification -------------------------------------------------//
+
+class MriSampledConfigs : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MriSampledConfigs, VerifiesAgainstCpuReference) {
+  static MriFhdApp App(MriProblem::emulation());
+  static std::vector<uint64_t> Valid = [] {
+    std::vector<uint64_t> Out;
+    MriFhdApp A(MriProblem::emulation());
+    for (uint64_t I = 0; I != A.space().rawSize(); ++I)
+      if (A.isExpressible(A.space().pointAt(I)))
+        Out.push_back(I);
+    return Out;
+  }();
+  uint64_t Index = Valid[(GetParam() * 7) % Valid.size()];
+  ConfigPoint P = App.space().pointAt(Index);
+  Kernel K = App.buildKernel(P);
+  std::vector<std::string> Errors = verifyKernel(K);
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << K.name() << ": " << E;
+  EXPECT_LE(App.verifyConfig(P), 5e-3) << App.space().describe(P);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampledSpace, MriSampledConfigs,
+                         ::testing::Range(uint64_t(0), uint64_t(24)));
+
+} // namespace

@@ -1,0 +1,141 @@
+//===- tests/KernelsSadTest.cpp - SAD generator tests ------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Sad.h"
+
+#include "metrics/Metrics.h"
+#include "ptx/StaticProfile.h"
+#include "ptx/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace g80;
+
+namespace {
+
+std::vector<uint64_t> expressibleIndices(const SadApp &App) {
+  std::vector<uint64_t> Out;
+  for (uint64_t I = 0; I != App.space().rawSize(); ++I)
+    if (App.isExpressible(App.space().pointAt(I)))
+      Out.push_back(I);
+  return Out;
+}
+
+TEST(SadSpace, ExpressibleCount) {
+  // 12 thread-block sizes x 5 tilings x 3^3 unrolls, constrained by
+  // tpb*tiling <= 1024 and uoff | tiling: 702 configurations (the
+  // paper's richer unroll set reaches 908; same order of magnitude).
+  SadApp App(SadApp::benchProblem());
+  EXPECT_EQ(expressibleIndices(App).size(), 702u);
+}
+
+TEST(SadSpace, InexpressibleReasons) {
+  SadApp App(SadApp::benchProblem());
+  // Too many offsets per block.
+  EXPECT_FALSE(App.isExpressible({384, 16, 1, 1, 1}));
+  // Offset unroll does not divide the tiling factor.
+  EXPECT_FALSE(App.isExpressible({32, 2, 4, 1, 1}));
+  EXPECT_TRUE(App.isExpressible({32, 4, 4, 1, 1}));
+}
+
+TEST(SadSpace, LaunchCoversAllOffsets) {
+  SadApp App(SadApp::benchProblem());
+  for (uint64_t I : expressibleIndices(App)) {
+    ConfigPoint P = App.space().pointAt(I);
+    LaunchConfig L = App.launch(P);
+    unsigned Tpb = unsigned(App.space().valueOf(P, "tpb"));
+    unsigned F = unsigned(App.space().valueOf(P, "tiling"));
+    EXPECT_GE(uint64_t(L.Grid.X) * Tpb * F, 1024u);
+    EXPECT_EQ(L.Grid.Y, App.problem().numMacroblocks());
+  }
+}
+
+TEST(SadCodegen, UsesTextureForReferenceFrame) {
+  SadApp App(SadApp::benchProblem());
+  StaticProfile P = computeStaticProfile(App.buildKernel({64, 1, 1, 4, 4}));
+  // 16 reference texels per offset.
+  EXPECT_EQ(P.TextureLoads, 16u);
+  EXPECT_EQ(P.SharedAccesses % 16, 1u); // 16 curS reads + 1 staging write.
+}
+
+TEST(SadCodegen, UnrollingInnerLoopsReducesInstructions) {
+  SadApp App(SadApp::benchProblem());
+  uint64_t Rolled =
+      computeStaticProfile(App.buildKernel({64, 4, 1, 1, 1})).DynInstrs;
+  uint64_t Unrolled =
+      computeStaticProfile(App.buildKernel({64, 4, 1, 4, 4})).DynInstrs;
+  EXPECT_LT(Unrolled, Rolled);
+  EXPECT_LT(double(Unrolled), 0.7 * double(Rolled));
+}
+
+TEST(SadCodegen, OffsetUnrollReducesInstructions) {
+  SadApp App(SadApp::benchProblem());
+  uint64_t U1 =
+      computeStaticProfile(App.buildKernel({64, 4, 1, 4, 4})).DynInstrs;
+  uint64_t U4 =
+      computeStaticProfile(App.buildKernel({64, 4, 4, 4, 4})).DynInstrs;
+  EXPECT_LT(U4, U1);
+}
+
+TEST(SadCodegen, GuardOnlyWhenOffsetsDoNotDivide) {
+  SadApp App(SadApp::benchProblem());
+  // 256 * 4 = 1024 divides evenly: no guard, so instruction count is
+  // lower per offset than the guarded 96-thread variant.
+  Kernel Exact = App.buildKernel({256, 4, 1, 4, 4});
+  Kernel Guarded = App.buildKernel({96, 4, 1, 4, 4});
+  StaticProfile PE = computeStaticProfile(Exact);
+  StaticProfile PG = computeStaticProfile(Guarded);
+  // The guarded kernel runs the same per-offset body plus a setp each.
+  EXPECT_GT(PG.DynInstrs, PE.DynInstrs);
+}
+
+TEST(SadMetrics, MoreThreadsPerBlockRaisesWarpCount) {
+  SadApp App(SadApp::benchProblem());
+  MachineModel M = MachineModel::geForce8800Gtx();
+  KernelMetrics A = computeKernelMetrics(App.buildKernel({32, 4, 1, 2, 2}),
+                                         App.launch({32, 4, 1, 2, 2}), M);
+  KernelMetrics B = computeKernelMetrics(App.buildKernel({256, 4, 1, 2, 2}),
+                                         App.launch({256, 4, 1, 2, 2}), M);
+  ASSERT_TRUE(A.Valid && B.Valid);
+  EXPECT_EQ(A.Occ.WarpsPerBlock, 1u);
+  EXPECT_EQ(B.Occ.WarpsPerBlock, 8u);
+}
+
+//===--- Sampled functional verification -----------------------------------------//
+
+class SadSampledConfigs : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SadSampledConfigs, VerifiesAgainstCpuReference) {
+  static SadApp App(SadApp::emulationProblem());
+  static std::vector<uint64_t> Valid = expressibleIndices(App);
+  // Stride through the 702 expressible configurations.
+  uint64_t Index = Valid[(GetParam() * 13) % Valid.size()];
+  ConfigPoint P = App.space().pointAt(Index);
+  Kernel K = App.buildKernel(P);
+  std::vector<std::string> Errors = verifyKernel(K);
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << K.name() << ": " << E;
+  EXPECT_LE(App.verifyConfig(P), 1e-4) << App.space().describe(P);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampledSpace, SadSampledConfigs,
+                         ::testing::Range(uint64_t(0), uint64_t(48)));
+
+// Guarded corner cases: every tpb whose offsets do not divide 1024.
+class SadGuardedConfigs : public ::testing::TestWithParam<int> {};
+
+TEST_P(SadGuardedConfigs, GuardedVariantsVerify) {
+  static SadApp App(SadApp::emulationProblem());
+  ConfigPoint P = {GetParam(), 4, 2, 2, 4};
+  if (!App.isExpressible(P))
+    GTEST_SKIP() << "inexpressible at this tiling";
+  EXPECT_LE(App.verifyConfig(P), 1e-4) << App.space().describe(P);
+}
+
+INSTANTIATE_TEST_SUITE_P(OddBlockSizes, SadGuardedConfigs,
+                         ::testing::Values(96, 160, 192, 224));
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- tests/MetricsTest.cpp - metrics/ unit tests ---------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Metrics.h"
+
+#include "ptx/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace g80;
+
+namespace {
+
+//===--- Equation 1 ----------------------------------------------------------//
+
+TEST(Efficiency, PaperWorkedExample) {
+  // §4: Instr = 15150, Threads = 2^24 => Efficiency = 3.93e-12.
+  double E = efficiencyMetric(15150, uint64_t(1) << 24);
+  EXPECT_NEAR(E, 3.93e-12, 0.005e-12);
+}
+
+TEST(Efficiency, InverselyProportional) {
+  EXPECT_DOUBLE_EQ(efficiencyMetric(100, 10), 1e-3);
+  EXPECT_DOUBLE_EQ(efficiencyMetric(200, 10),
+                   efficiencyMetric(100, 20));
+  EXPECT_GT(efficiencyMetric(100, 10), efficiencyMetric(101, 10));
+}
+
+//===--- Equation 2 ----------------------------------------------------------//
+
+TEST(Utilization, PaperWorkedExample) {
+  // §4: Instr = 15150, Regions = 769, W_TB = 8, B_SM = 2 =>
+  // (15150/769) * [(8-1)/2 + (2-1)*8] = 19.70 * 11.5 = 226.6 ~ "227".
+  double U = utilizationMetric(15150, 769, 8, 2);
+  EXPECT_NEAR(U, 226.6, 0.5);
+}
+
+TEST(Utilization, SingleWarpSingleBlockIsZero) {
+  // One warp, one block: nothing can hide a stall.
+  EXPECT_DOUBLE_EQ(utilizationMetric(1000, 10, 1, 1), 0.0);
+}
+
+TEST(Utilization, GrowsWithBlocksAndWarps) {
+  double Base = utilizationMetric(1000, 10, 4, 2);
+  EXPECT_GT(utilizationMetric(1000, 10, 8, 2), Base);
+  EXPECT_GT(utilizationMetric(1000, 10, 4, 3), Base);
+  EXPECT_GT(utilizationMetric(2000, 10, 4, 2), Base); // Longer runs.
+  EXPECT_LT(utilizationMetric(1000, 20, 4, 2), Base); // More stalls.
+}
+
+TEST(Utilization, VariantOrdering) {
+  // NoSyncHalving counts same-block warps fully, the paper halves them,
+  // OtherBlocksOnly drops them: a strict ordering whenever W_TB > 1.
+  double P = utilizationMetric(1000, 10, 8, 2, UtilizationVariant::Paper);
+  double N =
+      utilizationMetric(1000, 10, 8, 2, UtilizationVariant::NoSyncHalving);
+  double O = utilizationMetric(1000, 10, 8, 2,
+                               UtilizationVariant::OtherBlocksOnly);
+  EXPECT_GT(N, P);
+  EXPECT_GT(P, O);
+}
+
+TEST(Utilization, VariantsAgreeForSingleWarpBlocks) {
+  double P = utilizationMetric(1000, 10, 1, 4, UtilizationVariant::Paper);
+  double N =
+      utilizationMetric(1000, 10, 1, 4, UtilizationVariant::NoSyncHalving);
+  double O = utilizationMetric(1000, 10, 1, 4,
+                               UtilizationVariant::OtherBlocksOnly);
+  EXPECT_DOUBLE_EQ(P, N);
+  EXPECT_DOUBLE_EQ(P, O);
+}
+
+//===--- Bandwidth screen -----------------------------------------------------//
+
+TEST(Bandwidth, DemandRatioArithmetic) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  StaticProfile P;
+  P.DynInstrs = 100;
+  P.GlobalBytesEffective = 50; // 0.5 B per thread-instruction.
+  // Peak issue = 8 thread-instr/cycle/SM; demand = 4 B/cycle; capacity =
+  // 4 B/cycle/SM => ratio = 1.
+  EXPECT_NEAR(bandwidthDemandRatio(P, M), 1.0, 1e-12);
+}
+
+TEST(Bandwidth, EmptyProfileIsZero) {
+  StaticProfile P;
+  EXPECT_DOUBLE_EQ(bandwidthDemandRatio(P, MachineModel::geForce8800Gtx()),
+                   0.0);
+}
+
+TEST(Bandwidth, UncoalescedMultipliesDemand) {
+  MachineModel M = MachineModel::geForce8800Gtx();
+  StaticProfile Coal, Uncoal;
+  Coal.DynInstrs = Uncoal.DynInstrs = 1000;
+  Coal.GlobalBytesEffective = 100;
+  Uncoal.GlobalBytesEffective = 800; // 8x transaction waste.
+  EXPECT_NEAR(bandwidthDemandRatio(Uncoal, M),
+              8.0 * bandwidthDemandRatio(Coal, M), 1e-12);
+}
+
+//===--- computeKernelMetrics -------------------------------------------------//
+
+/// A tiny kernel: loads one float, multiplies, stores.
+Kernel makeScaleKernel(unsigned ExtraSharedBytes = 0) {
+  KernelBuilder B("scale");
+  unsigned In = B.addGlobalPtr("in");
+  unsigned Out = B.addGlobalPtr("out");
+  if (ExtraSharedBytes)
+    B.addShared("pad", ExtraSharedBytes);
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg Addr = B.shli(Tx, B.imm(2));
+  Reg V = B.ldGlobal(In, Addr);
+  Reg R = B.mulf(V, B.imm(2.0f));
+  B.stGlobal(Out, Addr, 0, R);
+  return B.take();
+}
+
+TEST(KernelMetrics, ValidKernelProducesMetrics) {
+  Kernel K = makeScaleKernel();
+  MachineModel M = MachineModel::geForce8800Gtx();
+  KernelMetrics KM =
+      computeKernelMetrics(K, LaunchConfig(Dim3(64), Dim3(128)), M);
+  ASSERT_TRUE(KM.Valid);
+  EXPECT_GT(KM.Efficiency, 0);
+  EXPECT_GT(KM.Utilization, 0);
+  EXPECT_EQ(KM.Threads, 64u * 128u);
+  EXPECT_EQ(KM.Profile.GlobalLoads, 1u);
+  EXPECT_EQ(KM.Profile.GlobalStores, 1u);
+}
+
+TEST(KernelMetrics, OversizedSharedIsInvalid) {
+  Kernel K = makeScaleKernel(/*ExtraSharedBytes=*/17000);
+  MachineModel M = MachineModel::geForce8800Gtx();
+  KernelMetrics KM =
+      computeKernelMetrics(K, LaunchConfig(Dim3(64), Dim3(128)), M);
+  EXPECT_FALSE(KM.Valid);
+  EXPECT_EQ(KM.Efficiency, 0.0);
+}
+
+TEST(KernelMetrics, BandwidthBoundFlag) {
+  // 2 global ops out of 5 instructions at 4B each: demand ratio >> 1.
+  Kernel K = makeScaleKernel();
+  MachineModel M = MachineModel::geForce8800Gtx();
+  KernelMetrics KM =
+      computeKernelMetrics(K, LaunchConfig(Dim3(64), Dim3(128)), M);
+  EXPECT_TRUE(KM.bandwidthBound());
+}
+
+TEST(KernelMetrics, UtilizationVariantFlowsThrough) {
+  Kernel K = makeScaleKernel();
+  MachineModel M = MachineModel::geForce8800Gtx();
+  LaunchConfig LC(Dim3(64), Dim3(128));
+  MetricOptions A, B;
+  B.Variant = UtilizationVariant::OtherBlocksOnly;
+  double UA = computeKernelMetrics(K, LC, M, A).Utilization;
+  double UB = computeKernelMetrics(K, LC, M, B).Utilization;
+  EXPECT_GT(UA, UB);
+}
+
+} // namespace

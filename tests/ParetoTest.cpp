@@ -1,0 +1,189 @@
+//===- tests/ParetoTest.cpp - core/Pareto unit + property tests --------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pareto.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+using namespace g80;
+
+namespace {
+
+using P2 = std::array<double, 2>;
+
+bool dominates(const P2 &A, const P2 &B) {
+  return A[0] >= B[0] && A[1] >= B[1] && (A[0] > B[0] || A[1] > B[1]);
+}
+
+bool contains(const std::vector<size_t> &V, size_t X) {
+  return std::find(V.begin(), V.end(), X) != V.end();
+}
+
+//===--- paretoFront on hand-built sets --------------------------------------//
+
+TEST(ParetoFront, EmptyAndSingle) {
+  EXPECT_TRUE(paretoFront({}).empty());
+  std::vector<P2> One = {{1, 1}};
+  EXPECT_EQ(paretoFront(One).size(), 1u);
+}
+
+TEST(ParetoFront, DropsDominated) {
+  std::vector<P2> Pts = {{1, 1}, {2, 2}, {0.5, 3}, {3, 0.5}, {1.5, 1.5}};
+  std::vector<size_t> F = paretoFront(Pts);
+  EXPECT_TRUE(contains(F, 1));  // (2,2)
+  EXPECT_TRUE(contains(F, 2));  // (0.5,3)
+  EXPECT_TRUE(contains(F, 3));  // (3,0.5)
+  EXPECT_FALSE(contains(F, 0)); // (1,1) dominated by (2,2)
+  EXPECT_FALSE(contains(F, 4)); // (1.5,1.5) dominated by (2,2)
+}
+
+TEST(ParetoFront, KeepsExactDuplicatesOfFrontPoints) {
+  std::vector<P2> Pts = {{2, 2}, {2, 2}, {1, 1}};
+  std::vector<size_t> F = paretoFront(Pts);
+  EXPECT_EQ(F.size(), 2u);
+  EXPECT_TRUE(contains(F, 0));
+  EXPECT_TRUE(contains(F, 1));
+}
+
+TEST(ParetoFront, EqualFirstCoordinateKeepsOnlyMaxSecond) {
+  std::vector<P2> Pts = {{2, 1}, {2, 3}, {2, 2}};
+  std::vector<size_t> F = paretoFront(Pts);
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0], 1u);
+}
+
+TEST(ParetoFront, EqualSecondAcrossFirstsKeepsHighestFirst) {
+  // (3,5) dominates (2,5) (strictly better first, equal second).
+  std::vector<P2> Pts = {{3, 5}, {2, 5}};
+  std::vector<size_t> F = paretoFront(Pts);
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0], 0u);
+}
+
+TEST(ParetoFront, DiagonalStaircaseAllKept) {
+  std::vector<P2> Pts;
+  for (int I = 0; I != 10; ++I)
+    Pts.push_back({double(I), double(9 - I)});
+  EXPECT_EQ(paretoFront(Pts).size(), 10u);
+}
+
+//===--- paretoFront randomized properties ------------------------------------//
+
+class ParetoFrontProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParetoFrontProperty, FrontIsExactlyTheMaximalSet) {
+  Rng R(GetParam());
+  std::vector<P2> Pts;
+  size_t N = 5 + R.nextBelow(200);
+  for (size_t I = 0; I != N; ++I) {
+    // Coarse grid so duplicates and ties actually occur.
+    Pts.push_back({double(R.nextBelow(12)), double(R.nextBelow(12))});
+  }
+  std::vector<size_t> F = paretoFront(Pts);
+
+  // (a) no front point is dominated by any point.
+  for (size_t FI : F)
+    for (size_t J = 0; J != Pts.size(); ++J)
+      EXPECT_FALSE(dominates(Pts[J], Pts[FI]))
+          << "front point " << FI << " dominated by " << J;
+
+  // (b) every non-front point is dominated by some point.
+  for (size_t J = 0; J != Pts.size(); ++J) {
+    if (contains(F, J))
+      continue;
+    bool Dominated = false;
+    for (size_t K = 0; K != Pts.size(); ++K)
+      Dominated = Dominated || dominates(Pts[K], Pts[J]);
+    EXPECT_TRUE(Dominated) << "non-front point " << J << " undominated";
+  }
+
+  // (c) indices are unique.
+  std::vector<size_t> Sorted(F);
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_TRUE(std::adjacent_find(Sorted.begin(), Sorted.end()) ==
+              Sorted.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoFrontProperty,
+                         ::testing::Range(uint64_t(1), uint64_t(21)));
+
+//===--- paretoSubset over ConfigEvals ----------------------------------------//
+
+ConfigEval makeEval(double Eff, double Util, bool Usable = true,
+                    double BwRatio = 0.1) {
+  ConfigEval E;
+  E.Expressible = Usable;
+  E.Metrics.Valid = Usable;
+  E.EfficiencyTotal = Eff;
+  E.Metrics.Utilization = Util;
+  E.Metrics.BandwidthDemandRatio = BwRatio;
+  return E;
+}
+
+TEST(ParetoSubset, SkipsUnusable) {
+  std::vector<ConfigEval> Evals;
+  Evals.push_back(makeEval(10, 10, /*Usable=*/false));
+  Evals.push_back(makeEval(1, 1));
+  std::vector<size_t> S = paretoSubset(Evals);
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_EQ(S[0], 1u);
+}
+
+TEST(ParetoSubset, ScreenRemovesBandwidthBound) {
+  std::vector<ConfigEval> Evals;
+  Evals.push_back(makeEval(10, 10, true, /*BwRatio=*/5.0));
+  Evals.push_back(makeEval(1, 1));
+  ParetoOptions NoScreen;
+  NoScreen.ScreenBandwidthBound = false;
+  EXPECT_EQ(paretoSubset(Evals, NoScreen).size(), 1u); // (10,10) wins.
+  ParetoOptions Screen;
+  Screen.ScreenBandwidthBound = true;
+  std::vector<size_t> S = paretoSubset(Evals, Screen);
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_EQ(S[0], 1u);
+}
+
+TEST(ParetoSubset, ClusterTwinsSelectedTogether) {
+  // A near-duplicate of the best point (within the cluster tolerance)
+  // must be selected along with it — the matmul prefetch-twin case.
+  std::vector<ConfigEval> Evals;
+  Evals.push_back(makeEval(1.000, 100.0));
+  Evals.push_back(makeEval(0.995, 99.5)); // 0.5% off: same plotted point.
+  Evals.push_back(makeEval(0.5, 50.0));   // Dominated.
+  ParetoOptions Opts;
+  Opts.ClusterRelTol = 0.012;
+  std::vector<size_t> S = paretoSubset(Evals, Opts);
+  EXPECT_TRUE(contains(S, 0));
+  EXPECT_TRUE(contains(S, 1));
+  EXPECT_FALSE(contains(S, 2));
+}
+
+TEST(ParetoSubset, StrictModeDropsNearTwins) {
+  std::vector<ConfigEval> Evals;
+  Evals.push_back(makeEval(1.000, 100.0));
+  Evals.push_back(makeEval(0.995, 99.5));
+  ParetoOptions Opts;
+  Opts.ClusterRelTol = 0;
+  std::vector<size_t> S = paretoSubset(Evals, Opts);
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_EQ(S[0], 0u);
+}
+
+TEST(ParetoSubset, ResultSortedAndUnique) {
+  std::vector<ConfigEval> Evals;
+  for (int I = 0; I != 30; ++I)
+    Evals.push_back(makeEval(1.0 + (I % 7), 1.0 + (I % 5)));
+  std::vector<size_t> S = paretoSubset(Evals);
+  EXPECT_TRUE(std::is_sorted(S.begin(), S.end()));
+  EXPECT_TRUE(std::adjacent_find(S.begin(), S.end()) == S.end());
+}
+
+} // namespace

@@ -1,0 +1,245 @@
+//===- tests/ParserTest.cpp - textual kernel parser tests ---------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ptx/Parser.h"
+
+#include "arch/LaunchConfig.h"
+#include "emu/Emulator.h"
+#include "kernels/Cp.h"
+#include "kernels/MatMul.h"
+#include "kernels/MriFhd.h"
+#include "kernels/Sad.h"
+#include "kernels/Workloads.h"
+#include "ptx/Printer.h"
+#include "ptx/StaticProfile.h"
+#include "ptx/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace g80;
+
+namespace {
+
+//===--- Hand-written source --------------------------------------------------//
+
+constexpr const char *ScaleSource = R"(
+// y[i] = 2 * x[i]
+.entry scale (.param .global .f32* x, .param .global .f32* y,
+              .param .f32 alpha)
+{
+  mov %r0, %tid.x;
+  shl.b32 %r1, %r0, 2;
+  ld.global.f32 %r2, [x + %r1];
+  mul.f32 %r3, %r2, [alpha];
+  st.global.f32 [y + %r1], %r3;
+}
+)";
+
+TEST(Parser, HandWrittenKernelParses) {
+  ParseResult R = parseKernel(ScaleSource);
+  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.ErrorLine;
+  const Kernel &K = *R.K;
+  EXPECT_EQ(K.name(), "scale");
+  ASSERT_EQ(K.params().size(), 3u);
+  EXPECT_EQ(K.params()[2].Kind, ParamKind::F32);
+  EXPECT_EQ(K.body().size(), 5u);
+  EXPECT_TRUE(verifyKernel(K).empty());
+}
+
+TEST(Parser, ParsedKernelEmulatesCorrectly) {
+  ParseResult R = parseKernel(ScaleSource);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::vector<float> X = {1, 2, 3, 4, 5, 6, 7, 8};
+  DeviceBuffer XBuf = DeviceBuffer::fromFloats(X);
+  DeviceBuffer YBuf = DeviceBuffer::zeroed(8);
+  LaunchBindings Bind(*R.K);
+  Bind.bindBuffer(0, &XBuf);
+  Bind.bindBuffer(1, &YBuf);
+  Bind.setF32(2, 2.0f);
+  emulateKernel(*R.K, {Dim3(1), Dim3(8)}, Bind);
+  for (size_t I = 0; I != 8; ++I)
+    EXPECT_FLOAT_EQ(YBuf.floatAt(I), 2.0f * X[I]);
+}
+
+TEST(Parser, StructuredRegionsParse) {
+  ParseResult R = parseKernel(R"(
+.entry structured (.param .global .f32* g)
+  .shared tile[64]
+  .local 8 bytes/thread
+{
+  mov %r0, %tid.x;
+  setp.s32.lt %r1, %r0, 8;
+  @divergent %r1 if {
+    loop x4 {
+      st.shared.f32 [tile + %r0], %r0;
+    }
+  } else {
+    st.local.f32 [local], %r0;
+  }
+  bar.sync 0;
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.ErrorLine;
+  const Kernel &K = *R.K;
+  EXPECT_EQ(K.sharedDataBytes(), 64u);
+  EXPECT_EQ(K.localBytesPerThread(), 8u);
+  ASSERT_EQ(K.body().size(), 4u);
+  ASSERT_TRUE(K.body()[2].isIf());
+  const If &IfN = K.body()[2].ifNode();
+  EXPECT_FALSE(IfN.Uniform);
+  ASSERT_EQ(IfN.Then.size(), 1u);
+  ASSERT_TRUE(IfN.Then[0].isLoop());
+  EXPECT_EQ(IfN.Then[0].loop().TripCount, 4u);
+  ASSERT_EQ(IfN.Else.size(), 1u);
+}
+
+TEST(Parser, FloatImmediateForms) {
+  ParseResult R = parseKernel(R"(
+.entry floats (.param .global .f32* g)
+{
+  mov %r0, 0f3F800000;
+  mov %r1, 2.5;
+  mov %r2, -0.125;
+  st.global.f32 [g], %r0;
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_FLOAT_EQ(R.K->body()[0].instr().A.getImmF32(), 1.0f);
+  EXPECT_FLOAT_EQ(R.K->body()[1].instr().A.getImmF32(), 2.5f);
+  EXPECT_FLOAT_EQ(R.K->body()[2].instr().A.getImmF32(), -0.125f);
+}
+
+TEST(Parser, CoalescingAnnotationHonored) {
+  ParseResult R = parseKernel(R"(
+.entry coal (.param .global .f32* g)
+{
+  mov %r0, %tid.x;
+  ld.global.f32 %r1, [g + %r0];  // 32B/thread DRAM
+  st.global.f32 [g + %r0], %r1;
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.K->body()[1].instr().EffBytesPerThread, 32);
+  EXPECT_EQ(R.K->body()[2].instr().EffBytesPerThread, 4); // Default.
+}
+
+//===--- Errors -----------------------------------------------------------------//
+
+TEST(Parser, ReportsUnknownMnemonic) {
+  ParseResult R = parseKernel(".entry k ()\n{\n  frob %r0, %r1;\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("unknown mnemonic"), std::string::npos);
+  EXPECT_EQ(R.ErrorLine, 3u);
+}
+
+TEST(Parser, ReportsMissingEntry) {
+  ParseResult R = parseKernel("mov %r0, 1;\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find(".entry"), std::string::npos);
+}
+
+TEST(Parser, ReportsUnknownBuffer) {
+  ParseResult R =
+      parseKernel(".entry k ()\n{\n  ld.global.f32 %r0, [nope];\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("unknown buffer"), std::string::npos);
+}
+
+TEST(Parser, ReportsWrongOperandCount) {
+  ParseResult R = parseKernel(".entry k ()\n{\n  add.f32 %r0, %r1;\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("operand count"), std::string::npos);
+}
+
+TEST(Parser, ReportsElseWithoutIf) {
+  ParseResult R = parseKernel(".entry k ()\n{\n  } else {\n}\n");
+  ASSERT_FALSE(R.ok());
+}
+
+TEST(Parser, ReportsUnterminatedBody) {
+  ParseResult R = parseKernel(".entry k ()\n{\n  mov %r0, 1;\n");
+  ASSERT_FALSE(R.ok());
+}
+
+//===--- Round trips over the application generators -----------------------------//
+
+void expectRoundTrip(const Kernel &K) {
+  std::string First = kernelToString(K);
+  ParseResult R = parseKernel(First);
+  ASSERT_TRUE(R.ok()) << K.name() << ": " << R.Error << " at line "
+                      << R.ErrorLine << "\n"
+                      << First;
+  std::string Second = kernelToString(*R.K);
+  EXPECT_EQ(First, Second) << K.name();
+
+  // The reparsed kernel is profile-identical, not just text-identical.
+  StaticProfile PA = computeStaticProfile(K);
+  StaticProfile PB = computeStaticProfile(*R.K);
+  EXPECT_EQ(PA.DynInstrs, PB.DynInstrs);
+  EXPECT_EQ(PA.BlockingUnits, PB.BlockingUnits);
+  EXPECT_EQ(PA.GlobalBytesEffective, PB.GlobalBytesEffective);
+}
+
+TEST(ParserRoundTrip, MatMulConfigs) {
+  MatMulApp App(MatMulProblem::emulation());
+  for (ConfigPoint P : {ConfigPoint{16, 1, 0, 0, 0}, ConfigPoint{8, 2, 2, 1, 0},
+                        ConfigPoint{16, 4, 0, 1, 1}})
+    expectRoundTrip(App.buildKernel(P));
+}
+
+TEST(ParserRoundTrip, CpConfigs) {
+  CpApp App(CpProblem::emulation());
+  for (ConfigPoint P : {ConfigPoint{4, 2, 1}, ConfigPoint{16, 8, 0}})
+    expectRoundTrip(App.buildKernel(P));
+}
+
+TEST(ParserRoundTrip, SadConfigs) {
+  SadApp App(SadApp::emulationProblem());
+  for (ConfigPoint P :
+       {ConfigPoint{64, 2, 1, 2, 4}, ConfigPoint{96, 4, 4, 1, 1}})
+    expectRoundTrip(App.buildKernel(P));
+}
+
+TEST(ParserRoundTrip, MriConfigs) {
+  MriFhdApp App(MriProblem::emulation());
+  for (ConfigPoint P : {ConfigPoint{64, 4, 2}, ConfigPoint{256, 16, 1}})
+    expectRoundTrip(App.buildKernel(P));
+}
+
+TEST(ParserRoundTrip, ParsedMatMulStillComputesCorrectly) {
+  // Full semantic round trip: parse the printed kernel, run it in the
+  // emulator, compare against the CPU reference.
+  MatMulApp App(MatMulProblem::emulation());
+  ConfigPoint P = {16, 2, 0, 0, 0};
+  Kernel Original = App.buildKernel(P);
+  ParseResult R = parseKernel(kernelToString(Original));
+  ASSERT_TRUE(R.ok()) << R.Error;
+
+  unsigned N = App.problem().N;
+  size_t Elems = size_t(N) * N;
+  std::vector<float> A = randomFloats(Elems + 4096, 1, -1, 1);
+  std::vector<float> Bv = randomFloats(Elems + size_t(20) * N, 2, -1, 1);
+  DeviceBuffer ABuf = DeviceBuffer::fromFloats(A);
+  DeviceBuffer BBuf = DeviceBuffer::fromFloats(Bv);
+  DeviceBuffer C1 = DeviceBuffer::zeroed(Elems);
+  DeviceBuffer C2 = DeviceBuffer::zeroed(Elems);
+
+  for (auto [K, CBuf] :
+       {std::pair<const Kernel *, DeviceBuffer *>{&Original, &C1},
+        std::pair<const Kernel *, DeviceBuffer *>{&*R.K, &C2}}) {
+    LaunchBindings Bind(*K);
+    Bind.bindBuffer(0, &ABuf);
+    Bind.bindBuffer(1, &BBuf);
+    Bind.bindBuffer(2, CBuf);
+    Bind.setS32(3, int32_t(N));
+    Bind.setS32(4, int32_t(N));
+    emulateKernel(*K, App.launch(P), Bind);
+  }
+  for (size_t I = 0; I != Elems; ++I)
+    ASSERT_EQ(C1.word(I), C2.word(I)) << "element " << I;
+}
+
+} // namespace

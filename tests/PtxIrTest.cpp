@@ -1,0 +1,323 @@
+//===- tests/PtxIrTest.cpp - ptx/ IR, builder, printer, verifier tests -------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ptx/Builder.h"
+#include "ptx/Printer.h"
+#include "ptx/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace g80;
+
+namespace {
+
+//===--- Opcode property table -----------------------------------------------//
+
+TEST(Opcodes, DstAndSrcCountsConsistent) {
+  // Spot checks of the property table the verifier and emulator rely on.
+  EXPECT_TRUE(opcodeHasDst(Opcode::MadF));
+  EXPECT_FALSE(opcodeHasDst(Opcode::St));
+  EXPECT_FALSE(opcodeHasDst(Opcode::Bar));
+  EXPECT_EQ(opcodeNumSrcs(Opcode::MadF), 3u);
+  EXPECT_EQ(opcodeNumSrcs(Opcode::AddF), 2u);
+  EXPECT_EQ(opcodeNumSrcs(Opcode::Mov), 1u);
+  EXPECT_EQ(opcodeNumSrcs(Opcode::Ld), 0u);
+  EXPECT_EQ(opcodeNumSrcs(Opcode::Bar), 0u);
+  EXPECT_EQ(opcodeNumSrcs(Opcode::SelP), 3u);
+}
+
+TEST(Opcodes, SfuClassification) {
+  EXPECT_TRUE(opcodeIsSfu(Opcode::RsqrtF));
+  EXPECT_TRUE(opcodeIsSfu(Opcode::SinF));
+  EXPECT_TRUE(opcodeIsSfu(Opcode::CosF));
+  EXPECT_TRUE(opcodeIsSfu(Opcode::RcpF));
+  EXPECT_FALSE(opcodeIsSfu(Opcode::MadF));
+  EXPECT_FALSE(opcodeIsSfu(Opcode::Ld));
+}
+
+TEST(Opcodes, LatencyClasses) {
+  Instruction I;
+  I.Op = Opcode::MadF;
+  EXPECT_EQ(I.latencyClass(), LatencyClass::Alu);
+  I.Op = Opcode::SinF;
+  EXPECT_EQ(I.latencyClass(), LatencyClass::Sfu);
+  I.Op = Opcode::Bar;
+  EXPECT_EQ(I.latencyClass(), LatencyClass::Barrier);
+  I.Op = Opcode::Ld;
+  I.Space = MemSpace::Shared;
+  EXPECT_EQ(I.latencyClass(), LatencyClass::SharedMem);
+  I.Space = MemSpace::Const;
+  EXPECT_EQ(I.latencyClass(), LatencyClass::ConstMem);
+  I.Space = MemSpace::Global;
+  EXPECT_EQ(I.latencyClass(), LatencyClass::GlobalMem);
+  I.Space = MemSpace::Local;
+  EXPECT_EQ(I.latencyClass(), LatencyClass::GlobalMem);
+  I.Space = MemSpace::Texture;
+  EXPECT_EQ(I.latencyClass(), LatencyClass::TexMem);
+}
+
+TEST(Opcodes, LongLatencyMemClassification) {
+  Instruction I;
+  I.Op = Opcode::Ld;
+  I.Space = MemSpace::Global;
+  EXPECT_TRUE(I.isLongLatencyMem());
+  I.Space = MemSpace::Texture;
+  EXPECT_TRUE(I.isLongLatencyMem());
+  I.Space = MemSpace::Shared;
+  EXPECT_FALSE(I.isLongLatencyMem());
+  I.Space = MemSpace::Const;
+  EXPECT_FALSE(I.isLongLatencyMem());
+}
+
+//===--- Operands -------------------------------------------------------------//
+
+TEST(Operands, Accessors) {
+  Operand R = Operand::reg(Reg(5));
+  EXPECT_TRUE(R.isReg());
+  EXPECT_EQ(R.getReg().Id, 5u);
+  EXPECT_FLOAT_EQ(Operand::immF32(1.5f).getImmF32(), 1.5f);
+  EXPECT_EQ(Operand::immS32(-7).getImmS32(), -7);
+  EXPECT_EQ(Operand::special(SpecialReg::TidX).getSpecial(),
+            SpecialReg::TidX);
+  EXPECT_EQ(Operand::param(3).getParamIndex(), 3u);
+  EXPECT_TRUE(Operand().isNone());
+}
+
+//===--- Builder structure -----------------------------------------------------//
+
+TEST(Builder, EmitsStructuredLoops) {
+  KernelBuilder B("k");
+  Reg Acc = B.mov(B.imm(0.0f));
+  B.forLoop(10, [&] { B.emitTo(Acc, Opcode::AddF, Acc, B.imm(1.0f)); });
+  Kernel K = B.take();
+  ASSERT_EQ(K.body().size(), 2u);
+  EXPECT_TRUE(K.body()[0].isInstr());
+  ASSERT_TRUE(K.body()[1].isLoop());
+  EXPECT_EQ(K.body()[1].loop().TripCount, 10u);
+  EXPECT_EQ(K.body()[1].loop().LoopBody.size(), 1u);
+}
+
+TEST(Builder, NestedLoopsAndIfs) {
+  KernelBuilder B("k");
+  Reg P = B.setpi(CmpKind::Lt, B.special(SpecialReg::TidX), B.imm(16));
+  B.forLoop(4, [&] {
+    B.forLoop(8, [&] { B.mov(B.imm(1)); });
+    B.ifThen(P, /*Uniform=*/false, [&] { B.mov(B.imm(2)); });
+  });
+  Kernel K = B.take();
+  ASSERT_EQ(K.body().size(), 2u);
+  const Loop &Outer = K.body()[1].loop();
+  ASSERT_EQ(Outer.LoopBody.size(), 2u);
+  EXPECT_TRUE(Outer.LoopBody[0].isLoop());
+  EXPECT_TRUE(Outer.LoopBody[1].isIf());
+  EXPECT_EQ(Outer.LoopBody[1].ifNode().Pred, P);
+}
+
+TEST(Builder, SharedAllocationOffsets) {
+  KernelBuilder B("k");
+  unsigned A = B.addShared("a", 100); // Rounded to 4-byte alignment.
+  unsigned C = B.addShared("c", 64);
+  Kernel K = B.take();
+  EXPECT_EQ(K.sharedArrays()[A].Bytes, 100u);
+  EXPECT_EQ(K.sharedArrays()[C].ByteOffset, 100u);
+  EXPECT_EQ(K.sharedDataBytes(), 164u);
+}
+
+TEST(Builder, LocalAllocation) {
+  KernelBuilder B("k");
+  EXPECT_EQ(B.kernel().allocLocal(8), 0u);
+  EXPECT_EQ(B.kernel().allocLocal(4), 8u);
+  EXPECT_EQ(B.take().localBytesPerThread(), 12u);
+}
+
+TEST(Builder, FreshRegistersAreUnique) {
+  KernelBuilder B("k");
+  Reg A = B.mov(B.imm(1.0f));
+  Reg C = B.mov(B.imm(2.0f));
+  EXPECT_FALSE(A == C);
+  EXPECT_EQ(B.kernel().numVRegs(), 2u);
+}
+
+//===--- Printer ---------------------------------------------------------------//
+
+Kernel makePrintable() {
+  KernelBuilder B("printable");
+  unsigned In = B.addGlobalPtr("in");
+  unsigned Sh = B.addShared("tile", 64);
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Reg Addr = B.shli(Tx, B.imm(2));
+  Reg V = B.ldGlobal(In, Addr, 16, 32);
+  B.stShared(Sh, Addr, 0, V);
+  B.bar();
+  B.forLoop(7, [&] { B.madf(V, V, V); });
+  return B.take();
+}
+
+TEST(Printer, ContainsExpectedSyntax) {
+  std::string Out = kernelToString(makePrintable());
+  EXPECT_NE(Out.find(".entry printable"), std::string::npos);
+  EXPECT_NE(Out.find(".shared tile[64]"), std::string::npos);
+  EXPECT_NE(Out.find("%tid.x"), std::string::npos);
+  EXPECT_NE(Out.find("ld.global.f32"), std::string::npos);
+  EXPECT_NE(Out.find("32B/thread DRAM"), std::string::npos);
+  EXPECT_NE(Out.find("st.shared.f32"), std::string::npos);
+  EXPECT_NE(Out.find("bar.sync 0;"), std::string::npos);
+  EXPECT_NE(Out.find("loop x7 {"), std::string::npos);
+  EXPECT_NE(Out.find("mad.f32"), std::string::npos);
+  EXPECT_NE(Out.find("[in + %r1 + 16]"), std::string::npos);
+}
+
+TEST(Printer, IfRegionsAnnotated) {
+  KernelBuilder B("k");
+  Reg P = B.setpi(CmpKind::Ge, B.special(SpecialReg::TidX), B.imm(8));
+  B.ifThenElse(
+      P, /*Uniform=*/true, [&] { B.mov(B.imm(1)); },
+      [&] { B.mov(B.imm(2)); });
+  std::string Out = kernelToString(B.take());
+  EXPECT_NE(Out.find("@uniform"), std::string::npos);
+  EXPECT_NE(Out.find("} else {"), std::string::npos);
+}
+
+//===--- Verifier ---------------------------------------------------------------//
+
+TEST(Verifier, CleanKernelPasses) {
+  EXPECT_TRUE(verifyKernel(makePrintable()).empty());
+}
+
+TEST(Verifier, CatchesUseBeforeDef) {
+  KernelBuilder B("k");
+  Reg Undefined = B.reg();
+  B.mulf(Undefined, B.imm(2.0f));
+  std::vector<std::string> E = verifyKernel(B.take());
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E[0].find("before any definition"), std::string::npos);
+}
+
+TEST(Verifier, AllowsLoopCarriedUse) {
+  // A register defined later in the loop body and used at the top is a
+  // rotating value; the verifier must not flag it.
+  KernelBuilder B("k");
+  Reg V = B.mov(B.imm(0.0f));
+  B.forLoop(4, [&] {
+    Reg W = B.addf(V, B.imm(1.0f));
+    B.movTo(V, W);
+  });
+  EXPECT_TRUE(verifyKernel(B.take()).empty());
+}
+
+TEST(Verifier, CatchesSpaceParamMismatch) {
+  KernelBuilder B("k");
+  unsigned C = B.addConstPtr("lut");
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  // Global load through a const pointer parameter: wrong.
+  B.ldGlobal(C, Tx);
+  std::vector<std::string> E = verifyKernel(B.take());
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E[0].find("does not match parameter kind"), std::string::npos);
+}
+
+TEST(Verifier, CatchesStoreToReadOnlySpace) {
+  KernelBuilder B("k");
+  unsigned C = B.addConstPtr("lut");
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  Instruction I;
+  I.Op = Opcode::St;
+  I.Space = MemSpace::Const;
+  I.BufferParam = C;
+  I.AddrBase = Operand::reg(Tx);
+  I.A = Operand::reg(Tx);
+  B.kernel().body().push_back(BodyNode(I));
+  std::vector<std::string> E = verifyKernel(B.take());
+  ASSERT_FALSE(E.empty());
+}
+
+TEST(Verifier, CatchesScalarUseOfPointerParam) {
+  KernelBuilder B("k");
+  unsigned G = B.addGlobalPtr("buf");
+  B.mov(B.param(G));
+  std::vector<std::string> E = verifyKernel(B.take());
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E[0].find("used as a scalar"), std::string::npos);
+}
+
+TEST(Verifier, CatchesMissingOperand) {
+  KernelBuilder B("k");
+  Instruction I;
+  I.Op = Opcode::AddF;
+  I.Dst = B.reg();
+  I.A = Operand::immF32(1.0f);
+  // B missing.
+  B.kernel().body().push_back(BodyNode(I));
+  std::vector<std::string> E = verifyKernel(B.take());
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E[0].find("missing operand B"), std::string::npos);
+}
+
+TEST(Verifier, CatchesExtraOperand) {
+  KernelBuilder B("k");
+  Instruction I;
+  I.Op = Opcode::Mov;
+  I.Dst = B.reg();
+  I.A = Operand::immF32(1.0f);
+  I.B = Operand::immF32(2.0f); // Unexpected.
+  B.kernel().body().push_back(BodyNode(I));
+  EXPECT_FALSE(verifyKernel(B.take()).empty());
+}
+
+TEST(Verifier, CatchesZeroTripLoop) {
+  KernelBuilder B("k");
+  Loop L;
+  L.TripCount = 0;
+  B.kernel().body().push_back(BodyNode(std::move(L)));
+  std::vector<std::string> E = verifyKernel(B.take());
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E[0].find("zero trip count"), std::string::npos);
+}
+
+TEST(Verifier, CatchesSharedArrayOutOfRange) {
+  KernelBuilder B("k");
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  B.ldShared(/*ArrayId=*/3, Tx); // No shared arrays declared.
+  EXPECT_FALSE(verifyKernel(B.take()).empty());
+}
+
+TEST(Verifier, CatchesLocalAccessWithoutAllocation) {
+  KernelBuilder B("k");
+  B.ldLocal(Operand(), 0);
+  std::vector<std::string> E = verifyKernel(B.take());
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E[0].find("local access without"), std::string::npos);
+}
+
+TEST(Verifier, CatchesBadCoalescingAnnotation) {
+  KernelBuilder B("k");
+  unsigned G = B.addGlobalPtr("buf");
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));
+  B.ldGlobal(G, Tx, 0, /*EffBytesPerThread=*/5);
+  std::vector<std::string> E = verifyKernel(B.take());
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E[0].find("implausible effective bytes"), std::string::npos);
+}
+
+TEST(Verifier, CatchesUndefinedIfPredicate) {
+  KernelBuilder B("k");
+  Reg P = B.reg();
+  B.ifThen(P, false, [&] { B.mov(B.imm(1)); });
+  std::vector<std::string> E = verifyKernel(B.take());
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E[0].find("predicate"), std::string::npos);
+}
+
+TEST(Verifier, BarrierWithDestinationRejected) {
+  KernelBuilder B("k");
+  Instruction I;
+  I.Op = Opcode::Bar;
+  I.Dst = B.reg();
+  B.kernel().body().push_back(BodyNode(I));
+  EXPECT_FALSE(verifyKernel(B.take()).empty());
+}
+
+} // namespace

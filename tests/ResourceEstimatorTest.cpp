@@ -1,0 +1,163 @@
+//===- tests/ResourceEstimatorTest.cpp - register/shared estimation tests ----===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ptx/ResourceEstimator.h"
+
+#include "ptx/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace g80;
+
+namespace {
+
+// A zero-overhead option set so tests reason about raw liveness.
+ResourceEstimatorOptions noSystem() {
+  ResourceEstimatorOptions O;
+  O.SystemRegisters = 0;
+  return O;
+}
+
+TEST(RegEstimate, EmptyKernel) {
+  KernelBuilder B("k");
+  EXPECT_EQ(estimateRegisters(B.take(), noSystem()), 0u);
+}
+
+TEST(RegEstimate, StraightLineChainNeedsTwo) {
+  // a -> b -> c ... each value dies as the next is produced: max 2 live
+  // (producer + consumer overlap at the defining instruction).
+  KernelBuilder B("k");
+  Reg V = B.mov(B.imm(1.0f));
+  for (int I = 0; I != 10; ++I)
+    V = B.addf(V, B.imm(1.0f));
+  EXPECT_EQ(estimateRegisters(B.take(), noSystem()), 2u);
+}
+
+TEST(RegEstimate, SimultaneouslyLiveValuesCount) {
+  KernelBuilder B("k");
+  Reg A = B.mov(B.imm(1.0f));
+  Reg C = B.mov(B.imm(2.0f));
+  Reg D = B.mov(B.imm(3.0f));
+  Reg E = B.mov(B.imm(4.0f));
+  Reg S1 = B.addf(A, C);
+  Reg S2 = B.addf(D, E);
+  B.addf(S1, S2);
+  // A,C,D,E all live until the adds: peak 5 (A..E, S1 at S2's def).
+  EXPECT_EQ(estimateRegisters(B.take(), noSystem()), 5u);
+}
+
+TEST(RegEstimate, LoopCarriedAccumulatorStaysLive) {
+  KernelBuilder B("k");
+  Reg Acc = B.mov(B.imm(0.0f));
+  B.forLoop(100, [&] {
+    // Lots of short-lived temporaries; Acc must stay live throughout.
+    Reg T1 = B.mov(B.imm(1.0f));
+    Reg T2 = B.mulf(T1, T1);
+    B.emitTo(Acc, Opcode::AddF, Acc, T2);
+  });
+  B.mov(Acc);
+  // Acc + loop counter + two overlapping temps = 4.
+  EXPECT_EQ(estimateRegisters(B.take(), noSystem()), 4u);
+}
+
+TEST(RegEstimate, IterationLocalTemporariesRecycled) {
+  // Twenty independent load-use pairs inside a loop: a real allocator
+  // recycles them; the estimate must not grow linearly with body size.
+  KernelBuilder B("k");
+  unsigned G = B.addGlobalPtr("g");
+  Reg Addr = B.mov(B.imm(0));
+  Reg Acc = B.mov(B.imm(0.0f));
+  B.forLoop(10, [&] {
+    for (int I = 0; I != 20; ++I) {
+      Reg V = B.ldGlobal(G, Addr, I * 4);
+      B.emitTo(Acc, Opcode::AddF, Acc, V);
+    }
+  });
+  unsigned Regs = estimateRegisters(B.take(), noSystem());
+  EXPECT_LE(Regs, 6u);
+  EXPECT_GE(Regs, 4u); // Addr, Acc, counter, a temp.
+}
+
+TEST(RegEstimate, ValueDefinedBeforeLoopUsedInsideSpansLoop) {
+  KernelBuilder B("k");
+  Reg Hoisted = B.mov(B.imm(3.0f));
+  Reg Acc = B.mov(B.imm(0.0f));
+  B.forLoop(8, [&] { B.emitTo(Acc, Opcode::MadF, Hoisted, Hoisted, Acc); });
+  B.mov(Acc);
+  // Hoisted, Acc, counter live together.
+  EXPECT_EQ(estimateRegisters(B.take(), noSystem()), 3u);
+}
+
+TEST(RegEstimate, NestedLoopsAddCounters) {
+  KernelBuilder B("k");
+  Reg Acc = B.mov(B.imm(0.0f));
+  B.forLoop(4, [&] {
+    B.forLoop(4, [&] { B.emitTo(Acc, Opcode::AddF, Acc, B.imm(1.0f)); });
+  });
+  // Acc + two loop counters.
+  EXPECT_EQ(estimateRegisters(B.take(), noSystem()), 3u);
+}
+
+TEST(RegEstimate, CarriednessPropagatesThroughNesting) {
+  // A value read by the inner loop before any definition is carried for
+  // the outer loop too.
+  KernelBuilder B("k");
+  Reg V = B.mov(B.imm(1.0f));
+  B.forLoop(4, [&] {
+    B.forLoop(4, [&] { B.movTo(V, B.imm(2.0f)); });
+    B.mov(V);
+  });
+  unsigned Regs = estimateRegisters(B.take(), noSystem());
+  // V + 2 counters (V's redefinition inside makes it first-written in
+  // the inner loop, but it is read after the inner loop, keeping it
+  // carried across the outer body).
+  EXPECT_GE(Regs, 3u);
+}
+
+TEST(RegEstimate, SystemRegistersAdded) {
+  KernelBuilder B("k");
+  B.mov(B.imm(1.0f));
+  ResourceEstimatorOptions O;
+  O.SystemRegisters = 3;
+  EXPECT_EQ(estimateRegisters(B.take(), O), 4u);
+}
+
+TEST(RegEstimate, IfBranchesShareIntervalSpace) {
+  KernelBuilder B("k");
+  Reg P = B.setpi(CmpKind::Lt, B.special(SpecialReg::TidX), B.imm(4));
+  Reg Out = B.mov(B.imm(0.0f));
+  B.ifThenElse(
+      P, false,
+      [&] {
+        Reg T = B.mov(B.imm(1.0f));
+        B.movTo(Out, T);
+      },
+      [&] {
+        Reg T = B.mov(B.imm(2.0f));
+        B.movTo(Out, T);
+      });
+  unsigned Regs = estimateRegisters(B.take(), noSystem());
+  EXPECT_LE(Regs, 4u);
+}
+
+TEST(Resources, SharedIncludesToolchainOverhead) {
+  KernelBuilder B("k");
+  B.addShared("tile", 2048);
+  MachineModel M = MachineModel::geForce8800Gtx();
+  KernelResources R = estimateResources(B.take(), M);
+  // The paper's 2088 = 2048 data + 40 bytes of parameter block.
+  EXPECT_EQ(R.SharedMemPerBlockBytes, 2048u + M.SharedMemBlockOverheadBytes);
+}
+
+TEST(Resources, NoSharedStillChargesOverhead) {
+  KernelBuilder B("k");
+  B.mov(B.imm(1.0f));
+  MachineModel M = MachineModel::geForce8800Gtx();
+  EXPECT_EQ(estimateResources(B.take(), M).SharedMemPerBlockBytes,
+            M.SharedMemBlockOverheadBytes);
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+//===- tests/SmokeTest.cpp - End-to-end pipeline smoke checks ---------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Search.h"
+#include "kernels/Cp.h"
+#include "kernels/MatMul.h"
+#include "kernels/MriFhd.h"
+#include "kernels/Sad.h"
+#include "metrics/Metrics.h"
+#include "ptx/Printer.h"
+#include "ptx/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace g80;
+
+namespace {
+
+void expectVerifies(const TunableApp &App, const ConfigPoint &P,
+                    double Tol = 1e-3) {
+  ASSERT_TRUE(App.isExpressible(P));
+  Kernel K = App.buildKernel(P);
+  std::vector<std::string> Errors = verifyKernel(K);
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << K.name() << ": " << E;
+  if (!Errors.empty())
+    return;
+  double Err = App.verifyConfig(P);
+  EXPECT_LE(Err, Tol) << K.name();
+}
+
+TEST(Smoke, MatMulPaperExampleMetrics) {
+  MatMulApp App(MatMulProblem::paper());
+  ConfigPoint P = App.paperExampleConfig();
+  Kernel K = App.buildKernel(P);
+  MachineModel M = MachineModel::geForce8800Gtx();
+  KernelMetrics KM = computeKernelMetrics(K, App.launch(P), M);
+
+  std::fprintf(stderr,
+               "paper example: Instr=%llu Regions=%llu regs=%u smem=%u "
+               "B_SM=%u W_TB=%u Eff=%.3e Util=%.1f bwRatio=%.3f\n",
+               (unsigned long long)KM.Profile.DynInstrs,
+               (unsigned long long)KM.Profile.regions(),
+               KM.Resources.RegsPerThread,
+               KM.Resources.SharedMemPerBlockBytes, KM.Occ.BlocksPerSM,
+               KM.Occ.WarpsPerBlock, KM.Efficiency, KM.Utilization,
+               KM.BandwidthDemandRatio);
+
+  EXPECT_TRUE(KM.Valid);
+  EXPECT_EQ(KM.Occ.WarpsPerBlock, 8u);
+  // Paper §4: Instr = 15150, Regions = 769, 13 regs, 2088B shared,
+  // B_SM = 2, Utilization ~ 227, Efficiency ~ 3.93e-12.
+  EXPECT_NEAR(double(KM.Profile.DynInstrs), 15150.0, 15150.0 * 0.02);
+  EXPECT_EQ(KM.Profile.regions(), 769u);
+  EXPECT_EQ(KM.Resources.RegsPerThread, 13u);
+  EXPECT_EQ(KM.Resources.SharedMemPerBlockBytes, 2088u);
+  EXPECT_EQ(KM.Occ.BlocksPerSM, 2u);
+  EXPECT_NEAR(KM.Efficiency, 3.93e-12, 0.05e-12);
+  EXPECT_NEAR(KM.Utilization, 227.0, 5.0);
+}
+
+TEST(Smoke, MatMulVerifiesSampleConfigs) {
+  MatMulApp App(MatMulProblem::emulation());
+  expectVerifies(App, {16, 1, 0, 0, 0});
+  expectVerifies(App, {16, 4, 4, 1, 0});
+  expectVerifies(App, {8, 2, 1, 0, 1});
+  expectVerifies(App, {8, 4, 0, 1, 1});
+}
+
+TEST(Smoke, CpVerifiesSampleConfigs) {
+  CpApp App(CpProblem::emulation());
+  expectVerifies(App, {2, 1, 0});
+  expectVerifies(App, {8, 4, 1});
+  expectVerifies(App, {16, 16, 0});
+}
+
+TEST(Smoke, SadVerifiesSampleConfigs) {
+  SadApp App(SadApp::emulationProblem());
+  expectVerifies(App, {32, 1, 1, 1, 1});
+  expectVerifies(App, {96, 4, 2, 2, 4});
+  expectVerifies(App, {256, 4, 4, 4, 4});
+  expectVerifies(App, {64, 16, 4, 1, 2});
+}
+
+TEST(Smoke, MriVerifiesSampleConfigs) {
+  MriFhdApp App(MriProblem::emulation());
+  expectVerifies(App, {32, 1, 1}, 2e-3);
+  expectVerifies(App, {256, 8, 8}, 2e-3);
+  expectVerifies(App, {512, 16, 4}, 2e-3);
+}
+
+TEST(Smoke, SimulatorRunsMatMul) {
+  MatMulApp App(MatMulProblem{128});
+  ConfigPoint P = App.paperExampleConfig();
+  Kernel K = App.buildKernel(P);
+  MachineModel M = MachineModel::geForce8800Gtx();
+  SimResult R = simulateKernel(K, App.launch(P), M);
+  ASSERT_TRUE(R.Valid);
+  EXPECT_GT(R.Cycles, 0u);
+  std::fprintf(stderr, "matmul-128 sim: cycles=%llu time=%.3fms util=%.2f\n",
+               (unsigned long long)R.Cycles, R.Seconds * 1e3,
+               R.issueUtilization());
+}
+
+} // namespace

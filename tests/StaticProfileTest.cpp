@@ -1,0 +1,252 @@
+//===- tests/StaticProfileTest.cpp - Instr/Regions profiling tests -----------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ptx/StaticProfile.h"
+
+#include "ptx/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace g80;
+
+namespace {
+
+TEST(Profile, EmptyKernel) {
+  KernelBuilder B("k");
+  StaticProfile P = computeStaticProfile(B.take());
+  EXPECT_EQ(P.DynInstrs, 0u);
+  EXPECT_EQ(P.BlockingUnits, 0u);
+  EXPECT_EQ(P.regions(), 1u);
+}
+
+TEST(Profile, StraightLineCounts) {
+  KernelBuilder B("k");
+  unsigned G = B.addGlobalPtr("g");
+  Reg Tx = B.mov(B.special(SpecialReg::TidX));    // alu
+  Reg Addr = B.shli(Tx, B.imm(2));                // alu
+  Reg V = B.ldGlobal(G, Addr);                    // gld
+  Reg W = B.mulf(V, V);                           // alu
+  B.stGlobal(G, Addr, 0, W);                      // gst
+  StaticProfile P = computeStaticProfile(B.take());
+  EXPECT_EQ(P.DynInstrs, 5u);
+  EXPECT_EQ(P.AluInstrs, 3u);
+  EXPECT_EQ(P.GlobalLoads, 1u);
+  EXPECT_EQ(P.GlobalStores, 1u);
+  EXPECT_EQ(P.GlobalBytesUseful, 8u);
+  // One load run; the store is fire-and-forget, not blocking.
+  EXPECT_EQ(P.BlockingUnits, 1u);
+  EXPECT_EQ(P.regions(), 2u);
+}
+
+TEST(Profile, LoopMultipliesAndChargesControl) {
+  KernelBuilder B("k");
+  Reg Acc = B.mov(B.imm(0.0f));
+  B.forLoop(10, [&] { B.emitTo(Acc, Opcode::AddF, Acc, B.imm(1.0f)); });
+  StaticProfile P = computeStaticProfile(B.take());
+  // 1 prologue + 10 * (1 body + 3 loop control).
+  EXPECT_EQ(P.DynInstrs, 1u + 10u * (1 + LoopControlInstrsPerIter));
+  EXPECT_EQ(P.AluInstrs, P.DynInstrs);
+}
+
+TEST(Profile, NestedLoopsMultiply) {
+  KernelBuilder B("k");
+  Reg Acc = B.mov(B.imm(0.0f));
+  B.forLoop(3, [&] {
+    B.forLoop(5, [&] { B.emitTo(Acc, Opcode::AddF, Acc, B.imm(1.0f)); });
+  });
+  StaticProfile P = computeStaticProfile(B.take());
+  // 1 + 3*( 5*(1+3) + 3 ).
+  EXPECT_EQ(P.DynInstrs, 1u + 3u * (5u * 4u + 3u));
+}
+
+TEST(Profile, AdjacentLoadsFormOneBlockingUnit) {
+  // §4: "Sequences of independent, long-latency loads are considered a
+  // unit."
+  KernelBuilder B("k");
+  unsigned G = B.addGlobalPtr("g");
+  Reg Addr = B.mov(B.imm(0));
+  Reg V1 = B.ldGlobal(G, Addr, 0);
+  Reg V2 = B.ldGlobal(G, Addr, 4);
+  Reg V3 = B.ldGlobal(G, Addr, 8);
+  Reg S = B.addf(V1, V2);
+  B.addf(S, V3);
+  StaticProfile P = computeStaticProfile(B.take());
+  EXPECT_EQ(P.GlobalLoads, 3u);
+  EXPECT_EQ(P.BlockingUnits, 1u);
+}
+
+TEST(Profile, ConsumingALoadSplitsTheRun) {
+  KernelBuilder B("k");
+  unsigned G = B.addGlobalPtr("g");
+  Reg Addr = B.mov(B.imm(0));
+  Reg V1 = B.ldGlobal(G, Addr, 0);
+  Reg W = B.mulf(V1, V1); // Uses the outstanding load: run closes.
+  Reg V2 = B.ldGlobal(G, Addr, 4); // Opens a second unit.
+  B.addf(W, V2);
+  StaticProfile P = computeStaticProfile(B.take());
+  EXPECT_EQ(P.BlockingUnits, 2u);
+}
+
+TEST(Profile, IndependentAluDoesNotSplitTheRun) {
+  KernelBuilder B("k");
+  unsigned G = B.addGlobalPtr("g");
+  Reg Addr = B.mov(B.imm(0));
+  Reg V1 = B.ldGlobal(G, Addr, 0);
+  B.mov(B.imm(7));                 // Independent of the load.
+  Reg V2 = B.ldGlobal(G, Addr, 4); // Joins the same unit.
+  B.addf(V1, V2);
+  StaticProfile P = computeStaticProfile(B.take());
+  EXPECT_EQ(P.BlockingUnits, 1u);
+}
+
+TEST(Profile, BarriersAreBlockingUnits) {
+  KernelBuilder B("k");
+  B.bar();
+  B.mov(B.imm(1));
+  B.bar();
+  StaticProfile P = computeStaticProfile(B.take());
+  EXPECT_EQ(P.Barriers, 2u);
+  EXPECT_EQ(P.BlockingUnits, 2u);
+  EXPECT_EQ(P.regions(), 3u);
+}
+
+TEST(Profile, MatMulShapedLoop) {
+  // The §4 structure: per iteration one load pair + two barriers = 3
+  // blocking units, Regions = 3*trips + 1.
+  KernelBuilder B("k");
+  unsigned G = B.addGlobalPtr("g");
+  unsigned Sh = B.addShared("tile", 64);
+  Reg Addr = B.mov(B.imm(0));
+  Reg Acc = B.mov(B.imm(0.0f));
+  B.forLoop(256, [&] {
+    Reg A = B.ldGlobal(G, Addr, 0);
+    Reg C = B.ldGlobal(G, Addr, 4);
+    B.stShared(Sh, Addr, 0, A);
+    B.stShared(Sh, Addr, 4, C);
+    B.bar();
+    Reg V = B.ldShared(Sh, Addr, 0);
+    B.emitTo(Acc, Opcode::MadF, V, V, Acc);
+    B.bar();
+  });
+  StaticProfile P = computeStaticProfile(B.take());
+  EXPECT_EQ(P.BlockingUnits, 3u * 256u);
+  EXPECT_EQ(P.regions(), 3u * 256u + 1u);
+  EXPECT_EQ(P.Barriers, 512u);
+  EXPECT_EQ(P.GlobalLoads, 512u);
+  EXPECT_EQ(P.SharedAccesses, 3u * 256u);
+}
+
+TEST(Profile, RunMergesAcrossLoopBackEdgeWhenUnconsumed) {
+  // Loads at the end of an iteration that nothing consumes merge with
+  // the next iteration's loads (prefetch-style code).
+  KernelBuilder B("k");
+  unsigned G = B.addGlobalPtr("g");
+  Reg Addr = B.mov(B.imm(0));
+  Reg Sink = B.mov(B.imm(0.0f));
+  B.forLoop(10, [&] {
+    B.ldGlobalTo(Sink, G, Addr, 0); // Never consumed.
+  });
+  StaticProfile P = computeStaticProfile(B.take());
+  // All ten loads belong to one run: loop control does not consume them.
+  EXPECT_EQ(P.BlockingUnits, 1u);
+}
+
+TEST(Profile, SfuBlockingOnlyWithoutLongerLatencyOps) {
+  // CP-like: const loads + rsqrt, no global loads, no barriers -> each
+  // rsqrt is a blocking unit.
+  KernelBuilder B1("cp_like");
+  unsigned C1 = B1.addConstPtr("atoms");
+  Reg Addr1 = B1.mov(B1.imm(0));
+  Reg Acc1 = B1.mov(B1.imm(0.0f));
+  B1.forLoop(100, [&] {
+    Reg Q = B1.ldConst(C1, Addr1, 0);
+    Reg R = B1.rsqrtf(Q);
+    B1.emitTo(Acc1, Opcode::MadF, Q, R, Acc1);
+  });
+  StaticProfile P1 = computeStaticProfile(B1.take());
+  EXPECT_EQ(P1.SfuInstrs, 100u);
+  EXPECT_EQ(P1.BlockingUnits, 100u);
+
+  // Same loop plus a single global load: SFUs stop being blocking.
+  KernelBuilder B2("cp_with_load");
+  unsigned C2 = B2.addConstPtr("atoms");
+  unsigned G2 = B2.addGlobalPtr("g");
+  Reg Addr2 = B2.mov(B2.imm(0));
+  Reg Acc2 = B2.mov(B2.imm(0.0f));
+  Reg Seed = B2.ldGlobal(G2, Addr2, 0);
+  B2.movTo(Acc2, Seed);
+  B2.forLoop(100, [&] {
+    Reg Q = B2.ldConst(C2, Addr2, 0);
+    Reg R = B2.rsqrtf(Q);
+    B2.emitTo(Acc2, Opcode::MadF, Q, R, Acc2);
+  });
+  StaticProfile P2 = computeStaticProfile(B2.take());
+  EXPECT_EQ(P2.SfuInstrs, 100u);
+  EXPECT_EQ(P2.BlockingUnits, 1u); // Just the prologue load run.
+}
+
+TEST(Profile, TextureLoadsAreBlocking) {
+  KernelBuilder B("k");
+  unsigned T = B.addTexPtr("tex");
+  Reg Addr = B.mov(B.imm(0));
+  Reg V = B.ldTex(T, Addr, 0);
+  B.mulf(V, V);
+  StaticProfile P = computeStaticProfile(B.take());
+  EXPECT_EQ(P.TextureLoads, 1u);
+  EXPECT_EQ(P.BlockingUnits, 1u);
+  // Cache-served: no DRAM bytes.
+  EXPECT_EQ(P.GlobalBytesEffective, 0u);
+}
+
+TEST(Profile, EffectiveBytesTrackCoalescing) {
+  KernelBuilder B("k");
+  unsigned G = B.addGlobalPtr("g");
+  Reg Addr = B.mov(B.imm(0));
+  Reg V = B.ldGlobal(G, Addr, 0, /*EffBytesPerThread=*/32);
+  B.stGlobal(G, Addr, 0, V, /*EffBytesPerThread=*/4);
+  StaticProfile P = computeStaticProfile(B.take());
+  EXPECT_EQ(P.GlobalBytesUseful, 8u);
+  EXPECT_EQ(P.GlobalBytesEffective, 36u);
+}
+
+TEST(Profile, DivergentIfChargesBothSides) {
+  KernelBuilder B("k");
+  Reg P = B.setpi(CmpKind::Lt, B.special(SpecialReg::TidX), B.imm(4));
+  B.ifThenElse(
+      P, /*Uniform=*/false, [&] { B.mov(B.imm(1)); },
+      [&] {
+        B.mov(B.imm(2));
+        B.mov(B.imm(3));
+      });
+  StaticProfile Prof = computeStaticProfile(B.take());
+  // setp + 1 then + 2 else.
+  EXPECT_EQ(Prof.DynInstrs, 4u);
+}
+
+TEST(Profile, UniformIfChargesTakenSideOnly) {
+  KernelBuilder B("k");
+  Reg P = B.setpi(CmpKind::Lt, B.special(SpecialReg::CtaIdX), B.imm(4));
+  B.ifThenElse(
+      P, /*Uniform=*/true, [&] { B.mov(B.imm(1)); },
+      [&] {
+        B.mov(B.imm(2));
+        B.mov(B.imm(3));
+      });
+  StaticProfile Prof = computeStaticProfile(B.take());
+  EXPECT_EQ(Prof.DynInstrs, 2u);
+}
+
+TEST(Profile, GlobalAccessFraction) {
+  KernelBuilder B("k");
+  unsigned G = B.addGlobalPtr("g");
+  Reg Addr = B.mov(B.imm(0));
+  Reg V = B.ldGlobal(G, Addr);
+  B.stGlobal(G, Addr, 0, V);
+  StaticProfile P = computeStaticProfile(B.take());
+  EXPECT_NEAR(P.globalAccessFraction(), 2.0 / 3.0, 1e-12);
+}
+
+} // namespace

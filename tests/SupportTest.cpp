@@ -1,0 +1,238 @@
+//===- tests/SupportTest.cpp - support/ unit tests ---------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/TextTable.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace g80;
+
+namespace {
+
+//===--- SampleStats --------------------------------------------------------//
+
+TEST(SampleStats, SingleSample) {
+  SampleStats S;
+  S.add(42.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.min(), 42.0);
+  EXPECT_DOUBLE_EQ(S.max(), 42.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(S.median(), 42.0);
+}
+
+TEST(SampleStats, MeanAndStddev) {
+  SampleStats S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  // Sample stddev with N-1: sum of squares = 32, 32/7.
+  EXPECT_NEAR(S.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleStats, MinMax) {
+  SampleStats S;
+  S.add(3);
+  S.add(-1);
+  S.add(10);
+  EXPECT_DOUBLE_EQ(S.min(), -1);
+  EXPECT_DOUBLE_EQ(S.max(), 10);
+}
+
+TEST(SampleStats, Geomean) {
+  SampleStats S;
+  S.add(1.0);
+  S.add(4.0);
+  S.add(16.0);
+  EXPECT_NEAR(S.geomean(), 4.0, 1e-12);
+}
+
+TEST(SampleStats, QuantileInterpolates) {
+  SampleStats S;
+  for (double V : {10.0, 20.0, 30.0, 40.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(S.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(S.median(), 25.0);
+  EXPECT_DOUBLE_EQ(S.quantile(1.0 / 3.0), 20.0);
+}
+
+TEST(SampleStats, QuantileUnsortedInput) {
+  SampleStats S;
+  for (double V : {40.0, 10.0, 30.0, 20.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.median(), 25.0);
+}
+
+TEST(RelativeDifference, Basics) {
+  EXPECT_DOUBLE_EQ(relativeDifference(0, 0), 0);
+  EXPECT_DOUBLE_EQ(relativeDifference(1.0, 1.0), 0);
+  EXPECT_DOUBLE_EQ(relativeDifference(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(relativeDifference(2.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(relativeDifference(-1.0, 1.0), 2.0);
+}
+
+//===--- Rng ----------------------------------------------------------------//
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng A(7), B(7), C(8);
+  for (int I = 0; I != 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    (void)C;
+  }
+  Rng D(8);
+  EXPECT_NE(Rng(7).next(), D.next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng R(123);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Rng, FloatsInUnitInterval) {
+  Rng R(9);
+  double Sum = 0;
+  for (int I = 0; I != 10000; ++I) {
+    float V = R.nextFloat();
+    ASSERT_GE(V, 0.0f);
+    ASSERT_LT(V, 1.0f);
+    Sum += V;
+  }
+  // Mean of U[0,1) should be near 0.5.
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, FloatInRange) {
+  Rng R(10);
+  for (int I = 0; I != 1000; ++I) {
+    float V = R.nextFloatIn(-2.0f, 3.0f);
+    ASSERT_GE(V, -2.0f);
+    ASSERT_LT(V, 3.0f);
+  }
+}
+
+//===--- TextTable ----------------------------------------------------------//
+
+TEST(TextTable, AlignsColumns) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer", "22"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("name    value"), std::string::npos);
+  EXPECT_NE(Out.find("longer  22"), std::string::npos);
+  EXPECT_NE(Out.find("------"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable T;
+  T.addRow({"a"});
+  T.addRow({"b", "c", "d"});
+  std::ostringstream OS;
+  T.print(OS);
+  EXPECT_NE(OS.str().find("b  c  d"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRow) {
+  TextTable T;
+  T.addRow({"x"});
+  T.addSeparator();
+  T.addRow({"y"});
+  std::ostringstream OS;
+  T.print(OS);
+  EXPECT_NE(OS.str().find('-'), std::string::npos);
+  EXPECT_EQ(T.numRows(), 3u);
+}
+
+//===--- CsvWriter ----------------------------------------------------------//
+
+TEST(Csv, PlainRow) {
+  std::ostringstream OS;
+  CsvWriter W(OS);
+  W.writeRow({"a", "b", "c"});
+  EXPECT_EQ(OS.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecials) {
+  std::ostringstream OS;
+  CsvWriter W(OS);
+  W.writeRow({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(OS.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+//===--- Format -------------------------------------------------------------//
+
+TEST(Format, Doubles) {
+  EXPECT_EQ(fmtDouble(1.5, 2), "1.50");
+  EXPECT_EQ(fmtDouble(-0.125, 3), "-0.125");
+}
+
+TEST(Format, Scientific) { EXPECT_EQ(fmtSci(3.93e-12), "3.93e-12"); }
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmtPercent(0.982), "98.2%");
+  EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(Format, Ints) {
+  EXPECT_EQ(fmtInt(42), "42");
+  EXPECT_EQ(fmtInt(uint64_t(1) << 40), "1099511627776");
+}
+
+} // namespace
+
+// NOTE: appended Spearman rank-correlation coverage.
+namespace {
+
+TEST(Spearman, PerfectMonotone) {
+  std::vector<double> A = {1, 2, 3, 4, 5};
+  std::vector<double> B = {10, 20, 30, 40, 50};
+  EXPECT_NEAR(spearmanCorrelation(A, B), 1.0, 1e-12);
+  // Monotone but nonlinear is still rank-perfect.
+  std::vector<double> C = {1, 8, 27, 64, 125};
+  EXPECT_NEAR(spearmanCorrelation(A, C), 1.0, 1e-12);
+}
+
+TEST(Spearman, PerfectAntitone) {
+  std::vector<double> A = {1, 2, 3, 4};
+  std::vector<double> B = {9, 7, 5, 3};
+  EXPECT_NEAR(spearmanCorrelation(A, B), -1.0, 1e-12);
+}
+
+TEST(Spearman, ConstantSequenceIsZero) {
+  std::vector<double> A = {1, 2, 3};
+  std::vector<double> B = {7, 7, 7};
+  EXPECT_DOUBLE_EQ(spearmanCorrelation(A, B), 0.0);
+}
+
+TEST(Spearman, TiesGetFractionalRanks) {
+  // Known value: classic tie-handling example.
+  std::vector<double> A = {1, 2, 2, 4};
+  std::vector<double> B = {1, 2, 3, 4};
+  double Rho = spearmanCorrelation(A, B);
+  EXPECT_GT(Rho, 0.9);
+  EXPECT_LT(Rho, 1.0);
+}
+
+TEST(Spearman, SymmetricInArguments) {
+  std::vector<double> A = {3, 1, 4, 1.5, 9, 2.6};
+  std::vector<double> B = {2, 7, 1, 8.5, 2.8, 1.9};
+  EXPECT_DOUBLE_EQ(spearmanCorrelation(A, B), spearmanCorrelation(B, A));
+}
+
+} // namespace

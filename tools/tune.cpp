@@ -1,0 +1,280 @@
+//===- tools/tune.cpp - g80tune command-line driver ----------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The command-line face of the library:
+//
+//   tune list
+//       List the built-in applications and their optimization spaces.
+//
+//   tune search --app <name> [--strategy pareto|exhaustive|cluster|
+//                             random|greedy] [--machine gtx|nextgen]
+//                            [--budget N] [--seed N]
+//       Run a search strategy and print the outcome (Table-4 style).
+//
+//   tune show --app <name> --config "v1,v2,..."
+//       Print the generated kernel for one configuration plus its
+//       static metrics.
+//
+//   tune inspect --file <kernel.ptx> --block X[,Y] --grid X[,Y]
+//       Parse a kernel from text (the printer's syntax), verify it, and
+//       report resources, occupancy, profile and metrics — the
+//       `nvcc -ptx/-cubin` workflow of §2.3 in one command.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Search.h"
+#include "kernels/Cp.h"
+#include "kernels/MatMul.h"
+#include "kernels/MriFhd.h"
+#include "kernels/Sad.h"
+#include "metrics/Metrics.h"
+#include "ptx/Parser.h"
+#include "ptx/Printer.h"
+#include "ptx/Verifier.h"
+#include "support/Format.h"
+#include "support/TextTable.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+using namespace g80;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  tune list\n"
+         "  tune search  --app <matmul|cp|sad|mri> [--strategy pareto|"
+         "exhaustive|cluster|random|greedy]\n"
+         "               [--machine gtx|nextgen] [--budget N] [--seed N]\n"
+         "  tune show    --app <name> --config \"v1,v2,...\"\n"
+         "  tune inspect --file <kernel.ptx> --block X[,Y] --grid X[,Y]\n";
+  return 2;
+}
+
+std::unique_ptr<TunableApp> makeApp(const std::string &Name) {
+  if (Name == "matmul")
+    return std::make_unique<MatMulApp>(MatMulProblem::bench());
+  if (Name == "cp")
+    return std::make_unique<CpApp>(CpProblem::bench());
+  if (Name == "sad")
+    return std::make_unique<SadApp>(SadApp::benchProblem());
+  if (Name == "mri" || Name == "mri-fhd")
+    return std::make_unique<MriFhdApp>(MriProblem::bench());
+  return nullptr;
+}
+
+MachineModel makeMachine(const std::string &Name) {
+  if (Name == "nextgen")
+    return MachineModel::hypotheticalNextGen();
+  return MachineModel::geForce8800Gtx();
+}
+
+/// Parses "a,b,c" into ints.
+std::vector<int> parseInts(const std::string &S) {
+  std::vector<int> Out;
+  std::stringstream SS(S);
+  std::string Part;
+  while (std::getline(SS, Part, ','))
+    Out.push_back(std::atoi(Part.c_str()));
+  return Out;
+}
+
+std::map<std::string, std::string> parseFlags(int Argc, char **Argv,
+                                              int Start) {
+  std::map<std::string, std::string> Flags;
+  for (int I = Start; I + 1 < Argc; I += 2) {
+    if (std::strncmp(Argv[I], "--", 2) != 0)
+      continue;
+    Flags[Argv[I] + 2] = Argv[I + 1];
+  }
+  return Flags;
+}
+
+int cmdList() {
+  TextTable T;
+  T.setHeader({"app", "dimensions", "raw size"});
+  for (const char *Name : {"matmul", "cp", "sad", "mri"}) {
+    std::unique_ptr<TunableApp> App = makeApp(Name);
+    std::string Dims;
+    for (const ConfigDim &D : App->space().dims()) {
+      if (!Dims.empty())
+        Dims += ", ";
+      Dims += D.Name + "(" + std::to_string(D.Values.size()) + ")";
+    }
+    T.addRow({Name, Dims, fmtInt(App->space().rawSize())});
+  }
+  T.print(std::cout);
+  return 0;
+}
+
+int cmdSearch(std::map<std::string, std::string> Flags) {
+  std::unique_ptr<TunableApp> App = makeApp(Flags["app"]);
+  if (!App) {
+    std::cerr << "error: unknown or missing --app\n";
+    return usage();
+  }
+  MachineModel Machine = makeMachine(Flags["machine"]);
+  SearchEngine Engine(*App, Machine);
+
+  std::string Strategy =
+      Flags.count("strategy") ? Flags["strategy"] : "pareto";
+  uint64_t Seed = Flags.count("seed") ? std::atoll(Flags["seed"].c_str()) : 1;
+  size_t Budget =
+      Flags.count("budget") ? std::atoll(Flags["budget"].c_str()) : 16;
+
+  SearchOutcome Out;
+  if (Strategy == "pareto")
+    Out = Engine.paretoPruned();
+  else if (Strategy == "exhaustive")
+    Out = Engine.exhaustive();
+  else if (Strategy == "cluster")
+    Out = Engine.paretoClustered();
+  else if (Strategy == "random")
+    Out = Engine.randomSample(Budget, Seed);
+  else if (Strategy == "greedy")
+    Out = Engine.greedyClimb(Budget, Seed);
+  else {
+    std::cerr << "error: unknown --strategy\n";
+    return usage();
+  }
+
+  std::cout << App->name() << " on " << Machine.Name << " — strategy "
+            << Out.Strategy << "\n\n"
+            << "  valid configurations : " << Out.ValidCount << "\n"
+            << "  measured             : " << Out.Candidates.size() << "\n"
+            << "  space reduction      : "
+            << fmtPercent(Out.spaceReduction()) << "\n"
+            << "  total measured time  : "
+            << fmtDouble(Out.TotalMeasuredSeconds * 1e3, 2) << " ms\n";
+  if (Out.BestIndex < Out.Evals.size()) {
+    const ConfigEval &Best = Out.Evals[Out.BestIndex];
+    std::cout << "  best configuration   : "
+              << App->space().describe(Best.Point) << "\n"
+              << "  best time            : "
+              << fmtDouble(Out.BestTime * 1e3, 3) << " ms\n";
+  }
+  return 0;
+}
+
+int cmdShow(std::map<std::string, std::string> Flags) {
+  std::unique_ptr<TunableApp> App = makeApp(Flags["app"]);
+  if (!App || !Flags.count("config")) {
+    std::cerr << "error: need --app and --config\n";
+    return usage();
+  }
+  ConfigPoint P = parseInts(Flags["config"]);
+  if (P.size() != App->space().numDims() || !App->isExpressible(P)) {
+    std::cerr << "error: configuration is not expressible; dimensions:\n";
+    for (const ConfigDim &D : App->space().dims()) {
+      std::cerr << "  " << D.Name << " in {";
+      for (size_t I = 0; I != D.Values.size(); ++I)
+        std::cerr << (I ? "," : "") << D.Values[I];
+      std::cerr << "}\n";
+    }
+    return 1;
+  }
+  Kernel K = App->buildKernel(P);
+  MachineModel Machine = makeMachine(Flags["machine"]);
+  KernelMetrics M = computeKernelMetrics(K, App->launch(P), Machine);
+  printKernel(K, std::cout);
+  std::cout << "\n// Instr=" << M.Profile.DynInstrs
+            << " Regions=" << M.Profile.regions()
+            << " regs=" << M.Resources.RegsPerThread
+            << " smem=" << M.Resources.SharedMemPerBlockBytes
+            << " B_SM=" << M.Occ.BlocksPerSM << " Eff=" << fmtSci(M.Efficiency)
+            << " Util=" << fmtDouble(M.Utilization, 1) << "\n";
+  return 0;
+}
+
+int cmdInspect(std::map<std::string, std::string> Flags) {
+  if (!Flags.count("file")) {
+    std::cerr << "error: need --file\n";
+    return usage();
+  }
+  std::ifstream In(Flags["file"]);
+  if (!In) {
+    std::cerr << "error: cannot open '" << Flags["file"] << "'\n";
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  ParseResult R = parseKernel(Buf.str());
+  if (!R.ok()) {
+    std::cerr << Flags["file"] << ":" << R.ErrorLine
+              << ": error: " << R.Error << "\n";
+    return 1;
+  }
+  Kernel &K = *R.K;
+
+  std::vector<std::string> Errors = verifyKernel(K);
+  for (const std::string &E : Errors)
+    std::cerr << Flags["file"] << ": verifier: " << E << "\n";
+  if (!Errors.empty())
+    return 1;
+
+  std::vector<int> Block =
+      Flags.count("block") ? parseInts(Flags["block"]) : std::vector<int>{256};
+  std::vector<int> Grid =
+      Flags.count("grid") ? parseInts(Flags["grid"]) : std::vector<int>{64};
+  LaunchConfig LC(
+      Dim3(unsigned(Grid[0]), Grid.size() > 1 ? unsigned(Grid[1]) : 1),
+      Dim3(unsigned(Block[0]), Block.size() > 1 ? unsigned(Block[1]) : 1));
+
+  MachineModel Machine = makeMachine(Flags["machine"]);
+  KernelMetrics M = computeKernelMetrics(K, LC, Machine);
+
+  std::cout << "kernel '" << K.name() << "' on " << Machine.Name << " with "
+            << LC.numBlocks() << " blocks x " << LC.threadsPerBlock()
+            << " threads\n\n";
+  TextTable T;
+  T.addRow({"registers/thread", fmtInt(M.Resources.RegsPerThread)});
+  T.addRow({"shared mem/block", fmtInt(M.Resources.SharedMemPerBlockBytes)});
+  T.addRow({"blocks per SM (B_SM)",
+            M.Occ.valid() ? fmtInt(M.Occ.BlocksPerSM) : "INVALID"});
+  T.addRow({"limited by", occupancyLimitName(M.Occ.Limit)});
+  T.addRow({"Instr (dyn/thread)", fmtInt(M.Profile.DynInstrs)});
+  T.addRow({"Regions", fmtInt(M.Profile.regions())});
+  T.addRow({"global loads/stores", fmtInt(M.Profile.GlobalLoads) + "/" +
+                                       fmtInt(M.Profile.GlobalStores)});
+  T.addRow({"bandwidth demand ratio",
+            fmtDouble(M.BandwidthDemandRatio, 3) +
+                (M.bandwidthBound() ? "  (BANDWIDTH BOUND)" : "")});
+  if (M.Valid) {
+    T.addRow({"Efficiency (Eq. 1)", fmtSci(M.Efficiency)});
+    T.addRow({"Utilization (Eq. 2)", fmtDouble(M.Utilization, 1)});
+    SimResult S = simulateKernel(K, LC, Machine);
+    T.addRow({"simulated time", fmtDouble(S.Seconds * 1e3, 3) + " ms"});
+    T.addRow({"issue utilization",
+              fmtPercent(S.issueUtilization())});
+  }
+  T.print(std::cout);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  std::map<std::string, std::string> Flags = parseFlags(Argc, Argv, 2);
+  if (Cmd == "list")
+    return cmdList();
+  if (Cmd == "search")
+    return cmdSearch(std::move(Flags));
+  if (Cmd == "show")
+    return cmdShow(std::move(Flags));
+  if (Cmd == "inspect")
+    return cmdInspect(std::move(Flags));
+  return usage();
+}
