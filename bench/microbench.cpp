@@ -114,8 +114,8 @@ void BM_SimulateSmallMatMul(benchmark::State &State) {
   Kernel K = App.buildKernel(exampleConfig());
   MachineModel M = MachineModel::geForce8800Gtx();
   for (auto _ : State) {
-    SimResult R = simulateKernel(K, App.launch(exampleConfig()), M);
-    benchmark::DoNotOptimize(R.Cycles);
+    Expected<SimResult> R = simulateKernel(K, App.launch(exampleConfig()), M);
+    benchmark::DoNotOptimize(R->Cycles);
   }
 }
 BENCHMARK(BM_SimulateSmallMatMul);

@@ -25,6 +25,7 @@
 #include "support/Format.h"
 
 #include <iostream>
+#include <limits>
 
 using namespace g80;
 
@@ -106,7 +107,8 @@ public:
     LaunchBindings Bind(K);
     Bind.bindBuffer(0, &XBuf);
     Bind.bindBuffer(1, &YBuf);
-    emulateKernel(K, launch(P), Bind);
+    if (!emulateKernel(K, launch(P), Bind))
+      return std::numeric_limits<double>::infinity();
 
     std::vector<float> Want(N);
     for (unsigned I = 0; I != N; ++I)

@@ -70,3 +70,23 @@ Occupancy g80::computeOccupancy(const MachineModel &Machine,
          "occupancy exceeded the thread limit");
   return Result;
 }
+
+Expected<Occupancy>
+g80::computeOccupancyChecked(const MachineModel &Machine,
+                             unsigned ThreadsPerBlock,
+                             const KernelResources &Res) {
+  Occupancy Occ = computeOccupancy(Machine, ThreadsPerBlock, Res);
+  if (Occ.valid())
+    return Occ;
+  std::string Msg;
+  if (ThreadsPerBlock == 0 || ThreadsPerBlock > Machine.MaxThreadsPerBlock)
+    Msg = "block of " + std::to_string(ThreadsPerBlock) +
+          " threads violates the " +
+          std::to_string(Machine.MaxThreadsPerBlock) + "-thread block limit";
+  else
+    Msg = "not even one block fits on an SM (" +
+          std::to_string(Res.RegsPerThread) + " regs/thread, " +
+          std::to_string(Res.SharedMemPerBlockBytes) + " shared bytes/block)";
+  return makeDiag(ErrorCode::OccupancyInvalid, Stage::Occupancy,
+                  std::move(Msg));
+}

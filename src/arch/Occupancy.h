@@ -17,6 +17,7 @@
 #define G80TUNE_ARCH_OCCUPANCY_H
 
 #include "arch/MachineModel.h"
+#include "support/Status.h"
 
 namespace g80 {
 
@@ -62,6 +63,14 @@ struct Occupancy {
 Occupancy computeOccupancy(const MachineModel &Machine,
                            unsigned ThreadsPerBlock,
                            const KernelResources &Res);
+
+/// Expected-returning form for the evaluation pipeline: an Invalid result
+/// becomes a Diagnostic (Code OccupancyInvalid, Stage Occupancy) naming the
+/// violated limit.  Plain computeOccupancy remains for metric plots, where
+/// "invalid executable" is data rather than an error.
+Expected<Occupancy> computeOccupancyChecked(const MachineModel &Machine,
+                                            unsigned ThreadsPerBlock,
+                                            const KernelResources &Res);
 
 } // namespace g80
 

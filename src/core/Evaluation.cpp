@@ -6,6 +6,8 @@
 
 #include "core/Evaluation.h"
 
+#include "ptx/Verifier.h"
+
 #include <cassert>
 
 using namespace g80;
@@ -13,6 +15,7 @@ using namespace g80;
 std::vector<ConfigEval> Evaluator::evaluateMetrics() const {
   const ConfigSpace &Space = App.space();
   uint64_t Raw = Space.rawSize();
+  const bool Injecting = Inject.enabled();
 
   std::vector<ConfigEval> Evals;
   Evals.reserve(Raw);
@@ -21,27 +24,79 @@ std::vector<ConfigEval> Evaluator::evaluateMetrics() const {
     E.FlatIndex = I;
     E.Point = Space.pointAt(I);
     E.Expressible = App.isExpressible(E.Point);
-    if (E.Expressible) {
-      Kernel K = App.buildKernel(E.Point);
-      E.Metrics = computeKernelMetrics(K, App.launch(E.Point), Machine, MOpts);
-      E.Invocations = App.invocations(E.Point);
-      if (E.Metrics.Valid)
-        E.EfficiencyTotal =
-            efficiencyMetric(E.Metrics.Profile.DynInstrs * E.Invocations,
-                             E.Metrics.Threads);
+    if (!E.Expressible) {
+      Evals.push_back(std::move(E));
+      continue;
     }
+
+    // The generator stands in for the paper's source-to-source step;
+    // Parse-stage faults can only come from the injector here (file input
+    // goes through parseKernel in the tool instead).
+    if (Injecting) {
+      if (std::optional<Diagnostic> D = Inject.at(Stage::Parse, I)) {
+        E.Failure = std::move(*D);
+        Evals.push_back(std::move(E));
+        continue;
+      }
+    }
+
+    Kernel K = App.buildKernel(E.Point);
+
+    std::optional<Diagnostic> InjectedVerify =
+        Injecting ? Inject.at(Stage::Verify, I) : std::nullopt;
+    if (InjectedVerify) {
+      E.Failure = std::move(*InjectedVerify);
+    } else if (Expected<Unit> V = checkKernel(K); !V) {
+      E.Failure = V.takeDiag();
+    }
+    if (E.failed()) {
+      Evals.push_back(std::move(E));
+      continue;
+    }
+
+    if (Injecting) {
+      if (std::optional<Diagnostic> D = Inject.at(Stage::Estimate, I)) {
+        E.Failure = std::move(*D);
+        Evals.push_back(std::move(E));
+        continue;
+      }
+    }
+
+    E.Metrics = computeKernelMetrics(K, App.launch(E.Point), Machine, MOpts);
+    E.Invocations = App.invocations(E.Point);
+    if (E.Metrics.Valid)
+      E.EfficiencyTotal =
+          efficiencyMetric(E.Metrics.Profile.DynInstrs * E.Invocations,
+                           E.Metrics.Threads);
     Evals.push_back(std::move(E));
   }
   return Evals;
 }
 
-void Evaluator::measure(ConfigEval &E) const {
+bool Evaluator::measure(ConfigEval &E) const {
   assert(E.usable() && "measuring an unusable configuration");
   if (E.Measured)
-    return;
+    return true;
+
+  if (Inject.enabled()) {
+    if (std::optional<Diagnostic> D = Inject.at(Stage::Emulate, E.FlatIndex)) {
+      E.Failure = std::move(*D);
+      return false;
+    }
+    if (std::optional<Diagnostic> D = Inject.at(Stage::Simulate, E.FlatIndex)) {
+      E.Failure = std::move(*D);
+      return false;
+    }
+  }
+
   Kernel K = App.buildKernel(E.Point);
-  E.Sim = simulateKernel(K, App.launch(E.Point), Machine, SOpts);
-  assert(E.Sim.Valid && "metrics said valid but the simulator disagreed");
+  Expected<SimResult> R = simulateKernel(K, App.launch(E.Point), Machine, SOpts);
+  if (!R) {
+    E.Failure = R.takeDiag();
+    return false;
+  }
+  E.Sim = *R;
   E.TimeSeconds = E.Sim.Seconds * static_cast<double>(E.Invocations);
   E.Measured = true;
+  return true;
 }

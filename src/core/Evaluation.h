@@ -18,6 +18,8 @@
 #include "core/TunableApp.h"
 #include "metrics/Metrics.h"
 #include "sim/Simulator.h"
+#include "support/FaultInjection.h"
+#include "support/Status.h"
 
 #include <vector>
 
@@ -41,8 +43,18 @@ struct ConfigEval {
   SimResult Sim;
   double TimeSeconds = 0; ///< Invocations * simulated kernel seconds.
 
-  /// Metrics exist and the kernel can actually launch.
-  bool usable() const { return Expressible && Metrics.Valid; }
+  /// First pipeline failure for this configuration, if any.  A failed
+  /// configuration is quarantined: the sweep records the diagnostic here
+  /// and continues with the rest of the space.  Distinct from
+  /// !Metrics.Valid, which is the paper's well-defined "invalid
+  /// executable" outcome (data, not a fault).
+  Diagnostic Failure;
+
+  bool failed() const { return Failure.isError(); }
+
+  /// Metrics exist, the kernel can actually launch, and no pipeline stage
+  /// has faulted on it.
+  bool usable() const { return Expressible && Metrics.Valid && !failed(); }
 };
 
 /// Computes metrics and (on demand) measured times for an app's space.
@@ -53,24 +65,33 @@ struct ConfigEval {
 class Evaluator {
 public:
   Evaluator(const TunableApp &App, MachineModel Machine,
-            MetricOptions MOpts = {}, SimOptions SOpts = {})
-      : App(App), Machine(std::move(Machine)), MOpts(MOpts), SOpts(SOpts) {}
+            MetricOptions MOpts = {}, SimOptions SOpts = {},
+            FaultPlan Faults = {})
+      : App(App), Machine(std::move(Machine)), MOpts(MOpts), SOpts(SOpts),
+        Inject(std::move(Faults)) {}
 
   /// Enumerates the full space and computes static metrics for every
-  /// expressible configuration.  No simulation happens here.
+  /// expressible configuration.  No simulation happens here.  Verification
+  /// failures (and injected parse/verify/estimate faults) mark the entry
+  /// failed() with a stage-tagged diagnostic; the sweep continues.
   std::vector<ConfigEval> evaluateMetrics() const;
 
   /// Measures \p E by simulation (the ground-truth "run it" step).
-  void measure(ConfigEval &E) const;
+  /// Returns true on success; on failure records the diagnostic in
+  /// \p E.Failure and returns false so the caller can quarantine the
+  /// configuration and continue.
+  bool measure(ConfigEval &E) const;
 
   const TunableApp &app() const { return App; }
   const MachineModel &machine() const { return Machine; }
+  const FaultInjector &injector() const { return Inject; }
 
 private:
   const TunableApp &App;
   const MachineModel Machine;
   MetricOptions MOpts;
   SimOptions SOpts;
+  FaultInjector Inject;
 };
 
 } // namespace g80

@@ -13,6 +13,29 @@
 
 using namespace g80;
 
+namespace {
+
+/// Records \p Idx as quarantined, tallying its failure stage.
+void quarantine(SearchOutcome &Out, size_t Idx) {
+  Out.Quarantined.push_back(Idx);
+  ++Out.FailedPerStage[static_cast<size_t>(Out.Evals[Idx].Failure.At)];
+}
+
+/// Counts usable entries and quarantines the ones that already failed
+/// during metric evaluation (injected parse/verify/estimate faults or a
+/// genuine verifier rejection).
+void tallyMetricStage(SearchOutcome &Out) {
+  for (size_t I = 0; I != Out.Evals.size(); ++I) {
+    const ConfigEval &E = Out.Evals[I];
+    if (E.usable())
+      ++Out.ValidCount;
+    else if (E.failed())
+      quarantine(Out, I);
+  }
+}
+
+} // namespace
+
 SearchOutcome
 SearchEngine::measureCandidates(std::string Strategy,
                                 std::vector<ConfigEval> Evals,
@@ -21,13 +44,16 @@ SearchEngine::measureCandidates(std::string Strategy,
   Out.Strategy = std::move(Strategy);
   Out.Evals = std::move(Evals);
   Out.Candidates = std::move(Candidates);
-  for (const ConfigEval &E : Out.Evals)
-    if (E.usable())
-      ++Out.ValidCount;
+  tallyMetricStage(Out);
 
   for (size_t Idx : Out.Candidates) {
     ConfigEval &E = Out.Evals[Idx];
-    Eval.measure(E);
+    if (!Eval.measure(E)) {
+      // Quarantine and keep sweeping: one bad configuration must not take
+      // the whole search down.
+      quarantine(Out, Idx);
+      continue;
+    }
     Out.TotalMeasuredSeconds += E.TimeSeconds;
     if (E.TimeSeconds < Out.BestTime) {
       Out.BestTime = E.TimeSeconds;
@@ -84,22 +110,32 @@ SearchOutcome SearchEngine::greedyClimb(size_t MaxMeasured,
   SearchOutcome Out;
   Out.Strategy = "greedy";
   Out.Evals = std::move(Evals);
-  Out.ValidCount = Usable.size();
+  tallyMetricStage(Out);
   if (Usable.empty())
     return Out;
 
+  // A probe outcome distinguishes "this neighbor faulted" (skip it, keep
+  // climbing) from "measurement budget exhausted" (stop the climb).
+  enum class Probe { Ok, Failed, Budget };
   auto MeasureIdx = [&](size_t Idx) {
     ConfigEval &E = Out.Evals[Idx];
-    if (!E.Measured && Out.Candidates.size() < MaxMeasured) {
-      Eval.measure(E);
-      Out.Candidates.push_back(Idx);
-      Out.TotalMeasuredSeconds += E.TimeSeconds;
-      if (E.TimeSeconds < Out.BestTime) {
-        Out.BestTime = E.TimeSeconds;
-        Out.BestIndex = Idx;
-      }
+    if (E.Measured)
+      return Probe::Ok;
+    if (E.failed())
+      return Probe::Failed;
+    if (Out.Candidates.size() >= MaxMeasured)
+      return Probe::Budget;
+    if (!Eval.measure(E)) {
+      quarantine(Out, Idx);
+      return Probe::Failed;
     }
-    return E.Measured;
+    Out.Candidates.push_back(Idx);
+    Out.TotalMeasuredSeconds += E.TimeSeconds;
+    if (E.TimeSeconds < Out.BestTime) {
+      Out.BestTime = E.TimeSeconds;
+      Out.BestIndex = Idx;
+    }
+    return Probe::Ok;
   };
 
   // Usable flat-index lookup for neighbor resolution.
@@ -110,9 +146,23 @@ SearchOutcome SearchEngine::greedyClimb(size_t MaxMeasured,
     return size_t(-1);
   };
 
+  // Pick a start that actually measures; a faulting start is quarantined
+  // and redrawn (bounded attempts — with heavy injection every draw may
+  // fail, in which case the outcome reports the quarantine and no best).
   Rng R(Seed);
-  size_t Current = Usable[R.nextBelow(Usable.size())];
-  MeasureIdx(Current);
+  size_t Current = size_t(-1);
+  for (size_t Attempt = 0; Attempt != Usable.size(); ++Attempt) {
+    size_t Pick = Usable[R.nextBelow(Usable.size())];
+    Probe P = MeasureIdx(Pick);
+    if (P == Probe::Ok) {
+      Current = Pick;
+      break;
+    }
+    if (P == Probe::Budget)
+      break;
+  }
+  if (Current == size_t(-1))
+    return finishGreedy(Out);
 
   bool Improved = true;
   while (Improved && Out.Candidates.size() < MaxMeasured) {
@@ -132,8 +182,11 @@ SearchOutcome SearchEngine::greedyClimb(size_t MaxMeasured,
         size_t Idx = FindUsable(Neighbor);
         if (Idx == size_t(-1))
           continue;
-        if (!MeasureIdx(Idx))
+        Probe P = MeasureIdx(Idx);
+        if (P == Probe::Budget)
           return finishGreedy(Out);
+        if (P == Probe::Failed)
+          continue;
         if (Out.Evals[Idx].TimeSeconds <
             Out.Evals[Current].TimeSeconds) {
           Current = Idx;
@@ -147,6 +200,7 @@ SearchOutcome SearchEngine::greedyClimb(size_t MaxMeasured,
 
 SearchOutcome SearchEngine::finishGreedy(SearchOutcome Out) {
   std::sort(Out.Candidates.begin(), Out.Candidates.end());
+  std::sort(Out.Quarantined.begin(), Out.Quarantined.end());
   return Out;
 }
 

@@ -23,6 +23,8 @@
 #include "core/Evaluation.h"
 #include "core/Pareto.h"
 
+#include <algorithm>
+#include <array>
 #include <limits>
 #include <string>
 #include <vector>
@@ -43,18 +45,36 @@ struct SearchOutcome {
   /// size Table 4 reports.
   size_t ValidCount = 0;
 
+  /// Indices (into Evals) quarantined because a pipeline stage failed on
+  /// them — during metric evaluation or during measurement.  The sweep
+  /// continues past them; each entry's ConfigEval::Failure says why.
+  std::vector<size_t> Quarantined;
+  /// Quarantined configurations per pipeline stage (indexed by Stage).
+  std::array<size_t, NumStages> FailedPerStage{};
+
   size_t BestIndex = std::numeric_limits<size_t>::max();
   double BestTime = std::numeric_limits<double>::infinity();
   /// Sum of measured configuration run times — Table 4's "evaluation
   /// time" (the wall-clock cost of running the candidates on hardware).
   double TotalMeasuredSeconds = 0;
 
+  /// Whether any candidate was measured successfully.  When false (every
+  /// candidate failed, or there were none), BestIndex/BestTime hold their
+  /// sentinels and must not be dereferenced.
+  bool hasBest() const {
+    return BestIndex != std::numeric_limits<size_t>::max();
+  }
+
+  size_t failedCount() const { return Quarantined.size(); }
+
   /// Table 4's "space reduction": fraction of valid configurations whose
-  /// measurement the strategy skipped.
+  /// measurement the strategy skipped.  Zero when nothing was valid;
+  /// clamped so quarantined candidates cannot push it negative.
   double spaceReduction() const {
     if (ValidCount == 0)
       return 0;
-    return 1.0 - double(Candidates.size()) / double(ValidCount);
+    double R = 1.0 - double(Candidates.size()) / double(ValidCount);
+    return std::max(0.0, R);
   }
 };
 
@@ -63,8 +83,9 @@ struct SearchOutcome {
 class SearchEngine {
 public:
   SearchEngine(const TunableApp &App, MachineModel Machine,
-               MetricOptions MOpts = {}, SimOptions SOpts = {})
-      : Eval(App, std::move(Machine), MOpts, SOpts) {}
+               MetricOptions MOpts = {}, SimOptions SOpts = {},
+               FaultPlan Faults = {})
+      : Eval(App, std::move(Machine), MOpts, SOpts, std::move(Faults)) {}
 
   /// Measures every valid configuration.
   SearchOutcome exhaustive() const;

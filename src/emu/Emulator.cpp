@@ -93,18 +93,18 @@ uint32_t LaunchBindings::scalar(unsigned ParamIndex) const {
   return Slots[ParamIndex].Scalar;
 }
 
-void LaunchBindings::checkComplete(const Kernel &K) const {
+Expected<Unit> LaunchBindings::checkComplete(const Kernel &K) const {
   for (unsigned I = 0; I != Slots.size(); ++I) {
     const ParamInfo &P = K.params()[I];
     bool NeedsBuffer = P.Kind == ParamKind::GlobalPtr ||
                        P.Kind == ParamKind::ConstPtr ||
                        P.Kind == ParamKind::TexPtr;
-    if (!Slots[I].Bound || (NeedsBuffer && Slots[I].Buf == nullptr)) {
-      std::string Msg = "kernel '" + K.name() + "' parameter '" + P.Name +
-                        "' has no binding";
-      reportFatalError(Msg.c_str());
-    }
+    if (!Slots[I].Bound || (NeedsBuffer && Slots[I].Buf == nullptr))
+      return makeDiag(ErrorCode::EmulationFault, Stage::Emulate,
+                      "kernel '" + K.name() + "' parameter '" + P.Name +
+                          "' has no binding");
   }
+  return Unit{};
 }
 
 //===----------------------------------------------------------------------===//
@@ -128,10 +128,18 @@ public:
     LocalMem.assign(size_t(NumThreads) * LocalWordsPerThread, 0);
   }
 
-  void run() {
+  /// Executes the block; returns false when a fault stopped it (the first
+  /// fault is available via diag()).
+  bool run() {
     execBody(K.body());
+    if (failed())
+      return false;
     Stats.Blocks += 1;
+    return true;
   }
+
+  bool failed() const { return Diag.isError(); }
+  Diagnostic takeDiag() { return std::move(Diag); }
 
 private:
   uint32_t &regRef(unsigned Thread, Reg R) {
@@ -187,17 +195,25 @@ private:
   static uint32_t fromF(float V) { return std::bit_cast<uint32_t>(V); }
   static uint32_t fromI(int32_t V) { return std::bit_cast<uint32_t>(V); }
 
-  [[noreturn]] void fail(const char *What) {
-    std::string Msg = "kernel '" + K.name() + "': " + What;
-    reportFatalError(Msg.c_str());
+  /// Records the first fault; execution unwinds via the failed() checks in
+  /// the exec loops (the library is exception-free).
+  void fail(const char *What) {
+    if (failed())
+      return;
+    Diag = makeDiag(ErrorCode::EmulationFault, Stage::Emulate,
+                    "kernel '" + K.name() + "': " + What);
   }
 
-  uint32_t &memRef(unsigned Thread, const Instruction &I) {
+  /// Resolves a memory operand to storage, or nullptr after recording a
+  /// fault (misaligned / out-of-bounds access).
+  uint32_t *memRef(unsigned Thread, const Instruction &I) {
     uint64_t Addr = I.AddrOffset;
     if (!I.AddrBase.isNone())
       Addr += evalOperand(Thread, I.AddrBase);
-    if (Addr % 4 != 0)
+    if (Addr % 4 != 0) {
       fail("misaligned 32-bit memory access");
+      return nullptr;
+    }
     uint64_t WordIdx = Addr / 4;
 
     switch (I.Space) {
@@ -205,20 +221,26 @@ private:
     case MemSpace::Const:
     case MemSpace::Texture: {
       DeviceBuffer *Buf = Bindings.buffer(I.BufferParam);
-      if (WordIdx >= Buf->sizeWords())
+      if (WordIdx >= Buf->sizeWords()) {
         fail("global/const access out of bounds");
-      return Buf->word(WordIdx);
+        return nullptr;
+      }
+      return &Buf->word(WordIdx);
     }
     case MemSpace::Shared: {
       const SharedArray &Arr = K.sharedArrays()[I.BufferParam];
-      if (Addr >= Arr.Bytes)
+      if (Addr >= Arr.Bytes) {
         fail("shared access out of array bounds");
-      return SharedMem[(Arr.ByteOffset + Addr) / 4];
+        return nullptr;
+      }
+      return &SharedMem[(Arr.ByteOffset + Addr) / 4];
     }
     case MemSpace::Local: {
-      if (WordIdx >= LocalWordsPerThread)
+      if (WordIdx >= LocalWordsPerThread) {
         fail("local access out of bounds");
-      return LocalMem[size_t(Thread) * LocalWordsPerThread + WordIdx];
+        return nullptr;
+      }
+      return &LocalMem[size_t(Thread) * LocalWordsPerThread + WordIdx];
     }
     }
     G80_UNREACHABLE("unknown memory space");
@@ -368,10 +390,12 @@ private:
       SetF(std::cos(asF(A())));
       return;
     case Opcode::Ld:
-      SetW(memRef(T, I));
+      if (uint32_t *P = memRef(T, I))
+        SetW(*P);
       return;
     case Opcode::St:
-      memRef(T, I) = A();
+      if (uint32_t *P = memRef(T, I))
+        *P = A();
       return;
     case Opcode::Bar:
       // Handled in execBody (lockstep makes it a divergence check).
@@ -382,13 +406,17 @@ private:
 
   void execBody(const Body &B) {
     for (const BodyNode &N : B) {
+      if (failed())
+        return;
       if (N.isInstr()) {
         const Instruction &I = N.instr();
         if (I.isBarrier()) {
           // Lockstep already synchronizes; just enforce convergence.
           for (unsigned T = 0; T != NumThreads; ++T)
-            if (!Active[T])
+            if (!Active[T]) {
               fail("__syncthreads() inside divergent control flow");
+              return;
+            }
           Stats.ThreadInstrs += NumThreads;
           continue;
         }
@@ -396,11 +424,13 @@ private:
           if (!Active[T])
             continue;
           execInstrForThread(T, I);
+          if (failed())
+            return;
           ++Stats.ThreadInstrs;
         }
       } else if (N.isLoop()) {
         const Loop &L = N.loop();
-        for (uint64_t Trip = 0; Trip != L.TripCount; ++Trip)
+        for (uint64_t Trip = 0; Trip != L.TripCount && !failed(); ++Trip)
           execBody(L.LoopBody);
       } else {
         execIf(N.ifNode());
@@ -442,21 +472,28 @@ private:
   std::vector<uint32_t> SharedMem;
   std::vector<uint32_t> LocalMem;
   unsigned LocalWordsPerThread = 0;
+
+  Diagnostic Diag; ///< First fault; empty (Code None) while healthy.
 };
 
 } // namespace
 
-EmulationStats g80::emulateKernel(const Kernel &K, const LaunchConfig &Launch,
-                                  const LaunchBindings &Bindings) {
-  Bindings.checkComplete(K);
+Expected<EmulationStats> g80::emulateKernel(const Kernel &K,
+                                            const LaunchConfig &Launch,
+                                            const LaunchBindings &Bindings) {
+  Expected<Unit> Bound = Bindings.checkComplete(K);
+  if (!Bound)
+    return Bound.takeDiag();
   if (Launch.threadsPerBlock() == 0 || Launch.numBlocks() == 0)
-    reportFatalError("empty launch configuration");
+    return makeDiag(ErrorCode::EmulationFault, Stage::Emulate,
+                    "kernel '" + K.name() + "': empty launch configuration");
 
   EmulationStats Stats;
   for (unsigned BY = 0; BY != Launch.Grid.Y; ++BY) {
     for (unsigned BX = 0; BX != Launch.Grid.X; ++BX) {
       BlockExecutor Exec(K, Launch, Bindings, Dim3(BX, BY), Stats);
-      Exec.run();
+      if (!Exec.run())
+        return Exec.takeDiag();
     }
   }
   return Stats;

@@ -18,7 +18,9 @@
 /// if-regions.  Lockstep makes __syncthreads() semantics exact: shared
 /// memory written before a barrier is visible after it, and a barrier
 /// inside divergent control flow — undefined behaviour on real hardware —
-/// is reported as a fatal error.
+/// is reported as an EmulationFault diagnostic, as are out-of-bounds and
+/// misaligned accesses.  Generated kernels are mechanical sweeps, so a
+/// faulting variant is quarantined by the caller, not a process abort.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +29,7 @@
 
 #include "arch/LaunchConfig.h"
 #include "ptx/Kernel.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <span>
@@ -74,9 +77,10 @@ public:
   DeviceBuffer *buffer(unsigned ParamIndex) const;
   uint32_t scalar(unsigned ParamIndex) const;
 
-  /// Fatal-errors unless every parameter received a binding of the right
-  /// kind.  Called by the emulator before execution.
-  void checkComplete(const Kernel &K) const;
+  /// Checks that every parameter received a binding of the right kind.
+  /// Called by the emulator before execution; a missing binding is an
+  /// EmulationFault diagnostic.
+  Expected<Unit> checkComplete(const Kernel &K) const;
 
 private:
   struct Slot {
@@ -93,9 +97,13 @@ struct EmulationStats {
   uint64_t Blocks = 0;
 };
 
-/// Runs \p K functionally over the whole \p Launch grid.
-EmulationStats emulateKernel(const Kernel &K, const LaunchConfig &Launch,
-                             const LaunchBindings &Bindings);
+/// Runs \p K functionally over the whole \p Launch grid.  Faults (missing
+/// bindings, empty launches, out-of-bounds or misaligned accesses,
+/// barriers under divergence) return an EmulationFault diagnostic naming
+/// the kernel and the first fault.
+Expected<EmulationStats> emulateKernel(const Kernel &K,
+                                       const LaunchConfig &Launch,
+                                       const LaunchBindings &Bindings);
 
 } // namespace g80
 

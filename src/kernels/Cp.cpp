@@ -12,6 +12,7 @@
 #include "support/Random.h"
 
 #include <cassert>
+#include <limits>
 
 using namespace g80;
 
@@ -168,7 +169,8 @@ double CpApp::verifyConfig(const ConfigPoint &P) const {
   Bind.bindBuffer(1, &OutBuf);
   Bind.setF32(2, Problem.Spacing);
   Bind.setS32(3, int32_t(Problem.W));
-  emulateKernel(K, launch(P), Bind);
+  if (!emulateKernel(K, launch(P), Bind))
+    return std::numeric_limits<double>::infinity();
 
   std::vector<float> Want(size_t(Problem.W) * Problem.H);
   cpRef(Problem.W, Problem.H, Problem.Spacing, Atoms, Want);

@@ -14,6 +14,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 using namespace g80;
 
@@ -244,7 +245,8 @@ double MatMulApp::verifyConfig(const ConfigPoint &P) const {
   Bind.bindBuffer(2, &CBuf);
   Bind.setS32(3, int32_t(N));
   Bind.setS32(4, int32_t(N));
-  emulateKernel(K, launch(P), Bind);
+  if (!emulateKernel(K, launch(P), Bind))
+    return std::numeric_limits<double>::infinity();
 
   std::vector<float> Want(Elems);
   matMulRef(N, std::span<const float>(AData).first(Elems),

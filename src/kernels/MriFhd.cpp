@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 using namespace g80;
 
@@ -171,7 +172,8 @@ double MriFhdApp::verifyConfig(const ConfigPoint &P) const {
     Bind.bindBuffer(4, &OutI);
     Bind.bindBuffer(5, &KBuf);
     Bind.setS32(6, int32_t(Inv * VoxPerInv));
-    emulateKernel(K, LC, Bind);
+    if (!emulateKernel(K, LC, Bind))
+      return std::numeric_limits<double>::infinity();
   }
 
   std::vector<float> WantR(V, 0.0f), WantI(V, 0.0f);

@@ -12,6 +12,7 @@
 #include "support/ErrorHandling.h"
 
 #include <cassert>
+#include <limits>
 
 using namespace g80;
 
@@ -239,7 +240,8 @@ double SadApp::verifyConfig(const ConfigPoint &P) const {
   Bind.bindBuffer(0, &CurBuf);
   Bind.bindBuffer(1, &RefBuf);
   Bind.bindBuffer(2, &OutBuf);
-  emulateKernel(K, launch(P), Bind);
+  if (!emulateKernel(K, launch(P), Bind))
+    return std::numeric_limits<double>::infinity();
 
   std::vector<float> Want(size_t(Pr.numMacroblocks()) *
                           Pr.offsetsPerBlock());

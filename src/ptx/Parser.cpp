@@ -59,21 +59,17 @@ class ParserImpl {
 public:
   explicit ParserImpl(std::string_view Text) { preprocess(Text); }
 
-  ParseResult run() {
+  Expected<Kernel> run() {
     parseHeader();
     parseDecls();
     parseBody();
     if (!Failed && Cursor != Lines.size())
       fail(Lines[Cursor].Number, "trailing text after kernel body");
-    ParseResult R;
-    if (Failed) {
-      R.Error = Error;
-      R.ErrorLine = ErrorLine;
-      return R;
-    }
+    if (Failed)
+      return makeDiag(ErrorCode::ParseError, Stage::Parse, std::move(Error),
+                      ErrorLine);
     K->ensureNumVRegs(MaxRegId + 1);
-    R.K = std::move(*K);
-    return R;
+    return std::move(*K);
   }
 
 private:
@@ -636,6 +632,6 @@ private:
 
 } // namespace
 
-ParseResult g80::parseKernel(std::string_view Text) {
+Expected<Kernel> g80::parseKernel(std::string_view Text) {
   return ParserImpl(Text).run();
 }

@@ -18,21 +18,11 @@
 #define G80TUNE_PTX_PARSER_H
 
 #include "ptx/Kernel.h"
+#include "support/Status.h"
 
-#include <optional>
-#include <string>
 #include <string_view>
 
 namespace g80 {
-
-/// Outcome of a parse: either a kernel or a diagnostic.
-struct ParseResult {
-  std::optional<Kernel> K;
-  std::string Error;   ///< Empty on success.
-  unsigned ErrorLine = 0; ///< 1-based line of the first error.
-
-  bool ok() const { return K.has_value(); }
-};
 
 /// Parses one kernel from \p Text.
 ///
@@ -55,7 +45,10 @@ struct ParseResult {
 /// printer's `// NB/thread DRAM` annotation on global/local accesses is
 /// honored as the access's effective coalescing traffic.  Float
 /// immediates accept both `0fXXXXXXXX` and decimal forms.
-ParseResult parseKernel(std::string_view Text);
+///
+/// Failures return a Diagnostic with Code ParseError, Stage Parse and the
+/// 1-based source line of the first error.
+Expected<Kernel> parseKernel(std::string_view Text);
 
 } // namespace g80
 

@@ -158,3 +158,26 @@ KernelResources g80::estimateResources(const Kernel &K,
       K.sharedDataBytes() + Machine.SharedMemBlockOverheadBytes;
   return Res;
 }
+
+Expected<KernelResources>
+g80::estimateResourcesChecked(const Kernel &K, const MachineModel &Machine,
+                              const ResourceEstimatorOptions &Opts) {
+  KernelResources Res = estimateResources(K, Machine, Opts);
+  // A single warp is the smallest schedulable unit, so a kernel whose
+  // per-warp register demand exceeds the whole SM file can never launch.
+  uint64_t RegsPerWarp = uint64_t(Res.RegsPerThread) * Machine.WarpSize;
+  if (RegsPerWarp > Machine.RegistersPerSM)
+    return makeDiag(ErrorCode::ResourceOverflow, Stage::Estimate,
+                    "kernel '" + std::string(K.name()) + "' needs " +
+                        std::to_string(Res.RegsPerThread) +
+                        " registers/thread; one warp exceeds the " +
+                        std::to_string(Machine.RegistersPerSM) +
+                        "-register SM file");
+  if (Res.SharedMemPerBlockBytes > Machine.SharedMemPerSMBytes)
+    return makeDiag(ErrorCode::ResourceOverflow, Stage::Estimate,
+                    "kernel '" + std::string(K.name()) + "' declares " +
+                        std::to_string(Res.SharedMemPerBlockBytes) +
+                        " shared bytes/block; the SM has " +
+                        std::to_string(Machine.SharedMemPerSMBytes));
+  return Res;
+}

@@ -25,6 +25,7 @@
 
 #include "arch/MachineModel.h"
 #include "arch/Occupancy.h"
+#include "support/Status.h"
 
 namespace g80 {
 
@@ -50,6 +51,15 @@ estimateResources(const Kernel &K, const MachineModel &Machine,
 /// registers).  Exposed for tests.
 unsigned estimateRegisters(const Kernel &K,
                            const ResourceEstimatorOptions &Opts = {});
+
+/// Expected-returning form for the evaluation pipeline: fails with Code
+/// ResourceOverflow (Stage Estimate) when the estimate exceeds what even a
+/// single one-warp block could be granted — a kernel no launch geometry can
+/// ever run, as opposed to the per-configuration "invalid executable" case
+/// the occupancy calculation reports.
+Expected<KernelResources>
+estimateResourcesChecked(const Kernel &K, const MachineModel &Machine,
+                         const ResourceEstimatorOptions &Opts = {});
 
 } // namespace g80
 

@@ -206,3 +206,13 @@ private:
 std::vector<std::string> g80::verifyKernel(const Kernel &K) {
   return VerifierImpl(K).run();
 }
+
+Expected<Unit> g80::checkKernel(const Kernel &K) {
+  std::vector<std::string> Errors = verifyKernel(K);
+  if (Errors.empty())
+    return Unit{};
+  std::string Msg = Errors.front();
+  if (Errors.size() > 1)
+    Msg += " (+" + std::to_string(Errors.size() - 1) + " more)";
+  return makeDiag(ErrorCode::VerifyFailed, Stage::Verify, std::move(Msg));
+}

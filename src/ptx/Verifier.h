@@ -14,6 +14,8 @@
 #ifndef G80TUNE_PTX_VERIFIER_H
 #define G80TUNE_PTX_VERIFIER_H
 
+#include "support/Status.h"
+
 #include <string>
 #include <vector>
 
@@ -31,6 +33,11 @@ class Kernel;
 /// definitions are unioned, so this is a liveness approximation that never
 /// reports false positives).
 std::vector<std::string> verifyKernel(const Kernel &K);
+
+/// Expected-returning form of verifyKernel for the evaluation pipeline:
+/// success is Unit; failure is one Diagnostic (Code VerifyFailed, Stage
+/// Verify) whose message is the first problem plus a count of the rest.
+Expected<Unit> checkKernel(const Kernel &K);
 
 } // namespace g80
 

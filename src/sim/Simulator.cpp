@@ -9,11 +9,11 @@
 #include "ptx/Kernel.h"
 #include "ptx/ResourceEstimator.h"
 #include "sim/Trace.h"
-#include "support/ErrorHandling.h"
 
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <string>
 #include <vector>
 
 using namespace g80;
@@ -72,17 +72,28 @@ public:
     }
   }
 
-  SimResult run() {
+  Expected<SimResult> run() {
     while (true) {
       if (!issueOne()) {
         if (allIdle())
           break;
-        advanceToNextReady();
+        if (!advanceToNextReady())
+          return makeDiag(
+              ErrorCode::SimulatorDeadlock, Stage::Simulate,
+              "SM deadlocked after " + std::to_string(Cycle) +
+                  " cycles: no resident warp can become ready (barrier in "
+                  "divergent control flow or warp starvation)");
       }
       if (Res.IssuedWarpInstrs > Opts.MaxIssues)
-        reportFatalError("simulation exceeded the issue-count safety cap");
+        return makeDiag(ErrorCode::SimulatorTimeout, Stage::Simulate,
+                        "watchdog: exceeded the issue budget of " +
+                            std::to_string(Opts.MaxIssues) +
+                            " warp instructions");
+      if (Cycle > Opts.MaxCycles)
+        return makeDiag(ErrorCode::SimulatorTimeout, Stage::Simulate,
+                        "watchdog: exceeded the cycle budget of " +
+                            std::to_string(Opts.MaxCycles) + " cycles");
     }
-    Res.Valid = true;
     Res.Cycles = Cycle;
     Res.Seconds = Machine.cyclesToSeconds(static_cast<double>(Cycle));
     Res.Occ = Occ;
@@ -242,6 +253,13 @@ private:
     case LatencyClass::Barrier: {
       ++W.PC;
       Cycle += IssueCost;
+      if (E.DivergentBar) {
+        // Barrier under divergence: on hardware part of the warp never
+        // arrives, so the block hangs.  Park the warp without counting its
+        // arrival; the watchdog reports the resulting deadlock.
+        W.St = WarpCtx::State::AtBarrier;
+        return;
+      }
       ++B.BarArrived;
       if (B.BarArrived == B.ActiveWarps) {
         // Last warp: release everyone.
@@ -275,7 +293,9 @@ private:
   }
 
   /// No warp was ready: jump to the earliest time one becomes ready.
-  void advanceToNextReady() {
+  /// Returns false when no warp can ever become ready again — a deadlock
+  /// (barrier in divergent control flow or warp starvation).
+  bool advanceToNextReady() {
     uint64_t Next = Never;
     for (unsigned Idx = 0; Idx != Warps.size(); ++Idx) {
       WarpCtx &W = Warps[Idx];
@@ -293,11 +313,11 @@ private:
       Next = std::min(Next, earliestIssue(W));
     }
     if (Next == Never)
-      reportFatalError("simulated SM deadlocked (barrier in divergent "
-                       "control flow or warp starvation)");
+      return false;
     assert(Next >= Cycle && "time went backwards");
     Res.IssueStallCycles += Next - Cycle;
     Cycle = Next;
+    return true;
   }
 
   const TraceProgram &Prog;
@@ -319,22 +339,21 @@ private:
 
 } // namespace
 
-SimResult g80::simulateKernel(const Kernel &K, const LaunchConfig &Launch,
-                              const MachineModel &Machine,
-                              const SimOptions &Opts) {
-  SimResult Invalid;
-
+Expected<SimResult> g80::simulateKernel(const Kernel &K,
+                                        const LaunchConfig &Launch,
+                                        const MachineModel &Machine,
+                                        const SimOptions &Opts) {
   KernelResources Resources = estimateResources(K, Machine);
-  Occupancy Occ =
-      computeOccupancy(Machine, Launch.threadsPerBlock(), Resources);
-  if (!Occ.valid())
-    return Invalid;
+  Expected<Occupancy> Occ = computeOccupancyChecked(
+      Machine, Launch.threadsPerBlock(), Resources);
+  if (!Occ)
+    return Occ.takeDiag();
 
   uint64_t TotalBlocks = Launch.numBlocks();
   if (TotalBlocks == 0) {
-    Invalid.Valid = true;
-    Invalid.Occ = Occ;
-    return Invalid;
+    SimResult Empty;
+    Empty.Occ = *Occ;
+    return Empty;
   }
 
   // Each SM independently executes an equal share of the grid; simulate
@@ -343,6 +362,6 @@ SimResult g80::simulateKernel(const Kernel &K, const LaunchConfig &Launch,
       (TotalBlocks + Machine.NumSMs - 1) / Machine.NumSMs;
 
   TraceProgram Prog = buildTrace(K);
-  SMSimulator Sim(Prog, Machine, Occ, BlocksForThisSM, Opts);
+  SMSimulator Sim(Prog, Machine, *Occ, BlocksForThisSM, Opts);
   return Sim.run();
 }

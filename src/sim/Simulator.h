@@ -39,6 +39,7 @@
 #include "arch/LaunchConfig.h"
 #include "arch/MachineModel.h"
 #include "arch/Occupancy.h"
+#include "support/Status.h"
 
 #include <cstdint>
 
@@ -46,19 +47,21 @@ namespace g80 {
 
 class Kernel;
 
-/// Simulation controls.
+/// Simulation controls, including the watchdog budgets.  Exhausting a
+/// budget returns a structured SimulatorTimeout diagnostic — generated
+/// kernels come from mechanical sweeps, so a runaway variant must not take
+/// the whole search down with it.
 struct SimOptions {
-  /// Safety cap on scheduler steps; exceeding it is a fatal error (a
-  /// runaway trace, not a legitimate workload).
+  /// Watchdog cap on issued warp instructions.
   uint64_t MaxIssues = 1ull << 33;
+  /// Watchdog cap on simulated cycles.  The default is far above any
+  /// legitimate kernel in the paper's spaces (~2^31 cycles for the largest
+  /// app) but finite, so a pathological trace terminates.
+  uint64_t MaxCycles = 1ull << 40;
 };
 
 /// Timing result and scheduler statistics.
 struct SimResult {
-  /// False when the kernel cannot launch (occupancy invalid) — the
-  /// paper's "invalid executable" outcome.  No other field is meaningful.
-  bool Valid = false;
-
   uint64_t Cycles = 0;
   double Seconds = 0;
 
@@ -83,9 +86,18 @@ struct SimResult {
 /// Simulates \p K launched as \p Launch on \p Machine and returns timing.
 /// Resource usage (hence occupancy) is taken from the same estimator the
 /// metrics use, so metrics and ground truth agree about B_SM.
-SimResult simulateKernel(const Kernel &K, const LaunchConfig &Launch,
-                         const MachineModel &Machine,
-                         const SimOptions &Opts = {});
+///
+/// Failure diagnostics (all Stage Simulate unless noted):
+///  - OccupancyInvalid (Stage Occupancy): the kernel cannot launch — the
+///    paper's "invalid executable" outcome;
+///  - SimulatorTimeout: a watchdog budget (MaxCycles/MaxIssues) ran out;
+///  - SimulatorDeadlock: no resident warp can ever become ready again
+///    while blocks are unfinished — e.g. a barrier in divergent control
+///    flow, which hangs the block on real hardware.
+Expected<SimResult> simulateKernel(const Kernel &K,
+                                   const LaunchConfig &Launch,
+                                   const MachineModel &Machine,
+                                   const SimOptions &Opts = {});
 
 } // namespace g80
 

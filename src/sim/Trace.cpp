@@ -20,7 +20,7 @@ public:
   explicit TraceBuilder(const Kernel &K) : K(K) {}
 
   TraceProgram run() {
-    walkBody(K.body(), /*Depth=*/0);
+    walkBody(K.body(), /*Depth=*/0, /*Divergent=*/false);
     Prog.NumRegs = K.numVRegs() + 2 * Prog.MaxLoopDepth;
     // Synthetic register ids were provisional (depth-indexed); rebase them
     // after numVRegs now that the total is known.
@@ -52,27 +52,28 @@ private:
       O = Operand::reg(Reg(K.numVRegs() + (R.Id - SyntheticBase)));
   }
 
-  void walkBody(const Body &B, unsigned Depth) {
+  void walkBody(const Body &B, unsigned Depth, bool Divergent) {
     for (const BodyNode &N : B) {
       if (N.isInstr()) {
         TraceEntry E;
         E.K = TraceEntry::Kind::Instr;
         E.I = N.instr();
+        E.DivergentBar = Divergent && N.instr().isBarrier();
         Prog.Entries.push_back(E);
       } else if (N.isLoop()) {
-        emitLoop(N.loop(), Depth);
+        emitLoop(N.loop(), Depth, Divergent);
       } else {
         const If &IfN = N.ifNode();
         // Timing inline: uniform branches cost their taken side; divergent
         // warps serialize through both sides.
-        walkBody(IfN.Then, Depth);
+        walkBody(IfN.Then, Depth, Divergent || !IfN.Uniform);
         if (!IfN.Uniform)
-          walkBody(IfN.Else, Depth);
+          walkBody(IfN.Else, Depth, /*Divergent=*/true);
       }
     }
   }
 
-  void emitLoop(const Loop &L, unsigned Depth) {
+  void emitLoop(const Loop &L, unsigned Depth, bool Divergent) {
     assert(L.TripCount > 0 && "zero-trip loop in trace");
     Prog.MaxLoopDepth = std::max(Prog.MaxLoopDepth, Depth + 1);
 
@@ -82,7 +83,7 @@ private:
     Begin.TripCount = L.TripCount;
     Prog.Entries.push_back(Begin);
 
-    walkBody(L.LoopBody, Depth + 1);
+    walkBody(L.LoopBody, Depth + 1, Divergent);
     emitLoopControl(Depth);
 
     TraceEntry End;

@@ -41,6 +41,11 @@ struct TraceEntry {
   Kind K = Kind::Instr;
   Instruction I;          ///< Valid when K == Instr.
   bool SyntheticCtl = false; ///< Loop-control instruction injected here.
+  /// Barrier nested inside a divergent if-region.  Undefined behaviour on
+  /// the hardware (§2.1: all warps of the block must reach the same
+  /// barrier); the simulator models the observable outcome — the block
+  /// hangs — so the watchdog can report a deadlock diagnostic.
+  bool DivergentBar = false;
   uint64_t TripCount = 0; ///< Valid when K == LoopBegin.
   uint32_t Match = 0;     ///< LoopEnd -> index of its LoopBegin.
 };

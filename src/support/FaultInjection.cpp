@@ -1,0 +1,168 @@
+//===- support/FaultInjection.cpp -----------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <cstdlib>
+#include <string>
+
+using namespace g80;
+
+namespace {
+
+/// SplitMix64 finalizer: one well-mixed word from (seed, stage, index).
+uint64_t mix(uint64_t Seed, Stage S, uint64_t ConfigIndex) {
+  uint64_t Z = Seed + 0x9e3779b97f4a7c15ULL * (ConfigIndex + 1) +
+               0xbf58476d1ce4e5b9ULL * (uint64_t(S) + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+double toUnitInterval(uint64_t Bits) {
+  return static_cast<double>(Bits >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Diagnostic injectedDiag(Stage S, ErrorCode Code, uint64_t ConfigIndex) {
+  std::string Msg = "injected ";
+  Msg += errorCodeName(Code);
+  Msg += " fault at stage ";
+  Msg += stageName(S);
+  Msg += " (config #" + std::to_string(ConfigIndex) + ")";
+  return makeDiag(Code, S, std::move(Msg));
+}
+
+/// Maps a spec token's stage word to (stage, pinned code or None).
+bool lookupStageWord(std::string_view Word, Stage &S, ErrorCode &Pinned) {
+  Pinned = ErrorCode::None;
+  if (Word == "parse") {
+    S = Stage::Parse;
+  } else if (Word == "verify") {
+    S = Stage::Verify;
+  } else if (Word == "estimate") {
+    S = Stage::Estimate;
+  } else if (Word == "occupancy") {
+    S = Stage::Occupancy;
+  } else if (Word == "emulate") {
+    S = Stage::Emulate;
+  } else if (Word == "simulate") {
+    S = Stage::Simulate;
+  } else if (Word == "timeout") {
+    S = Stage::Simulate;
+    Pinned = ErrorCode::SimulatorTimeout;
+  } else if (Word == "deadlock") {
+    S = Stage::Simulate;
+    Pinned = ErrorCode::SimulatorDeadlock;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+ErrorCode g80::defaultInjectedCode(Stage S, uint64_t ConfigIndex) {
+  switch (S) {
+  case Stage::Parse:
+    return ErrorCode::ParseError;
+  case Stage::Verify:
+    return ErrorCode::VerifyFailed;
+  case Stage::Estimate:
+    return ErrorCode::ResourceOverflow;
+  case Stage::Occupancy:
+    return ErrorCode::OccupancyInvalid;
+  case Stage::Emulate:
+    return ErrorCode::EmulationFault;
+  case Stage::Simulate:
+    // Exercise both watchdog exits.
+    return (ConfigIndex & 1) ? ErrorCode::SimulatorDeadlock
+                             : ErrorCode::SimulatorTimeout;
+  }
+  return ErrorCode::InjectedFault;
+}
+
+FaultInjector::FaultInjector(FaultPlan P) : Plan(std::move(P)) {
+  Enabled = !Plan.empty();
+}
+
+std::optional<Diagnostic> FaultInjector::at(Stage S,
+                                            uint64_t ConfigIndex) const {
+  if (!Enabled)
+    return std::nullopt;
+  for (const FaultPlan::Target &T : Plan.Targets)
+    if (T.At == S && T.ConfigIndex == ConfigIndex)
+      return injectedDiag(S, T.Code, ConfigIndex);
+  double R = Plan.Rate[size_t(S)];
+  if (R > 0 && toUnitInterval(mix(Plan.Seed, S, ConfigIndex)) < R)
+    return injectedDiag(S, defaultInjectedCode(S, ConfigIndex), ConfigIndex);
+  return std::nullopt;
+}
+
+Expected<FaultPlan> g80::parseFaultPlan(std::string_view Spec) {
+  FaultPlan Plan;
+  auto Bad = [&](std::string Msg) {
+    return Expected<FaultPlan>(
+        makeDiag(ErrorCode::ParseError, Stage::Parse,
+                 "bad --inject spec: " + std::move(Msg)));
+  };
+
+  while (!Spec.empty()) {
+    size_t Comma = Spec.find(',');
+    std::string_view Tok = Spec.substr(0, Comma);
+    Spec.remove_prefix(Comma == std::string_view::npos ? Spec.size()
+                                                       : Comma + 1);
+    if (Tok.empty())
+      continue;
+
+    size_t Eq = Tok.find('=');
+    size_t At = Tok.find('@');
+    if (Eq != std::string_view::npos) {
+      std::string_view Key = Tok.substr(0, Eq);
+      std::string Val(Tok.substr(Eq + 1));
+      if (Key == "seed") {
+        Plan.Seed = std::strtoull(Val.c_str(), nullptr, 10);
+        continue;
+      }
+      Stage S;
+      ErrorCode Pinned;
+      if (!lookupStageWord(Key, S, Pinned))
+        return Bad("unknown stage '" + std::string(Key) + "'");
+      char *End = nullptr;
+      double Rate = std::strtod(Val.c_str(), &End);
+      if (End == Val.c_str() || Rate < 0 || Rate > 1)
+        return Bad("rate for '" + std::string(Key) +
+                   "' must be a number in [0,1]");
+      Plan.Rate[size_t(S)] = Rate;
+      // A pinned word ("timeout=0.1") keeps probabilistic selection but the
+      // code is resolved per-index by defaultInjectedCode; to pin the exact
+      // code use the targeted '@' form.
+      continue;
+    }
+    if (At != std::string_view::npos) {
+      std::string_view Key = Tok.substr(0, At);
+      std::string Val(Tok.substr(At + 1));
+      Stage S;
+      ErrorCode Pinned;
+      if (!lookupStageWord(Key, S, Pinned))
+        return Bad("unknown stage '" + std::string(Key) + "'");
+      char *End = nullptr;
+      uint64_t Index = std::strtoull(Val.c_str(), &End, 10);
+      if (End == Val.c_str())
+        return Bad("config index for '" + std::string(Key) +
+                   "' must be an integer");
+      FaultPlan::Target T;
+      T.ConfigIndex = Index;
+      T.At = S;
+      T.Code = Pinned != ErrorCode::None ? Pinned
+                                         : defaultInjectedCode(S, Index);
+      Plan.Targets.push_back(T);
+      continue;
+    }
+    return Bad("token '" + std::string(Tok) + "' is neither key=value nor "
+               "stage@index");
+  }
+  return Plan;
+}

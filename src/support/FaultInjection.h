@@ -1,0 +1,99 @@
+//===- support/FaultInjection.h - Deterministic failure injection ---------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seed-driven registry of synthetic failures for exercising the
+/// fault-tolerant evaluation pipeline.  Faults are addressed by pipeline
+/// stage plus configuration index, either probabilistically (a per-stage
+/// rate hashed with a seed, so the same plan always fails the same
+/// configurations) or by explicit (stage, index) target.  The Evaluator
+/// consults the injector before each stage; the check is a single inlined
+/// bool when no plan is armed, so production sweeps pay nothing.
+///
+/// Used from tests (every error path exercisable without crafting a
+/// genuinely broken kernel per stage) and from `tune search --inject`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_FAULTINJECTION_H
+#define G80TUNE_SUPPORT_FAULTINJECTION_H
+
+#include "support/Status.h"
+
+#include <array>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace g80 {
+
+/// What to inject, where, and how it surfaces.
+struct FaultPlan {
+  /// Per-stage probability in [0, 1] that a configuration fails at that
+  /// stage (indexed by Stage).  Evaluated deterministically from the seed
+  /// and the configuration's flat index.
+  std::array<double, NumStages> Rate{};
+
+  /// Hash seed for the probabilistic rates.
+  uint64_t Seed = 0;
+
+  /// Explicit targets: configuration \p ConfigIndex fails at \p At with
+  /// \p Code.  Checked before the probabilistic rates.
+  struct Target {
+    uint64_t ConfigIndex = 0;
+    Stage At = Stage::Parse;
+    ErrorCode Code = ErrorCode::InjectedFault;
+  };
+  std::vector<Target> Targets;
+
+  bool empty() const {
+    if (!Targets.empty())
+      return false;
+    for (double R : Rate)
+      if (R > 0)
+        return false;
+    return true;
+  }
+};
+
+/// The error code a probabilistic fault at \p S surfaces as.  Simulate
+/// alternates between timeout and deadlock by index parity so both
+/// watchdog paths are exercised; explicit targets choose freely.
+ErrorCode defaultInjectedCode(Stage S, uint64_t ConfigIndex);
+
+/// Parses a plan spec: comma-separated `seed=N`, `<stage>=<rate>`, and
+/// `<stage>@<index>` tokens, where `<stage>` is one of parse, verify,
+/// estimate, occupancy, emulate, simulate, timeout, deadlock (the last two
+/// are Simulate-stage faults pinned to one code).  Examples:
+///   "seed=7,parse=0.05,simulate=0.1"
+///   "deadlock@17,timeout@31,verify@4"
+Expected<FaultPlan> parseFaultPlan(std::string_view Spec);
+
+/// Stateless decision engine over a FaultPlan.
+class FaultInjector {
+public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan Plan);
+
+  /// True when any fault can ever fire.  Callers gate all other work on
+  /// this so a disabled injector costs one predictable branch.
+  bool enabled() const { return Enabled; }
+
+  /// Returns the Diagnostic to inject for configuration \p ConfigIndex at
+  /// stage \p S, or nullopt to proceed normally.  Deterministic: the same
+  /// plan and index always yield the same answer.
+  std::optional<Diagnostic> at(Stage S, uint64_t ConfigIndex) const;
+
+  const FaultPlan &plan() const { return Plan; }
+
+private:
+  FaultPlan Plan;
+  bool Enabled = false;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_FAULTINJECTION_H

@@ -1,0 +1,65 @@
+//===- support/Status.cpp -------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace g80;
+
+const char *g80::stageName(Stage S) {
+  switch (S) {
+  case Stage::Parse:
+    return "parse";
+  case Stage::Verify:
+    return "verify";
+  case Stage::Estimate:
+    return "estimate";
+  case Stage::Occupancy:
+    return "occupancy";
+  case Stage::Emulate:
+    return "emulate";
+  case Stage::Simulate:
+    return "simulate";
+  }
+  G80_UNREACHABLE("unknown stage");
+}
+
+const char *g80::errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::None:
+    return "ok";
+  case ErrorCode::ParseError:
+    return "parse-error";
+  case ErrorCode::VerifyFailed:
+    return "verify-failed";
+  case ErrorCode::ResourceOverflow:
+    return "resource-overflow";
+  case ErrorCode::OccupancyInvalid:
+    return "occupancy-invalid";
+  case ErrorCode::EmulationFault:
+    return "emulation-fault";
+  case ErrorCode::SimulatorTimeout:
+    return "sim-timeout";
+  case ErrorCode::SimulatorDeadlock:
+    return "sim-deadlock";
+  case ErrorCode::InjectedFault:
+    return "injected-fault";
+  }
+  G80_UNREACHABLE("unknown error code");
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = stageName(At);
+  Out += ": ";
+  if (Line != 0) {
+    Out += "line ";
+    Out += std::to_string(Line);
+    Out += ": ";
+  }
+  Out += Message;
+  return Out;
+}

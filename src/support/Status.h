@@ -1,0 +1,145 @@
+//===- support/Status.h - Exception-free structured errors ----------------===//
+//
+// Part of g80tune, a reproduction of Ryoo et al., "Program Optimization
+// Space Pruning for a Multithreaded GPU" (CGO 2008).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library-wide error-reporting idiom.  A sweep over hundreds of
+/// mechanically generated kernel variants must survive individual
+/// configurations that fail to parse, verify, launch or simulate, so every
+/// pipeline stage reports recoverable failures as an Expected<T> carrying a
+/// Diagnostic instead of aborting.  reportFatalError/G80_UNREACHABLE (see
+/// ErrorHandling.h) remain for true invariant violations only — conditions
+/// that indicate a bug in this library, never a bad input kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_STATUS_H
+#define G80TUNE_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace g80 {
+
+/// The pipeline stage a configuration travels through.  Diagnostics are
+/// tagged with the stage that rejected the configuration so sweep reports
+/// can distinguish "invalid by resource limits" from "failed at stage X".
+enum class Stage : uint8_t {
+  Parse,     ///< Text -> Kernel (ptx/Parser).
+  Verify,    ///< Structural well-formedness (ptx/Verifier).
+  Estimate,  ///< Resource estimation (ptx/ResourceEstimator).
+  Occupancy, ///< B_SM calculation (arch/Occupancy).
+  Emulate,   ///< Functional execution (emu/Emulator).
+  Simulate,  ///< Timing simulation (sim/Simulator).
+};
+
+/// Number of Stage values, for per-stage counters.
+inline constexpr size_t NumStages = 6;
+
+/// Returns a short lowercase name for \p S ("parse", "verify", ...).
+const char *stageName(Stage S);
+
+/// What went wrong.  Codes are coarse classes (one per distinct caller
+/// reaction); the human detail lives in Diagnostic::Message.
+enum class ErrorCode : uint8_t {
+  None = 0,          ///< No error (only in default-constructed Diagnostics).
+  ParseError,        ///< Malformed kernel text.
+  VerifyFailed,      ///< Structurally invalid IR.
+  ResourceOverflow,  ///< Resource estimate exceeds any possible launch.
+  OccupancyInvalid,  ///< Not even one block fits on an SM.
+  EmulationFault,    ///< Functional execution fault (OOB, misaligned, ...).
+  SimulatorTimeout,  ///< Watchdog: cycle/issue budget exhausted.
+  SimulatorDeadlock, ///< Watchdog: no runnable warp and work remaining.
+  InjectedFault,     ///< Synthetic failure from support/FaultInjection.h.
+};
+
+/// Returns a short name for \p C ("parse-error", "sim-deadlock", ...).
+const char *errorCodeName(ErrorCode C);
+
+/// One structured error: code, stage tag, message, source location.
+struct Diagnostic {
+  ErrorCode Code = ErrorCode::None;
+  Stage At = Stage::Parse;
+  std::string Message;
+  unsigned Line = 0; ///< 1-based kernel-text line, 0 when not applicable.
+
+  bool isError() const { return Code != ErrorCode::None; }
+
+  /// "verify: kernel 'k': register out of range" /
+  /// "parse: line 12: unknown opcode 'frob'".
+  std::string str() const;
+};
+
+/// Builds a Diagnostic in one expression.
+inline Diagnostic makeDiag(ErrorCode Code, Stage At, std::string Message,
+                           unsigned Line = 0) {
+  Diagnostic D;
+  D.Code = Code;
+  D.At = At;
+  D.Message = std::move(Message);
+  D.Line = Line;
+  return D;
+}
+
+/// Value type for Expected<Unit>: a stage that succeeds without producing
+/// a value (the verifier).
+struct Unit {};
+
+/// Either a T or a Diagnostic.  Exception-free and copy/movable; the
+/// library never throws, and a failed Expected is inert data the caller
+/// may inspect, record on a ConfigEval, or drop.
+template <typename T> class [[nodiscard]] Expected {
+public:
+  Expected(T Value) : Value_(std::move(Value)) {}
+  Expected(Diagnostic D) : Diag_(std::move(D)) {
+    assert(Diag_.isError() && "Expected error constructed without a code");
+  }
+
+  bool ok() const { return Value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T &value() {
+    assert(ok() && "value() on a failed Expected");
+    return *Value_;
+  }
+  const T &value() const {
+    assert(ok() && "value() on a failed Expected");
+    return *Value_;
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  /// Moves the value out (parser-style single consumption).
+  T takeValue() {
+    assert(ok() && "takeValue() on a failed Expected");
+    return std::move(*Value_);
+  }
+
+  const Diagnostic &diag() const {
+    assert(!ok() && "diag() on a successful Expected");
+    return Diag_;
+  }
+
+  /// The diagnostic, moved out.
+  Diagnostic takeDiag() {
+    assert(!ok() && "takeDiag() on a successful Expected");
+    return std::move(Diag_);
+  }
+
+private:
+  std::optional<T> Value_;
+  Diagnostic Diag_;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_STATUS_H

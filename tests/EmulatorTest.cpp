@@ -46,13 +46,14 @@ TEST(Emulator, VectorAdd) {
   Bind.bindBuffer(0, &BufA);
   Bind.bindBuffer(1, &BufB);
   Bind.bindBuffer(2, &BufC);
-  EmulationStats Stats = emulateKernel(K, {Dim3(4), Dim3(16)}, Bind);
+  Expected<EmulationStats> Stats = emulateKernel(K, {Dim3(4), Dim3(16)}, Bind);
+  ASSERT_TRUE(Stats.ok());
 
   for (size_t I = 0; I != 64; ++I)
     EXPECT_FLOAT_EQ(BufC.floatAt(I), float(3 * I)) << I;
-  EXPECT_EQ(Stats.Blocks, 4u);
+  EXPECT_EQ(Stats->Blocks, 4u);
   // madi, shli, two loads, add, store: six instructions per thread.
-  EXPECT_EQ(Stats.ThreadInstrs, 64u * 6u);
+  EXPECT_EQ(Stats->ThreadInstrs, 64u * 6u);
 }
 
 TEST(Emulator, ScalarParamsAndSaxpy) {
@@ -77,7 +78,7 @@ TEST(Emulator, ScalarParamsAndSaxpy) {
   Bind.bindBuffer(0, &BX);
   Bind.bindBuffer(1, &BY);
   Bind.setF32(2, 2.5f);
-  emulateKernel(K, {Dim3(1), Dim3(4)}, Bind);
+  ASSERT_TRUE(emulateKernel(K, {Dim3(1), Dim3(4)}, Bind).ok());
   for (size_t I = 0; I != 4; ++I)
     EXPECT_FLOAT_EQ(BY.floatAt(I), 2.5f * X0[I] + Y0[I]);
 }
@@ -109,7 +110,7 @@ TEST(Emulator, IntegerOps) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(12);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  emulateKernel(K, {Dim3(1), Dim3(1)}, Bind);
+  ASSERT_TRUE(emulateKernel(K, {Dim3(1), Dim3(1)}, Bind).ok());
   int32_t Want[12] = {8, 18, -65, 35, -5, 13, 5, 4, 15, 11, 52, 8};
   for (size_t I = 0; I != 12; ++I)
     EXPECT_EQ(Buf.intAt(I), Want[I]) << "slot " << I;
@@ -134,7 +135,7 @@ TEST(Emulator, FloatOpsAndConversions) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(7);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  emulateKernel(K, {Dim3(1), Dim3(1)}, Bind);
+  ASSERT_TRUE(emulateKernel(K, {Dim3(1), Dim3(1)}, Bind).ok());
   EXPECT_FLOAT_EQ(Buf.floatAt(0), 2.25f);
   EXPECT_FLOAT_EQ(Buf.floatAt(1), 2.25f);
   EXPECT_FLOAT_EQ(Buf.floatAt(2), -2.25f);
@@ -156,7 +157,7 @@ TEST(Emulator, SfuFunctions) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(4);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  emulateKernel(K, {Dim3(1), Dim3(1)}, Bind);
+  ASSERT_TRUE(emulateKernel(K, {Dim3(1), Dim3(1)}, Bind).ok());
   EXPECT_FLOAT_EQ(Buf.floatAt(0), 4.0f);
   EXPECT_FLOAT_EQ(Buf.floatAt(1), 2.0f);
   EXPECT_FLOAT_EQ(Buf.floatAt(2), 0.0f);
@@ -177,7 +178,7 @@ TEST(Emulator, SetpAndSelp) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(4);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  emulateKernel(K, {Dim3(1), Dim3(4)}, Bind);
+  ASSERT_TRUE(emulateKernel(K, {Dim3(1), Dim3(4)}, Bind).ok());
   EXPECT_EQ(Buf.intAt(0), 100);
   EXPECT_EQ(Buf.intAt(1), 100);
   EXPECT_EQ(Buf.intAt(2), 200);
@@ -198,7 +199,7 @@ TEST(Emulator, DivergentIfMasksCorrectly) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(8);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  emulateKernel(K, {Dim3(1), Dim3(8)}, Bind);
+  ASSERT_TRUE(emulateKernel(K, {Dim3(1), Dim3(8)}, Bind).ok());
   for (int I = 0; I != 8; ++I)
     EXPECT_EQ(Buf.intAt(I), I < 3 ? 1 : 2) << I;
 }
@@ -219,7 +220,7 @@ TEST(Emulator, NestedDivergence) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(8);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  emulateKernel(K, {Dim3(1), Dim3(8)}, Bind);
+  ASSERT_TRUE(emulateKernel(K, {Dim3(1), Dim3(8)}, Bind).ok());
   int Want[8] = {10, 20, 10, 20, 0, 0, 0, 0};
   for (int I = 0; I != 8; ++I)
     EXPECT_EQ(Buf.intAt(I), Want[I]) << I;
@@ -246,7 +247,7 @@ TEST(Emulator, SharedMemoryReversalAcrossBarrier) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(N);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  emulateKernel(K, {Dim3(1), Dim3(N)}, Bind);
+  ASSERT_TRUE(emulateKernel(K, {Dim3(1), Dim3(N)}, Bind).ok());
   for (unsigned I = 0; I != N; ++I)
     EXPECT_EQ(Buf.intAt(I), int32_t(N - 1 - I));
 }
@@ -267,7 +268,7 @@ TEST(Emulator, SharedMemoryIsPerBlock) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(4);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  emulateKernel(K, {Dim3(4), Dim3(1)}, Bind);
+  ASSERT_TRUE(emulateKernel(K, {Dim3(4), Dim3(1)}, Bind).ok());
   for (int I = 0; I != 4; ++I)
     EXPECT_EQ(Buf.intAt(I), I);
 }
@@ -287,7 +288,7 @@ TEST(Emulator, LocalMemoryIsPerThread) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(8);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  emulateKernel(K, {Dim3(1), Dim3(8)}, Bind);
+  ASSERT_TRUE(emulateKernel(K, {Dim3(1), Dim3(8)}, Bind).ok());
   for (int I = 0; I != 8; ++I)
     EXPECT_EQ(Buf.intAt(I), 7 * I);
 }
@@ -308,7 +309,7 @@ TEST(Emulator, LoopInduction) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(1);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  emulateKernel(K, {Dim3(1), Dim3(1)}, Bind);
+  ASSERT_TRUE(emulateKernel(K, {Dim3(1), Dim3(1)}, Bind).ok());
   EXPECT_EQ(Buf.intAt(0), 45); // 0+1+...+9.
 }
 
@@ -332,14 +333,28 @@ TEST(Emulator, TwoDimensionalIds) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(16);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  emulateKernel(K, {Dim3(2, 2), Dim3(2, 2)}, Bind);
+  ASSERT_TRUE(emulateKernel(K, {Dim3(2, 2), Dim3(2, 2)}, Bind).ok());
   for (int I = 0; I != 16; ++I)
     EXPECT_EQ(Buf.intAt(I), I);
 }
 
 //===--- Error handling --------------------------------------------------------------//
 
-TEST(EmulatorDeath, OutOfBoundsGlobalAborts) {
+/// Runs \p K and asserts an EmulationFault diagnostic whose message
+/// contains \p What; memory is untouched past the first fault.
+void expectFault(const Kernel &K, const LaunchConfig &LC,
+                 const LaunchBindings &Bind, const char *What) {
+  Expected<EmulationStats> R = emulateKernel(K, LC, Bind);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.diag().Code, ErrorCode::EmulationFault);
+  EXPECT_EQ(R.diag().At, Stage::Emulate);
+  EXPECT_NE(R.diag().Message.find(What), std::string::npos)
+      << R.diag().str();
+  EXPECT_NE(R.diag().Message.find(K.name()), std::string::npos)
+      << R.diag().str();
+}
+
+TEST(EmulatorFault, OutOfBoundsGlobalReported) {
   KernelBuilder B("oob");
   unsigned Out = B.addGlobalPtr("out");
   B.stGlobal(Out, Operand(), 4000, B.mov(B.imm(1.0f)));
@@ -347,10 +362,10 @@ TEST(EmulatorDeath, OutOfBoundsGlobalAborts) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(4);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  EXPECT_DEATH(emulateKernel(K, {Dim3(1), Dim3(1)}, Bind), "out of bounds");
+  expectFault(K, {Dim3(1), Dim3(1)}, Bind, "out of bounds");
 }
 
-TEST(EmulatorDeath, MisalignedAccessAborts) {
+TEST(EmulatorFault, MisalignedAccessReported) {
   KernelBuilder B("misaligned");
   unsigned Out = B.addGlobalPtr("out");
   B.stGlobal(Out, Operand(), 2, B.mov(B.imm(1.0f)));
@@ -358,26 +373,34 @@ TEST(EmulatorDeath, MisalignedAccessAborts) {
   DeviceBuffer Buf = DeviceBuffer::zeroed(4);
   LaunchBindings Bind(K);
   Bind.bindBuffer(0, &Buf);
-  EXPECT_DEATH(emulateKernel(K, {Dim3(1), Dim3(1)}, Bind), "misaligned");
+  expectFault(K, {Dim3(1), Dim3(1)}, Bind, "misaligned");
 }
 
-TEST(EmulatorDeath, MissingBindingAborts) {
+TEST(EmulatorFault, MissingBindingReported) {
   KernelBuilder B("nobind");
   unsigned Out = B.addGlobalPtr("out");
   B.stGlobal(Out, Operand(), 0, B.mov(B.imm(1.0f)));
   Kernel K = B.take();
   LaunchBindings Bind(K);
-  EXPECT_DEATH(emulateKernel(K, {Dim3(1), Dim3(1)}, Bind), "no binding");
+  expectFault(K, {Dim3(1), Dim3(1)}, Bind, "no binding");
 }
 
-TEST(EmulatorDeath, BarrierInDivergentFlowAborts) {
+TEST(EmulatorFault, BarrierInDivergentFlowReported) {
   KernelBuilder B("badbar");
   Reg Tx = B.mov(B.special(SpecialReg::TidX));
   Reg P = B.setpi(CmpKind::Lt, Tx, B.imm(1));
   B.ifThen(P, false, [&] { B.bar(); });
   Kernel K = B.take();
   LaunchBindings Bind(K);
-  EXPECT_DEATH(emulateKernel(K, {Dim3(1), Dim3(2)}, Bind), "divergent");
+  expectFault(K, {Dim3(1), Dim3(2)}, Bind, "divergent");
+}
+
+TEST(EmulatorFault, EmptyLaunchReported) {
+  KernelBuilder B("empty");
+  B.mov(B.imm(1.0f));
+  Kernel K = B.take();
+  LaunchBindings Bind(K);
+  expectFault(K, {Dim3(0), Dim3(32)}, Bind, "empty launch");
 }
 
 } // namespace

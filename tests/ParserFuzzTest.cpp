@@ -152,19 +152,19 @@ TEST_P(ParserFuzz, PrintParseRoundTrip) {
   ASSERT_TRUE(verifyKernel(K).empty()) << kernelToString(K);
 
   std::string First = kernelToString(K);
-  ParseResult R = parseKernel(First);
-  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.ErrorLine << "\n"
-                      << First;
-  EXPECT_EQ(kernelToString(*R.K), First);
-  EXPECT_TRUE(verifyKernel(*R.K).empty());
+  Expected<Kernel> R = parseKernel(First);
+  ASSERT_TRUE(R.ok()) << R.diag().Message << " at line " << R.diag().Line
+                      << "\n" << First;
+  EXPECT_EQ(kernelToString(*R), First);
+  EXPECT_TRUE(verifyKernel(*R).empty());
 
   StaticProfile PA = computeStaticProfile(K);
-  StaticProfile PB = computeStaticProfile(*R.K);
+  StaticProfile PB = computeStaticProfile(*R);
   EXPECT_EQ(PA.DynInstrs, PB.DynInstrs);
   EXPECT_EQ(PA.BlockingUnits, PB.BlockingUnits);
   EXPECT_EQ(PA.SfuInstrs, PB.SfuInstrs);
   EXPECT_EQ(PA.GlobalBytesEffective, PB.GlobalBytesEffective);
-  EXPECT_EQ(estimateRegisters(K), estimateRegisters(*R.K));
+  EXPECT_EQ(estimateRegisters(K), estimateRegisters(*R));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,

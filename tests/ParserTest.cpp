@@ -39,9 +39,9 @@ constexpr const char *ScaleSource = R"(
 )";
 
 TEST(Parser, HandWrittenKernelParses) {
-  ParseResult R = parseKernel(ScaleSource);
-  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.ErrorLine;
-  const Kernel &K = *R.K;
+  Expected<Kernel> R = parseKernel(ScaleSource);
+  ASSERT_TRUE(R.ok()) << R.diag().Message << " at line " << R.diag().Line;
+  const Kernel &K = *R;
   EXPECT_EQ(K.name(), "scale");
   ASSERT_EQ(K.params().size(), 3u);
   EXPECT_EQ(K.params()[2].Kind, ParamKind::F32);
@@ -50,22 +50,22 @@ TEST(Parser, HandWrittenKernelParses) {
 }
 
 TEST(Parser, ParsedKernelEmulatesCorrectly) {
-  ParseResult R = parseKernel(ScaleSource);
-  ASSERT_TRUE(R.ok()) << R.Error;
+  Expected<Kernel> R = parseKernel(ScaleSource);
+  ASSERT_TRUE(R.ok()) << R.diag().Message;
   std::vector<float> X = {1, 2, 3, 4, 5, 6, 7, 8};
   DeviceBuffer XBuf = DeviceBuffer::fromFloats(X);
   DeviceBuffer YBuf = DeviceBuffer::zeroed(8);
-  LaunchBindings Bind(*R.K);
+  LaunchBindings Bind(*R);
   Bind.bindBuffer(0, &XBuf);
   Bind.bindBuffer(1, &YBuf);
   Bind.setF32(2, 2.0f);
-  emulateKernel(*R.K, {Dim3(1), Dim3(8)}, Bind);
+  ASSERT_TRUE(emulateKernel(*R, {Dim3(1), Dim3(8)}, Bind).ok());
   for (size_t I = 0; I != 8; ++I)
     EXPECT_FLOAT_EQ(YBuf.floatAt(I), 2.0f * X[I]);
 }
 
 TEST(Parser, StructuredRegionsParse) {
-  ParseResult R = parseKernel(R"(
+  Expected<Kernel> R = parseKernel(R"(
 .entry structured (.param .global .f32* g)
   .shared tile[64]
   .local 8 bytes/thread
@@ -82,8 +82,8 @@ TEST(Parser, StructuredRegionsParse) {
   bar.sync 0;
 }
 )");
-  ASSERT_TRUE(R.ok()) << R.Error << " at line " << R.ErrorLine;
-  const Kernel &K = *R.K;
+  ASSERT_TRUE(R.ok()) << R.diag().Message << " at line " << R.diag().Line;
+  const Kernel &K = *R;
   EXPECT_EQ(K.sharedDataBytes(), 64u);
   EXPECT_EQ(K.localBytesPerThread(), 8u);
   ASSERT_EQ(K.body().size(), 4u);
@@ -97,7 +97,7 @@ TEST(Parser, StructuredRegionsParse) {
 }
 
 TEST(Parser, FloatImmediateForms) {
-  ParseResult R = parseKernel(R"(
+  Expected<Kernel> R = parseKernel(R"(
 .entry floats (.param .global .f32* g)
 {
   mov %r0, 0f3F800000;
@@ -106,14 +106,14 @@ TEST(Parser, FloatImmediateForms) {
   st.global.f32 [g], %r0;
 }
 )");
-  ASSERT_TRUE(R.ok()) << R.Error;
-  EXPECT_FLOAT_EQ(R.K->body()[0].instr().A.getImmF32(), 1.0f);
-  EXPECT_FLOAT_EQ(R.K->body()[1].instr().A.getImmF32(), 2.5f);
-  EXPECT_FLOAT_EQ(R.K->body()[2].instr().A.getImmF32(), -0.125f);
+  ASSERT_TRUE(R.ok()) << R.diag().Message;
+  EXPECT_FLOAT_EQ(R->body()[0].instr().A.getImmF32(), 1.0f);
+  EXPECT_FLOAT_EQ(R->body()[1].instr().A.getImmF32(), 2.5f);
+  EXPECT_FLOAT_EQ(R->body()[2].instr().A.getImmF32(), -0.125f);
 }
 
 TEST(Parser, CoalescingAnnotationHonored) {
-  ParseResult R = parseKernel(R"(
+  Expected<Kernel> R = parseKernel(R"(
 .entry coal (.param .global .f32* g)
 {
   mov %r0, %tid.x;
@@ -121,46 +121,48 @@ TEST(Parser, CoalescingAnnotationHonored) {
   st.global.f32 [g + %r0], %r1;
 }
 )");
-  ASSERT_TRUE(R.ok()) << R.Error;
-  EXPECT_EQ(R.K->body()[1].instr().EffBytesPerThread, 32);
-  EXPECT_EQ(R.K->body()[2].instr().EffBytesPerThread, 4); // Default.
+  ASSERT_TRUE(R.ok()) << R.diag().Message;
+  EXPECT_EQ(R->body()[1].instr().EffBytesPerThread, 32);
+  EXPECT_EQ(R->body()[2].instr().EffBytesPerThread, 4); // Default.
 }
 
 //===--- Errors -----------------------------------------------------------------//
 
 TEST(Parser, ReportsUnknownMnemonic) {
-  ParseResult R = parseKernel(".entry k ()\n{\n  frob %r0, %r1;\n}\n");
+  Expected<Kernel> R = parseKernel(".entry k ()\n{\n  frob %r0, %r1;\n}\n");
   ASSERT_FALSE(R.ok());
-  EXPECT_NE(R.Error.find("unknown mnemonic"), std::string::npos);
-  EXPECT_EQ(R.ErrorLine, 3u);
+  EXPECT_EQ(R.diag().Code, ErrorCode::ParseError);
+  EXPECT_EQ(R.diag().At, Stage::Parse);
+  EXPECT_NE(R.diag().Message.find("unknown mnemonic"), std::string::npos);
+  EXPECT_EQ(R.diag().Line, 3u);
 }
 
 TEST(Parser, ReportsMissingEntry) {
-  ParseResult R = parseKernel("mov %r0, 1;\n");
+  Expected<Kernel> R = parseKernel("mov %r0, 1;\n");
   ASSERT_FALSE(R.ok());
-  EXPECT_NE(R.Error.find(".entry"), std::string::npos);
+  EXPECT_NE(R.diag().Message.find(".entry"), std::string::npos);
 }
 
 TEST(Parser, ReportsUnknownBuffer) {
-  ParseResult R =
+  Expected<Kernel> R =
       parseKernel(".entry k ()\n{\n  ld.global.f32 %r0, [nope];\n}\n");
   ASSERT_FALSE(R.ok());
-  EXPECT_NE(R.Error.find("unknown buffer"), std::string::npos);
+  EXPECT_NE(R.diag().Message.find("unknown buffer"), std::string::npos);
 }
 
 TEST(Parser, ReportsWrongOperandCount) {
-  ParseResult R = parseKernel(".entry k ()\n{\n  add.f32 %r0, %r1;\n}\n");
+  Expected<Kernel> R = parseKernel(".entry k ()\n{\n  add.f32 %r0, %r1;\n}\n");
   ASSERT_FALSE(R.ok());
-  EXPECT_NE(R.Error.find("operand count"), std::string::npos);
+  EXPECT_NE(R.diag().Message.find("operand count"), std::string::npos);
 }
 
 TEST(Parser, ReportsElseWithoutIf) {
-  ParseResult R = parseKernel(".entry k ()\n{\n  } else {\n}\n");
+  Expected<Kernel> R = parseKernel(".entry k ()\n{\n  } else {\n}\n");
   ASSERT_FALSE(R.ok());
 }
 
 TEST(Parser, ReportsUnterminatedBody) {
-  ParseResult R = parseKernel(".entry k ()\n{\n  mov %r0, 1;\n");
+  Expected<Kernel> R = parseKernel(".entry k ()\n{\n  mov %r0, 1;\n");
   ASSERT_FALSE(R.ok());
 }
 
@@ -168,16 +170,16 @@ TEST(Parser, ReportsUnterminatedBody) {
 
 void expectRoundTrip(const Kernel &K) {
   std::string First = kernelToString(K);
-  ParseResult R = parseKernel(First);
-  ASSERT_TRUE(R.ok()) << K.name() << ": " << R.Error << " at line "
-                      << R.ErrorLine << "\n"
+  Expected<Kernel> R = parseKernel(First);
+  ASSERT_TRUE(R.ok()) << K.name() << ": " << R.diag().Message << " at line "
+                      << R.diag().Line << "\n"
                       << First;
-  std::string Second = kernelToString(*R.K);
+  std::string Second = kernelToString(*R);
   EXPECT_EQ(First, Second) << K.name();
 
   // The reparsed kernel is profile-identical, not just text-identical.
   StaticProfile PA = computeStaticProfile(K);
-  StaticProfile PB = computeStaticProfile(*R.K);
+  StaticProfile PB = computeStaticProfile(*R);
   EXPECT_EQ(PA.DynInstrs, PB.DynInstrs);
   EXPECT_EQ(PA.BlockingUnits, PB.BlockingUnits);
   EXPECT_EQ(PA.GlobalBytesEffective, PB.GlobalBytesEffective);
@@ -215,8 +217,8 @@ TEST(ParserRoundTrip, ParsedMatMulStillComputesCorrectly) {
   MatMulApp App(MatMulProblem::emulation());
   ConfigPoint P = {16, 2, 0, 0, 0};
   Kernel Original = App.buildKernel(P);
-  ParseResult R = parseKernel(kernelToString(Original));
-  ASSERT_TRUE(R.ok()) << R.Error;
+  Expected<Kernel> R = parseKernel(kernelToString(Original));
+  ASSERT_TRUE(R.ok()) << R.diag().Message;
 
   unsigned N = App.problem().N;
   size_t Elems = size_t(N) * N;
@@ -229,14 +231,14 @@ TEST(ParserRoundTrip, ParsedMatMulStillComputesCorrectly) {
 
   for (auto [K, CBuf] :
        {std::pair<const Kernel *, DeviceBuffer *>{&Original, &C1},
-        std::pair<const Kernel *, DeviceBuffer *>{&*R.K, &C2}}) {
+        std::pair<const Kernel *, DeviceBuffer *>{&*R, &C2}}) {
     LaunchBindings Bind(*K);
     Bind.bindBuffer(0, &ABuf);
     Bind.bindBuffer(1, &BBuf);
     Bind.bindBuffer(2, CBuf);
     Bind.setS32(3, int32_t(N));
     Bind.setS32(4, int32_t(N));
-    emulateKernel(*K, App.launch(P), Bind);
+    ASSERT_TRUE(emulateKernel(*K, App.launch(P), Bind).ok());
   }
   for (size_t I = 0; I != Elems; ++I)
     ASSERT_EQ(C1.word(I), C2.word(I)) << "element " << I;

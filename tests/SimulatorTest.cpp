@@ -103,35 +103,35 @@ TEST(Trace, DivergentIfInlinesBothSides) {
 TEST(Simulator, Deterministic) {
   Kernel K = makeStreamKernel(50, 4);
   LaunchConfig LC(Dim3(64), Dim3(128));
-  SimResult A = simulateKernel(K, LC, gtx());
-  SimResult B = simulateKernel(K, LC, gtx());
-  ASSERT_TRUE(A.Valid);
-  EXPECT_EQ(A.Cycles, B.Cycles);
-  EXPECT_EQ(A.IssuedWarpInstrs, B.IssuedWarpInstrs);
-  EXPECT_EQ(A.IssueStallCycles, B.IssueStallCycles);
+  Expected<SimResult> A = simulateKernel(K, LC, gtx());
+  Expected<SimResult> B = simulateKernel(K, LC, gtx());
+  ASSERT_TRUE(A.ok());
+  EXPECT_EQ(A->Cycles, B->Cycles);
+  EXPECT_EQ(A->IssuedWarpInstrs, B->IssuedWarpInstrs);
+  EXPECT_EQ(A->IssueStallCycles, B->IssueStallCycles);
 }
 
 TEST(Simulator, IssueCountMatchesProfile) {
   // Warp-instruction issues = warps * (trace instructions per warp).
   Kernel K = makeAluKernel(3, 7);
   LaunchConfig LC(Dim3(16), Dim3(64)); // 1 block/SM, 2 warps each.
-  SimResult R = simulateKernel(K, LC, gtx());
-  ASSERT_TRUE(R.Valid);
+  Expected<SimResult> R = simulateKernel(K, LC, gtx());
+  ASSERT_TRUE(R.ok());
   uint64_t PerWarp = 1 + 7 * (3 + 3) + 3; // prologue + loop + epilogue.
-  EXPECT_EQ(R.IssuedWarpInstrs, 2u * PerWarp);
-  EXPECT_EQ(R.SyntheticCtlInstrs, 2u * 7u * 3u);
-  EXPECT_EQ(R.BlocksRun, 1u);
+  EXPECT_EQ(R->IssuedWarpInstrs, 2u * PerWarp);
+  EXPECT_EQ(R->SyntheticCtlInstrs, 2u * 7u * 3u);
+  EXPECT_EQ(R->BlocksRun, 1u);
 }
 
 TEST(Simulator, CyclesLowerBoundedByIssueBandwidth) {
   Kernel K = makeAluKernel(4, 100);
   LaunchConfig LC(Dim3(16), Dim3(256));
-  SimResult R = simulateKernel(K, LC, gtx());
-  ASSERT_TRUE(R.Valid);
+  Expected<SimResult> R = simulateKernel(K, LC, gtx());
+  ASSERT_TRUE(R.ok());
   // One warp instruction per 4 cycles at best.
-  EXPECT_GE(R.Cycles, R.IssuedWarpInstrs * 4u);
-  EXPECT_LE(R.issueUtilization(), 1.0);
-  EXPECT_GE(R.issueUtilization(), 0.0);
+  EXPECT_GE(R->Cycles, R->IssuedWarpInstrs * 4u);
+  EXPECT_LE(R->issueUtilization(), 1.0);
+  EXPECT_GE(R->issueUtilization(), 0.0);
 }
 
 TEST(Simulator, InvalidOccupancyReported) {
@@ -139,15 +139,19 @@ TEST(Simulator, InvalidOccupancyReported) {
   B.addShared("pad", 17000);
   B.mov(B.imm(1.0f));
   Kernel K = B.take();
-  SimResult R = simulateKernel(K, LaunchConfig(Dim3(1), Dim3(64)), gtx());
-  EXPECT_FALSE(R.Valid);
+  Expected<SimResult> R =
+      simulateKernel(K, LaunchConfig(Dim3(1), Dim3(64)), gtx());
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.diag().Code, ErrorCode::OccupancyInvalid);
+  EXPECT_EQ(R.diag().At, Stage::Occupancy);
 }
 
 TEST(Simulator, EmptyGridIsZeroTime) {
   Kernel K = makeAluKernel(1, 1);
-  SimResult R = simulateKernel(K, LaunchConfig(Dim3(0), Dim3(64)), gtx());
-  EXPECT_TRUE(R.Valid);
-  EXPECT_EQ(R.Cycles, 0u);
+  Expected<SimResult> R =
+      simulateKernel(K, LaunchConfig(Dim3(0), Dim3(64)), gtx());
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R->Cycles, 0u);
 }
 
 //===--- Latency hiding ----------------------------------------------------------//
@@ -156,14 +160,14 @@ TEST(Simulator, MoreWarpsHideMemoryLatency) {
   // Same per-thread work; more resident warps must not hurt and should
   // substantially reduce stall fraction for a latency-bound stream.
   Kernel K = makeStreamKernel(100, 4);
-  SimResult OneWarp =
+  Expected<SimResult> OneWarp =
       simulateKernel(K, LaunchConfig(Dim3(16), Dim3(32)), gtx());
-  SimResult ManyWarps =
+  Expected<SimResult> ManyWarps =
       simulateKernel(K, LaunchConfig(Dim3(16 * 8), Dim3(32)), gtx());
-  ASSERT_TRUE(OneWarp.Valid && ManyWarps.Valid);
+  ASSERT_TRUE(OneWarp.ok() && ManyWarps.ok());
   // 8x the work in much less than 8x the time.
-  EXPECT_LT(double(ManyWarps.Cycles), 4.0 * double(OneWarp.Cycles));
-  EXPECT_GT(ManyWarps.issueUtilization(), OneWarp.issueUtilization());
+  EXPECT_LT(double(ManyWarps->Cycles), 4.0 * double(OneWarp->Cycles));
+  EXPECT_GT(ManyWarps->issueUtilization(), OneWarp->issueUtilization());
 }
 
 TEST(Simulator, DependentChainSlowerThanIndependent) {
@@ -188,10 +192,10 @@ TEST(Simulator, DependentChainSlowerThanIndependent) {
   Kernel KI = BI.take();
 
   LaunchConfig LC(Dim3(16), Dim3(32)); // One warp per SM.
-  SimResult RD = simulateKernel(KD, LC, gtx());
-  SimResult RI = simulateKernel(KI, LC, gtx());
-  ASSERT_TRUE(RD.Valid && RI.Valid);
-  EXPECT_GT(RD.Cycles, RI.Cycles);
+  Expected<SimResult> RD = simulateKernel(KD, LC, gtx());
+  Expected<SimResult> RI = simulateKernel(KI, LC, gtx());
+  ASSERT_TRUE(RD.ok() && RI.ok());
+  EXPECT_GT(RD->Cycles, RI->Cycles);
 }
 
 //===--- Bandwidth model -----------------------------------------------------------//
@@ -200,11 +204,11 @@ TEST(Simulator, UncoalescedConsumesMoreBandwidthTime) {
   Kernel Coal = makeStreamKernel(200, 4);
   Kernel Uncoal = makeStreamKernel(200, 32);
   LaunchConfig LC(Dim3(16 * 16), Dim3(256));
-  SimResult RC = simulateKernel(Coal, LC, gtx());
-  SimResult RU = simulateKernel(Uncoal, LC, gtx());
-  ASSERT_TRUE(RC.Valid && RU.Valid);
-  EXPECT_GT(RU.Cycles, RC.Cycles);
-  EXPECT_GT(RU.MemQueueWaitCycles, RC.MemQueueWaitCycles);
+  Expected<SimResult> RC = simulateKernel(Coal, LC, gtx());
+  Expected<SimResult> RU = simulateKernel(Uncoal, LC, gtx());
+  ASSERT_TRUE(RC.ok() && RU.ok());
+  EXPECT_GT(RU->Cycles, RC->Cycles);
+  EXPECT_GT(RU->MemQueueWaitCycles, RC->MemQueueWaitCycles);
 }
 
 TEST(Simulator, BandwidthBoundTimeTracksTraffic) {
@@ -214,12 +218,12 @@ TEST(Simulator, BandwidthBoundTimeTracksTraffic) {
   MachineModel M = gtx();
   unsigned WarpsPerSM = 8;
   LaunchConfig LC(Dim3(16 * WarpsPerSM), Dim3(32));
-  SimResult R = simulateKernel(K, LC, M);
-  ASSERT_TRUE(R.Valid);
+  Expected<SimResult> R = simulateKernel(K, LC, M);
+  ASSERT_TRUE(R.ok());
   double Bytes = double(WarpsPerSM) * 32 * (Iters + 1) * 32; // Per SM.
   double MinCycles = Bytes / M.globalBytesPerCyclePerSM();
-  EXPECT_GE(double(R.Cycles), MinCycles * 0.95);
-  EXPECT_LE(double(R.Cycles), MinCycles * 1.8);
+  EXPECT_GE(double(R->Cycles), MinCycles * 0.95);
+  EXPECT_LE(double(R->Cycles), MinCycles * 1.8);
 }
 
 TEST(Simulator, MoreBandwidthNeverSlower) {
@@ -228,10 +232,10 @@ TEST(Simulator, MoreBandwidthNeverSlower) {
   MachineModel Slow = gtx();
   MachineModel Fast = gtx();
   Fast.GlobalBandwidthGBps *= 2;
-  SimResult RS = simulateKernel(K, LC, Slow);
-  SimResult RF = simulateKernel(K, LC, Fast);
-  ASSERT_TRUE(RS.Valid && RF.Valid);
-  EXPECT_LE(RF.Cycles, RS.Cycles);
+  Expected<SimResult> RS = simulateKernel(K, LC, Slow);
+  Expected<SimResult> RF = simulateKernel(K, LC, Fast);
+  ASSERT_TRUE(RS.ok() && RF.ok());
+  EXPECT_LE(RF->Cycles, RS->Cycles);
 }
 
 TEST(Simulator, LowerLatencyNeverSlower) {
@@ -240,9 +244,9 @@ TEST(Simulator, LowerLatencyNeverSlower) {
   MachineModel Slow = gtx();
   MachineModel Fast = gtx();
   Fast.GlobalLatencyCycles = 100;
-  SimResult RS = simulateKernel(K, LC, Slow);
-  SimResult RF = simulateKernel(K, LC, Fast);
-  EXPECT_LE(RF.Cycles, RS.Cycles);
+  Expected<SimResult> RS = simulateKernel(K, LC, Slow);
+  Expected<SimResult> RF = simulateKernel(K, LC, Fast);
+  EXPECT_LE(RF->Cycles, RS->Cycles);
 }
 
 //===--- Barriers ------------------------------------------------------------------//
@@ -264,10 +268,10 @@ TEST(Simulator, BarriersCostTime) {
     return B.take();
   };
   LaunchConfig LC(Dim3(32), Dim3(256));
-  SimResult NoBar = simulateKernel(Make(false), LC, gtx());
-  SimResult Bar = simulateKernel(Make(true), LC, gtx());
-  ASSERT_TRUE(NoBar.Valid && Bar.Valid);
-  EXPECT_GT(Bar.Cycles, NoBar.Cycles);
+  Expected<SimResult> NoBar = simulateKernel(Make(false), LC, gtx());
+  Expected<SimResult> Bar = simulateKernel(Make(true), LC, gtx());
+  ASSERT_TRUE(NoBar.ok() && Bar.ok());
+  EXPECT_GT(Bar->Cycles, NoBar->Cycles);
 }
 
 TEST(Simulator, BarrierKernelCompletes) {
@@ -282,9 +286,10 @@ TEST(Simulator, BarrierKernelCompletes) {
     B.bar();
   });
   Kernel K = B.take();
-  SimResult R = simulateKernel(K, LaunchConfig(Dim3(64), Dim3(96)), gtx());
-  ASSERT_TRUE(R.Valid);
-  EXPECT_GT(R.Cycles, 0u);
+  Expected<SimResult> R =
+      simulateKernel(K, LaunchConfig(Dim3(64), Dim3(96)), gtx());
+  ASSERT_TRUE(R.ok());
+  EXPECT_GT(R->Cycles, 0u);
 }
 
 //===--- SFU --------------------------------------------------------------------------//
@@ -304,37 +309,38 @@ TEST(Simulator, SfuIssueIsSlower) {
     return B.take();
   };
   LaunchConfig LC(Dim3(16 * 3), Dim3(256)); // Plenty of warps.
-  SimResult Alu = simulateKernel(Make(false), LC, gtx());
-  SimResult Sfu = simulateKernel(Make(true), LC, gtx());
-  ASSERT_TRUE(Alu.Valid && Sfu.Valid);
+  Expected<SimResult> Alu = simulateKernel(Make(false), LC, gtx());
+  Expected<SimResult> Sfu = simulateKernel(Make(true), LC, gtx());
+  ASSERT_TRUE(Alu.ok() && Sfu.ok());
   // SFU ops hold the issue port 16 cycles instead of 4; with the 3
   // loop-control ALU issues per iteration the port-bound cost ratio is
   // (16 + 3*4) / (4 + 3*4) = 1.75.
-  EXPECT_NEAR(double(Sfu.Cycles) / double(Alu.Cycles), 1.75, 0.1);
+  EXPECT_NEAR(double(Sfu->Cycles) / double(Alu->Cycles), 1.75, 0.1);
 }
 
 //===--- Block scheduling ----------------------------------------------------------//
 
 TEST(Simulator, WavesScaleLinearly) {
   Kernel K = makeAluKernel(4, 50);
-  SimResult OneWave =
+  Expected<SimResult> OneWave =
       simulateKernel(K, LaunchConfig(Dim3(16 * 3), Dim3(256)), gtx());
-  SimResult FourWaves =
+  Expected<SimResult> FourWaves =
       simulateKernel(K, LaunchConfig(Dim3(16 * 12), Dim3(256)), gtx());
-  ASSERT_TRUE(OneWave.Valid && FourWaves.Valid);
+  ASSERT_TRUE(OneWave.ok() && FourWaves.ok());
   // Four times the blocks through the same resident capacity: about
   // four times the time.
-  EXPECT_NEAR(double(FourWaves.Cycles) / double(OneWave.Cycles), 4.0, 0.8);
+  EXPECT_NEAR(double(FourWaves->Cycles) / double(OneWave->Cycles), 4.0, 0.8);
 }
 
 TEST(Simulator, BusiestSmDeterminesTime) {
   // 17 blocks on 16 SMs: one SM runs two -> roughly 2x one block's time.
   Kernel K = makeAluKernel(4, 50);
-  SimResult One = simulateKernel(K, LaunchConfig(Dim3(16), Dim3(64)), gtx());
-  SimResult Two =
+  Expected<SimResult> One =
+      simulateKernel(K, LaunchConfig(Dim3(16), Dim3(64)), gtx());
+  Expected<SimResult> Two =
       simulateKernel(K, LaunchConfig(Dim3(17), Dim3(64)), gtx());
-  ASSERT_TRUE(One.Valid && Two.Valid);
-  EXPECT_GT(Two.Cycles, One.Cycles);
+  ASSERT_TRUE(One.ok() && Two.ok());
+  EXPECT_GT(Two->Cycles, One->Cycles);
 }
 
 } // namespace

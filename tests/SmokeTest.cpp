@@ -99,12 +99,12 @@ TEST(Smoke, SimulatorRunsMatMul) {
   ConfigPoint P = App.paperExampleConfig();
   Kernel K = App.buildKernel(P);
   MachineModel M = MachineModel::geForce8800Gtx();
-  SimResult R = simulateKernel(K, App.launch(P), M);
-  ASSERT_TRUE(R.Valid);
-  EXPECT_GT(R.Cycles, 0u);
+  Expected<SimResult> R = simulateKernel(K, App.launch(P), M);
+  ASSERT_TRUE(R.ok());
+  EXPECT_GT(R->Cycles, 0u);
   std::fprintf(stderr, "matmul-128 sim: cycles=%llu time=%.3fms util=%.2f\n",
-               (unsigned long long)R.Cycles, R.Seconds * 1e3,
-               R.issueUtilization());
+               (unsigned long long)R->Cycles, R->Seconds * 1e3,
+               R->issueUtilization());
 }
 
 } // namespace

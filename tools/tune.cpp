@@ -11,8 +11,14 @@
 //
 //   tune search --app <name> [--strategy pareto|exhaustive|cluster|
 //                             random|greedy] [--machine gtx|nextgen]
-//                            [--budget N] [--seed N]
+//                            [--budget N] [--seed N] [--inject SPEC]
 //       Run a search strategy and print the outcome (Table-4 style).
+//       --inject arms the deterministic fault injector (see
+//       support/FaultInjection.h for the SPEC grammar); quarantined
+//       configurations are reported per pipeline stage.
+//
+// Exit codes: 0 success, 2 bad usage, 3 parse/verify failure,
+// 4 evaluation failure (nothing could be measured).
 //
 //   tune show --app <name> --config "v1,v2,..."
 //       Print the generated kernel for one configuration plus its
@@ -34,7 +40,9 @@
 #include "ptx/Parser.h"
 #include "ptx/Printer.h"
 #include "ptx/Verifier.h"
+#include "support/FaultInjection.h"
 #include "support/Format.h"
+#include "support/Status.h"
 #include "support/TextTable.h"
 
 #include <cstring>
@@ -49,16 +57,26 @@ using namespace g80;
 
 namespace {
 
+/// Exit codes: distinct classes so scripts can tell a user error from a
+/// broken input from a pipeline that produced nothing.
+enum ExitCode : int {
+  ExitOk = 0,
+  ExitUsage = 2,       ///< Bad flags, unknown app/strategy, bad spec.
+  ExitParseVerify = 3, ///< Input kernel failed to parse or verify.
+  ExitEvaluation = 4,  ///< Evaluation pipeline measured nothing.
+};
+
 int usage() {
   std::cerr
       << "usage:\n"
          "  tune list\n"
          "  tune search  --app <matmul|cp|sad|mri> [--strategy pareto|"
          "exhaustive|cluster|random|greedy]\n"
-         "               [--machine gtx|nextgen] [--budget N] [--seed N]\n"
+         "               [--machine gtx|nextgen] [--budget N] [--seed N] "
+         "[--inject SPEC]\n"
          "  tune show    --app <name> --config \"v1,v2,...\"\n"
          "  tune inspect --file <kernel.ptx> --block X[,Y] --grid X[,Y]\n";
-  return 2;
+  return ExitUsage;
 }
 
 std::unique_ptr<TunableApp> makeApp(const std::string &Name) {
@@ -124,7 +142,17 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
     return usage();
   }
   MachineModel Machine = makeMachine(Flags["machine"]);
-  SearchEngine Engine(*App, Machine);
+
+  FaultPlan Faults;
+  if (Flags.count("inject")) {
+    Expected<FaultPlan> Parsed = parseFaultPlan(Flags["inject"]);
+    if (!Parsed) {
+      std::cerr << "error: " << Parsed.diag().Message << "\n";
+      return usage();
+    }
+    Faults = Parsed.takeValue();
+  }
+  SearchEngine Engine(*App, Machine, {}, {}, std::move(Faults));
 
   std::string Strategy =
       Flags.count("strategy") ? Flags["strategy"] : "pareto";
@@ -156,14 +184,33 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
             << fmtPercent(Out.spaceReduction()) << "\n"
             << "  total measured time  : "
             << fmtDouble(Out.TotalMeasuredSeconds * 1e3, 2) << " ms\n";
-  if (Out.BestIndex < Out.Evals.size()) {
+  if (!Out.Quarantined.empty()) {
+    std::cout << "  quarantined          : " << Out.Quarantined.size()
+              << "  (";
+    bool First = true;
+    for (size_t S = 0; S != NumStages; ++S) {
+      if (Out.FailedPerStage[S] == 0)
+        continue;
+      std::cout << (First ? "" : ", ") << stageName(Stage(S)) << "="
+                << Out.FailedPerStage[S];
+      First = false;
+    }
+    std::cout << ")\n";
+  }
+  if (Out.hasBest()) {
     const ConfigEval &Best = Out.Evals[Out.BestIndex];
     std::cout << "  best configuration   : "
               << App->space().describe(Best.Point) << "\n"
               << "  best time            : "
               << fmtDouble(Out.BestTime * 1e3, 3) << " ms\n";
+  } else {
+    // Partial results are still results: the quarantine breakdown above
+    // says where the pipeline died, but there is nothing to rank.
+    std::cerr << "error: no configuration could be measured ("
+              << Out.Quarantined.size() << " quarantined)\n";
+    return ExitEvaluation;
   }
-  return 0;
+  return ExitOk;
 }
 
 int cmdShow(std::map<std::string, std::string> Flags) {
@@ -181,7 +228,7 @@ int cmdShow(std::map<std::string, std::string> Flags) {
         std::cerr << (I ? "," : "") << D.Values[I];
       std::cerr << "}\n";
     }
-    return 1;
+    return ExitUsage;
   }
   Kernel K = App->buildKernel(P);
   MachineModel Machine = makeMachine(Flags["machine"]);
@@ -204,23 +251,23 @@ int cmdInspect(std::map<std::string, std::string> Flags) {
   std::ifstream In(Flags["file"]);
   if (!In) {
     std::cerr << "error: cannot open '" << Flags["file"] << "'\n";
-    return 1;
+    return ExitParseVerify;
   }
   std::stringstream Buf;
   Buf << In.rdbuf();
-  ParseResult R = parseKernel(Buf.str());
-  if (!R.ok()) {
-    std::cerr << Flags["file"] << ":" << R.ErrorLine
-              << ": error: " << R.Error << "\n";
-    return 1;
+  Expected<Kernel> R = parseKernel(Buf.str());
+  if (!R) {
+    std::cerr << Flags["file"] << ":" << R.diag().Line
+              << ": error: " << R.diag().Message << "\n";
+    return ExitParseVerify;
   }
-  Kernel &K = *R.K;
+  Kernel &K = *R;
 
   std::vector<std::string> Errors = verifyKernel(K);
   for (const std::string &E : Errors)
     std::cerr << Flags["file"] << ": verifier: " << E << "\n";
   if (!Errors.empty())
-    return 1;
+    return ExitParseVerify;
 
   std::vector<int> Block =
       Flags.count("block") ? parseInts(Flags["block"]) : std::vector<int>{256};
@@ -252,13 +299,18 @@ int cmdInspect(std::map<std::string, std::string> Flags) {
   if (M.Valid) {
     T.addRow({"Efficiency (Eq. 1)", fmtSci(M.Efficiency)});
     T.addRow({"Utilization (Eq. 2)", fmtDouble(M.Utilization, 1)});
-    SimResult S = simulateKernel(K, LC, Machine);
-    T.addRow({"simulated time", fmtDouble(S.Seconds * 1e3, 3) + " ms"});
+    Expected<SimResult> S = simulateKernel(K, LC, Machine);
+    if (!S) {
+      T.print(std::cout);
+      std::cerr << Flags["file"] << ": error: " << S.diag().str() << "\n";
+      return ExitEvaluation;
+    }
+    T.addRow({"simulated time", fmtDouble(S->Seconds * 1e3, 3) + " ms"});
     T.addRow({"issue utilization",
-              fmtPercent(S.issueUtilization())});
+              fmtPercent(S->issueUtilization())});
   }
   T.print(std::cout);
-  return 0;
+  return ExitOk;
 }
 
 } // namespace
