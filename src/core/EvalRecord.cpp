@@ -1,0 +1,127 @@
+//===- core/EvalRecord.cpp ------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EvalRecord.h"
+
+#include "support/Journal.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace g80;
+
+namespace {
+
+/// 17 significant digits: enough for IEEE double round-trips, so resumed
+/// sweeps rank configurations bit-identically to the original run.
+std::string fmtExact(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+Diagnostic recordError(std::string Msg) {
+  return makeDiag(ErrorCode::JournalError, Stage::Parse, std::move(Msg));
+}
+
+} // namespace
+
+EvalRecord EvalRecord::fromEval(const ConfigEval &E) {
+  EvalRecord R;
+  R.Index = E.FlatIndex;
+  R.Point = E.Point;
+  R.Expressible = E.Expressible;
+  R.Valid = E.Metrics.Valid;
+  R.Efficiency = E.EfficiencyTotal;
+  R.Utilization = E.Metrics.Utilization;
+  R.Measured = E.Measured;
+  R.TimeSeconds = E.TimeSeconds;
+  R.SimSeconds = E.Sim.Seconds;
+  R.Cycles = E.Sim.Cycles;
+  R.Code = E.Failure.Code;
+  R.At = E.Failure.At;
+  R.Message = E.Failure.Message;
+  return R;
+}
+
+void EvalRecord::applyTo(ConfigEval &E) const {
+  E.Measured = Measured;
+  E.TimeSeconds = TimeSeconds;
+  E.Sim.Seconds = SimSeconds;
+  E.Sim.Cycles = Cycles;
+  if (failed()) {
+    E.Failure.Code = Code;
+    E.Failure.At = At;
+    E.Failure.Message = Message;
+  }
+}
+
+std::string EvalRecord::toJson() const {
+  std::ostringstream OS;
+  OS << "{\"idx\":" << Index << ",\"point\":[";
+  for (size_t I = 0; I != Point.size(); ++I)
+    OS << (I ? "," : "") << Point[I];
+  OS << "],\"expr\":" << (Expressible ? "true" : "false")
+     << ",\"valid\":" << (Valid ? "true" : "false")
+     << ",\"eff\":" << fmtExact(Efficiency)
+     << ",\"util\":" << fmtExact(Utilization)
+     << ",\"measured\":" << (Measured ? "true" : "false")
+     << ",\"time\":" << fmtExact(TimeSeconds)
+     << ",\"simsec\":" << fmtExact(SimSeconds) << ",\"cycles\":" << Cycles
+     << ",\"code\":" << unsigned(Code) << ",\"stage\":" << unsigned(At)
+     << ",\"msg\":\"" << jsonEscape(Message) << "\"}";
+  return OS.str();
+}
+
+Expected<EvalRecord> EvalRecord::fromJson(std::string_view Json) {
+  EvalRecord R;
+  uint64_t Code = 0, StageVal = 0;
+  if (!jsonUintField(Json, "idx", R.Index) ||
+      !jsonIntArrayField(Json, "point", R.Point) ||
+      !jsonBoolField(Json, "expr", R.Expressible) ||
+      !jsonBoolField(Json, "valid", R.Valid) ||
+      !jsonDoubleField(Json, "eff", R.Efficiency) ||
+      !jsonDoubleField(Json, "util", R.Utilization) ||
+      !jsonBoolField(Json, "measured", R.Measured) ||
+      !jsonDoubleField(Json, "time", R.TimeSeconds) ||
+      !jsonDoubleField(Json, "simsec", R.SimSeconds) ||
+      !jsonUintField(Json, "cycles", R.Cycles) ||
+      !jsonUintField(Json, "code", Code) ||
+      !jsonUintField(Json, "stage", StageVal) ||
+      !jsonStringField(Json, "msg", R.Message))
+    return recordError("malformed eval record");
+  if (Code > unsigned(ErrorCode::WorkerTimeout) || StageVal >= NumStages)
+    return recordError("eval record carries an unknown code or stage");
+  R.Code = ErrorCode(Code);
+  R.At = Stage(StageVal);
+  return R;
+}
+
+std::vector<std::string> EvalRecord::csvHeader() {
+  return {"index",       "point",    "expressible", "valid",
+          "efficiency",  "utilization", "measured", "time_seconds",
+          "sim_seconds", "cycles",   "fail_stage",  "fail_code",
+          "fail_message"};
+}
+
+std::vector<std::string> EvalRecord::csvRow() const {
+  std::string PointText;
+  for (size_t I = 0; I != Point.size(); ++I)
+    PointText += (I ? "," : "") + std::to_string(Point[I]);
+  return {std::to_string(Index),
+          PointText,
+          Expressible ? "1" : "0",
+          Valid ? "1" : "0",
+          fmtExact(Efficiency),
+          fmtExact(Utilization),
+          Measured ? "1" : "0",
+          fmtExact(TimeSeconds),
+          fmtExact(SimSeconds),
+          std::to_string(Cycles),
+          failed() ? stageName(At) : "",
+          failed() ? errorCodeName(Code) : "",
+          Message};
+}

@@ -1,0 +1,77 @@
+//===- core/EvalRecord.h - One serialization of a ConfigEval --------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat, serializable projection of a ConfigEval.  Three consumers
+/// share it so there is exactly one wire format for "what happened to
+/// configuration N":
+///
+///  - the write-ahead journal (support/Journal.h) stores one record's
+///    JSON per completed evaluation;
+///  - isolated workers (core/SweepDriver.h) stream the same JSON over
+///    their result pipe;
+///  - `tune search --out` dumps the same fields as CSV rows.
+///
+/// Doubles are serialized with 17 significant digits so a resumed sweep
+/// reproduces bit-identical times (and therefore the identical best
+/// configuration) without re-measuring.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_CORE_EVALRECORD_H
+#define G80TUNE_CORE_EVALRECORD_H
+
+#include "core/Evaluation.h"
+#include "support/Status.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g80 {
+
+/// Everything worth persisting about one evaluated configuration.
+struct EvalRecord {
+  uint64_t Index = 0;
+  std::vector<int> Point;
+  bool Expressible = false;
+  bool Valid = false; ///< Metrics.Valid — the paper's launchability.
+  double Efficiency = 0;
+  double Utilization = 0;
+
+  bool Measured = false;
+  double TimeSeconds = 0;
+  double SimSeconds = 0;
+  uint64_t Cycles = 0;
+
+  ErrorCode Code = ErrorCode::None;
+  Stage At = Stage::Parse;
+  std::string Message;
+
+  bool failed() const { return Code != ErrorCode::None; }
+
+  /// Snapshots \p E.
+  static EvalRecord fromEval(const ConfigEval &E);
+
+  /// Restores the *measurement* outcome onto \p E: Measured / times / sim
+  /// counters and any failure diagnostic.  Static metrics are not touched
+  /// — a resuming sweep recomputes those (they are cheap and
+  /// deterministic) and uses the record only to skip re-measurement.
+  void applyTo(ConfigEval &E) const;
+
+  /// One-line JSON object (no embedded newlines) — the journal / worker
+  /// pipe payload.
+  std::string toJson() const;
+  static Expected<EvalRecord> fromJson(std::string_view Json);
+
+  /// CSV column names, aligned with csvRow().
+  static std::vector<std::string> csvHeader();
+  std::vector<std::string> csvRow() const;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_CORE_EVALRECORD_H

@@ -13,104 +13,135 @@
 
 using namespace g80;
 
-namespace {
-
-/// Records \p Idx as quarantined, tallying its failure stage.
-void quarantine(SearchOutcome &Out, size_t Idx) {
-  Out.Quarantined.push_back(Idx);
-  ++Out.FailedPerStage[static_cast<size_t>(Out.Evals[Idx].Failure.At)];
-}
-
-/// Counts usable entries and quarantines the ones that already failed
-/// during metric evaluation (injected parse/verify/estimate faults or a
-/// genuine verifier rejection).
-void tallyMetricStage(SearchOutcome &Out) {
+SearchOutcome SearchOutcome::fromPlan(SweepPlan Plan) {
+  SearchOutcome Out;
+  Out.Strategy = std::move(Plan.Strategy);
+  Out.Evals = std::move(Plan.Evals);
+  Out.Candidates = std::move(Plan.Candidates);
+  // Count usable entries and quarantine the ones that already failed
+  // during metric evaluation (injected parse/verify/estimate faults or a
+  // genuine verifier rejection).
   for (size_t I = 0; I != Out.Evals.size(); ++I) {
     const ConfigEval &E = Out.Evals[I];
     if (E.usable())
       ++Out.ValidCount;
     else if (E.failed())
-      quarantine(Out, I);
+      Out.noteQuarantined(I);
+  }
+  return Out;
+}
+
+void SearchOutcome::noteQuarantined(size_t Idx) {
+  Quarantined.push_back(Idx);
+  ++FailedPerStage[static_cast<size_t>(Evals[Idx].Failure.At)];
+}
+
+void SearchOutcome::noteMeasured(size_t Idx) {
+  const ConfigEval &E = Evals[Idx];
+  TotalMeasuredSeconds += E.TimeSeconds;
+  if (E.TimeSeconds < BestTime) {
+    BestTime = E.TimeSeconds;
+    BestIndex = Idx;
   }
 }
 
-} // namespace
-
-SearchOutcome
-SearchEngine::measureCandidates(std::string Strategy,
-                                std::vector<ConfigEval> Evals,
-                                std::vector<size_t> Candidates) const {
-  SearchOutcome Out;
-  Out.Strategy = std::move(Strategy);
-  Out.Evals = std::move(Evals);
-  Out.Candidates = std::move(Candidates);
-  tallyMetricStage(Out);
-
+SearchOutcome SearchEngine::measureCandidates(SweepPlan Plan) const {
+  SearchOutcome Out = SearchOutcome::fromPlan(std::move(Plan));
   for (size_t Idx : Out.Candidates) {
     ConfigEval &E = Out.Evals[Idx];
     if (!Eval.measure(E)) {
       // Quarantine and keep sweeping: one bad configuration must not take
       // the whole search down.
-      quarantine(Out, Idx);
+      Out.noteQuarantined(Idx);
       continue;
     }
-    Out.TotalMeasuredSeconds += E.TimeSeconds;
-    if (E.TimeSeconds < Out.BestTime) {
-      Out.BestTime = E.TimeSeconds;
-      Out.BestIndex = Idx;
-    }
+    Out.noteMeasured(Idx);
   }
   return Out;
 }
 
-SearchOutcome SearchEngine::exhaustive() const {
-  std::vector<ConfigEval> Evals = Eval.evaluateMetrics();
-  std::vector<size_t> Candidates;
-  for (size_t I = 0; I != Evals.size(); ++I)
-    if (Evals[I].usable())
-      Candidates.push_back(I);
-  return measureCandidates("exhaustive", std::move(Evals),
-                           std::move(Candidates));
+SweepPlan SearchEngine::planExhaustive() const {
+  SweepPlan Plan;
+  Plan.Strategy = "exhaustive";
+  Plan.Evals = Eval.evaluateMetrics();
+  for (size_t I = 0; I != Plan.Evals.size(); ++I)
+    if (Plan.Evals[I].usable())
+      Plan.Candidates.push_back(I);
+  return Plan;
 }
 
-SearchOutcome SearchEngine::paretoPruned(const ParetoOptions &Opts) const {
-  std::vector<ConfigEval> Evals = Eval.evaluateMetrics();
-  std::vector<size_t> Candidates = paretoSubset(Evals, Opts);
-  return measureCandidates("pareto", std::move(Evals),
-                           std::move(Candidates));
+SweepPlan SearchEngine::planPareto(const ParetoOptions &Opts) const {
+  SweepPlan Plan;
+  Plan.Strategy = "pareto";
+  Plan.Evals = Eval.evaluateMetrics();
+  Plan.Candidates = paretoSubset(Plan.Evals, Opts);
+  return Plan;
 }
 
-SearchOutcome SearchEngine::paretoClustered(const ParetoOptions &Opts,
-                                            double RelTol) const {
-  std::vector<ConfigEval> Evals = Eval.evaluateMetrics();
-  std::vector<size_t> Subset = paretoSubset(Evals, Opts);
+SweepPlan SearchEngine::planClustered(const ParetoOptions &Opts,
+                                      double RelTol) const {
+  SweepPlan Plan;
+  Plan.Strategy = "pareto+cluster";
+  Plan.Evals = Eval.evaluateMetrics();
+  std::vector<size_t> Subset = paretoSubset(Plan.Evals, Opts);
   std::vector<std::vector<size_t>> Clusters =
-      clusterByMetrics(Evals, Subset, RelTol);
-  std::vector<size_t> Candidates;
+      clusterByMetrics(Plan.Evals, Subset, RelTol);
   // One representative per cluster; the smallest index keeps the choice
   // deterministic ("randomly select a single configuration" in the paper
   // — any member works, that is the point of the cluster).
   for (const std::vector<size_t> &C : Clusters)
-    Candidates.push_back(C.front());
-  std::sort(Candidates.begin(), Candidates.end());
-  return measureCandidates("pareto+cluster", std::move(Evals),
-                           std::move(Candidates));
+    Plan.Candidates.push_back(C.front());
+  std::sort(Plan.Candidates.begin(), Plan.Candidates.end());
+  return Plan;
+}
+
+SweepPlan SearchEngine::planRandom(size_t K, uint64_t Seed) const {
+  SweepPlan Plan;
+  Plan.Strategy = "random";
+  Plan.Evals = Eval.evaluateMetrics();
+  std::vector<size_t> Usable;
+  for (size_t I = 0; I != Plan.Evals.size(); ++I)
+    if (Plan.Evals[I].usable())
+      Usable.push_back(I);
+
+  // Partial Fisher-Yates draw of min(K, usable) distinct indices.
+  Rng R(Seed);
+  size_t Draw = std::min(K, Usable.size());
+  for (size_t I = 0; I != Draw; ++I) {
+    size_t J = I + size_t(R.nextBelow(Usable.size() - I));
+    std::swap(Usable[I], Usable[J]);
+  }
+  Plan.Candidates.assign(Usable.begin(), Usable.begin() + Draw);
+  std::sort(Plan.Candidates.begin(), Plan.Candidates.end());
+  return Plan;
+}
+
+SearchOutcome SearchEngine::exhaustive() const {
+  return measureCandidates(planExhaustive());
+}
+
+SearchOutcome SearchEngine::paretoPruned(const ParetoOptions &Opts) const {
+  return measureCandidates(planPareto(Opts));
+}
+
+SearchOutcome SearchEngine::paretoClustered(const ParetoOptions &Opts,
+                                            double RelTol) const {
+  return measureCandidates(planClustered(Opts, RelTol));
 }
 
 SearchOutcome SearchEngine::greedyClimb(size_t MaxMeasured,
                                         uint64_t Seed) const {
-  std::vector<ConfigEval> Evals = Eval.evaluateMetrics();
   const ConfigSpace &Space = Eval.app().space();
 
+  SweepPlan Plan;
+  Plan.Strategy = "greedy";
+  Plan.Evals = Eval.evaluateMetrics();
   std::vector<size_t> Usable;
-  for (size_t I = 0; I != Evals.size(); ++I)
-    if (Evals[I].usable())
+  for (size_t I = 0; I != Plan.Evals.size(); ++I)
+    if (Plan.Evals[I].usable())
       Usable.push_back(I);
 
-  SearchOutcome Out;
-  Out.Strategy = "greedy";
-  Out.Evals = std::move(Evals);
-  tallyMetricStage(Out);
+  SearchOutcome Out = SearchOutcome::fromPlan(std::move(Plan));
   if (Usable.empty())
     return Out;
 
@@ -126,15 +157,11 @@ SearchOutcome SearchEngine::greedyClimb(size_t MaxMeasured,
     if (Out.Candidates.size() >= MaxMeasured)
       return Probe::Budget;
     if (!Eval.measure(E)) {
-      quarantine(Out, Idx);
+      Out.noteQuarantined(Idx);
       return Probe::Failed;
     }
     Out.Candidates.push_back(Idx);
-    Out.TotalMeasuredSeconds += E.TimeSeconds;
-    if (E.TimeSeconds < Out.BestTime) {
-      Out.BestTime = E.TimeSeconds;
-      Out.BestIndex = Idx;
-    }
+    Out.noteMeasured(Idx);
     return Probe::Ok;
   };
 
@@ -205,21 +232,5 @@ SearchOutcome SearchEngine::finishGreedy(SearchOutcome Out) {
 }
 
 SearchOutcome SearchEngine::randomSample(size_t K, uint64_t Seed) const {
-  std::vector<ConfigEval> Evals = Eval.evaluateMetrics();
-  std::vector<size_t> Usable;
-  for (size_t I = 0; I != Evals.size(); ++I)
-    if (Evals[I].usable())
-      Usable.push_back(I);
-
-  // Partial Fisher-Yates draw of min(K, usable) distinct indices.
-  Rng R(Seed);
-  size_t Draw = std::min(K, Usable.size());
-  for (size_t I = 0; I != Draw; ++I) {
-    size_t J = I + size_t(R.nextBelow(Usable.size() - I));
-    std::swap(Usable[I], Usable[J]);
-  }
-  std::vector<size_t> Candidates(Usable.begin(), Usable.begin() + Draw);
-  std::sort(Candidates.begin(), Candidates.end());
-  return measureCandidates("random", std::move(Evals),
-                           std::move(Candidates));
+  return measureCandidates(planRandom(K, Seed));
 }

@@ -31,6 +31,17 @@
 
 namespace g80 {
 
+/// A measurement plan: the full space with static metrics plus the subset
+/// of indices a strategy chose to measure.  Produced by the SearchEngine
+/// plan*() methods; consumed either by SearchEngine's own in-memory
+/// measurement loop or by the durable SweepDriver (core/SweepDriver.h),
+/// which streams the same measurements through a crash-safe journal.
+struct SweepPlan {
+  std::string Strategy;
+  std::vector<ConfigEval> Evals;
+  std::vector<size_t> Candidates;
+};
+
 /// The result of running one strategy over one app's space.
 struct SearchOutcome {
   std::string Strategy;
@@ -67,6 +78,19 @@ struct SearchOutcome {
 
   size_t failedCount() const { return Quarantined.size(); }
 
+  /// Seeds an outcome from a plan: adopts the evals/candidates, counts
+  /// usable entries into ValidCount, and quarantines entries that already
+  /// failed during metric evaluation.
+  static SearchOutcome fromPlan(SweepPlan Plan);
+
+  /// Records Evals[\p Idx] as quarantined, tallying its failure stage.
+  void noteQuarantined(size_t Idx);
+
+  /// Folds a successful measurement of Evals[\p Idx] into the totals and
+  /// the running best.  Ties keep the earlier note (first caller wins),
+  /// so callers must note candidates in plan order for determinism.
+  void noteMeasured(size_t Idx);
+
   /// Table 4's "space reduction": fraction of valid configurations whose
   /// measurement the strategy skipped.  Zero when nothing was valid;
   /// clamped so quarantined candidates cannot push it negative.
@@ -101,6 +125,17 @@ public:
   /// Measures \p K distinct uniformly random valid configurations.
   SearchOutcome randomSample(size_t K, uint64_t Seed) const;
 
+  /// Candidate planning without measurement — the cheap static phase of
+  /// each strategy above, exposed so the durable SweepDriver can journal
+  /// and shard the expensive measurement phase itself.  Greedy climbing
+  /// has no up-front plan (each measurement decides the next) and is not
+  /// plannable.
+  SweepPlan planExhaustive() const;
+  SweepPlan planPareto(const ParetoOptions &Opts = {}) const;
+  SweepPlan planClustered(const ParetoOptions &Opts = {},
+                          double RelTol = 1e-3) const;
+  SweepPlan planRandom(size_t K, uint64_t Seed) const;
+
   /// Greedy hill climbing from a random start: repeatedly measures all
   /// one-dimension-step neighbors and moves to the best strict
   /// improvement, stopping at a local optimum or after \p MaxMeasured
@@ -111,9 +146,7 @@ public:
   const Evaluator &evaluator() const { return Eval; }
 
 private:
-  SearchOutcome measureCandidates(std::string Strategy,
-                                  std::vector<ConfigEval> Evals,
-                                  std::vector<size_t> Candidates) const;
+  SearchOutcome measureCandidates(SweepPlan Plan) const;
   static SearchOutcome finishGreedy(SearchOutcome Out);
 
   Evaluator Eval;

@@ -1,0 +1,397 @@
+//===- core/SweepDriver.cpp -----------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SweepDriver.h"
+
+#include "core/EvalRecord.h"
+#include "support/Subprocess.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <deque>
+#include <fstream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace g80;
+
+//===--- Graceful-shutdown flag and signal routing ----------------------------//
+
+namespace {
+
+volatile std::sig_atomic_t SweepInterruptFlag = 0;
+
+extern "C" void sweepSignalHandler(int) { SweepInterruptFlag = 1; }
+
+struct SavedHandlers {
+  void (*Int)(int);
+  void (*Term)(int);
+};
+
+} // namespace
+
+void g80::requestSweepInterrupt() { SweepInterruptFlag = 1; }
+void g80::clearSweepInterrupt() { SweepInterruptFlag = 0; }
+bool g80::sweepInterruptRequested() { return SweepInterruptFlag != 0; }
+
+ScopedSweepSignalHandlers::ScopedSweepSignalHandlers() {
+  auto *S = new SavedHandlers;
+  S->Int = std::signal(SIGINT, sweepSignalHandler);
+  S->Term = std::signal(SIGTERM, sweepSignalHandler);
+  Saved = S;
+}
+
+ScopedSweepSignalHandlers::~ScopedSweepSignalHandlers() {
+  auto *S = static_cast<SavedHandlers *>(Saved);
+  if (S->Int != SIG_ERR)
+    std::signal(SIGINT, S->Int);
+  if (S->Term != SIG_ERR)
+    std::signal(SIGTERM, S->Term);
+  delete S;
+}
+
+//===--- The driver ------------------------------------------------------------//
+
+namespace {
+
+Diagnostic sweepError(std::string Msg) {
+  return makeDiag(ErrorCode::JournalError, Stage::Parse, std::move(Msg));
+}
+
+bool fileExists(const std::string &Path) {
+  return std::ifstream(Path).good();
+}
+
+std::string actionWord(FaultAction A) {
+  return A == FaultAction::Crash ? "crash" : "hang";
+}
+
+void sleepSeconds(double S) {
+  if (S > 0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(S));
+}
+
+/// Everything run() threads through its helpers.
+struct DriveState {
+  SweepReport Rep;
+  const SearchEngine &Engine;
+  const SweepOptions &Opts;
+  JournalWriter Writer;
+  /// Flat indices already completed (journaled or freshly finished).
+  std::unordered_set<uint64_t> Done;
+  /// Per-flat-index worker failure count (for the retry-once policy).
+  std::unordered_map<uint64_t, unsigned> Attempts;
+
+  DriveState(const SearchEngine &Engine, const SweepOptions &Opts)
+      : Engine(Engine), Opts(Opts) {}
+
+  SearchOutcome &out() { return Rep.Outcome; }
+
+  void warn(std::string Msg) { Rep.Warnings.push_back(std::move(Msg)); }
+
+  /// Appends the record for a completed eval; a failing journal write
+  /// degrades to non-durable execution (with a warning) rather than
+  /// killing a healthy sweep.
+  void journal(const ConfigEval &E) {
+    if (!Writer.isOpen())
+      return;
+    Expected<Unit> R = Writer.appendRecord(EvalRecord::fromEval(E).toJson());
+    if (!R) {
+      warn("journal write failed (" + R.diag().Message +
+           "); continuing without durability");
+      Writer.close();
+    }
+  }
+
+  /// Books a finished eval into the outcome and the journal.
+  void complete(size_t Idx) {
+    ConfigEval &E = out().Evals[Idx];
+    if (E.failed())
+      out().noteQuarantined(Idx);
+    else if (E.Measured)
+      out().noteMeasured(Idx);
+    Done.insert(E.FlatIndex);
+    journal(E);
+  }
+
+  /// Measures Evals[Idx] in this process.  Armed crash/hang actions are
+  /// converted to quarantine diagnostics — actually crashing would defeat
+  /// the graceful degradation this path exists for.
+  void measureInProcess(size_t Idx) {
+    ConfigEval &E = out().Evals[Idx];
+    FaultAction A = Engine.evaluator().injector().actionAt(E.FlatIndex);
+    if (A != FaultAction::None) {
+      E.Failure = makeDiag(A == FaultAction::Crash ? ErrorCode::WorkerCrashed
+                                                   : ErrorCode::WorkerTimeout,
+                           Stage::Simulate,
+                           "injected " + actionWord(A) +
+                               " (simulated in-process) (config #" +
+                               std::to_string(E.FlatIndex) + ")");
+    } else {
+      Engine.evaluator().measure(E); // Failure lands on E on false.
+    }
+    complete(Idx);
+  }
+
+  /// Quarantines the in-flight victim of a worker failure.
+  void quarantineVictim(size_t Idx, ErrorCode Code, const std::string &Why) {
+    ConfigEval &E = out().Evals[Idx];
+    E.Failure = makeDiag(Code, Stage::Simulate,
+                         Why + " (config #" + std::to_string(E.FlatIndex) +
+                             ", after retry)");
+    complete(Idx);
+  }
+};
+
+/// The worker side: measure each shard config, streaming one EvalRecord
+/// JSON line per completion.  Armed crash/hang actions genuinely
+/// misbehave here — that is the failure mode the isolation layer exists
+/// to contain.
+void runShardInWorker(const SearchEngine &Engine,
+                      const std::vector<ConfigEval> &Evals,
+                      const std::vector<size_t> &Shard,
+                      const Subprocess::Emit &Emit) {
+  for (size_t Idx : Shard) {
+    ConfigEval E = Evals[Idx];
+    switch (Engine.evaluator().injector().actionAt(E.FlatIndex)) {
+    case FaultAction::Crash:
+      std::raise(SIGSEGV);
+      break;
+    case FaultAction::Hang:
+      for (;;)
+        sleepSeconds(3600);
+    case FaultAction::None:
+      break;
+    }
+    Engine.evaluator().measure(E);
+    Emit(EvalRecord::fromEval(E).toJson());
+  }
+}
+
+/// Runs the remaining candidates in forked shard workers.  Returns false
+/// when interrupted.
+bool runIsolated(DriveState &D, std::deque<size_t> &Todo) {
+  while (!Todo.empty()) {
+    if (sweepInterruptRequested())
+      return false;
+
+    // A config that already failed a worker retries alone in a fresh
+    // worker, after a backoff, so a second failure is unambiguously its
+    // own fault.
+    size_t ShardSize = std::max<size_t>(1, D.Opts.ShardSize);
+    bool IsRetry = D.Attempts[D.out().Evals[Todo.front()].FlatIndex] > 0;
+    size_t N = IsRetry ? 1 : std::min(ShardSize, Todo.size());
+    if (!IsRetry) {
+      // Never mix a to-be-retried config into a fresh shard mid-queue.
+      for (size_t I = 1; I < N; ++I)
+        if (D.Attempts[D.out().Evals[Todo[I]].FlatIndex] > 0) {
+          N = I;
+          break;
+        }
+    }
+    std::vector<size_t> Shard(Todo.begin(), Todo.begin() + long(N));
+    Todo.erase(Todo.begin(), Todo.begin() + long(N));
+    if (IsRetry)
+      sleepSeconds(D.Opts.RetryBackoffSeconds);
+
+    Subprocess Worker =
+        Subprocess::spawn([&](const Subprocess::Emit &Emit) {
+          runShardInWorker(D.Engine, D.out().Evals, Shard, Emit);
+        });
+    if (!Worker.valid()) {
+      // fork failed at runtime (resource exhaustion): degrade for this
+      // shard rather than dying.
+      if (!D.Rep.DegradedInProcess) {
+        D.Rep.DegradedInProcess = true;
+        D.warn("fork failed; degrading to in-process execution");
+      }
+      for (size_t Idx : Shard)
+        D.measureInProcess(Idx);
+      continue;
+    }
+
+    size_t Received = 0;
+    // Handles the in-flight config after a worker crash/hang/garble:
+    // requeue the untouched remainder, then either requeue the victim for
+    // its one retry or quarantine it.
+    auto FailInFlight = [&](ErrorCode Code, const std::string &Why) {
+      for (size_t I = Shard.size(); I-- > Received + 1;)
+        Todo.push_front(Shard[I]);
+      size_t Victim = Shard[Received];
+      unsigned &A = D.Attempts[D.out().Evals[Victim].FlatIndex];
+      if (A == 0) {
+        A = 1;
+        ++D.Rep.WorkerRetries;
+        Todo.push_front(Victim);
+      } else {
+        D.quarantineVictim(Victim, Code, Why);
+      }
+    };
+
+    bool ShardDone = false;
+    while (!ShardDone) {
+      if (sweepInterruptRequested()) {
+        Worker.kill();
+        return false;
+      }
+      std::string Line;
+      switch (Worker.poll(D.Opts.TaskTimeoutSeconds, Line)) {
+      case Subprocess::Poll::Line: {
+        Expected<EvalRecord> R = EvalRecord::fromJson(Line);
+        if (!R || Received >= Shard.size() ||
+            R->Index != D.out().Evals[Shard[Received]].FlatIndex) {
+          Worker.kill();
+          FailInFlight(ErrorCode::WorkerCrashed,
+                       "worker emitted a garbled record");
+          ShardDone = true;
+          break;
+        }
+        R->applyTo(D.out().Evals[Shard[Received]]);
+        D.complete(Shard[Received]);
+        ++Received;
+        break;
+      }
+      case Subprocess::Poll::Exited: {
+        WorkerExit X = Worker.exitStatus();
+        if (Received == Shard.size() &&
+            X.K == WorkerExit::Kind::CleanExit) {
+          ShardDone = true;
+          break;
+        }
+        std::string Why =
+            X.K == WorkerExit::Kind::Signaled
+                ? "worker crashed on signal " + std::to_string(X.Code)
+                : "worker exited with status " + std::to_string(X.Code);
+        if (Received < Shard.size())
+          FailInFlight(ErrorCode::WorkerCrashed, Why);
+        ShardDone = true;
+        break;
+      }
+      case Subprocess::Poll::Timeout: {
+        Worker.kill();
+        FailInFlight(ErrorCode::WorkerTimeout,
+                     "worker exceeded the " +
+                         std::to_string(D.Opts.TaskTimeoutSeconds) +
+                         "s task timeout");
+        ShardDone = true;
+        break;
+      }
+      }
+    }
+  }
+  return true;
+}
+
+bool runInProcess(DriveState &D, std::deque<size_t> &Todo) {
+  while (!Todo.empty()) {
+    if (sweepInterruptRequested())
+      return false;
+    size_t Idx = Todo.front();
+    Todo.pop_front();
+    D.measureInProcess(Idx);
+  }
+  return true;
+}
+
+} // namespace
+
+SweepReport SweepDriver::run(SweepPlan Plan) const {
+  DriveState D(Engine, Opts);
+  D.out() = SearchOutcome::fromPlan(std::move(Plan));
+
+  auto Fail = [&](Diagnostic Err) {
+    D.Rep.Status = SweepStatus::Error;
+    D.Rep.Error = std::move(Err);
+    return std::move(D.Rep);
+  };
+
+  std::unordered_set<uint64_t> CandidateFlat;
+  for (size_t Idx : D.out().Candidates)
+    CandidateFlat.insert(D.out().Evals[Idx].FlatIndex);
+
+  //--- Journal setup (and resume replay). ---------------------------------//
+  if (!Opts.JournalPath.empty()) {
+    bool Exists = fileExists(Opts.JournalPath);
+    if (Opts.Resume && Exists) {
+      Expected<JournalContents> C = readJournal(Opts.JournalPath);
+      if (!C)
+        return Fail(C.takeDiag());
+      if (!C->Header.matches(Opts.Fingerprint))
+        return Fail(sweepError(
+            "journal '" + Opts.JournalPath +
+            "' was written by a different sweep (app/machine/strategy/"
+            "seed/injection fingerprint mismatch); refusing to resume"));
+      D.Rep.TornTailDropped = C->DroppedTornTail;
+      if (C->DroppedTornTail)
+        D.warn("dropped a torn final journal record (the kill point); "
+               "that configuration will be re-measured");
+      for (const std::string &Payload : C->Records) {
+        Expected<EvalRecord> R = EvalRecord::fromJson(Payload);
+        if (!R)
+          return Fail(R.takeDiag());
+        if (R->Index >= D.out().Evals.size() ||
+            !CandidateFlat.count(R->Index) ||
+            D.out().Evals[R->Index].Point != R->Point)
+          return Fail(sweepError(
+              "journal record for config #" + std::to_string(R->Index) +
+              " does not match the planned sweep; refusing to resume"));
+        if (D.Done.count(R->Index))
+          continue;
+        ConfigEval &E = D.out().Evals[size_t(R->Index)];
+        R->applyTo(E);
+        if (E.failed())
+          D.out().noteQuarantined(size_t(R->Index));
+        else if (E.Measured)
+          D.out().noteMeasured(size_t(R->Index));
+        D.Done.insert(R->Index);
+      }
+      D.Rep.ResumedSkipped = D.Done.size();
+      Expected<JournalWriter> W =
+          JournalWriter::append(Opts.JournalPath, C->ValidBytes);
+      if (!W)
+        return Fail(W.takeDiag());
+      D.Writer = W.takeValue();
+    } else {
+      if (Opts.Resume && !Exists)
+        D.warn("journal '" + Opts.JournalPath +
+               "' does not exist yet; starting a fresh sweep");
+      Expected<JournalWriter> W =
+          JournalWriter::create(Opts.JournalPath, Opts.Fingerprint);
+      if (!W)
+        return Fail(W.takeDiag());
+      D.Writer = W.takeValue();
+    }
+  }
+
+  //--- Measurement phase. -------------------------------------------------//
+  std::deque<size_t> Todo;
+  for (size_t Idx : D.out().Candidates)
+    if (!D.Done.count(D.out().Evals[Idx].FlatIndex))
+      Todo.push_back(Idx);
+
+  bool Finished;
+  if (Opts.Isolate && subprocessSupported()) {
+    Finished = runIsolated(D, Todo);
+  } else {
+    if (Opts.Isolate) {
+      D.Rep.DegradedInProcess = true;
+      D.warn("process isolation is unavailable on this platform; "
+             "running in-process");
+    }
+    Finished = runInProcess(D, Todo);
+  }
+
+  // Deterministic regardless of execution/replay order, so interrupted +
+  // resumed sweeps compare equal to uninterrupted ones.
+  std::sort(D.out().Quarantined.begin(), D.out().Quarantined.end());
+
+  D.Writer.close();
+  D.Rep.Status =
+      Finished ? SweepStatus::Completed : SweepStatus::Interrupted;
+  return std::move(D.Rep);
+}

@@ -1,0 +1,141 @@
+//===- core/SweepDriver.h - Durable, resumable, isolated sweeps -----------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable sweep-execution layer.  A SweepDriver takes a SweepPlan
+/// (the cheap static phase of a strategy) and runs the expensive
+/// measurement phase with three protections the in-memory SearchEngine
+/// loop lacks:
+///
+///  - **Write-ahead journal** (support/Journal.h): every completed
+///    evaluation — measured or quarantined — is appended as a checksummed,
+///    fsync'd record before the sweep moves on, so a SIGKILL/OOM/power
+///    loss at any instant forfeits at most the configuration in flight.
+///
+///  - **Resume**: with SweepOptions::Resume, a journal whose fingerprint
+///    header matches the plan is replayed — already-completed
+///    configurations are restored (bit-identical times) and skipped; a
+///    torn final record from the kill point is truncated away.  A journal
+///    from a different app/machine/strategy/seed/injection is rejected.
+///
+///  - **Process isolation** (support/Subprocess.h): with
+///    SweepOptions::Isolate, workers are forked per shard of candidates
+///    and stream records back over a pipe.  A worker that segfaults,
+///    exits nonzero, or blows its per-configuration wall-clock budget
+///    costs only the in-flight configuration, which is retried once (with
+///    backoff, in a fresh worker) before being quarantined as a
+///    Simulate-stage WorkerCrashed/WorkerTimeout failure.  Where fork is
+///    unavailable the sweep degrades to in-process execution with a
+///    warning instead of failing.
+///
+/// SIGINT/SIGTERM during a driven sweep (see ScopedSweepSignalHandlers)
+/// stop it at the next record boundary with SweepStatus::Interrupted; the
+/// journal already holds everything completed, so `--resume` continues
+/// where the interrupt landed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_CORE_SWEEPDRIVER_H
+#define G80TUNE_CORE_SWEEPDRIVER_H
+
+#include "core/Search.h"
+#include "support/Journal.h"
+
+#include <string>
+#include <vector>
+
+namespace g80 {
+
+/// How a driven sweep should run.
+struct SweepOptions {
+  /// Journal file; empty disables durability.
+  std::string JournalPath;
+  /// Replay a matching journal instead of truncating it.
+  bool Resume = false;
+  /// Fork a worker per shard of candidates.
+  bool Isolate = false;
+  /// Wall-clock budget per in-flight configuration in a worker.
+  double TaskTimeoutSeconds = 30.0;
+  /// Candidates per forked worker.
+  size_t ShardSize = 8;
+  /// Pause before retrying a crashed/hung configuration.
+  double RetryBackoffSeconds = 0.05;
+  /// Fingerprint written to (and checked against) the journal header.
+  JournalHeader Fingerprint;
+};
+
+enum class SweepStatus : uint8_t {
+  Completed,   ///< Every planned candidate was measured or quarantined.
+  Interrupted, ///< SIGINT/SIGTERM (or requestSweepInterrupt) stopped it;
+               ///< the journal makes it resumable.
+  Error,       ///< Setup failed (stale/corrupt journal, I/O); no sweep ran.
+};
+
+/// A driven sweep's full story.
+struct SweepReport {
+  SweepStatus Status = SweepStatus::Completed;
+  SearchOutcome Outcome;
+
+  /// Configurations restored from the journal instead of re-measured.
+  size_t ResumedSkipped = 0;
+  /// In-flight configurations retried in a fresh worker after a
+  /// crash/hang.
+  size_t WorkerRetries = 0;
+  /// Isolation was requested but fork is unavailable; ran in-process.
+  bool DegradedInProcess = false;
+  /// The resumed journal ended in a torn record that was dropped.
+  bool TornTailDropped = false;
+  /// Human-readable notes (degradation, retries, torn tail).
+  std::vector<std::string> Warnings;
+  /// Set when Status == Error.
+  Diagnostic Error;
+};
+
+/// Runs a SweepPlan durably.  The engine must outlive the driver.
+class SweepDriver {
+public:
+  SweepDriver(const SearchEngine &Engine, SweepOptions Opts)
+      : Engine(Engine), Opts(std::move(Opts)) {}
+
+  /// Executes the measurement phase of \p Plan under the configured
+  /// durability/isolation regime.  Quarantined indices in the outcome are
+  /// sorted (unlike SearchEngine's candidate-order lists) so interrupted
+  /// + resumed runs compare equal to uninterrupted ones.
+  SweepReport run(SweepPlan Plan) const;
+
+private:
+  const SearchEngine &Engine;
+  SweepOptions Opts;
+};
+
+/// Sets the sweep-interrupt flag that run() polls between records — what
+/// the signal handlers call, exposed for tests.
+void requestSweepInterrupt();
+/// Clears the flag (call before starting a fresh sweep).
+void clearSweepInterrupt();
+/// Whether an interrupt is pending.
+bool sweepInterruptRequested();
+
+/// RAII: while alive, SIGINT and SIGTERM request a graceful sweep
+/// interrupt instead of killing the process; previous dispositions are
+/// restored on destruction.  The driver then flushes and reports
+/// SweepStatus::Interrupted so the caller can exit with the distinct
+/// "interrupted, resumable" code.
+class ScopedSweepSignalHandlers {
+public:
+  ScopedSweepSignalHandlers();
+  ~ScopedSweepSignalHandlers();
+  ScopedSweepSignalHandlers(const ScopedSweepSignalHandlers &) = delete;
+  ScopedSweepSignalHandlers &
+  operator=(const ScopedSweepSignalHandlers &) = delete;
+
+private:
+  void *Saved = nullptr; ///< Opaque previous-disposition storage.
+};
+
+} // namespace g80
+
+#endif // G80TUNE_CORE_SWEEPDRIVER_H

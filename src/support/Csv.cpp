@@ -30,3 +30,64 @@ void CsvWriter::writeRow(const std::vector<std::string> &Cells) {
   }
   OS << '\n';
 }
+
+std::vector<std::vector<std::string>> g80::parseCsv(std::string_view Text) {
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<std::string> Row;
+  std::string Cell;
+  bool InQuotes = false;
+  bool CellStarted = false; // Distinguishes an empty final line from "".
+
+  auto EndCell = [&] {
+    Row.push_back(std::move(Cell));
+    Cell.clear();
+    CellStarted = false;
+  };
+  auto EndRow = [&] {
+    EndCell();
+    Rows.push_back(std::move(Row));
+    Row.clear();
+  };
+
+  for (size_t I = 0; I != Text.size(); ++I) {
+    char C = Text[I];
+    if (InQuotes) {
+      if (C == '"') {
+        if (I + 1 < Text.size() && Text[I + 1] == '"') {
+          Cell += '"'; // Doubled quote: one literal quote.
+          ++I;
+        } else {
+          InQuotes = false;
+        }
+      } else {
+        Cell += C;
+      }
+      continue;
+    }
+    switch (C) {
+    case '"':
+      InQuotes = true;
+      CellStarted = true;
+      break;
+    case ',':
+      EndCell();
+      CellStarted = true; // A comma promises another cell.
+      break;
+    case '\r':
+      if (I + 1 < Text.size() && Text[I + 1] == '\n')
+        ++I;
+      EndRow();
+      break;
+    case '\n':
+      EndRow();
+      break;
+    default:
+      Cell += C;
+      CellStarted = true;
+    }
+  }
+  // Final row without a trailing line break.
+  if (CellStarted || !Row.empty() || !Cell.empty())
+    EndRow();
+  return Rows;
+}

@@ -16,6 +16,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace g80 {
@@ -34,6 +35,12 @@ private:
 
   std::ostream &OS;
 };
+
+/// Parses RFC-4180 CSV text into rows of cells: quoted cells may contain
+/// commas, doubled quotes, and line breaks; rows end at LF or CRLF.  The
+/// exact inverse of CsvWriter for everything it emits, so writer/parser
+/// round-trips are testable.
+std::vector<std::vector<std::string>> parseCsv(std::string_view Text);
 
 } // namespace g80
 

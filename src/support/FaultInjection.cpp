@@ -88,6 +88,15 @@ FaultInjector::FaultInjector(FaultPlan P) : Plan(std::move(P)) {
   Enabled = !Plan.empty();
 }
 
+FaultAction FaultInjector::actionAt(uint64_t ConfigIndex) const {
+  if (!Enabled)
+    return FaultAction::None;
+  for (const FaultPlan::ActionTarget &A : Plan.Actions)
+    if (A.ConfigIndex == ConfigIndex)
+      return A.Action;
+  return FaultAction::None;
+}
+
 std::optional<Diagnostic> FaultInjector::at(Stage S,
                                             uint64_t ConfigIndex) const {
   if (!Enabled)
@@ -144,15 +153,20 @@ Expected<FaultPlan> g80::parseFaultPlan(std::string_view Spec) {
     if (At != std::string_view::npos) {
       std::string_view Key = Tok.substr(0, At);
       std::string Val(Tok.substr(At + 1));
-      Stage S;
-      ErrorCode Pinned;
-      if (!lookupStageWord(Key, S, Pinned))
-        return Bad("unknown stage '" + std::string(Key) + "'");
       char *End = nullptr;
       uint64_t Index = std::strtoull(Val.c_str(), &End, 10);
       if (End == Val.c_str())
         return Bad("config index for '" + std::string(Key) +
                    "' must be an integer");
+      if (Key == "crash" || Key == "hang") {
+        Plan.Actions.push_back(
+            {Index, Key == "crash" ? FaultAction::Crash : FaultAction::Hang});
+        continue;
+      }
+      Stage S;
+      ErrorCode Pinned;
+      if (!lookupStageWord(Key, S, Pinned))
+        return Bad("unknown stage '" + std::string(Key) + "'");
       FaultPlan::Target T;
       T.ConfigIndex = Index;
       T.At = S;

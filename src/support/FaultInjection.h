@@ -30,6 +30,18 @@
 
 namespace g80 {
 
+/// Process-level fault actions for exercising the isolation layer.  Unlike
+/// the Diagnostic-producing stage faults, these misbehave at the process
+/// level: Crash raises SIGSEGV in the measuring worker; Hang sleeps past
+/// the task timeout.  Only the isolated sweep driver actually performs
+/// them — in-process execution converts them to quarantine diagnostics so
+/// a degraded (fork-less) sweep survives the same plan.
+enum class FaultAction : uint8_t {
+  None = 0,
+  Crash, ///< Raise SIGSEGV while measuring the targeted config.
+  Hang,  ///< Sleep past the task wall-clock timeout.
+};
+
 /// What to inject, where, and how it surfaces.
 struct FaultPlan {
   /// Per-stage probability in [0, 1] that a configuration fails at that
@@ -49,8 +61,16 @@ struct FaultPlan {
   };
   std::vector<Target> Targets;
 
+  /// Process-level action targets: configuration \p ConfigIndex triggers
+  /// \p Action in the worker measuring it.
+  struct ActionTarget {
+    uint64_t ConfigIndex = 0;
+    FaultAction Action = FaultAction::None;
+  };
+  std::vector<ActionTarget> Actions;
+
   bool empty() const {
-    if (!Targets.empty())
+    if (!Targets.empty() || !Actions.empty())
       return false;
     for (double R : Rate)
       if (R > 0)
@@ -67,9 +87,12 @@ ErrorCode defaultInjectedCode(Stage S, uint64_t ConfigIndex);
 /// Parses a plan spec: comma-separated `seed=N`, `<stage>=<rate>`, and
 /// `<stage>@<index>` tokens, where `<stage>` is one of parse, verify,
 /// estimate, occupancy, emulate, simulate, timeout, deadlock (the last two
-/// are Simulate-stage faults pinned to one code).  Examples:
+/// are Simulate-stage faults pinned to one code).  `crash@<index>` and
+/// `hang@<index>` arm process-level actions for the isolation layer (see
+/// FaultAction).  Examples:
 ///   "seed=7,parse=0.05,simulate=0.1"
 ///   "deadlock@17,timeout@31,verify@4"
+///   "crash@5,hang@9"
 Expected<FaultPlan> parseFaultPlan(std::string_view Spec);
 
 /// Stateless decision engine over a FaultPlan.
@@ -86,6 +109,9 @@ public:
   /// stage \p S, or nullopt to proceed normally.  Deterministic: the same
   /// plan and index always yield the same answer.
   std::optional<Diagnostic> at(Stage S, uint64_t ConfigIndex) const;
+
+  /// The process-level action armed for \p ConfigIndex, or None.
+  FaultAction actionAt(uint64_t ConfigIndex) const;
 
   const FaultPlan &plan() const { return Plan; }
 

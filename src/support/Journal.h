@@ -1,0 +1,155 @@
+//===- support/Journal.h - Crash-safe write-ahead sweep journal -----------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A write-ahead journal for long sweeps: one fsync'd, checksummed JSONL
+/// record per completed configuration evaluation, so a sweep killed at any
+/// point — SIGKILL, OOM, power loss — can be resumed without re-measuring
+/// anything that already finished.
+///
+/// File layout (text, one JSON object per line):
+///
+///   {"g80journal":1,"crc":"<fnv64 hex>","hdr":{...fingerprint...}}
+///   {"crc":"<fnv64 hex>","rec":{...payload...}}
+///   {"crc":"<fnv64 hex>","rec":{...payload...}}
+///   ...
+///
+/// The checksum is FNV-1a 64 over the exact bytes of the embedded object.
+/// The header fingerprints what produced the journal (app, machine,
+/// strategy, seed, budget, space size, free-form extra); resume validates
+/// it so a stale journal — different app, different seed, different
+/// injection plan — is rejected instead of silently corrupting a sweep.
+///
+/// Torn-write semantics: a crash can leave a partial or checksum-failing
+/// final line.  readJournal drops exactly that torn tail and reports it;
+/// JournalWriter::append then truncates the file back to the last valid
+/// record before continuing, so the journal is always a prefix of valid
+/// records.  Corruption anywhere *before* the final record is a hard
+/// error — that is damage, not a torn write.
+///
+/// This layer is payload-agnostic (records are opaque JSON strings); the
+/// mapping to ConfigEval lives in core/EvalRecord.h so support does not
+/// depend on core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_JOURNAL_H
+#define G80TUNE_SUPPORT_JOURNAL_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g80 {
+
+/// FNV-1a 64-bit over \p Bytes — the journal's record checksum, also
+/// reusable wherever a cheap content fingerprint is needed.
+uint64_t fnv1a64(std::string_view Bytes);
+
+/// Escapes \p S as the body of a JSON string literal (quotes, backslash,
+/// control characters).
+std::string jsonEscape(std::string_view S);
+
+/// Inverse of jsonEscape for the subset it emits.
+std::string jsonUnescape(std::string_view S);
+
+/// Field extraction from the flat JSON objects this library serializes
+/// (no nesting-aware scanning: keys are matched literally, which is safe
+/// because we only parse what we ourselves emitted and checksummed).
+/// Each returns false when the key is missing or the value malformed.
+bool jsonStringField(std::string_view Obj, std::string_view Key,
+                     std::string &Out);
+bool jsonUintField(std::string_view Obj, std::string_view Key, uint64_t &Out);
+bool jsonDoubleField(std::string_view Obj, std::string_view Key, double &Out);
+bool jsonBoolField(std::string_view Obj, std::string_view Key, bool &Out);
+bool jsonIntArrayField(std::string_view Obj, std::string_view Key,
+                       std::vector<int> &Out);
+
+/// What produced a journal.  All fields participate in the resume
+/// compatibility check.
+struct JournalHeader {
+  std::string App;      ///< TunableApp::name().
+  std::string Machine;  ///< MachineModel::Name.
+  std::string Strategy; ///< Search strategy name.
+  uint64_t Seed = 0;    ///< Strategy seed (random/greedy).
+  uint64_t Budget = 0;  ///< Strategy budget (random/greedy).
+  uint64_t RawSize = 0; ///< ConfigSpace::rawSize() — cheap space check.
+  /// Anything else that changes measurement results (e.g. the --inject
+  /// spec).  Free-form; compared byte-for-byte.
+  std::string Extra;
+
+  bool matches(const JournalHeader &Other) const {
+    return App == Other.App && Machine == Other.Machine &&
+           Strategy == Other.Strategy && Seed == Other.Seed &&
+           Budget == Other.Budget && RawSize == Other.RawSize &&
+           Extra == Other.Extra;
+  }
+
+  std::string toJson() const;
+  static Expected<JournalHeader> fromJson(std::string_view Json);
+};
+
+/// A fully validated journal read.
+struct JournalContents {
+  JournalHeader Header;
+  /// The embedded payload JSON of every checksum-valid record, in file
+  /// order.
+  std::vector<std::string> Records;
+  /// Byte offset of the end of the last valid line — where an appending
+  /// writer must truncate to before continuing.
+  uint64_t ValidBytes = 0;
+  /// True when a torn final line was dropped (partial write at the kill
+  /// point); resume treats this as normal.
+  bool DroppedTornTail = false;
+};
+
+/// Reads and validates \p Path.  Fails on missing file, bad header, or
+/// corruption before the final record; a torn final record is dropped and
+/// reported instead.
+Expected<JournalContents> readJournal(const std::string &Path);
+
+/// Appends checksummed records to a journal file, flushing each through
+/// the OS (fsync) so completed work survives any later crash.
+class JournalWriter {
+public:
+  JournalWriter() = default;
+  JournalWriter(JournalWriter &&Other) noexcept;
+  JournalWriter &operator=(JournalWriter &&Other) noexcept;
+  JournalWriter(const JournalWriter &) = delete;
+  JournalWriter &operator=(const JournalWriter &) = delete;
+  ~JournalWriter();
+
+  /// Creates (or truncates) \p Path and writes the header line.
+  static Expected<JournalWriter> create(const std::string &Path,
+                                        const JournalHeader &Header);
+
+  /// Opens \p Path for appending after a successful readJournal,
+  /// truncating to \p ValidBytes first so a torn tail is never appended
+  /// after.
+  static Expected<JournalWriter> append(const std::string &Path,
+                                        uint64_t ValidBytes);
+
+  bool isOpen() const { return Fd >= 0; }
+
+  /// Wraps \p PayloadJson (one JSON object, no newlines) in a checksummed
+  /// record line, writes it, and syncs it to stable storage.
+  Expected<Unit> appendRecord(std::string_view PayloadJson);
+
+  /// Flushes and closes; further appends fail.  Idempotent.
+  void close();
+
+private:
+  explicit JournalWriter(int Fd) : Fd(Fd) {}
+
+  int Fd = -1;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_JOURNAL_H

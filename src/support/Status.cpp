@@ -48,6 +48,12 @@ const char *g80::errorCodeName(ErrorCode C) {
     return "sim-deadlock";
   case ErrorCode::InjectedFault:
     return "injected-fault";
+  case ErrorCode::JournalError:
+    return "journal-error";
+  case ErrorCode::WorkerCrashed:
+    return "worker-crashed";
+  case ErrorCode::WorkerTimeout:
+    return "worker-timeout";
   }
   G80_UNREACHABLE("unknown error code");
 }

@@ -58,6 +58,9 @@ enum class ErrorCode : uint8_t {
   SimulatorTimeout,  ///< Watchdog: cycle/issue budget exhausted.
   SimulatorDeadlock, ///< Watchdog: no runnable warp and work remaining.
   InjectedFault,     ///< Synthetic failure from support/FaultInjection.h.
+  JournalError,      ///< Sweep journal I/O, corruption, or stale header.
+  WorkerCrashed,     ///< Isolated worker died on a signal or bad exit.
+  WorkerTimeout,     ///< Isolated worker exceeded its wall-clock budget.
 };
 
 /// Returns a short name for \p C ("parse-error", "sim-deadlock", ...).

@@ -1,0 +1,197 @@
+//===- support/Subprocess.cpp ---------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <utility>
+
+#ifndef _WIN32
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+using namespace g80;
+
+Subprocess::Subprocess(Subprocess &&Other) noexcept
+    : Pid(std::exchange(Other.Pid, -1)),
+      ReadFd(std::exchange(Other.ReadFd, -1)),
+      Buffer(std::move(Other.Buffer)), Eof(Other.Eof), Exit(Other.Exit) {}
+
+Subprocess &Subprocess::operator=(Subprocess &&Other) noexcept {
+  if (this != &Other) {
+    kill();
+    Pid = std::exchange(Other.Pid, -1);
+    ReadFd = std::exchange(Other.ReadFd, -1);
+    Buffer = std::move(Other.Buffer);
+    Eof = Other.Eof;
+    Exit = Other.Exit;
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() { kill(); }
+
+bool Subprocess::takeLine(std::string &Line) {
+  size_t Nl = Buffer.find('\n');
+  if (Nl == std::string::npos)
+    return false;
+  Line = Buffer.substr(0, Nl);
+  Buffer.erase(0, Nl + 1);
+  return true;
+}
+
+#ifndef _WIN32
+
+bool g80::subprocessSupported() { return true; }
+
+Subprocess Subprocess::spawn(
+    const std::function<void(const Emit &)> &Body) {
+  int Fds[2];
+  if (::pipe(Fds) != 0)
+    return Subprocess();
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+    return Subprocess();
+  }
+  if (Pid == 0) {
+    // Worker.  Restore default signal dispositions (the parent may have a
+    // graceful-shutdown handler installed that must not fire here), run
+    // the body, and _exit without touching parent-owned state.
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+    ::close(Fds[0]);
+    int WriteFd = Fds[1];
+    Emit EmitLine = [WriteFd](std::string_view Line) {
+      std::string Out(Line);
+      Out += '\n';
+      size_t Done = 0;
+      while (Done < Out.size()) {
+        ssize_t N = ::write(WriteFd, Out.data() + Done, Out.size() - Done);
+        if (N < 0) {
+          if (errno == EINTR)
+            continue;
+          _exit(3); // Parent vanished; nothing sensible left to do.
+        }
+        Done += size_t(N);
+      }
+    };
+    Body(EmitLine);
+    _exit(0);
+  }
+  ::close(Fds[1]);
+  Subprocess P;
+  P.Pid = Pid;
+  P.ReadFd = Fds[0];
+  return P;
+}
+
+void Subprocess::reap(bool Force) {
+  if (Pid <= 0)
+    return;
+  if (Force)
+    ::kill(pid_t(Pid), SIGKILL);
+  int Status = 0;
+  pid_t R;
+  do {
+    R = ::waitpid(pid_t(Pid), &Status, 0);
+  } while (R < 0 && errno == EINTR);
+  if (R == pid_t(Pid)) {
+    if (WIFSIGNALED(Status)) {
+      Exit.K = WorkerExit::Kind::Signaled;
+      Exit.Code = WTERMSIG(Status);
+    } else if (WIFEXITED(Status)) {
+      Exit.K = WEXITSTATUS(Status) == 0 ? WorkerExit::Kind::CleanExit
+                                        : WorkerExit::Kind::BadExit;
+      Exit.Code = WEXITSTATUS(Status);
+    }
+  }
+  Pid = -1;
+  if (ReadFd >= 0) {
+    ::close(ReadFd);
+    ReadFd = -1;
+  }
+}
+
+Subprocess::Poll Subprocess::poll(double TimeoutSeconds, std::string &Line) {
+  if (takeLine(Line))
+    return Poll::Line;
+  if (Eof || ReadFd < 0) {
+    reap(/*Force=*/false);
+    return Poll::Exited;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  auto Deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(TimeoutSeconds));
+  for (;;) {
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Deadline - Clock::now());
+    if (Left.count() < 0)
+      Left = std::chrono::milliseconds(0);
+    struct pollfd Pfd = {ReadFd, POLLIN, 0};
+    int R = ::poll(&Pfd, 1, int(Left.count()));
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      reap(/*Force=*/true);
+      return Poll::Exited;
+    }
+    if (R == 0)
+      return Poll::Timeout;
+
+    char Chunk[4096];
+    ssize_t N = ::read(ReadFd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      N = 0;
+    }
+    if (N == 0) {
+      Eof = true;
+      reap(/*Force=*/false);
+      return takeLine(Line) ? Poll::Line : Poll::Exited;
+    }
+    Buffer.append(Chunk, size_t(N));
+    if (takeLine(Line))
+      return Poll::Line;
+    // Partial data only; keep waiting out the same deadline.
+  }
+}
+
+void Subprocess::kill() {
+  if (Pid > 0)
+    reap(/*Force=*/true);
+  else if (ReadFd >= 0) {
+    ::close(ReadFd);
+    ReadFd = -1;
+  }
+}
+
+#else // _WIN32
+
+bool g80::subprocessSupported() { return false; }
+
+Subprocess Subprocess::spawn(const std::function<void(const Emit &)> &) {
+  return Subprocess();
+}
+
+Subprocess::Poll Subprocess::poll(double, std::string &) {
+  return Poll::Exited;
+}
+
+void Subprocess::kill() {}
+
+void Subprocess::reap(bool) {}
+
+#endif

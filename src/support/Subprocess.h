@@ -1,0 +1,99 @@
+//===- support/Subprocess.h - Forked worker with a line pipe --------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process isolation for sweep measurement: a worker is a fork()ed child
+/// that runs a callback and streams newline-delimited result records back
+/// over a pipe.  The parent harvests lines with a per-line wall-clock
+/// timeout, so a worker that segfaults, aborts, exits nonzero, or hangs
+/// costs the sweep only the configuration that was in flight — the parent
+/// never dies with it.
+///
+/// On platforms without fork (gated at compile time), subprocessSupported()
+/// is false and callers degrade to in-process execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_SUBPROCESS_H
+#define G80TUNE_SUPPORT_SUBPROCESS_H
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace g80 {
+
+/// True when this platform can fork isolated workers.
+bool subprocessSupported();
+
+/// How a worker left the world, observed after EOF or a kill.
+struct WorkerExit {
+  enum class Kind {
+    CleanExit, ///< _exit(0) after finishing its shard.
+    BadExit,   ///< _exit(nonzero) — treated like a crash.
+    Signaled,  ///< Died on a signal (SIGSEGV, SIGABRT, SIGKILL, ...).
+    Unknown,   ///< Could not be reaped.
+  };
+  Kind K = Kind::Unknown;
+  int Code = 0; ///< Exit status or signal number.
+};
+
+/// One forked worker.  Movable, not copyable; the destructor kills and
+/// reaps any still-running child so a parent error path cannot leak
+/// processes.
+class Subprocess {
+public:
+  /// Emits one record line from the worker to the parent.  The line must
+  /// not contain '\n'.
+  using Emit = std::function<void(std::string_view)>;
+
+  Subprocess() = default;
+  Subprocess(Subprocess &&Other) noexcept;
+  Subprocess &operator=(Subprocess &&Other) noexcept;
+  Subprocess(const Subprocess &) = delete;
+  Subprocess &operator=(const Subprocess &) = delete;
+  ~Subprocess();
+
+  /// Forks a worker running \p Body(emit).  The child _exit(0)s when Body
+  /// returns; it never runs parent cleanup (atexit, destructors).  Returns
+  /// an invalid Subprocess when fork is unavailable or fails.
+  static Subprocess spawn(
+      const std::function<void(const Emit &)> &Body);
+
+  bool valid() const { return Pid > 0; }
+
+  /// What poll() observed.
+  enum class Poll {
+    Line,    ///< \p Line holds one complete record.
+    Exited,  ///< Pipe closed and child reaped; see exitStatus().
+    Timeout, ///< No complete line within the budget; child still runs.
+  };
+
+  /// Waits up to \p TimeoutSeconds for the next complete line.  Partial
+  /// data received before the deadline extends nothing: the clock covers
+  /// the whole line.
+  Poll poll(double TimeoutSeconds, std::string &Line);
+
+  /// SIGKILLs and reaps the child (no-op if already exited).
+  void kill();
+
+  /// Valid after poll() returned Exited or kill().
+  WorkerExit exitStatus() const { return Exit; }
+
+private:
+  long Pid = -1;
+  int ReadFd = -1;
+  std::string Buffer;
+  bool Eof = false;
+  WorkerExit Exit;
+
+  void reap(bool Force);
+  bool takeLine(std::string &Line);
+};
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_SUBPROCESS_H

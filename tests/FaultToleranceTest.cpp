@@ -7,11 +7,15 @@
 // End-to-end coverage of the fault-tolerant evaluation pipeline: structured
 // per-stage diagnostics for malformed kernels, the simulator watchdog
 // (timeout and divergent-barrier deadlock), deterministic fault injection,
-// and quarantine-and-continue semantics of SearchEngine sweeps.
+// quarantine-and-continue semantics of SearchEngine sweeps, and the
+// kill-and-resume guarantees of journaled SweepDriver runs.
 //
 //===----------------------------------------------------------------------===//
 
+#include "ToyApps.h"
+
 #include "core/Search.h"
+#include "core/SweepDriver.h"
 
 #include "emu/Emulator.h"
 #include "ptx/Builder.h"
@@ -20,11 +24,14 @@
 #include "ptx/Verifier.h"
 #include "sim/Simulator.h"
 #include "support/FaultInjection.h"
+#include "support/Journal.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <string>
 
@@ -253,6 +260,23 @@ TEST(FaultInjection, PlanSpecParses) {
   EXPECT_EQ(P->Targets[2].At, Stage::Verify);
 }
 
+TEST(FaultInjection, ActionSpecParses) {
+  Expected<FaultPlan> P = parseFaultPlan("crash@7,hang@13,deadlock@2");
+  ASSERT_TRUE(P.ok());
+  ASSERT_EQ(P->Actions.size(), 2u);
+  EXPECT_EQ(P->Actions[0].ConfigIndex, 7u);
+  EXPECT_EQ(P->Actions[0].Action, FaultAction::Crash);
+  EXPECT_EQ(P->Actions[1].ConfigIndex, 13u);
+  EXPECT_EQ(P->Actions[1].Action, FaultAction::Hang);
+  ASSERT_EQ(P->Targets.size(), 1u); // deadlock@2 still a diagnostic target
+
+  FaultInjector Inj(*P);
+  EXPECT_EQ(Inj.actionAt(7), FaultAction::Crash);
+  EXPECT_EQ(Inj.actionAt(13), FaultAction::Hang);
+  EXPECT_EQ(Inj.actionAt(8), FaultAction::None);
+  EXPECT_FALSE(parseFaultPlan("crash@x").ok());
+}
+
 TEST(FaultInjection, PlanSpecRejectsGarbage) {
   EXPECT_FALSE(parseFaultPlan("warp=0.5").ok());
   EXPECT_FALSE(parseFaultPlan("parse=1.5").ok());
@@ -265,59 +289,8 @@ TEST(FaultInjection, PlanSpecRejectsGarbage) {
 
 //===--- Quarantine-and-continue sweeps ----------------------------------------//
 
-/// A 100-configuration synthetic app (5 block sizes x 20 chain lengths)
-/// whose kernels are trivially valid everywhere, so every raw index is a
-/// candidate and injected failures are the only source of quarantine.
-class ToyApp : public TunableApp {
-public:
-  ToyApp() {
-    Space.addDim("tpb", {32, 64, 96, 128, 160});
-    std::vector<int> Chains;
-    for (int I = 1; I <= 20; ++I)
-      Chains.push_back(I);
-    Space.addDim("chain", Chains);
-  }
-
-  std::string_view name() const override { return "toy"; }
-  const ConfigSpace &space() const override { return Space; }
-
-  Kernel buildKernel(const ConfigPoint &P) const override {
-    unsigned Chain = unsigned(Space.valueOf(P, "chain"));
-    KernelBuilder B("toy_c" + std::to_string(Chain));
-    unsigned Out = B.addGlobalPtr("out");
-    Reg Tx = B.mov(B.special(SpecialReg::TidX));
-    Reg Addr = B.shli(Tx, B.imm(2));
-    Reg Acc = B.mov(B.imm(0.0f));
-    B.forLoop(Chain, [&] { B.emitTo(Acc, Opcode::AddF, Acc, B.imm(1.0f)); });
-    B.stGlobal(Out, Addr, 0, Acc);
-    return B.take();
-  }
-
-  LaunchConfig launch(const ConfigPoint &P) const override {
-    unsigned Tpb = unsigned(Space.valueOf(P, "tpb"));
-    return LaunchConfig(Dim3(16), Dim3(Tpb));
-  }
-
-  double verifyConfig(const ConfigPoint &P) const override {
-    unsigned Tpb = unsigned(Space.valueOf(P, "tpb"));
-    unsigned Chain = unsigned(Space.valueOf(P, "chain"));
-    Kernel K = buildKernel(P);
-    DeviceBuffer Buf = DeviceBuffer::zeroed(Tpb);
-    LaunchBindings Bind(K);
-    Bind.bindBuffer(0, &Buf);
-    if (!emulateKernel(K, launch(P), Bind))
-      return std::numeric_limits<double>::infinity();
-    double Worst = 0;
-    for (unsigned I = 0; I != Tpb; ++I)
-      Worst = std::max(
-          Worst, double(std::abs(Buf.floatAt(I) - float(Chain))));
-    return Worst;
-  }
-
-private:
-  ConfigSpace Space;
-};
-
+// The 100-configuration ToyApp (5 block sizes x 20 chain lengths) lives in
+// ToyApps.h, shared with DurabilityTest.
 const ToyApp &toy() {
   static ToyApp App;
   return App;
@@ -508,6 +481,171 @@ TEST(Quarantine, RealDeadlockQuarantinedInSweep) {
     EXPECT_EQ(Out.Evals[I].Failure.Code, ErrorCode::SimulatorDeadlock);
   ASSERT_TRUE(Out.hasBest());
   EXPECT_EQ(Out.BestIndex % 2, 0u);
+}
+
+//===--- Kill-and-resume: journaled sweeps survive being interrupted -----------//
+
+std::string tmpJournal(const char *Name) {
+  std::string Path = testing::TempDir() + "g80_ft_" + Name + ".jsonl";
+  std::remove(Path.c_str());
+  return Path;
+}
+
+/// The fingerprint a toy exhaustive sweep writes/expects.
+JournalHeader toyFingerprint(const std::string &Extra = "") {
+  JournalHeader H;
+  H.App = "toy";
+  H.Machine = gtx().Name;
+  H.Strategy = "exhaustive";
+  H.Seed = 1;
+  H.Budget = 0;
+  H.RawSize = toy().space().rawSize();
+  H.Extra = Extra;
+  return H;
+}
+
+SweepReport runJournaled(const SearchEngine &Engine, const std::string &Path,
+                         bool Resume, const std::string &Extra = "") {
+  SweepOptions Opts;
+  Opts.JournalPath = Path;
+  Opts.Resume = Resume;
+  Opts.Fingerprint = toyFingerprint(Extra);
+  return SweepDriver(Engine, Opts).run(Engine.planExhaustive());
+}
+
+/// Simulates a SIGKILL after \p Keep fsync'd records: rewrites the journal
+/// as header + the first Keep records.
+void truncateToRecords(const std::string &Path, size_t Keep) {
+  std::ifstream In(Path);
+  std::string Line, Out;
+  size_t Lines = 0;
+  while (Lines < Keep + 1 && std::getline(In, Line)) {
+    Out += Line;
+    Out += '\n';
+    ++Lines;
+  }
+  In.close();
+  std::ofstream(Path, std::ios::trunc) << Out;
+}
+
+/// Everything resume must reconstruct bit-identically.
+void expectSameOutcome(const SearchOutcome &Got, const SearchOutcome &Want) {
+  EXPECT_EQ(Got.Strategy, Want.Strategy);
+  EXPECT_EQ(Got.ValidCount, Want.ValidCount);
+  EXPECT_EQ(Got.Candidates, Want.Candidates);
+  std::vector<size_t> GotQ = Got.Quarantined, WantQ = Want.Quarantined;
+  std::sort(GotQ.begin(), GotQ.end());
+  std::sort(WantQ.begin(), WantQ.end());
+  EXPECT_EQ(GotQ, WantQ);
+  EXPECT_EQ(Got.FailedPerStage, Want.FailedPerStage);
+  EXPECT_EQ(Got.BestIndex, Want.BestIndex);
+  EXPECT_EQ(Got.BestTime, Want.BestTime);
+  EXPECT_EQ(Got.TotalMeasuredSeconds, Want.TotalMeasuredSeconds);
+  ASSERT_EQ(Got.Evals.size(), Want.Evals.size());
+  for (size_t I = 0; I != Got.Evals.size(); ++I) {
+    EXPECT_EQ(Got.Evals[I].Measured, Want.Evals[I].Measured) << I;
+    EXPECT_EQ(Got.Evals[I].TimeSeconds, Want.Evals[I].TimeSeconds) << I;
+    EXPECT_EQ(Got.Evals[I].failed(), Want.Evals[I].failed()) << I;
+  }
+}
+
+TEST(Resume, KilledMidSweepResumesToIdenticalOutcome) {
+  SearchEngine Engine(toy(), gtx());
+  std::string Path = tmpJournal("kill");
+
+  SweepReport Full = runJournaled(Engine, Path, /*Resume=*/false);
+  ASSERT_EQ(Full.Status, SweepStatus::Completed);
+  expectSameOutcome(Full.Outcome, toyBaseline());
+
+  // Kill points early, middle, and one-before-done.
+  for (size_t Keep : {size_t(3), size_t(50), size_t(99)}) {
+    SweepReport Again = runJournaled(Engine, Path, /*Resume=*/false);
+    ASSERT_EQ(Again.Status, SweepStatus::Completed);
+    truncateToRecords(Path, Keep);
+    SweepReport Res = runJournaled(Engine, Path, /*Resume=*/true);
+    ASSERT_EQ(Res.Status, SweepStatus::Completed);
+    EXPECT_EQ(Res.ResumedSkipped, Keep);
+    expectSameOutcome(Res.Outcome, toyBaseline());
+  }
+}
+
+TEST(Resume, TornFinalRecordIsDroppedAndRemeasured) {
+  SearchEngine Engine(toy(), gtx());
+  std::string Path = tmpJournal("torn");
+  ASSERT_EQ(runJournaled(Engine, Path, false).Status,
+            SweepStatus::Completed);
+  truncateToRecords(Path, 40);
+  // The kill landed mid-write: a partial record with no trailing newline.
+  {
+    std::ofstream App(Path, std::ios::app);
+    App << "{\"crc\":\"0123456789abcdef\",\"rec\":{\"idx\":40,\"po";
+  }
+  SweepReport Res = runJournaled(Engine, Path, /*Resume=*/true);
+  ASSERT_EQ(Res.Status, SweepStatus::Completed);
+  EXPECT_TRUE(Res.TornTailDropped);
+  EXPECT_EQ(Res.ResumedSkipped, 40u);
+  expectSameOutcome(Res.Outcome, toyBaseline());
+
+  // The repaired journal must itself be resumable (truncate-and-continue
+  // left no scar).
+  SweepReport Res2 = runJournaled(Engine, Path, /*Resume=*/true);
+  ASSERT_EQ(Res2.Status, SweepStatus::Completed);
+  EXPECT_FALSE(Res2.TornTailDropped);
+  EXPECT_EQ(Res2.ResumedSkipped, 100u);
+  expectSameOutcome(Res2.Outcome, toyBaseline());
+}
+
+TEST(Resume, StaleJournalIsRejected) {
+  SearchEngine Engine(toy(), gtx());
+  std::string Path = tmpJournal("stale");
+  ASSERT_EQ(runJournaled(Engine, Path, false).Status,
+            SweepStatus::Completed);
+
+  SweepOptions Opts;
+  Opts.JournalPath = Path;
+  Opts.Resume = true;
+  Opts.Fingerprint = toyFingerprint();
+  Opts.Fingerprint.Seed = 2; // a different sweep
+  SweepReport Res = SweepDriver(Engine, Opts).run(Engine.planExhaustive());
+  EXPECT_EQ(Res.Status, SweepStatus::Error);
+  EXPECT_EQ(Res.Error.Code, ErrorCode::JournalError);
+}
+
+TEST(Resume, WithInjectionArmedPreservesQuarantine) {
+  FaultPlan Plan;
+  Plan.Targets.push_back({7, Stage::Simulate, ErrorCode::SimulatorTimeout});
+  Plan.Targets.push_back({41, Stage::Simulate, ErrorCode::SimulatorDeadlock});
+  Plan.Targets.push_back({90, Stage::Verify, ErrorCode::VerifyFailed});
+  SearchEngine Engine(toy(), gtx(), {}, {}, Plan);
+  const std::string Extra = "inject:test";
+
+  SearchOutcome Want = Engine.exhaustive();
+  std::string Path = tmpJournal("inject");
+  ASSERT_EQ(runJournaled(Engine, Path, false, Extra).Status,
+            SweepStatus::Completed);
+  truncateToRecords(Path, 30);
+  SweepReport Res = runJournaled(Engine, Path, /*Resume=*/true, Extra);
+  ASSERT_EQ(Res.Status, SweepStatus::Completed);
+  expectSameOutcome(Res.Outcome, Want);
+  // Quarantined configurations are restored as quarantined, not
+  // re-attempted successes.
+  EXPECT_EQ(Res.Outcome.Evals[7].Failure.Code, ErrorCode::SimulatorTimeout);
+  EXPECT_EQ(Res.Outcome.Evals[41].Failure.Code,
+            ErrorCode::SimulatorDeadlock);
+}
+
+TEST(Resume, InterruptRequestStopsAtRecordBoundaryAndResumes) {
+  SearchEngine Engine(toy(), gtx());
+  std::string Path = tmpJournal("intr");
+
+  requestSweepInterrupt();
+  SweepReport Stopped = runJournaled(Engine, Path, /*Resume=*/false);
+  clearSweepInterrupt();
+  EXPECT_EQ(Stopped.Status, SweepStatus::Interrupted);
+
+  SweepReport Res = runJournaled(Engine, Path, /*Resume=*/true);
+  ASSERT_EQ(Res.Status, SweepStatus::Completed);
+  expectSameOutcome(Res.Outcome, toyBaseline());
 }
 
 } // namespace

@@ -175,6 +175,45 @@ TEST(Csv, QuotesSpecials) {
   EXPECT_EQ(OS.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
 }
 
+TEST(Csv, ParsePlainAndQuoted) {
+  std::vector<std::vector<std::string>> Rows =
+      parseCsv("a,b,c\n\"x,y\",\"he said \"\"no\"\"\",plain\n");
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Rows[1],
+            (std::vector<std::string>{"x,y", "he said \"no\"", "plain"}));
+}
+
+TEST(Csv, ParseCrlfAndEmptyCells) {
+  std::vector<std::vector<std::string>> Rows = parseCsv("a,,c\r\n,b,\r\n");
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Rows[1], (std::vector<std::string>{"", "b", ""}));
+}
+
+/// Writer -> parser round trip over every RFC-4180 hazard at once:
+/// embedded commas, quotes, LF, CR, CRLF, leading/trailing spaces, and
+/// empty cells.
+TEST(Csv, RoundTripHostileCells) {
+  std::vector<std::vector<std::string>> Want = {
+      {"plain", "comma,inside", "quote\"inside"},
+      {"line\nbreak", "cr\rreturn", "crlf\r\nboth"},
+      {"", " padded ", "\"fully quoted\""},
+      {",\",\n\r", "64,16,1,4,1", "end"},
+  };
+  std::ostringstream OS;
+  CsvWriter W(OS);
+  for (const std::vector<std::string> &Row : Want)
+    W.writeRow(Row);
+  EXPECT_EQ(parseCsv(OS.str()), Want);
+}
+
+TEST(Csv, ParseFinalRowWithoutNewline) {
+  std::vector<std::vector<std::string>> Rows = parseCsv("a,b\nc,d");
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
 //===--- Format -------------------------------------------------------------//
 
 TEST(Format, Doubles) {

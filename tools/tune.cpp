@@ -12,13 +12,21 @@
 //   tune search --app <name> [--strategy pareto|exhaustive|cluster|
 //                             random|greedy] [--machine gtx|nextgen]
 //                            [--budget N] [--seed N] [--inject SPEC]
+//                            [--journal FILE [--resume]] [--isolate]
+//                            [--task-timeout S] [--shard N] [--out FILE.csv]
 //       Run a search strategy and print the outcome (Table-4 style).
 //       --inject arms the deterministic fault injector (see
 //       support/FaultInjection.h for the SPEC grammar); quarantined
 //       configurations are reported per pipeline stage.
+//       --journal streams every completed evaluation through a crash-safe
+//       write-ahead journal; --resume replays a matching journal and
+//       skips finished configurations.  --isolate forks a worker per
+//       shard of candidates so a crashing or hanging configuration only
+//       quarantines itself.  --out dumps the per-config eval table as CSV.
 //
-// Exit codes: 0 success, 2 bad usage, 3 parse/verify failure,
-// 4 evaluation failure (nothing could be measured).
+// Exit codes: 0 success, 2 bad usage (incl. stale/corrupt journal),
+// 3 parse/verify failure, 4 evaluation failure (nothing could be
+// measured), 5 interrupted by SIGINT/SIGTERM (journal is resumable).
 //
 //   tune show --app <name> --config "v1,v2,..."
 //       Print the generated kernel for one configuration plus its
@@ -31,7 +39,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/EvalRecord.h"
 #include "core/Search.h"
+#include "core/SweepDriver.h"
 #include "kernels/Cp.h"
 #include "kernels/MatMul.h"
 #include "kernels/MriFhd.h"
@@ -40,6 +50,7 @@
 #include "ptx/Parser.h"
 #include "ptx/Printer.h"
 #include "ptx/Verifier.h"
+#include "support/Csv.h"
 #include "support/FaultInjection.h"
 #include "support/Format.h"
 #include "support/Status.h"
@@ -61,9 +72,12 @@ namespace {
 /// broken input from a pipeline that produced nothing.
 enum ExitCode : int {
   ExitOk = 0,
-  ExitUsage = 2,       ///< Bad flags, unknown app/strategy, bad spec.
+  ExitUsage = 2,       ///< Bad flags, unknown app/strategy, bad spec,
+                       ///< stale/corrupt journal.
   ExitParseVerify = 3, ///< Input kernel failed to parse or verify.
   ExitEvaluation = 4,  ///< Evaluation pipeline measured nothing.
+  ExitInterrupted = 5, ///< SIGINT/SIGTERM stopped the sweep; the journal
+                       ///< (if any) holds all completed work — resumable.
 };
 
 int usage() {
@@ -74,6 +88,9 @@ int usage() {
          "exhaustive|cluster|random|greedy]\n"
          "               [--machine gtx|nextgen] [--budget N] [--seed N] "
          "[--inject SPEC]\n"
+         "               [--journal FILE [--resume]] [--isolate] "
+         "[--task-timeout S] [--shard N]\n"
+         "               [--out FILE.csv]\n"
          "  tune show    --app <name> --config \"v1,v2,...\"\n"
          "  tune inspect --file <kernel.ptx> --block X[,Y] --grid X[,Y]\n";
   return ExitUsage;
@@ -110,10 +127,17 @@ std::vector<int> parseInts(const std::string &S) {
 std::map<std::string, std::string> parseFlags(int Argc, char **Argv,
                                               int Start) {
   std::map<std::string, std::string> Flags;
-  for (int I = Start; I + 1 < Argc; I += 2) {
+  for (int I = Start; I < Argc; ++I) {
     if (std::strncmp(Argv[I], "--", 2) != 0)
       continue;
-    Flags[Argv[I] + 2] = Argv[I + 1];
+    std::string Name = Argv[I] + 2;
+    // Valueless switches.
+    if (Name == "resume" || Name == "isolate") {
+      Flags[Name] = "1";
+      continue;
+    }
+    if (I + 1 < Argc)
+      Flags[Name] = Argv[++I];
   }
   return Flags;
 }
@@ -135,48 +159,24 @@ int cmdList() {
   return 0;
 }
 
-int cmdSearch(std::map<std::string, std::string> Flags) {
-  std::unique_ptr<TunableApp> App = makeApp(Flags["app"]);
-  if (!App) {
-    std::cerr << "error: unknown or missing --app\n";
-    return usage();
+/// Dumps the full per-config eval table — the same EvalRecord fields the
+/// journal serializes — as CSV.
+bool writeEvalCsv(const std::string &Path, const SearchOutcome &Out) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::cerr << "error: cannot open '" << Path << "' for writing\n";
+    return false;
   }
-  MachineModel Machine = makeMachine(Flags["machine"]);
+  CsvWriter W(OS);
+  W.writeRow(EvalRecord::csvHeader());
+  for (const ConfigEval &E : Out.Evals)
+    W.writeRow(EvalRecord::fromEval(E).csvRow());
+  return true;
+}
 
-  FaultPlan Faults;
-  if (Flags.count("inject")) {
-    Expected<FaultPlan> Parsed = parseFaultPlan(Flags["inject"]);
-    if (!Parsed) {
-      std::cerr << "error: " << Parsed.diag().Message << "\n";
-      return usage();
-    }
-    Faults = Parsed.takeValue();
-  }
-  SearchEngine Engine(*App, Machine, {}, {}, std::move(Faults));
-
-  std::string Strategy =
-      Flags.count("strategy") ? Flags["strategy"] : "pareto";
-  uint64_t Seed = Flags.count("seed") ? std::atoll(Flags["seed"].c_str()) : 1;
-  size_t Budget =
-      Flags.count("budget") ? std::atoll(Flags["budget"].c_str()) : 16;
-
-  SearchOutcome Out;
-  if (Strategy == "pareto")
-    Out = Engine.paretoPruned();
-  else if (Strategy == "exhaustive")
-    Out = Engine.exhaustive();
-  else if (Strategy == "cluster")
-    Out = Engine.paretoClustered();
-  else if (Strategy == "random")
-    Out = Engine.randomSample(Budget, Seed);
-  else if (Strategy == "greedy")
-    Out = Engine.greedyClimb(Budget, Seed);
-  else {
-    std::cerr << "error: unknown --strategy\n";
-    return usage();
-  }
-
-  std::cout << App->name() << " on " << Machine.Name << " — strategy "
+void printSearchSummary(const TunableApp &App, const MachineModel &Machine,
+                        const SearchOutcome &Out) {
+  std::cout << App.name() << " on " << Machine.Name << " — strategy "
             << Out.Strategy << "\n\n"
             << "  valid configurations : " << Out.ValidCount << "\n"
             << "  measured             : " << Out.Candidates.size() << "\n"
@@ -200,10 +200,115 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
   if (Out.hasBest()) {
     const ConfigEval &Best = Out.Evals[Out.BestIndex];
     std::cout << "  best configuration   : "
-              << App->space().describe(Best.Point) << "\n"
+              << App.space().describe(Best.Point) << "\n"
               << "  best time            : "
               << fmtDouble(Out.BestTime * 1e3, 3) << " ms\n";
+  }
+}
+
+int cmdSearch(std::map<std::string, std::string> Flags) {
+  std::unique_ptr<TunableApp> App = makeApp(Flags["app"]);
+  if (!App) {
+    std::cerr << "error: unknown or missing --app\n";
+    return usage();
+  }
+  MachineModel Machine = makeMachine(Flags["machine"]);
+
+  std::string InjectSpec = Flags.count("inject") ? Flags["inject"] : "";
+  FaultPlan Faults;
+  if (!InjectSpec.empty()) {
+    Expected<FaultPlan> Parsed = parseFaultPlan(InjectSpec);
+    if (!Parsed) {
+      std::cerr << "error: " << Parsed.diag().Message << "\n";
+      return usage();
+    }
+    Faults = Parsed.takeValue();
+  }
+  SearchEngine Engine(*App, Machine, {}, {}, std::move(Faults));
+
+  std::string Strategy =
+      Flags.count("strategy") ? Flags["strategy"] : "pareto";
+  uint64_t Seed = Flags.count("seed") ? std::atoll(Flags["seed"].c_str()) : 1;
+  size_t Budget =
+      Flags.count("budget") ? std::atoll(Flags["budget"].c_str()) : 16;
+
+  SweepOptions SOpts;
+  if (Flags.count("journal"))
+    SOpts.JournalPath = Flags["journal"];
+  SOpts.Resume = Flags.count("resume") != 0;
+  SOpts.Isolate = Flags.count("isolate") != 0;
+  if (Flags.count("task-timeout"))
+    SOpts.TaskTimeoutSeconds = std::atof(Flags["task-timeout"].c_str());
+  if (Flags.count("shard"))
+    SOpts.ShardSize = size_t(std::atoll(Flags["shard"].c_str()));
+
+  SweepPlan Plan;
+  bool Plannable = true;
+  if (Strategy == "pareto")
+    Plan = Engine.planPareto();
+  else if (Strategy == "exhaustive")
+    Plan = Engine.planExhaustive();
+  else if (Strategy == "cluster")
+    Plan = Engine.planClustered();
+  else if (Strategy == "random")
+    Plan = Engine.planRandom(Budget, Seed);
+  else if (Strategy == "greedy")
+    Plannable = false;
+  else {
+    std::cerr << "error: unknown --strategy\n";
+    return usage();
+  }
+
+  SearchOutcome Out;
+  bool Interrupted = false;
+  if (!Plannable) {
+    // Greedy decides each next measurement from the previous one, so
+    // there is no up-front candidate set to journal or shard against.
+    if (!SOpts.JournalPath.empty() || SOpts.Isolate)
+      std::cerr << "warning: --journal/--isolate are not supported with "
+                   "the greedy strategy; running in-memory\n";
+    Out = Engine.greedyClimb(Budget, Seed);
   } else {
+    SOpts.Fingerprint.App = std::string(App->name());
+    SOpts.Fingerprint.Machine = Machine.Name;
+    SOpts.Fingerprint.Strategy = Plan.Strategy;
+    SOpts.Fingerprint.Seed = Seed;
+    SOpts.Fingerprint.Budget = Budget;
+    SOpts.Fingerprint.RawSize = App->space().rawSize();
+    SOpts.Fingerprint.Extra = InjectSpec;
+
+    SweepDriver Driver(Engine, SOpts);
+    clearSweepInterrupt();
+    ScopedSweepSignalHandlers Guard;
+    SweepReport Rep = Driver.run(std::move(Plan));
+    for (const std::string &W : Rep.Warnings)
+      std::cerr << "warning: " << W << "\n";
+    if (Rep.Status == SweepStatus::Error) {
+      std::cerr << "error: " << Rep.Error.Message << "\n";
+      return ExitUsage;
+    }
+    Out = std::move(Rep.Outcome);
+    if (Rep.ResumedSkipped != 0)
+      std::cout << "  resumed from journal : " << Rep.ResumedSkipped
+                << " configurations skipped\n";
+    if (Rep.WorkerRetries != 0)
+      std::cout << "  worker retries       : " << Rep.WorkerRetries << "\n";
+    Interrupted = Rep.Status == SweepStatus::Interrupted;
+  }
+
+  printSearchSummary(*App, Machine, Out);
+  if (Flags.count("out") && !writeEvalCsv(Flags["out"], Out))
+    return ExitUsage;
+
+  if (Interrupted) {
+    std::cerr << "interrupted: sweep stopped before completion";
+    if (!SOpts.JournalPath.empty())
+      std::cerr << "; rerun with --journal " << SOpts.JournalPath
+                << " --resume to continue";
+    std::cerr << "\n";
+    return ExitInterrupted;
+  }
+  if (!Out.hasBest()) {
     // Partial results are still results: the quarantine breakdown above
     // says where the pipeline died, but there is nothing to rank.
     std::cerr << "error: no configuration could be measured ("
