@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "arch/Occupancy.h"
+#include "core/Evaluation.h"
 #include "core/Pareto.h"
 #include "emu/Emulator.h"
 #include "kernels/MatMul.h"
@@ -138,6 +139,54 @@ void BM_SpaceEnumeration(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SpaceEnumeration);
+
+void BM_EvaluateMetricsSpace(benchmark::State &State) {
+  // The whole static phase over the full space, at the given thread
+  // count.  A fresh evaluator per iteration — the memo would otherwise
+  // turn every iteration after the first into a cache hit.
+  MachineModel M = MachineModel::geForce8800Gtx();
+  unsigned Jobs = unsigned(State.range(0));
+  for (auto _ : State) {
+    Evaluator E(matmul(), M);
+    auto Evals = E.evaluateMetrics(Jobs);
+    benchmark::DoNotOptimize(Evals.size());
+  }
+}
+BENCHMARK(BM_EvaluateMetricsSpace)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MeasureKernelMemoHit(benchmark::State &State) {
+  // measure() after the kernel cache is warm: isolates simulation cost
+  // from codegen, the steady state of a driven sweep that planned first.
+  MatMulApp App(MatMulProblem{128});
+  MachineModel M = MachineModel::geForce8800Gtx();
+  Evaluator E(App, M);
+  auto Evals = E.evaluateMetrics();
+  ConfigEval *Target = nullptr;
+  for (ConfigEval &CE : Evals)
+    if (CE.usable()) {
+      Target = &CE;
+      break;
+    }
+  for (auto _ : State) {
+    Target->Measured = false;
+    E.measure(*Target);
+    benchmark::DoNotOptimize(Target->Sim.Cycles);
+  }
+}
+BENCHMARK(BM_MeasureKernelMemoHit);
+
+void BM_BandwidthFastPathEstimate(benchmark::State &State) {
+  // The analytic estimate that replaces full simulation for
+  // bandwidth-bound configurations under --fast-bw.
+  Kernel K = matmul().buildKernel(exampleConfig());
+  MachineModel M = MachineModel::geForce8800Gtx();
+  LaunchConfig LC = matmul().launch(exampleConfig());
+  for (auto _ : State) {
+    Expected<SimResult> R = estimateBandwidthBoundKernel(K, LC, M);
+    benchmark::DoNotOptimize(R->Cycles);
+  }
+}
+BENCHMARK(BM_BandwidthFastPathEstimate);
 
 } // namespace
 

@@ -29,6 +29,7 @@ g80::clusterByMetrics(std::span<const ConfigEval> Evals,
   };
 
   std::vector<std::vector<size_t>> Clusters;
+  Clusters.reserve(Order.size());
   for (size_t Idx : Order) {
     bool Placed = false;
     // Single linkage along the sorted axis: try the most recent cluster

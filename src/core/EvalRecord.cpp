@@ -41,6 +41,7 @@ EvalRecord EvalRecord::fromEval(const ConfigEval &E) {
   R.TimeSeconds = E.TimeSeconds;
   R.SimSeconds = E.Sim.Seconds;
   R.Cycles = E.Sim.Cycles;
+  R.FastBw = E.Sim.BandwidthFastPath;
   R.Code = E.Failure.Code;
   R.At = E.Failure.At;
   R.Message = E.Failure.Message;
@@ -52,6 +53,7 @@ void EvalRecord::applyTo(ConfigEval &E) const {
   E.TimeSeconds = TimeSeconds;
   E.Sim.Seconds = SimSeconds;
   E.Sim.Cycles = Cycles;
+  E.Sim.BandwidthFastPath = FastBw;
   if (failed()) {
     E.Failure.Code = Code;
     E.Failure.At = At;
@@ -71,6 +73,7 @@ std::string EvalRecord::toJson() const {
      << ",\"measured\":" << (Measured ? "true" : "false")
      << ",\"time\":" << fmtExact(TimeSeconds)
      << ",\"simsec\":" << fmtExact(SimSeconds) << ",\"cycles\":" << Cycles
+     << ",\"fastbw\":" << (FastBw ? "true" : "false")
      << ",\"code\":" << unsigned(Code) << ",\"stage\":" << unsigned(At)
      << ",\"msg\":\"" << jsonEscape(Message) << "\"}";
   return OS.str();
@@ -93,6 +96,8 @@ Expected<EvalRecord> EvalRecord::fromJson(std::string_view Json) {
       !jsonUintField(Json, "stage", StageVal) ||
       !jsonStringField(Json, "msg", R.Message))
     return recordError("malformed eval record");
+  // Absent in journals written before the fast path existed; default off.
+  jsonBoolField(Json, "fastbw", R.FastBw);
   if (Code > unsigned(ErrorCode::WorkerTimeout) || StageVal >= NumStages)
     return recordError("eval record carries an unknown code or stage");
   R.Code = ErrorCode(Code);
@@ -103,8 +108,8 @@ Expected<EvalRecord> EvalRecord::fromJson(std::string_view Json) {
 std::vector<std::string> EvalRecord::csvHeader() {
   return {"index",       "point",    "expressible", "valid",
           "efficiency",  "utilization", "measured", "time_seconds",
-          "sim_seconds", "cycles",   "fail_stage",  "fail_code",
-          "fail_message"};
+          "sim_seconds", "cycles",   "fast_bw",     "fail_stage",
+          "fail_code",   "fail_message"};
 }
 
 std::vector<std::string> EvalRecord::csvRow() const {
@@ -121,6 +126,7 @@ std::vector<std::string> EvalRecord::csvRow() const {
           fmtExact(TimeSeconds),
           fmtExact(SimSeconds),
           std::to_string(Cycles),
+          FastBw ? "1" : "0",
           failed() ? stageName(At) : "",
           failed() ? errorCodeName(Code) : "",
           Message};

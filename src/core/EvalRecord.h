@@ -46,6 +46,9 @@ struct EvalRecord {
   double TimeSeconds = 0;
   double SimSeconds = 0;
   uint64_t Cycles = 0;
+  /// Sim.BandwidthFastPath — the time is the analytic bandwidth bound,
+  /// not cycle simulation.  Optional on parse (absent in older journals).
+  bool FastBw = false;
 
   ErrorCode Code = ErrorCode::None;
   Stage At = Stage::Parse;

@@ -7,70 +7,111 @@
 #include "core/Evaluation.h"
 
 #include "ptx/Verifier.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 
 using namespace g80;
 
-std::vector<ConfigEval> Evaluator::evaluateMetrics() const {
-  const ConfigSpace &Space = App.space();
-  uint64_t Raw = Space.rawSize();
+void Evaluator::evaluateOne(ConfigEval &E) const {
+  const uint64_t I = E.FlatIndex;
   const bool Injecting = Inject.enabled();
 
-  std::vector<ConfigEval> Evals;
-  Evals.reserve(Raw);
-  for (uint64_t I = 0; I != Raw; ++I) {
-    ConfigEval E;
-    E.FlatIndex = I;
-    E.Point = Space.pointAt(I);
-    E.Expressible = App.isExpressible(E.Point);
-    if (!E.Expressible) {
-      Evals.push_back(std::move(E));
-      continue;
-    }
+  E.Point = App.space().pointAt(I);
+  E.Expressible = App.isExpressible(E.Point);
+  if (!E.Expressible)
+    return;
 
-    // The generator stands in for the paper's source-to-source step;
-    // Parse-stage faults can only come from the injector here (file input
-    // goes through parseKernel in the tool instead).
-    if (Injecting) {
-      if (std::optional<Diagnostic> D = Inject.at(Stage::Parse, I)) {
-        E.Failure = std::move(*D);
-        Evals.push_back(std::move(E));
-        continue;
-      }
+  // The generator stands in for the paper's source-to-source step;
+  // Parse-stage faults can only come from the injector here (file input
+  // goes through parseKernel in the tool instead).
+  if (Injecting) {
+    if (std::optional<Diagnostic> D = Inject.at(Stage::Parse, I)) {
+      E.Failure = std::move(*D);
+      return;
     }
+  }
 
-    Kernel K = App.buildKernel(E.Point);
+  auto K = std::make_shared<const Kernel>(App.buildKernel(E.Point));
 
-    std::optional<Diagnostic> InjectedVerify =
-        Injecting ? Inject.at(Stage::Verify, I) : std::nullopt;
-    if (InjectedVerify) {
-      E.Failure = std::move(*InjectedVerify);
-    } else if (Expected<Unit> V = checkKernel(K); !V) {
-      E.Failure = V.takeDiag();
+  std::optional<Diagnostic> InjectedVerify =
+      Injecting ? Inject.at(Stage::Verify, I) : std::nullopt;
+  if (InjectedVerify) {
+    E.Failure = std::move(*InjectedVerify);
+  } else if (Expected<Unit> V = checkKernel(*K); !V) {
+    E.Failure = V.takeDiag();
+  }
+  if (E.failed())
+    return;
+
+  if (Injecting) {
+    if (std::optional<Diagnostic> D = Inject.at(Stage::Estimate, I)) {
+      E.Failure = std::move(*D);
+      return;
     }
-    if (E.failed()) {
-      Evals.push_back(std::move(E));
-      continue;
-    }
+  }
 
-    if (Injecting) {
-      if (std::optional<Diagnostic> D = Inject.at(Stage::Estimate, I)) {
-        E.Failure = std::move(*D);
-        Evals.push_back(std::move(E));
-        continue;
-      }
-    }
+  E.Metrics = computeKernelMetrics(*K, App.launch(E.Point), Machine, MOpts);
+  E.Invocations = App.invocations(E.Point);
+  if (E.Metrics.Valid)
+    E.EfficiencyTotal =
+        efficiencyMetric(E.Metrics.Profile.DynInstrs * E.Invocations,
+                         E.Metrics.Threads);
 
-    E.Metrics = computeKernelMetrics(K, App.launch(E.Point), Machine, MOpts);
-    E.Invocations = App.invocations(E.Point);
-    if (E.Metrics.Valid)
-      E.EfficiencyTotal =
-          efficiencyMetric(E.Metrics.Profile.DynInstrs * E.Invocations,
-                           E.Metrics.Threads);
-    Evals.push_back(std::move(E));
+  // Keep the verified kernel for measure(): the plan/measure split would
+  // otherwise regenerate identical IR for every measured candidate.
+  {
+    std::lock_guard<std::mutex> L(CacheM);
+    KernelMemo.emplace(I, std::move(K));
+  }
+}
+
+std::vector<ConfigEval> Evaluator::evaluateMetrics(unsigned Jobs) const {
+  {
+    std::lock_guard<std::mutex> L(CacheM);
+    if (MetricsMemo)
+      return *MetricsMemo;
+  }
+
+  const ConfigSpace &Space = App.space();
+  uint64_t Raw = Space.rawSize();
+
+  std::vector<ConfigEval> Evals(Raw);
+  for (uint64_t I = 0; I != Raw; ++I)
+    Evals[I].FlatIndex = I;
+
+  if (Jobs > 1 && Raw > 1) {
+    ThreadPool Pool(std::min<uint64_t>(Jobs, Raw));
+    // Chunk to amortize dispatch; each index writes only its own slot, so
+    // the result is identical to the serial loop below.
+    size_t Grain = std::max<size_t>(1, Raw / (size_t(Pool.size()) * 8));
+    parallelFor(Pool, Raw, Grain,
+                [&](size_t I) { evaluateOne(Evals[I]); });
+  } else {
+    for (uint64_t I = 0; I != Raw; ++I)
+      evaluateOne(Evals[I]);
+  }
+
+  {
+    std::lock_guard<std::mutex> L(CacheM);
+    if (!MetricsMemo)
+      MetricsMemo = std::make_shared<const std::vector<ConfigEval>>(Evals);
   }
   return Evals;
+}
+
+std::shared_ptr<const Kernel> Evaluator::kernelFor(const ConfigEval &E) const {
+  {
+    std::lock_guard<std::mutex> L(CacheM);
+    auto It = KernelMemo.find(E.FlatIndex);
+    if (It != KernelMemo.end())
+      return It->second;
+  }
+  auto K = std::make_shared<const Kernel>(App.buildKernel(E.Point));
+  std::lock_guard<std::mutex> L(CacheM);
+  auto [It, Inserted] = KernelMemo.emplace(E.FlatIndex, std::move(K));
+  (void)Inserted;
+  return It->second;
 }
 
 bool Evaluator::measure(ConfigEval &E) const {
@@ -89,8 +130,16 @@ bool Evaluator::measure(ConfigEval &E) const {
     }
   }
 
-  Kernel K = App.buildKernel(E.Point);
-  Expected<SimResult> R = simulateKernel(K, App.launch(E.Point), Machine, SOpts);
+  std::shared_ptr<const Kernel> K = kernelFor(E);
+  // §5.3 screen short-circuit: when the metrics already classify the
+  // configuration as bandwidth-bound, the analytic bound replaces cycle
+  // simulation (opt-in; changes results, so tune folds it into the
+  // journal fingerprint).
+  Expected<SimResult> R =
+      SOpts.BandwidthFastPath && E.Metrics.bandwidthBound()
+          ? estimateBandwidthBoundKernel(*K, App.launch(E.Point), Machine,
+                                         SOpts)
+          : simulateKernel(*K, App.launch(E.Point), Machine, SOpts);
   if (!R) {
     E.Failure = R.takeDiag();
     return false;

@@ -21,6 +21,9 @@
 #include "support/FaultInjection.h"
 #include "support/Status.h"
 
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace g80 {
@@ -74,12 +77,26 @@ public:
   /// expressible configuration.  No simulation happens here.  Verification
   /// failures (and injected parse/verify/estimate faults) mark the entry
   /// failed() with a stage-tagged diagnostic; the sweep continues.
-  std::vector<ConfigEval> evaluateMetrics() const;
+  ///
+  /// With \p Jobs > 1 the per-configuration work is spread across a
+  /// work-stealing pool; every configuration is computed independently
+  /// into its own slot, so the result is identical for any job count.
+  /// The full result vector is memoized (keyed by nothing — it depends
+  /// only on the evaluator's immutable state), so strategy planning and
+  /// benchmarks stop recomputing the same metrics; callers get a copy.
+  std::vector<ConfigEval> evaluateMetrics(unsigned Jobs = 1) const;
 
   /// Measures \p E by simulation (the ground-truth "run it" step).
   /// Returns true on success; on failure records the diagnostic in
   /// \p E.Failure and returns false so the caller can quarantine the
   /// configuration and continue.
+  ///
+  /// When SimOptions::BandwidthFastPath is set and the §5.3 screen marks
+  /// \p E bandwidth-bound, the analytic bandwidth bound substitutes for
+  /// cycle simulation (E.Sim.BandwidthFastPath records it).
+  ///
+  /// Thread-safe: concurrent calls on distinct ConfigEvals are the
+  /// parallel sweep's worker path.
   bool measure(ConfigEval &E) const;
 
   const TunableApp &app() const { return App; }
@@ -87,11 +104,28 @@ public:
   const FaultInjector &injector() const { return Inject; }
 
 private:
+  /// Fills \p E (already carrying FlatIndex) for one configuration.
+  /// Caches the generated kernel for later measure() calls.
+  void evaluateOne(ConfigEval &E) const;
+
+  /// Returns the generated kernel for \p E, from the cache when
+  /// evaluateOne already built it (the plan/measure split otherwise
+  /// regenerates identical IR for every measured candidate).
+  std::shared_ptr<const Kernel> kernelFor(const ConfigEval &E) const;
+
   const TunableApp &App;
   const MachineModel Machine;
   MetricOptions MOpts;
   SimOptions SOpts;
   FaultInjector Inject;
+
+  /// Memoized results, guarded by CacheM.  The evaluator's inputs are
+  /// immutable after construction, so cached values never go stale; the
+  /// kernel cache is bounded by the number of usable configurations.
+  mutable std::mutex CacheM;
+  mutable std::shared_ptr<const std::vector<ConfigEval>> MetricsMemo;
+  mutable std::unordered_map<uint64_t, std::shared_ptr<const Kernel>>
+      KernelMemo;
 };
 
 } // namespace g80

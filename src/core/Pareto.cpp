@@ -56,6 +56,7 @@ std::vector<size_t> g80::paretoSubset(std::span<const ConfigEval> Evals,
                                       const ParetoOptions &Opts) {
   // Collect eligible configurations.
   std::vector<size_t> Eligible;
+  Eligible.reserve(Evals.size());
   for (size_t I = 0; I != Evals.size(); ++I) {
     const ConfigEval &E = Evals[I];
     if (!E.usable())

@@ -60,46 +60,51 @@ SearchOutcome SearchEngine::measureCandidates(SweepPlan Plan) const {
   return Out;
 }
 
-SweepPlan SearchEngine::planExhaustive() const {
+SweepPlan SearchEngine::planExhaustive(unsigned Jobs) const {
   SweepPlan Plan;
   Plan.Strategy = "exhaustive";
-  Plan.Evals = Eval.evaluateMetrics();
+  Plan.Evals = Eval.evaluateMetrics(Jobs);
+  Plan.Candidates.reserve(Plan.Evals.size());
   for (size_t I = 0; I != Plan.Evals.size(); ++I)
     if (Plan.Evals[I].usable())
       Plan.Candidates.push_back(I);
   return Plan;
 }
 
-SweepPlan SearchEngine::planPareto(const ParetoOptions &Opts) const {
+SweepPlan SearchEngine::planPareto(const ParetoOptions &Opts,
+                                   unsigned Jobs) const {
   SweepPlan Plan;
   Plan.Strategy = "pareto";
-  Plan.Evals = Eval.evaluateMetrics();
+  Plan.Evals = Eval.evaluateMetrics(Jobs);
   Plan.Candidates = paretoSubset(Plan.Evals, Opts);
   return Plan;
 }
 
 SweepPlan SearchEngine::planClustered(const ParetoOptions &Opts,
-                                      double RelTol) const {
+                                      double RelTol, unsigned Jobs) const {
   SweepPlan Plan;
   Plan.Strategy = "pareto+cluster";
-  Plan.Evals = Eval.evaluateMetrics();
+  Plan.Evals = Eval.evaluateMetrics(Jobs);
   std::vector<size_t> Subset = paretoSubset(Plan.Evals, Opts);
   std::vector<std::vector<size_t>> Clusters =
       clusterByMetrics(Plan.Evals, Subset, RelTol);
   // One representative per cluster; the smallest index keeps the choice
   // deterministic ("randomly select a single configuration" in the paper
   // — any member works, that is the point of the cluster).
+  Plan.Candidates.reserve(Clusters.size());
   for (const std::vector<size_t> &C : Clusters)
     Plan.Candidates.push_back(C.front());
   std::sort(Plan.Candidates.begin(), Plan.Candidates.end());
   return Plan;
 }
 
-SweepPlan SearchEngine::planRandom(size_t K, uint64_t Seed) const {
+SweepPlan SearchEngine::planRandom(size_t K, uint64_t Seed,
+                                   unsigned Jobs) const {
   SweepPlan Plan;
   Plan.Strategy = "random";
-  Plan.Evals = Eval.evaluateMetrics();
+  Plan.Evals = Eval.evaluateMetrics(Jobs);
   std::vector<size_t> Usable;
+  Usable.reserve(Plan.Evals.size());
   for (size_t I = 0; I != Plan.Evals.size(); ++I)
     if (Plan.Evals[I].usable())
       Usable.push_back(I);
@@ -137,6 +142,7 @@ SearchOutcome SearchEngine::greedyClimb(size_t MaxMeasured,
   Plan.Strategy = "greedy";
   Plan.Evals = Eval.evaluateMetrics();
   std::vector<size_t> Usable;
+  Usable.reserve(Plan.Evals.size());
   for (size_t I = 0; I != Plan.Evals.size(); ++I)
     if (Plan.Evals[I].usable())
       Usable.push_back(I);

@@ -129,12 +129,14 @@ public:
   /// each strategy above, exposed so the durable SweepDriver can journal
   /// and shard the expensive measurement phase itself.  Greedy climbing
   /// has no up-front plan (each measurement decides the next) and is not
-  /// plannable.
-  SweepPlan planExhaustive() const;
-  SweepPlan planPareto(const ParetoOptions &Opts = {}) const;
+  /// plannable.  \p Jobs parallelizes the static metric evaluation; the
+  /// plan is identical for any job count.
+  SweepPlan planExhaustive(unsigned Jobs = 1) const;
+  SweepPlan planPareto(const ParetoOptions &Opts = {},
+                       unsigned Jobs = 1) const;
   SweepPlan planClustered(const ParetoOptions &Opts = {},
-                          double RelTol = 1e-3) const;
-  SweepPlan planRandom(size_t K, uint64_t Seed) const;
+                          double RelTol = 1e-3, unsigned Jobs = 1) const;
+  SweepPlan planRandom(size_t K, uint64_t Seed, unsigned Jobs = 1) const;
 
   /// Greedy hill climbing from a random start: repeatedly measures all
   /// one-dimension-step neighbors and moves to the best strict

@@ -8,12 +8,16 @@
 
 #include "core/EvalRecord.h"
 #include "support/Subprocess.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <deque>
 #include <fstream>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -86,6 +90,9 @@ struct DriveState {
   std::unordered_set<uint64_t> Done;
   /// Per-flat-index worker failure count (for the retry-once policy).
   std::unordered_map<uint64_t, unsigned> Attempts;
+  /// Records committed by this run (excludes resume replay) — drives the
+  /// InterruptAfterRecords test hook.
+  size_t FreshRecords = 0;
 
   DriveState(const SearchEngine &Engine, const SweepOptions &Opts)
       : Engine(Engine), Opts(Opts) {}
@@ -117,13 +124,17 @@ struct DriveState {
       out().noteMeasured(Idx);
     Done.insert(E.FlatIndex);
     journal(E);
+    if (Opts.InterruptAfterRecords != 0 &&
+        ++FreshRecords == Opts.InterruptAfterRecords)
+      requestSweepInterrupt();
   }
 
-  /// Measures Evals[Idx] in this process.  Armed crash/hang actions are
-  /// converted to quarantine diagnostics — actually crashing would defeat
-  /// the graceful degradation this path exists for.
-  void measureInProcess(size_t Idx) {
-    ConfigEval &E = out().Evals[Idx];
+  /// Measures \p E in this process without committing it.  Armed
+  /// crash/hang actions are converted to quarantine diagnostics —
+  /// actually crashing would defeat the graceful degradation this path
+  /// exists for.  Thread-safe on distinct evals: this is what parallel
+  /// workers run, with commitment left to the plan-order committer.
+  void measureOnly(ConfigEval &E) const {
     FaultAction A = Engine.evaluator().injector().actionAt(E.FlatIndex);
     if (A != FaultAction::None) {
       E.Failure = makeDiag(A == FaultAction::Crash ? ErrorCode::WorkerCrashed
@@ -135,6 +146,11 @@ struct DriveState {
     } else {
       Engine.evaluator().measure(E); // Failure lands on E on false.
     }
+  }
+
+  /// Measures and commits Evals[Idx] — the serial in-process step.
+  void measureInProcess(size_t Idx) {
+    measureOnly(out().Evals[Idx]);
     complete(Idx);
   }
 
@@ -176,6 +192,23 @@ void runShardInWorker(const SearchEngine &Engine,
 /// Runs the remaining candidates in forked shard workers.  Returns false
 /// when interrupted.
 bool runIsolated(DriveState &D, std::deque<size_t> &Todo) {
+  // Validate the shard size once, against the real remaining work:
+  // oversubscription (a shard larger than the candidate list) would just
+  // put everything into one worker, which is rarely what the caller
+  // meant, so cap it and say so instead of silently obliging.
+  size_t ShardSize = D.Opts.ShardSize;
+  if (ShardSize == 0) {
+    D.warn("--shard 0 is invalid; using 1");
+    ShardSize = 1;
+  }
+  if (!Todo.empty() && ShardSize > Todo.size()) {
+    D.warn("--shard " + std::to_string(ShardSize) + " exceeds the " +
+           std::to_string(Todo.size()) +
+           " remaining candidates; capping the shard size at the "
+           "candidate count");
+    ShardSize = Todo.size();
+  }
+
   while (!Todo.empty()) {
     if (sweepInterruptRequested())
       return false;
@@ -183,7 +216,6 @@ bool runIsolated(DriveState &D, std::deque<size_t> &Todo) {
     // A config that already failed a worker retries alone in a fresh
     // worker, after a backoff, so a second failure is unambiguously its
     // own fault.
-    size_t ShardSize = std::max<size_t>(1, D.Opts.ShardSize);
     bool IsRetry = D.Attempts[D.out().Evals[Todo.front()].FlatIndex] > 0;
     size_t N = IsRetry ? 1 : std::min(ShardSize, Todo.size());
     if (!IsRetry) {
@@ -298,6 +330,72 @@ bool runInProcess(DriveState &D, std::deque<size_t> &Todo) {
   return true;
 }
 
+/// The parallel in-process path.  Workers measure candidates into their
+/// own (disjoint) Evals slots in whatever order the pool schedules them;
+/// this thread is the single committer, folding results into the outcome
+/// and the journal strictly in plan order.  Commit order is what the
+/// journal format, noteMeasured's first-wins tie-breaking, and the
+/// floating-point accumulation of TotalMeasuredSeconds all depend on, so
+/// pinning it makes the sweep's journal and SearchOutcome bit-identical
+/// to a serial run's regardless of job count or scheduling.
+///
+/// On interrupt only the contiguous committed prefix is durable — exactly
+/// the serial semantics — and measured-but-uncommitted results are
+/// discarded (they will be re-measured, deterministically, on resume).
+bool runInProcessParallel(DriveState &D, std::deque<size_t> &Todo,
+                          unsigned Jobs) {
+  std::vector<size_t> Order(Todo.begin(), Todo.end());
+  Todo.clear();
+  size_t N = Order.size();
+  if (N == 0)
+    return true;
+
+  std::mutex M;
+  std::condition_variable Cv;
+  std::vector<char> Ready(N, 0); // Guarded by M.
+  std::atomic<bool> Cancel{false};
+
+  ThreadPool Pool(unsigned(std::min<size_t>(Jobs, N)));
+  for (size_t I = 0; I != N; ++I) {
+    Pool.submit([&D, &M, &Cv, &Ready, &Cancel, &Order, I] {
+      if (!Cancel.load(std::memory_order_acquire))
+        D.measureOnly(D.out().Evals[Order[I]]);
+      {
+        std::lock_guard<std::mutex> L(M);
+        Ready[I] = 1;
+      }
+      Cv.notify_one();
+    });
+  }
+
+  size_t Next = 0;
+  bool Interrupted = false;
+  while (Next != N) {
+    if (sweepInterruptRequested()) {
+      Interrupted = true;
+      break;
+    }
+    {
+      std::unique_lock<std::mutex> L(M);
+      if (!Ready[Next]) {
+        // Bounded wait so a signal arriving between checks still stops
+        // the sweep promptly.
+        Cv.wait_for(L, std::chrono::milliseconds(50));
+        continue;
+      }
+    }
+    D.complete(Order[Next]);
+    ++Next;
+  }
+
+  if (Interrupted)
+    Cancel.store(true, std::memory_order_release);
+  // Drain before the locals above go out of scope (cancelled tasks finish
+  // immediately without measuring).
+  Pool.wait();
+  return !Interrupted;
+}
+
 } // namespace
 
 SweepReport SweepDriver::run(SweepPlan Plan) const {
@@ -375,7 +473,11 @@ SweepReport SweepDriver::run(SweepPlan Plan) const {
       Todo.push_back(Idx);
 
   bool Finished;
+  unsigned Jobs = std::max(1u, Opts.Jobs);
   if (Opts.Isolate && subprocessSupported()) {
+    if (Jobs > 1)
+      D.warn("--jobs is ignored with --isolate (isolation workers are "
+             "processes, one shard at a time)");
     Finished = runIsolated(D, Todo);
   } else {
     if (Opts.Isolate) {
@@ -383,7 +485,8 @@ SweepReport SweepDriver::run(SweepPlan Plan) const {
       D.warn("process isolation is unavailable on this platform; "
              "running in-process");
     }
-    Finished = runInProcess(D, Todo);
+    Finished = Jobs > 1 ? runInProcessParallel(D, Todo, Jobs)
+                        : runInProcess(D, Todo);
   }
 
   // Deterministic regardless of execution/replay order, so interrupted +

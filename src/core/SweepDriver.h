@@ -65,6 +65,17 @@ struct SweepOptions {
   double RetryBackoffSeconds = 0.05;
   /// Fingerprint written to (and checked against) the journal header.
   JournalHeader Fingerprint;
+  /// Worker threads for the in-process measurement path (1 = serial).
+  /// Workers measure candidates into disjoint slots while the calling
+  /// thread commits results strictly in plan order, so the journal bytes,
+  /// SearchOutcome totals, best-config tie-breaking, and quarantine
+  /// accounting are bit-identical for every job count.  Ignored (with a
+  /// warning when > 1) under Isolate — those workers are processes.
+  unsigned Jobs = 1;
+  /// Test hook: request a graceful interrupt (as SIGTERM would) after
+  /// this many freshly committed records, 0 = never.  Lets tests land a
+  /// deterministic mid-sweep kill point under any job count.
+  size_t InterruptAfterRecords = 0;
 };
 
 enum class SweepStatus : uint8_t {

@@ -3,15 +3,31 @@
 // Part of g80tune.  SPDX-License-Identifier: MIT
 //
 //===----------------------------------------------------------------------===//
+//
+// Hot-path layout: the per-issue loop dominates whole-sweep time, so the
+// simulator decodes the trace once into flat DecodedOp records (operand
+// registers, issue cost, and post-issue latency all precomputed), keeps
+// all per-warp scoreboards in one contiguous pool, and caches each warp's
+// earliest-issue cycle (StallUntil).  The cache is sound because a warp's
+// scoreboard entries are written only by the warp's own issues: the cached
+// value is invalidated exactly when the warp issues, is reset by a block
+// relaunch, or finishes.  Warp retirement stays lazy (detected during the
+// scheduler scans, not eagerly after the last issue) — eager retirement
+// would move block-relaunch and barrier-release points and change cycle
+// counts, and results here must be bit-identical run to run.
+//
+//===----------------------------------------------------------------------===//
 
 #include "sim/Simulator.h"
 
 #include "ptx/Kernel.h"
 #include "ptx/ResourceEstimator.h"
+#include "ptx/StaticProfile.h"
 #include "sim/Trace.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <string>
 #include <vector>
@@ -22,21 +38,38 @@ namespace {
 
 constexpr uint64_t Never = std::numeric_limits<uint64_t>::max();
 
-/// Per-warp execution context.
+/// A trace entry with everything the issue loop needs precomputed, so the
+/// per-issue work is array reads instead of operand-kind switches and
+/// latency-class calls.
+struct DecodedOp {
+  TraceEntry::Kind K = TraceEntry::Kind::Instr;
+  LatencyClass LC = LatencyClass::Alu;
+  uint8_t NumScore = 0;   ///< Entries of Score[] to scoreboard-check.
+  bool HasDst = false;
+  bool IsLoad = false;    ///< GlobalMem only: Ld (writes Dst) vs St.
+  bool SyntheticCtl = false;
+  bool DivergentBar = false;
+  uint32_t Score[5];      ///< Register ids of A/B/C/AddrBase/Dst operands.
+  uint32_t Dst = 0;       ///< Valid when HasDst.
+  uint32_t IssueCost = 0; ///< Issue-port occupancy cycles.
+  uint64_t ReadyDelta = 0;     ///< Non-mem: Dst ready at Cycle + this.
+  uint64_t MemServiceSub = 0;  ///< GlobalMem: queue service in 1/65536 cyc.
+  uint64_t TripCount = 0;      ///< LoopBegin.
+  uint32_t Match = 0;          ///< LoopEnd -> index of its LoopBegin.
+};
+
+/// Per-warp execution context.  Scoreboard and loop stacks live in flat
+/// pools owned by the simulator; this is the small hot part.
 struct WarpCtx {
   enum class State : uint8_t { Running, AtBarrier, Finished };
 
   State St = State::Finished;
   uint32_t PC = 0;
-  std::vector<uint64_t> LoopRemaining; // Stack of remaining trip counts.
-  std::vector<uint64_t> RegReady;      // Cycle each register is ready.
-
-  void reset(uint64_t Now, unsigned NumRegs) {
-    St = State::Running;
-    PC = 0;
-    LoopRemaining.clear();
-    RegReady.assign(NumRegs, Now);
-  }
+  uint32_t LoopDepth = 0; ///< Live entries of the warp's loop-stack slice.
+  /// Cached earliest-issue cycle for the op at PC, or Never when it must
+  /// be recomputed (after the warp's own issue, a reset, or while PC still
+  /// points at loop bookkeeping).
+  uint64_t StallUntil = Never;
 };
 
 /// Per-resident-block context.
@@ -53,8 +86,8 @@ public:
   SMSimulator(const TraceProgram &Prog, const MachineModel &Machine,
               const Occupancy &Occ, uint64_t BlocksForThisSM,
               const SimOptions &Opts)
-      : Prog(Prog), Machine(Machine), Occ(Occ),
-        BlocksRemaining(BlocksForThisSM), Opts(Opts) {
+      : Machine(Machine), Occ(Occ), BlocksRemaining(BlocksForThisSM),
+        Opts(Opts), NumRegs(Prog.NumRegs), MaxLoopDepth(Prog.MaxLoopDepth) {
     // Bandwidth: service cycles per byte, in 1/65536ths of a cycle so the
     // queue stays integral and deterministic.
     double BytesPerCycle = Machine.globalBytesPerCyclePerSM();
@@ -62,12 +95,20 @@ public:
     SubCyclesPerByte =
         static_cast<uint64_t>(65536.0 / BytesPerCycle + 0.5);
 
+    decode(Prog);
+
     unsigned Slots = Occ.BlocksPerSM;
+    unsigned N = Slots * Occ.WarpsPerBlock;
     Blocks.resize(Slots);
-    Warps.resize(size_t(Slots) * Occ.WarpsPerBlock);
+    Warps.resize(N);
+    WarpBlock.resize(N);
+    RegReadyPool.assign(size_t(N) * NumRegs, 0);
+    LoopPool.assign(size_t(N) * std::max(1u, MaxLoopDepth), 0);
     for (unsigned S = 0; S != Slots; ++S) {
       Blocks[S].FirstWarp = S * Occ.WarpsPerBlock;
       Blocks[S].NumWarps = Occ.WarpsPerBlock;
+      for (unsigned W = 0; W != Occ.WarpsPerBlock; ++W)
+        WarpBlock[Blocks[S].FirstWarp + W] = S;
       tryLaunchBlock(S);
     }
   }
@@ -101,6 +142,68 @@ public:
   }
 
 private:
+  //===--- Trace decoding --------------------------------------------------//
+  void decode(const TraceProgram &Prog) {
+    unsigned BaseIssue = Machine.issueCyclesPerWarpInstr();
+    Ops.reserve(Prog.Entries.size());
+    for (const TraceEntry &E : Prog.Entries) {
+      DecodedOp D;
+      D.K = E.K;
+      D.SyntheticCtl = E.SyntheticCtl;
+      D.DivergentBar = E.DivergentBar;
+      D.TripCount = E.TripCount;
+      D.Match = E.Match;
+      if (E.K == TraceEntry::Kind::Instr) {
+        const Instruction &I = E.I;
+        D.LC = I.latencyClass();
+        auto Consider = [&](const Operand &O) {
+          if (O.isReg())
+            D.Score[D.NumScore++] = O.getReg().Id;
+        };
+        Consider(I.A);
+        Consider(I.B);
+        Consider(I.C);
+        Consider(I.AddrBase);
+        if (I.Dst.isValid()) {
+          D.Score[D.NumScore++] = I.Dst.Id; // WAW hazard.
+          D.HasDst = true;
+          D.Dst = I.Dst.Id;
+        }
+        D.IssueCost = BaseIssue;
+        switch (D.LC) {
+        case LatencyClass::Alu:
+          D.ReadyDelta = D.IssueCost + Machine.ArithLatencyCycles;
+          break;
+        case LatencyClass::Sfu:
+          // The two SFUs take WarpSize/SFUs cycles to swallow a warp,
+          // holding the issue port correspondingly longer.
+          D.IssueCost = Machine.WarpSize / Machine.SFUsPerSM;
+          D.ReadyDelta = D.IssueCost + Machine.SfuLatencyCycles;
+          break;
+        case LatencyClass::SharedMem:
+          D.ReadyDelta = D.IssueCost + Machine.SharedLatencyCycles;
+          break;
+        case LatencyClass::ConstMem:
+          D.ReadyDelta = D.IssueCost + Machine.ConstLatencyCycles;
+          break;
+        case LatencyClass::TexMem:
+          // Long latency, but served from the texture cache (Table 1
+          // assumes 2D locality), so no DRAM queue charge.
+          D.ReadyDelta = D.IssueCost + Machine.TexLatencyCycles;
+          break;
+        case LatencyClass::GlobalMem:
+          D.MemServiceSub = uint64_t(I.EffBytesPerThread) *
+                            Machine.WarpSize * SubCyclesPerByte;
+          D.IsLoad = I.Op == Opcode::Ld;
+          break;
+        case LatencyClass::Barrier:
+          break;
+        }
+      }
+      Ops.push_back(D);
+    }
+  }
+
   //===--- Block lifecycle --------------------------------------------------//
   void tryLaunchBlock(unsigned Slot) {
     BlockCtx &B = Blocks[Slot];
@@ -113,33 +216,50 @@ private:
     B.Occupied = true;
     B.ActiveWarps = B.NumWarps;
     B.BarArrived = 0;
-    for (unsigned W = 0; W != B.NumWarps; ++W)
-      Warps[B.FirstWarp + W].reset(Cycle, Prog.NumRegs);
+    for (unsigned W = 0; W != B.NumWarps; ++W) {
+      unsigned Idx = B.FirstWarp + W;
+      WarpCtx &Ctx = Warps[Idx];
+      Ctx.St = WarpCtx::State::Running;
+      Ctx.PC = 0;
+      Ctx.LoopDepth = 0;
+      Ctx.StallUntil = Never;
+      uint64_t *RegReady = regReady(Idx);
+      std::fill(RegReady, RegReady + NumRegs, Cycle);
+    }
+  }
+
+  uint64_t *regReady(unsigned Idx) {
+    return RegReadyPool.data() + size_t(Idx) * NumRegs;
+  }
+  uint64_t *loopStack(unsigned Idx) {
+    return LoopPool.data() + size_t(Idx) * std::max(1u, MaxLoopDepth);
   }
 
   //===--- Trace stepping ---------------------------------------------------//
   /// Advances \p W's PC past loop bookkeeping to the next instruction.
   /// Returns false when the warp has finished the kernel.
-  bool fetch(WarpCtx &W) {
-    while (W.PC < Prog.Entries.size()) {
-      const TraceEntry &E = Prog.Entries[W.PC];
-      switch (E.K) {
+  bool fetch(WarpCtx &W, unsigned Idx) {
+    uint64_t *Loops = loopStack(Idx);
+    while (W.PC < Ops.size()) {
+      const DecodedOp &D = Ops[W.PC];
+      switch (D.K) {
       case TraceEntry::Kind::Instr:
         return true;
       case TraceEntry::Kind::LoopBegin:
-        W.LoopRemaining.push_back(E.TripCount);
+        assert(W.LoopDepth < MaxLoopDepth && "loop stack overflow");
+        Loops[W.LoopDepth++] = D.TripCount;
         ++W.PC;
         break;
       case TraceEntry::Kind::LoopEnd: {
-        assert(!W.LoopRemaining.empty() && "loop end without begin");
-        uint64_t &Rem = W.LoopRemaining.back();
+        assert(W.LoopDepth > 0 && "loop end without begin");
+        uint64_t &Rem = Loops[W.LoopDepth - 1];
         assert(Rem > 0 && "loop underflow");
         --Rem;
         if (Rem == 0) {
-          W.LoopRemaining.pop_back();
+          --W.LoopDepth;
           ++W.PC;
         } else {
-          W.PC = E.Match + 1;
+          W.PC = D.Match + 1;
         }
         break;
       }
@@ -151,19 +271,12 @@ private:
   /// Earliest cycle at which \p W's next instruction can issue (operand
   /// scoreboard, including the destination for WAW hazards).  Requires
   /// fetch() to have succeeded.
-  uint64_t earliestIssue(const WarpCtx &W) const {
-    const Instruction &I = Prog.Entries[W.PC].I;
+  uint64_t earliestIssue(const WarpCtx &W, unsigned Idx) {
+    const DecodedOp &D = Ops[W.PC];
+    const uint64_t *RegReady = regReady(Idx);
     uint64_t T = 0;
-    auto Consider = [&](const Operand &O) {
-      if (O.isReg())
-        T = std::max(T, W.RegReady[O.getReg().Id]);
-    };
-    Consider(I.A);
-    Consider(I.B);
-    Consider(I.C);
-    Consider(I.AddrBase);
-    if (I.Dst.isValid())
-      T = std::max(T, W.RegReady[I.Dst.Id]);
+    for (uint8_t J = 0; J != D.NumScore; ++J)
+      T = std::max(T, RegReady[D.Score[J]]);
     return T;
   }
 
@@ -175,29 +288,34 @@ private:
     unsigned N = static_cast<unsigned>(Warps.size());
     if (N == 0)
       return false;
+    unsigned Idx = RRNext;
     for (unsigned Step = 0; Step != N; ++Step) {
-      unsigned Idx = (RRNext + Step) % N;
       WarpCtx &W = Warps[Idx];
-      if (W.St != WarpCtx::State::Running)
-        continue;
-      BlockCtx &B = Blocks[Idx / Occ.WarpsPerBlock];
-      if (!B.Occupied)
-        continue;
-      if (!fetch(W)) {
-        finishWarp(Idx, W, B);
-        continue;
+      if (W.St == WarpCtx::State::Running) {
+        BlockCtx &B = Blocks[WarpBlock[Idx]];
+        if (B.Occupied) {
+          if (W.StallUntil == Never) {
+            if (!fetch(W, Idx)) {
+              finishWarp(W, B);
+              goto NextWarp;
+            }
+            W.StallUntil = earliestIssue(W, Idx);
+          }
+          if (W.StallUntil <= Cycle) {
+            issue(Idx, W, B);
+            RRNext = Idx + 1 == N ? 0 : Idx + 1;
+            return true;
+          }
+        }
       }
-      if (earliestIssue(W) > Cycle)
-        continue;
-      issue(Idx, W, B);
-      RRNext = (Idx + 1) % N;
-      return true;
+    NextWarp:
+      if (++Idx == N)
+        Idx = 0;
     }
     return false;
   }
 
-  void finishWarp(unsigned Idx, WarpCtx &W, BlockCtx &B) {
-    (void)Idx;
+  void finishWarp(WarpCtx &W, BlockCtx &B) {
     W.St = WarpCtx::State::Finished;
     assert(B.ActiveWarps > 0 && "warp finished in an empty block");
     if (--B.ActiveWarps == 0)
@@ -205,55 +323,30 @@ private:
   }
 
   void issue(unsigned Idx, WarpCtx &W, BlockCtx &B) {
-    const TraceEntry &E = Prog.Entries[W.PC];
-    const Instruction &I = E.I;
+    const DecodedOp &D = Ops[W.PC];
 
     ++Res.IssuedWarpInstrs;
-    if (E.SyntheticCtl)
+    if (D.SyntheticCtl)
       ++Res.SyntheticCtlInstrs;
 
-    unsigned IssueCost = Machine.issueCyclesPerWarpInstr();
+    W.StallUntil = Never; // PC moves below; the cache is for the old op.
 
-    switch (I.latencyClass()) {
-    case LatencyClass::Alu:
-      writeDst(W, I, Cycle + IssueCost + Machine.ArithLatencyCycles);
-      break;
-    case LatencyClass::Sfu:
-      // The two SFUs take WarpSize/SFUs cycles to swallow a warp, holding
-      // the issue port correspondingly longer.
-      IssueCost = Machine.WarpSize / Machine.SFUsPerSM;
-      writeDst(W, I, Cycle + IssueCost + Machine.SfuLatencyCycles);
-      break;
-    case LatencyClass::SharedMem:
-      writeDst(W, I, Cycle + IssueCost + Machine.SharedLatencyCycles);
-      break;
-    case LatencyClass::ConstMem:
-      writeDst(W, I, Cycle + IssueCost + Machine.ConstLatencyCycles);
-      break;
-    case LatencyClass::TexMem:
-      // Long latency, but served from the texture cache (Table 1 assumes
-      // 2D locality), so no DRAM queue charge.
-      writeDst(W, I, Cycle + IssueCost + Machine.TexLatencyCycles);
-      break;
+    switch (D.LC) {
     case LatencyClass::GlobalMem: {
-      uint64_t Bytes =
-          uint64_t(I.EffBytesPerThread) * Machine.WarpSize;
-      uint64_t Service = Bytes * SubCyclesPerByte; // In 1/65536 cycles.
       uint64_t NowSub = Cycle << 16;
       uint64_t StartSub = std::max(NowSub, MemFreeSub);
       Res.MemQueueWaitCycles += (StartSub - NowSub) >> 16;
-      MemFreeSub = StartSub + Service;
-      if (I.Op == Opcode::Ld) {
-        uint64_t DoneCycle = (MemFreeSub >> 16) + Machine.GlobalLatencyCycles;
-        writeDst(W, I, DoneCycle);
-      }
+      MemFreeSub = StartSub + D.MemServiceSub;
+      if (D.IsLoad && D.HasDst)
+        regReady(Idx)[D.Dst] =
+            (MemFreeSub >> 16) + Machine.GlobalLatencyCycles;
       // Stores are fire-and-forget: they consume bandwidth only.
       break;
     }
     case LatencyClass::Barrier: {
       ++W.PC;
-      Cycle += IssueCost;
-      if (E.DivergentBar) {
+      Cycle += D.IssueCost;
+      if (D.DivergentBar) {
         // Barrier under divergence: on hardware part of the warp never
         // arrives, so the block hangs.  Park the warp without counting its
         // arrival; the watchdog reports the resulting deadlock.
@@ -271,18 +364,16 @@ private:
       } else {
         W.St = WarpCtx::State::AtBarrier;
       }
-      (void)Idx;
       return;
     }
+    default:
+      if (D.HasDst)
+        regReady(Idx)[D.Dst] = Cycle + D.ReadyDelta;
+      break;
     }
 
     ++W.PC;
-    Cycle += IssueCost;
-  }
-
-  void writeDst(WarpCtx &W, const Instruction &I, uint64_t ReadyAt) {
-    if (I.Dst.isValid())
-      W.RegReady[I.Dst.Id] = ReadyAt;
+    Cycle += D.IssueCost;
   }
 
   bool allIdle() const {
@@ -301,16 +392,20 @@ private:
       WarpCtx &W = Warps[Idx];
       if (W.St != WarpCtx::State::Running)
         continue;
-      if (!Blocks[Idx / Occ.WarpsPerBlock].Occupied)
+      BlockCtx &B = Blocks[WarpBlock[Idx]];
+      if (!B.Occupied)
         continue;
-      if (!fetch(W)) {
-        // Retire exhausted warps here too so barrier counts stay exact.
-        finishWarp(Idx, W, Blocks[Idx / Occ.WarpsPerBlock]);
-        // A block launch may have made new warps ready right now.
-        Next = std::min(Next, Cycle);
-        continue;
+      if (W.StallUntil == Never) {
+        if (!fetch(W, Idx)) {
+          // Retire exhausted warps here too so barrier counts stay exact.
+          finishWarp(W, B);
+          // A block launch may have made new warps ready right now.
+          Next = std::min(Next, Cycle);
+          continue;
+        }
+        W.StallUntil = earliestIssue(W, Idx);
       }
-      Next = std::min(Next, earliestIssue(W));
+      Next = std::min(Next, W.StallUntil);
     }
     if (Next == Never)
       return false;
@@ -320,14 +415,19 @@ private:
     return true;
   }
 
-  const TraceProgram &Prog;
   const MachineModel &Machine;
   const Occupancy Occ;
   uint64_t BlocksRemaining;
   const SimOptions Opts;
+  const unsigned NumRegs;
+  const unsigned MaxLoopDepth;
 
+  std::vector<DecodedOp> Ops;
   std::vector<BlockCtx> Blocks;
   std::vector<WarpCtx> Warps;
+  std::vector<unsigned> WarpBlock;     ///< Warp index -> block slot.
+  std::vector<uint64_t> RegReadyPool;  ///< NumWarps x NumRegs scoreboards.
+  std::vector<uint64_t> LoopPool;      ///< NumWarps x MaxLoopDepth stacks.
   unsigned RRNext = 0;
 
   uint64_t Cycle = 0;
@@ -364,4 +464,52 @@ Expected<SimResult> g80::simulateKernel(const Kernel &K,
   TraceProgram Prog = buildTrace(K);
   SMSimulator Sim(Prog, Machine, *Occ, BlocksForThisSM, Opts);
   return Sim.run();
+}
+
+Expected<SimResult> g80::estimateBandwidthBoundKernel(
+    const Kernel &K, const LaunchConfig &Launch, const MachineModel &Machine,
+    const SimOptions &Opts) {
+  (void)Opts;
+  KernelResources Resources = estimateResources(K, Machine);
+  Expected<Occupancy> Occ = computeOccupancyChecked(
+      Machine, Launch.threadsPerBlock(), Resources);
+  if (!Occ)
+    return Occ.takeDiag();
+
+  uint64_t TotalBlocks = Launch.numBlocks();
+  SimResult R;
+  R.Occ = *Occ;
+  R.BandwidthFastPath = true;
+  if (TotalBlocks == 0)
+    return R;
+
+  uint64_t BlocksForThisSM =
+      (TotalBlocks + Machine.NumSMs - 1) / Machine.NumSMs;
+  StaticProfile Profile = computeStaticProfile(K);
+  double ThreadsPerBlock = static_cast<double>(Launch.threadsPerBlock());
+  double Blocks = static_cast<double>(BlocksForThisSM);
+
+  // DRAM service time for the SM's whole share of the grid.
+  double BwCycles = Blocks * ThreadsPerBlock *
+                    static_cast<double>(Profile.GlobalBytesEffective) /
+                    Machine.globalBytesPerCyclePerSM();
+
+  // Issue-port time: each warp issues DynInstrs warp-instructions, SFU ops
+  // occupying the port for WarpSize/SFUs cycles instead of the base cost.
+  double WarpsPerBlock = static_cast<double>(Occ->WarpsPerBlock);
+  double BaseIssue = Machine.issueCyclesPerWarpInstr();
+  double SfuIssue = double(Machine.WarpSize) / Machine.SFUsPerSM;
+  double IssuePerWarp =
+      double(Profile.DynInstrs - Profile.SfuInstrs) * BaseIssue +
+      double(Profile.SfuInstrs) * SfuIssue;
+  double IssueCycles = Blocks * WarpsPerBlock * IssuePerWarp;
+
+  // A bandwidth-bound kernel's time is the larger of the two service
+  // rates, plus one global latency to fill the pipeline.
+  double Cycles =
+      std::max(BwCycles, IssueCycles) + Machine.GlobalLatencyCycles;
+  R.Cycles = static_cast<uint64_t>(std::llround(Cycles));
+  R.Seconds = Machine.cyclesToSeconds(Cycles);
+  R.BlocksRun = BlocksForThisSM;
+  return R;
 }

@@ -58,6 +58,14 @@ struct SimOptions {
   /// legitimate kernel in the paper's spaces (~2^31 cycles for the largest
   /// app) but finite, so a pathological trace terminates.
   uint64_t MaxCycles = 1ull << 40;
+  /// Opt-in short circuit: when the §5.3 screen already classifies a
+  /// configuration as bandwidth-bound, replace cycle simulation with the
+  /// analytic estimateBandwidthBoundKernel() bound.  Off by default —
+  /// results carry an estimate, not ground truth, and the journal
+  /// fingerprint must change with this flag (tools/tune.cpp appends it to
+  /// Extra).  The decision itself lives in core/Evaluation.cpp, which owns
+  /// the metrics.
+  bool BandwidthFastPath = false;
 };
 
 /// Timing result and scheduler statistics.
@@ -76,6 +84,11 @@ struct SimResult {
   /// pressure).
   uint64_t MemQueueWaitCycles = 0;
   uint64_t BlocksRun = 0; ///< Blocks executed on the simulated SM.
+
+  /// True when Cycles/Seconds came from the analytic bandwidth bound
+  /// (estimateBandwidthBoundKernel) instead of cycle simulation; the
+  /// scheduler statistics above are zero in that case.
+  bool BandwidthFastPath = false;
 
   /// Fraction of cycles the issue port was busy.
   double issueUtilization() const {
@@ -98,6 +111,19 @@ Expected<SimResult> simulateKernel(const Kernel &K,
                                    const LaunchConfig &Launch,
                                    const MachineModel &Machine,
                                    const SimOptions &Opts = {});
+
+/// Analytic lower-bound timing for a bandwidth-bound kernel: when the §5.3
+/// screen says demanded DRAM traffic exceeds the machine's service rate,
+/// run time is the bandwidth service time (plus issue-port time if that is
+/// somehow larger, plus one latency to fill the pipeline) and cycle
+/// simulation adds no information.  Returns a SimResult with
+/// BandwidthFastPath set and scheduler statistics zeroed.  Shares the
+/// occupancy check (and its OccupancyInvalid diagnostic) with
+/// simulateKernel so the two entry points agree about launchability.
+Expected<SimResult> estimateBandwidthBoundKernel(const Kernel &K,
+                                                 const LaunchConfig &Launch,
+                                                 const MachineModel &Machine,
+                                                 const SimOptions &Opts = {});
 
 } // namespace g80
 

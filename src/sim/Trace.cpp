@@ -20,6 +20,7 @@ public:
   explicit TraceBuilder(const Kernel &K) : K(K) {}
 
   TraceProgram run() {
+    Prog.Entries.reserve(countEntries(K.body()));
     walkBody(K.body(), /*Depth=*/0, /*Divergent=*/false);
     Prog.NumRegs = K.numVRegs() + 2 * Prog.MaxLoopDepth;
     // Synthetic register ids were provisional (depth-indexed); rebase them
@@ -50,6 +51,26 @@ private:
     Reg R = O.getReg();
     if (R.Id >= SyntheticBase)
       O = Operand::reg(Reg(K.numVRegs() + (R.Id - SyntheticBase)));
+  }
+
+  /// Exact number of trace entries walkBody will emit for \p B, so the
+  /// entry vector is allocated once instead of growing through the walk.
+  static size_t countEntries(const Body &B) {
+    size_t N = 0;
+    for (const BodyNode &Node : B) {
+      if (Node.isInstr()) {
+        ++N;
+      } else if (Node.isLoop()) {
+        // LoopBegin + body + loop-control chain + LoopEnd.
+        N += 2 + countEntries(Node.loop().LoopBody) + LoopControlInstrsPerIter;
+      } else {
+        const If &IfN = Node.ifNode();
+        N += countEntries(IfN.Then);
+        if (!IfN.Uniform)
+          N += countEntries(IfN.Else);
+      }
+    }
+    return N;
   }
 
   void walkBody(const Body &B, unsigned Depth, bool Divergent) {

@@ -8,27 +8,37 @@
 
 using namespace g80;
 
-std::string CsvWriter::escape(const std::string &Cell) {
+void CsvWriter::appendEscaped(const std::string &Cell) {
   bool NeedsQuoting = Cell.find_first_of(",\"\n\r") != std::string::npos;
-  if (!NeedsQuoting)
-    return Cell;
-  std::string Out = "\"";
+  if (!NeedsQuoting) {
+    Buf += Cell;
+    return;
+  }
+  Buf += '"';
   for (char C : Cell) {
     if (C == '"')
-      Out += '"';
-    Out += C;
+      Buf += '"';
+    Buf += C;
   }
-  Out += '"';
-  return Out;
+  Buf += '"';
 }
 
 void CsvWriter::writeRow(const std::vector<std::string> &Cells) {
   for (size_t I = 0; I != Cells.size(); ++I) {
     if (I != 0)
-      OS << ',';
-    OS << escape(Cells[I]);
+      Buf += ',';
+    appendEscaped(Cells[I]);
   }
-  OS << '\n';
+  Buf += '\n';
+  if (Buf.size() >= Limit)
+    flush();
+}
+
+void CsvWriter::flush() {
+  if (Buf.empty())
+    return;
+  OS.write(Buf.data(), std::streamsize(Buf.size()));
+  Buf.clear();
 }
 
 std::vector<std::vector<std::string>> g80::parseCsv(std::string_view Text) {

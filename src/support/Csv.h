@@ -23,17 +23,32 @@ namespace g80 {
 
 /// Streams rows of cells to an std::ostream as CSV.  Cells containing
 /// commas, quotes or newlines are quoted; embedded quotes are doubled.
+///
+/// Rows accumulate in an internal buffer and reach the stream in
+/// BufferLimit-sized writes (cell-at-a-time operator<< on an ofstream is
+/// measurably slow for whole-space dumps); the destructor flushes, or
+/// call flush() to force bytes out early.
 class CsvWriter {
 public:
-  explicit CsvWriter(std::ostream &OS) : OS(OS) {}
+  explicit CsvWriter(std::ostream &OS, size_t BufferLimit = 1 << 16)
+      : OS(OS), Limit(BufferLimit) {}
+  ~CsvWriter() { flush(); }
+
+  CsvWriter(const CsvWriter &) = delete;
+  CsvWriter &operator=(const CsvWriter &) = delete;
 
   /// Writes one row.
   void writeRow(const std::vector<std::string> &Cells);
 
+  /// Pushes buffered rows to the stream.
+  void flush();
+
 private:
-  static std::string escape(const std::string &Cell);
+  void appendEscaped(const std::string &Cell);
 
   std::ostream &OS;
+  std::string Buf;
+  size_t Limit;
 };
 
 /// Parses RFC-4180 CSV text into rows of cells: quoted cells may contain

@@ -1,0 +1,124 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace g80;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  NumThreads = std::max(1u, NumThreads);
+  Queues.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Queues.push_back(std::make_unique<WorkQueue>());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> L(SleepM);
+    Stop = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+unsigned ThreadPool::defaultConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  unsigned Target = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+                    static_cast<unsigned>(Queues.size());
+  // Count the task before publishing it: a worker may grab and finish it
+  // the instant it lands in the deque, and its decrement must never see
+  // Pending at zero.
+  {
+    std::lock_guard<std::mutex> L(SleepM);
+    ++Pending;
+  }
+  {
+    std::lock_guard<std::mutex> L(Queues[Target]->M);
+    Queues[Target]->Tasks.push_back(std::move(Task));
+  }
+  WorkCv.notify_one();
+}
+
+std::function<void()> ThreadPool::grabTask(unsigned Me) {
+  // Own queue first, newest-first: the task most likely still in cache.
+  {
+    WorkQueue &Q = *Queues[Me];
+    std::lock_guard<std::mutex> L(Q.M);
+    if (!Q.Tasks.empty()) {
+      std::function<void()> T = std::move(Q.Tasks.back());
+      Q.Tasks.pop_back();
+      return T;
+    }
+  }
+  // Steal oldest-first from the others, starting after ourselves so the
+  // victims rotate.
+  for (size_t Step = 1; Step != Queues.size(); ++Step) {
+    WorkQueue &Q = *Queues[(Me + Step) % Queues.size()];
+    std::lock_guard<std::mutex> L(Q.M);
+    if (!Q.Tasks.empty()) {
+      std::function<void()> T = std::move(Q.Tasks.front());
+      Q.Tasks.pop_front();
+      return T;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::workerLoop(unsigned Me) {
+  for (;;) {
+    std::function<void()> Task = grabTask(Me);
+    if (!Task) {
+      std::unique_lock<std::mutex> L(SleepM);
+      if (Stop)
+        return;
+      if (Pending == 0) {
+        WorkCv.wait(L, [this] { return Stop || Pending != 0; });
+        continue;
+      }
+      // Pending work exists but our scan raced a submit; retry without
+      // sleeping.  Yield the lock first so the submitter can finish.
+      L.unlock();
+      std::this_thread::yield();
+      continue;
+    }
+    Task();
+    bool NowIdle;
+    {
+      std::lock_guard<std::mutex> L(SleepM);
+      NowIdle = --Pending == 0;
+    }
+    if (NowIdle)
+      IdleCv.notify_all();
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> L(SleepM);
+  IdleCv.wait(L, [this] { return Pending == 0; });
+}
+
+void g80::parallelFor(ThreadPool &Pool, size_t N, size_t Grain,
+                      const std::function<void(size_t)> &Body) {
+  Grain = std::max<size_t>(1, Grain);
+  for (size_t Begin = 0; Begin < N; Begin += Grain) {
+    size_t End = std::min(N, Begin + Grain);
+    Pool.submit([&Body, Begin, End] {
+      for (size_t I = Begin; I != End; ++I)
+        Body(I);
+    });
+  }
+  Pool.wait();
+}

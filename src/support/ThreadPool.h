@@ -1,0 +1,95 @@
+//===- support/ThreadPool.h - Work-stealing thread pool -------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the parallel sweep and metric
+/// paths.  Each worker owns a deque: it pops its own work LIFO (hot in
+/// cache) and steals FIFO from the others when it runs dry, so uneven
+/// per-configuration simulation costs balance without a central queue
+/// becoming the bottleneck.
+///
+/// The pool is deliberately coarse-grained: tasks here are whole
+/// configuration measurements or chunks of static-metric evaluation
+/// (tens of microseconds to seconds each), so simple mutex-protected
+/// deques beat lock-free complexity.  Determinism is the callers'
+/// concern — the sweep driver keeps journals byte-identical by
+/// committing results from a single thread in plan order regardless of
+/// which worker finished first (see core/SweepDriver.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_THREADPOOL_H
+#define G80TUNE_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace g80 {
+
+/// Fixed-size work-stealing pool.  Threads start in the constructor and
+/// join in the destructor; submit() may be called from any thread.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers (at least one).
+  explicit ThreadPool(unsigned NumThreads);
+
+  /// Drains nothing: outstanding tasks are completed before teardown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task for execution on some worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished executing.  Does not
+  /// prevent further submissions; racing submit() against wait() is the
+  /// caller's bug.
+  void wait();
+
+  /// max(1, hardware_concurrency) — the `--jobs` default.
+  static unsigned defaultConcurrency();
+
+private:
+  struct WorkQueue {
+    std::mutex M;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(unsigned Me);
+  /// Pops own work (back/LIFO) or steals (front/FIFO).  Empty when idle.
+  std::function<void()> grabTask(unsigned Me);
+
+  std::vector<std::unique_ptr<WorkQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  std::mutex SleepM;
+  std::condition_variable WorkCv; ///< Wakes sleeping workers.
+  std::condition_variable IdleCv; ///< Wakes wait()ers.
+  /// Tasks submitted but not yet finished executing.
+  size_t Pending = 0; ///< Guarded by SleepM.
+  bool Stop = false;  ///< Guarded by SleepM.
+  std::atomic<unsigned> NextQueue{0}; ///< Round-robin submission target.
+};
+
+/// Runs Body(I) for every I in [0, N) across \p Pool, in chunks of
+/// \p Grain consecutive indices, and waits for completion.  The caller
+/// must ensure distinct indices touch disjoint state.
+void parallelFor(ThreadPool &Pool, size_t N, size_t Grain,
+                 const std::function<void(size_t)> &Body);
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_THREADPOOL_H

@@ -165,6 +165,7 @@ TEST(Csv, PlainRow) {
   std::ostringstream OS;
   CsvWriter W(OS);
   W.writeRow({"a", "b", "c"});
+  W.flush();
   EXPECT_EQ(OS.str(), "a,b,c\n");
 }
 
@@ -172,6 +173,7 @@ TEST(Csv, QuotesSpecials) {
   std::ostringstream OS;
   CsvWriter W(OS);
   W.writeRow({"a,b", "say \"hi\"", "line\nbreak"});
+  W.flush();
   EXPECT_EQ(OS.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
 }
 
@@ -205,6 +207,7 @@ TEST(Csv, RoundTripHostileCells) {
   CsvWriter W(OS);
   for (const std::vector<std::string> &Row : Want)
     W.writeRow(Row);
+  W.flush();
   EXPECT_EQ(parseCsv(OS.str()), Want);
 }
 

@@ -12,12 +12,19 @@
 //   tune search --app <name> [--strategy pareto|exhaustive|cluster|
 //                             random|greedy] [--machine gtx|nextgen]
 //                            [--budget N] [--seed N] [--inject SPEC]
+//                            [--jobs N] [--fast-bw]
 //                            [--journal FILE [--resume]] [--isolate]
 //                            [--task-timeout S] [--shard N] [--out FILE.csv]
 //       Run a search strategy and print the outcome (Table-4 style).
 //       --inject arms the deterministic fault injector (see
 //       support/FaultInjection.h for the SPEC grammar); quarantined
 //       configurations are reported per pipeline stage.
+//       --jobs spreads metric evaluation and measurement across worker
+//       threads (default: hardware concurrency); results and journals are
+//       bit-identical for any job count.  --fast-bw replaces simulation
+//       with the analytic bandwidth bound for configurations the §5.3
+//       screen marks bandwidth-bound (an estimate; changes results, so it
+//       is part of the journal fingerprint).
 //       --journal streams every completed evaluation through a crash-safe
 //       write-ahead journal; --resume replays a matching journal and
 //       skips finished configurations.  --isolate forks a worker per
@@ -55,6 +62,7 @@
 #include "support/Format.h"
 #include "support/Status.h"
 #include "support/TextTable.h"
+#include "support/ThreadPool.h"
 
 #include <cstring>
 #include <fstream>
@@ -88,6 +96,7 @@ int usage() {
          "exhaustive|cluster|random|greedy]\n"
          "               [--machine gtx|nextgen] [--budget N] [--seed N] "
          "[--inject SPEC]\n"
+         "               [--jobs N] [--fast-bw]\n"
          "               [--journal FILE [--resume]] [--isolate] "
          "[--task-timeout S] [--shard N]\n"
          "               [--out FILE.csv]\n"
@@ -132,7 +141,7 @@ std::map<std::string, std::string> parseFlags(int Argc, char **Argv,
       continue;
     std::string Name = Argv[I] + 2;
     // Valueless switches.
-    if (Name == "resume" || Name == "isolate") {
+    if (Name == "resume" || Name == "isolate" || Name == "fast-bw") {
       Flags[Name] = "1";
       continue;
     }
@@ -224,7 +233,10 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
     }
     Faults = Parsed.takeValue();
   }
-  SearchEngine Engine(*App, Machine, {}, {}, std::move(Faults));
+  bool FastBw = Flags.count("fast-bw") != 0;
+  SimOptions SimO;
+  SimO.BandwidthFastPath = FastBw;
+  SearchEngine Engine(*App, Machine, {}, SimO, std::move(Faults));
 
   std::string Strategy =
       Flags.count("strategy") ? Flags["strategy"] : "pareto";
@@ -239,19 +251,41 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
   SOpts.Isolate = Flags.count("isolate") != 0;
   if (Flags.count("task-timeout"))
     SOpts.TaskTimeoutSeconds = std::atof(Flags["task-timeout"].c_str());
-  if (Flags.count("shard"))
-    SOpts.ShardSize = size_t(std::atoll(Flags["shard"].c_str()));
+  if (Flags.count("shard")) {
+    long long Shard = std::atoll(Flags["shard"].c_str());
+    if (Shard < 1) {
+      std::cerr << "error: --shard must be a positive integer\n";
+      return usage();
+    }
+    SOpts.ShardSize = size_t(Shard);
+  }
+
+  // Worker threads for metric evaluation and in-process measurement.
+  // Isolation serializes shards through forked processes, so an
+  // unspecified --jobs defaults to 1 there instead of warning.
+  unsigned Jobs = ThreadPool::defaultConcurrency();
+  if (Flags.count("jobs")) {
+    long long J = std::atoll(Flags["jobs"].c_str());
+    if (J < 1) {
+      std::cerr << "error: --jobs must be a positive integer\n";
+      return usage();
+    }
+    Jobs = unsigned(J);
+  } else if (SOpts.Isolate) {
+    Jobs = 1;
+  }
+  SOpts.Jobs = Jobs;
 
   SweepPlan Plan;
   bool Plannable = true;
   if (Strategy == "pareto")
-    Plan = Engine.planPareto();
+    Plan = Engine.planPareto({}, Jobs);
   else if (Strategy == "exhaustive")
-    Plan = Engine.planExhaustive();
+    Plan = Engine.planExhaustive(Jobs);
   else if (Strategy == "cluster")
-    Plan = Engine.planClustered();
+    Plan = Engine.planClustered({}, 1e-3, Jobs);
   else if (Strategy == "random")
-    Plan = Engine.planRandom(Budget, Seed);
+    Plan = Engine.planRandom(Budget, Seed, Jobs);
   else if (Strategy == "greedy")
     Plannable = false;
   else {
@@ -263,10 +297,14 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
   bool Interrupted = false;
   if (!Plannable) {
     // Greedy decides each next measurement from the previous one, so
-    // there is no up-front candidate set to journal or shard against.
+    // there is no up-front candidate set to journal or shard against,
+    // and no independent measurements to parallelize.
     if (!SOpts.JournalPath.empty() || SOpts.Isolate)
       std::cerr << "warning: --journal/--isolate are not supported with "
                    "the greedy strategy; running in-memory\n";
+    if (Flags.count("jobs") && Jobs > 1)
+      std::cerr << "warning: --jobs is ignored with the greedy strategy "
+                   "(each measurement decides the next)\n";
     Out = Engine.greedyClimb(Budget, Seed);
   } else {
     SOpts.Fingerprint.App = std::string(App->name());
@@ -275,7 +313,10 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
     SOpts.Fingerprint.Seed = Seed;
     SOpts.Fingerprint.Budget = Budget;
     SOpts.Fingerprint.RawSize = App->space().rawSize();
-    SOpts.Fingerprint.Extra = InjectSpec;
+    // The fast path changes measured results, so it is part of the
+    // resume fingerprint: a --fast-bw journal cannot silently resume a
+    // full-simulation sweep or vice versa.
+    SOpts.Fingerprint.Extra = InjectSpec + (FastBw ? "|fastbw" : "");
 
     SweepDriver Driver(Engine, SOpts);
     clearSweepInterrupt();
