@@ -19,9 +19,13 @@
 //   --jobs N                      parallel worker count (default: hardware)
 //   --tiny                        emulation-sized problems (CI smoke)
 //   --out PATH                    JSON output path (default BENCH_sweep.json)
+//   --trace PATH                  stream spans/counters to a JSONL file
+//                                 during the parallel sweeps, then assert
+//                                 every line is a well-formed trace record
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Report.h"
 #include "core/SweepDriver.h"
 #include "kernels/Cp.h"
 #include "kernels/MatMul.h"
@@ -30,6 +34,9 @@
 #include "support/Format.h"
 #include "support/TextTable.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
+
+#include <optional>
 
 #include <chrono>
 #include <cstring>
@@ -145,8 +152,28 @@ void writeJson(const std::string &Path, unsigned Jobs,
 
 void usage() {
   std::cerr << "usage: sweep_perf [--app matmul|cp|sad|mri|all] [--jobs N] "
-               "[--tiny] [--out PATH]\n";
+               "[--tiny] [--out PATH] [--trace PATH]\n";
   std::exit(2);
+}
+
+/// CI assertion: every line of \p Path parses as a trace record and the
+/// file actually saw the sweeps (spans for simulate, counters for the
+/// measured records).  readTraceSummary errors on any malformed line.
+bool verifyTraceFile(const std::string &Path) {
+  Expected<TraceSummary> S = readTraceSummary(Path);
+  if (!S) {
+    std::cerr << "error: trace verification failed: " << S.diag().Message
+              << "\n";
+    return false;
+  }
+  if (S->SpanLines == 0 || S->Counters.count("sweep.measured") == 0) {
+    std::cerr << "error: trace file " << Path
+              << " is well-formed but recorded no sweep activity\n";
+    return false;
+  }
+  std::cout << "trace ok: " << Path << " (" << S->SpanLines << " spans, "
+            << S->Stages.size() << " stages)\n";
+  return true;
 }
 
 } // namespace
@@ -154,6 +181,7 @@ void usage() {
 int main(int argc, char **argv) {
   std::string Which = "all";
   std::string OutPath = "BENCH_sweep.json";
+  std::string TracePath;
   unsigned Jobs = ThreadPool::defaultConcurrency();
   bool Tiny = false;
 
@@ -172,9 +200,25 @@ int main(int argc, char **argv) {
       Tiny = true;
     else if (Arg == "--out")
       OutPath = Value();
+    else if (Arg == "--trace")
+      TracePath = Value();
     else
       usage();
   }
+
+  std::optional<Tracer> Trace;
+  if (!TracePath.empty()) {
+    Expected<Tracer> T = Tracer::toFile(TracePath);
+    if (!T) {
+      std::cerr << "error: --trace: " << T.diag().Message << "\n";
+      return 2;
+    }
+    Trace.emplace(T.takeValue());
+  }
+  // Tracing stays on through both the serial and parallel sweeps; the
+  // outcomes-match assertion below then also covers "tracing does not
+  // perturb results".
+  ScopedTracer TraceGuard(Trace ? &*Trace : nullptr);
 
   std::cout << "=== Sweep throughput: serial vs --jobs " << Jobs << " ("
             << ThreadPool::defaultConcurrency()
@@ -240,6 +284,13 @@ int main(int argc, char **argv) {
   T.print(std::cout);
 
   writeJson(OutPath, Jobs, Results);
+
+  if (Trace) {
+    // Flush the counter lines before verifying the file.
+    Trace->close();
+    if (!verifyTraceFile(TracePath))
+      return 1;
+  }
 
   if (!AllMatch) {
     std::cerr << "error: parallel outcome diverged from serial\n";

@@ -50,11 +50,28 @@ struct EvalRecord {
   /// not cycle simulation.  Optional on parse (absent in older journals).
   bool FastBw = false;
 
+  /// Scheduler attribution (Sim.IssueStallCycles / Sim.MemQueueWaitCycles)
+  /// and static occupancy (Metrics.Occ.BlocksPerSM) — deterministic, so
+  /// they ride in the journal without disturbing byte-identity across job
+  /// counts.  All optional on parse (absent in older journals).
+  uint64_t IssueStallCycles = 0;
+  uint64_t MemQueueWaitCycles = 0;
+  uint64_t BlocksPerSM = 0;
+
   ErrorCode Code = ErrorCode::None;
   Stage At = Stage::Parse;
   std::string Message;
 
   bool failed() const { return Code != ErrorCode::None; }
+
+  /// Fraction of simulated cycles the issue port was busy (1 - stall
+  /// share); 0 for unmeasured or fast-path records, whose scheduler
+  /// statistics are zero.
+  double issueEfficiency() const {
+    return Cycles == 0
+               ? 0
+               : 1.0 - double(IssueStallCycles) / double(Cycles);
+  }
 
   /// Snapshots \p E.
   static EvalRecord fromEval(const ConfigEval &E);
@@ -73,6 +90,14 @@ struct EvalRecord {
   /// CSV column names, aligned with csvRow().
   static std::vector<std::string> csvHeader();
   std::vector<std::string> csvRow() const;
+
+  /// Rebuilds a record from one parsed CSV row, mapping cells by the
+  /// names in \p Header (so column order and newer/older column sets are
+  /// both tolerated).  Inverse of csvRow() for everything it emits;
+  /// derived columns (issue_efficiency) are ignored on input.
+  static Expected<EvalRecord>
+  fromCsvRow(const std::vector<std::string> &Header,
+             const std::vector<std::string> &Row);
 };
 
 } // namespace g80

@@ -8,6 +8,7 @@
 
 #include "ptx/Verifier.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -32,14 +33,23 @@ void Evaluator::evaluateOne(ConfigEval &E) const {
     }
   }
 
-  auto K = std::make_shared<const Kernel>(App.buildKernel(E.Point));
+  std::shared_ptr<const Kernel> K;
+  {
+    // Kernel generation stands in for the paper's source-to-source +
+    // nvcc -ptx step, hence the "parse" span name.
+    TraceSpan Span("parse", I);
+    K = std::make_shared<const Kernel>(App.buildKernel(E.Point));
+  }
 
-  std::optional<Diagnostic> InjectedVerify =
-      Injecting ? Inject.at(Stage::Verify, I) : std::nullopt;
-  if (InjectedVerify) {
-    E.Failure = std::move(*InjectedVerify);
-  } else if (Expected<Unit> V = checkKernel(*K); !V) {
-    E.Failure = V.takeDiag();
+  {
+    TraceSpan Span("verify", I);
+    std::optional<Diagnostic> InjectedVerify =
+        Injecting ? Inject.at(Stage::Verify, I) : std::nullopt;
+    if (InjectedVerify) {
+      E.Failure = std::move(*InjectedVerify);
+    } else if (Expected<Unit> V = checkKernel(*K); !V) {
+      E.Failure = V.takeDiag();
+    }
   }
   if (E.failed())
     return;
@@ -51,7 +61,10 @@ void Evaluator::evaluateOne(ConfigEval &E) const {
     }
   }
 
-  E.Metrics = computeKernelMetrics(*K, App.launch(E.Point), Machine, MOpts);
+  {
+    TraceSpan Span("metrics", I);
+    E.Metrics = computeKernelMetrics(*K, App.launch(E.Point), Machine, MOpts);
+  }
   E.Invocations = App.invocations(E.Point);
   if (E.Metrics.Valid)
     E.EfficiencyTotal =
@@ -131,6 +144,7 @@ bool Evaluator::measure(ConfigEval &E) const {
   }
 
   std::shared_ptr<const Kernel> K = kernelFor(E);
+  TraceSpan Span("simulate", E.FlatIndex);
   // §5.3 screen short-circuit: when the metrics already classify the
   // configuration as bandwidth-bound, the analytic bound replaces cycle
   // simulation (opt-in; changes results, so tune folds it into the

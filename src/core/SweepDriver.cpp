@@ -9,6 +9,7 @@
 #include "core/EvalRecord.h"
 #include "support/Subprocess.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -107,25 +108,42 @@ struct DriveState {
   void journal(const ConfigEval &E) {
     if (!Writer.isOpen())
       return;
+    TraceSpan Span("journal", E.FlatIndex);
     Expected<Unit> R = Writer.appendRecord(EvalRecord::fromEval(E).toJson());
     if (!R) {
       warn("journal write failed (" + R.diag().Message +
            "); continuing without durability");
       Writer.close();
+    } else {
+      traceCount("sweep.journal_records");
     }
   }
 
   /// Books a finished eval into the outcome and the journal.
   void complete(size_t Idx) {
     ConfigEval &E = out().Evals[Idx];
-    if (E.failed())
+    if (E.failed()) {
       out().noteQuarantined(Idx);
-    else if (E.Measured)
+      traceCount("sweep.quarantined");
+    } else if (E.Measured) {
       out().noteMeasured(Idx);
+      traceCount("sweep.measured");
+      if (E.Sim.BandwidthFastPath)
+        traceCount("sweep.fastbw");
+    }
     Done.insert(E.FlatIndex);
     journal(E);
+    ++FreshRecords;
+    if (Opts.OnProgress) {
+      SweepProgress P;
+      P.Done = Done.size();
+      P.FreshDone = FreshRecords;
+      P.Total = out().Candidates.size();
+      P.Quarantined = out().Quarantined.size();
+      Opts.OnProgress(P);
+    }
     if (Opts.InterruptAfterRecords != 0 &&
-        ++FreshRecords == Opts.InterruptAfterRecords)
+        FreshRecords == Opts.InterruptAfterRecords)
       requestSweepInterrupt();
   }
 
@@ -172,6 +190,10 @@ void runShardInWorker(const SearchEngine &Engine,
                       const std::vector<ConfigEval> &Evals,
                       const std::vector<size_t> &Shard,
                       const Subprocess::Emit &Emit) {
+  // The forked child inherits the parent's tracer (and its file
+  // descriptor); recording from here would interleave with the parent's
+  // writes.  The parent's "worker" span observes this shard instead.
+  ScopedTracer MuteInChild(nullptr);
   for (size_t Idx : Shard) {
     ConfigEval E = Evals[Idx];
     switch (Engine.evaluator().injector().actionAt(E.FlatIndex)) {
@@ -228,6 +250,9 @@ bool runIsolated(DriveState &D, std::deque<size_t> &Todo) {
     }
     std::vector<size_t> Shard(Todo.begin(), Todo.begin() + long(N));
     Todo.erase(Todo.begin(), Todo.begin() + long(N));
+    // Spans the worker's whole lifetime (spawn, measurement streaming,
+    // exit handling), tagged with the shard's first configuration.
+    TraceSpan ShardSpan("worker", D.out().Evals[Shard[0]].FlatIndex);
     if (IsRetry)
       sleepSeconds(D.Opts.RetryBackoffSeconds);
 
@@ -259,6 +284,7 @@ bool runIsolated(DriveState &D, std::deque<size_t> &Todo) {
       if (A == 0) {
         A = 1;
         ++D.Rep.WorkerRetries;
+        traceCount("sweep.worker_retries");
         Todo.push_front(Victim);
       } else {
         D.quarantineVictim(Victim, Code, Why);

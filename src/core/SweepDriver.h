@@ -44,10 +44,23 @@
 #include "core/Search.h"
 #include "support/Journal.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
 namespace g80 {
+
+/// One progress observation, emitted from the committer after every
+/// completed (measured or quarantined) record.  Counts include
+/// journal-resumed configurations, so Done/Total is the sweep's true
+/// position; FreshDone excludes them, so rates computed from successive
+/// observations reflect this run's throughput only.
+struct SweepProgress {
+  size_t Done = 0;       ///< Candidates completed, including resumed.
+  size_t FreshDone = 0;  ///< Candidates completed by this run.
+  size_t Total = 0;      ///< Planned candidates.
+  size_t Quarantined = 0;
+};
 
 /// How a driven sweep should run.
 struct SweepOptions {
@@ -76,6 +89,11 @@ struct SweepOptions {
   /// this many freshly committed records, 0 = never.  Lets tests land a
   /// deterministic mid-sweep kill point under any job count.
   size_t InterruptAfterRecords = 0;
+  /// Observer called from the committer thread after each completed
+  /// record (`tune search --progress`).  Runs strictly in plan order and
+  /// must not mutate sweep state; it cannot affect results, journal
+  /// bytes, or quarantine accounting.
+  std::function<void(const SweepProgress &)> OnProgress;
 };
 
 enum class SweepStatus : uint8_t {

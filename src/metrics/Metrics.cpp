@@ -8,6 +8,7 @@
 
 #include "ptx/Kernel.h"
 #include "support/ErrorHandling.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -65,9 +66,15 @@ KernelMetrics g80::computeKernelMetrics(const Kernel &K,
                                         const MachineModel &Machine,
                                         const MetricOptions &Opts) {
   KernelMetrics M;
-  M.Profile = computeStaticProfile(K);
-  M.Resources = estimateResources(K, Machine, Opts.Resources);
-  M.Occ = computeOccupancy(Machine, Launch.threadsPerBlock(), M.Resources);
+  {
+    TraceSpan Span("estimate");
+    M.Profile = computeStaticProfile(K);
+    M.Resources = estimateResources(K, Machine, Opts.Resources);
+  }
+  {
+    TraceSpan Span("occupancy");
+    M.Occ = computeOccupancy(Machine, Launch.threadsPerBlock(), M.Resources);
+  }
   M.Threads = Launch.totalThreads();
   M.BandwidthDemandRatio = bandwidthDemandRatio(M.Profile, Machine);
 

@@ -1,0 +1,74 @@
+//===- support/Numeric.cpp ------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Numeric.h"
+
+#include <charconv>
+#include <limits>
+#include <string>
+
+using namespace g80;
+
+namespace {
+
+Diagnostic numberError(const char *What, std::string_view Text) {
+  return makeDiag(ErrorCode::ParseError, Stage::Parse,
+                  std::string("expected ") + What + ", got '" +
+                      std::string(Text) + "'");
+}
+
+/// from_chars wrapper demanding full consumption of \p Text.
+template <typename T>
+bool parseAll(std::string_view Text, T &Out) {
+  const char *First = Text.data();
+  const char *Last = Text.data() + Text.size();
+  std::from_chars_result R = std::from_chars(First, Last, Out);
+  return R.ec == std::errc() && R.ptr == Last;
+}
+
+} // namespace
+
+Expected<int64_t> g80::parseInt64(std::string_view Text) {
+  int64_t V = 0;
+  if (Text.empty() || !parseAll(Text, V))
+    return numberError("an integer", Text);
+  return V;
+}
+
+Expected<uint64_t> g80::parseUint64(std::string_view Text) {
+  uint64_t V = 0;
+  if (Text.empty() || !parseAll(Text, V))
+    return numberError("a non-negative integer", Text);
+  return V;
+}
+
+Expected<double> g80::parseDouble(std::string_view Text) {
+  double V = 0;
+  if (Text.empty() || !parseAll(Text, V))
+    return numberError("a number", Text);
+  return V;
+}
+
+Expected<std::vector<int>> g80::parseIntList(std::string_view Text) {
+  if (Text.empty())
+    return numberError("a comma-separated integer list", Text);
+  std::vector<int> Out;
+  size_t Pos = 0;
+  while (true) {
+    size_t Comma = Text.find(',', Pos);
+    std::string_view Part = Text.substr(
+        Pos, Comma == std::string_view::npos ? std::string_view::npos
+                                             : Comma - Pos);
+    int V = 0;
+    if (Part.empty() || !parseAll(Part, V))
+      return numberError("an integer list element", Part);
+    Out.push_back(V);
+    if (Comma == std::string_view::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return Out;
+}

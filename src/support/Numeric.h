@@ -1,0 +1,43 @@
+//===- support/Numeric.h - Strict numeric string parsing ------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strict text-to-number parsing for command-line flags and record
+/// fields.  Unlike atoi/atoll/atof — which silently turn garbage into
+/// zero — these consume the *entire* input or return a Diagnostic, so
+/// `tune search --jobs banana` is a usage error instead of a surprising
+/// serial run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_NUMERIC_H
+#define G80TUNE_SUPPORT_NUMERIC_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace g80 {
+
+/// Parses \p Text as a base-10 signed integer.  The whole string must be
+/// consumed; leading/trailing whitespace is rejected.
+Expected<int64_t> parseInt64(std::string_view Text);
+
+/// Parses \p Text as a base-10 unsigned integer.
+Expected<uint64_t> parseUint64(std::string_view Text);
+
+/// Parses \p Text as a floating-point number (fixed or scientific).
+Expected<double> parseDouble(std::string_view Text);
+
+/// Parses a comma-separated integer list ("16,4,1").  Empty input and
+/// empty elements ("1,,2") are errors.
+Expected<std::vector<int>> parseIntList(std::string_view Text);
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_NUMERIC_H

@@ -58,6 +58,20 @@ const char *g80::errorCodeName(ErrorCode C) {
   G80_UNREACHABLE("unknown error code");
 }
 
+std::optional<Stage> g80::stageFromName(std::string_view Name) {
+  for (size_t S = 0; S != NumStages; ++S)
+    if (Name == stageName(Stage(S)))
+      return Stage(S);
+  return std::nullopt;
+}
+
+std::optional<ErrorCode> g80::errorCodeFromName(std::string_view Name) {
+  for (unsigned C = 0; C <= unsigned(ErrorCode::WorkerTimeout); ++C)
+    if (Name == errorCodeName(ErrorCode(C)))
+      return ErrorCode(C);
+  return std::nullopt;
+}
+
 std::string Diagnostic::str() const {
   std::string Out = stageName(At);
   Out += ": ";

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace g80 {
@@ -65,6 +66,13 @@ enum class ErrorCode : uint8_t {
 
 /// Returns a short name for \p C ("parse-error", "sim-deadlock", ...).
 const char *errorCodeName(ErrorCode C);
+
+/// Inverse of stageName: "verify" -> Stage::Verify.  Empty optional for
+/// anything stageName never returns (CSV report loading needs this).
+std::optional<Stage> stageFromName(std::string_view Name);
+
+/// Inverse of errorCodeName (excluding "ok", which maps to None).
+std::optional<ErrorCode> errorCodeFromName(std::string_view Name);
 
 /// One structured error: code, stage tag, message, source location.
 struct Diagnostic {

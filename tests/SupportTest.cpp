@@ -278,3 +278,45 @@ TEST(Spearman, SymmetricInArguments) {
 }
 
 } // namespace
+
+// NOTE: appended strict numeric parsing coverage (support/Numeric.h).
+#include "support/Numeric.h"
+
+namespace {
+
+TEST(Numeric, ParsesWholeIntegers) {
+  EXPECT_EQ(*parseInt64("42"), 42);
+  EXPECT_EQ(*parseInt64("-7"), -7);
+  EXPECT_EQ(*parseUint64("0"), 0u);
+  EXPECT_EQ(*parseUint64("18446744073709551615"), ~uint64_t(0));
+}
+
+TEST(Numeric, RejectsWhatAtoiSilentlyZeroes) {
+  // Every one of these was 0 (or a prefix) under the old atoi parsing.
+  EXPECT_FALSE(parseInt64("banana").ok());
+  EXPECT_FALSE(parseInt64("12x4").ok());
+  EXPECT_FALSE(parseInt64("").ok());
+  EXPECT_FALSE(parseInt64(" 5").ok());
+  EXPECT_FALSE(parseInt64("5 ").ok());
+  EXPECT_FALSE(parseUint64("-1").ok());
+  EXPECT_FALSE(parseUint64("99999999999999999999999").ok());
+}
+
+TEST(Numeric, ParsesDoublesFixedAndScientific) {
+  EXPECT_DOUBLE_EQ(*parseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parseDouble("-2.5e-3"), -2.5e-3);
+  EXPECT_FALSE(parseDouble("1.5.2").ok());
+  EXPECT_FALSE(parseDouble("nanx").ok());
+  EXPECT_FALSE(parseDouble("").ok());
+}
+
+TEST(Numeric, ParsesIntListsAndRejectsEmptyElements) {
+  EXPECT_EQ(*parseIntList("16,4,1"), (std::vector<int>{16, 4, 1}));
+  EXPECT_EQ(*parseIntList("7"), (std::vector<int>{7}));
+  EXPECT_FALSE(parseIntList("").ok());
+  EXPECT_FALSE(parseIntList("1,,2").ok());
+  EXPECT_FALSE(parseIntList("1,2,").ok());
+  EXPECT_FALSE(parseIntList("1,b").ok());
+}
+
+} // namespace

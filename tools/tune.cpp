@@ -30,10 +30,21 @@
 //       skips finished configurations.  --isolate forks a worker per
 //       shard of candidates so a crashing or hanging configuration only
 //       quarantines itself.  --out dumps the per-config eval table as CSV.
+//       --trace streams per-stage spans and counters to a JSONL file
+//       (support/Trace.h); --progress renders a live status line on
+//       stderr (configs/sec, ETA, quarantines).  Neither can change
+//       results or journal bytes.
 //
 // Exit codes: 0 success, 2 bad usage (incl. stale/corrupt journal),
 // 3 parse/verify failure, 4 evaluation failure (nothing could be
 // measured), 5 interrupted by SIGINT/SIGTERM (journal is resumable).
+//
+//   tune report <journal-or-csv> [--trace FILE] [--top N]
+//                                [--format text|json]
+//       Summarize a finished (or interrupted) sweep from its artifacts:
+//       counts and space reduction, stall/bandwidth attribution from the
+//       simulator counters, quarantine breakdown, slowest configurations,
+//       and — with --trace — the per-stage wall-time histogram.
 //
 //   tune show --app <name> --config "v1,v2,..."
 //       Print the generated kernel for one configuration plus its
@@ -47,6 +58,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/EvalRecord.h"
+#include "core/Report.h"
 #include "core/Search.h"
 #include "core/SweepDriver.h"
 #include "kernels/Cp.h"
@@ -60,15 +72,19 @@
 #include "support/Csv.h"
 #include "support/FaultInjection.h"
 #include "support/Format.h"
+#include "support/Numeric.h"
 #include "support/Status.h"
 #include "support/TextTable.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -99,7 +115,9 @@ int usage() {
          "               [--jobs N] [--fast-bw]\n"
          "               [--journal FILE [--resume]] [--isolate] "
          "[--task-timeout S] [--shard N]\n"
-         "               [--out FILE.csv]\n"
+         "               [--out FILE.csv] [--trace FILE.jsonl] [--progress]\n"
+         "  tune report  <journal-or-csv> [--trace FILE.jsonl] [--top N] "
+         "[--format text|json]\n"
          "  tune show    --app <name> --config \"v1,v2,...\"\n"
          "  tune inspect --file <kernel.ptx> --block X[,Y] --grid X[,Y]\n";
   return ExitUsage;
@@ -123,14 +141,41 @@ MachineModel makeMachine(const std::string &Name) {
   return MachineModel::geForce8800Gtx();
 }
 
-/// Parses "a,b,c" into ints.
-std::vector<int> parseInts(const std::string &S) {
-  std::vector<int> Out;
-  std::stringstream SS(S);
-  std::string Part;
-  while (std::getline(SS, Part, ','))
-    Out.push_back(std::atoi(Part.c_str()));
-  return Out;
+/// Strict flag accessors (support/Numeric.h).  Absent flags leave \p Out
+/// untouched and succeed; garbage ("--jobs banana", "--seed 1x") prints a
+/// usage error and fails instead of silently becoming zero the way the
+/// old atoi/atoll/atof parsing did.
+bool uintFlag(const std::map<std::string, std::string> &Flags,
+              const char *Name, uint64_t &Out) {
+  auto It = Flags.find(Name);
+  if (It == Flags.end())
+    return true;
+  Expected<uint64_t> V = parseUint64(It->second);
+  if (!V) {
+    std::cerr << "error: --" << Name << ": " << V.diag().Message << "\n";
+    return false;
+  }
+  Out = V.takeValue();
+  return true;
+}
+
+bool doubleFlag(const std::map<std::string, std::string> &Flags,
+                const char *Name, double &Out) {
+  auto It = Flags.find(Name);
+  if (It == Flags.end())
+    return true;
+  Expected<double> V = parseDouble(It->second);
+  if (!V) {
+    std::cerr << "error: --" << Name << ": " << V.diag().Message << "\n";
+    return false;
+  }
+  Out = V.takeValue();
+  return true;
+}
+
+bool isValuelessSwitch(std::string_view Name) {
+  return Name == "resume" || Name == "isolate" || Name == "fast-bw" ||
+         Name == "progress";
 }
 
 std::map<std::string, std::string> parseFlags(int Argc, char **Argv,
@@ -140,8 +185,7 @@ std::map<std::string, std::string> parseFlags(int Argc, char **Argv,
     if (std::strncmp(Argv[I], "--", 2) != 0)
       continue;
     std::string Name = Argv[I] + 2;
-    // Valueless switches.
-    if (Name == "resume" || Name == "isolate" || Name == "fast-bw") {
+    if (isValuelessSwitch(Name)) {
       Flags[Name] = "1";
       continue;
     }
@@ -149,6 +193,20 @@ std::map<std::string, std::string> parseFlags(int Argc, char **Argv,
       Flags[Name] = Argv[++I];
   }
   return Flags;
+}
+
+/// First argument that is neither a --flag nor a flag's value — the
+/// subcommand's positional operand (e.g. `tune report sweep.journal`).
+std::string firstPositional(int Argc, char **Argv, int Start) {
+  for (int I = Start; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--", 2) == 0) {
+      if (!isValuelessSwitch(Argv[I] + 2))
+        ++I; // Skip this flag's value too.
+      continue;
+    }
+    return Argv[I];
+  }
+  return "";
 }
 
 int cmdList() {
@@ -240,41 +298,85 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
 
   std::string Strategy =
       Flags.count("strategy") ? Flags["strategy"] : "pareto";
-  uint64_t Seed = Flags.count("seed") ? std::atoll(Flags["seed"].c_str()) : 1;
-  size_t Budget =
-      Flags.count("budget") ? std::atoll(Flags["budget"].c_str()) : 16;
+  uint64_t Seed = 1;
+  uint64_t Budget = 16;
+  if (!uintFlag(Flags, "seed", Seed) || !uintFlag(Flags, "budget", Budget))
+    return usage();
 
   SweepOptions SOpts;
   if (Flags.count("journal"))
     SOpts.JournalPath = Flags["journal"];
   SOpts.Resume = Flags.count("resume") != 0;
   SOpts.Isolate = Flags.count("isolate") != 0;
-  if (Flags.count("task-timeout"))
-    SOpts.TaskTimeoutSeconds = std::atof(Flags["task-timeout"].c_str());
-  if (Flags.count("shard")) {
-    long long Shard = std::atoll(Flags["shard"].c_str());
-    if (Shard < 1) {
-      std::cerr << "error: --shard must be a positive integer\n";
-      return usage();
-    }
-    SOpts.ShardSize = size_t(Shard);
+  if (!doubleFlag(Flags, "task-timeout", SOpts.TaskTimeoutSeconds))
+    return usage();
+  if (SOpts.TaskTimeoutSeconds <= 0) {
+    std::cerr << "error: --task-timeout must be positive\n";
+    return usage();
   }
+  uint64_t Shard = SOpts.ShardSize;
+  if (!uintFlag(Flags, "shard", Shard))
+    return usage();
+  if (Shard < 1) {
+    std::cerr << "error: --shard must be a positive integer\n";
+    return usage();
+  }
+  SOpts.ShardSize = size_t(Shard);
 
   // Worker threads for metric evaluation and in-process measurement.
   // Isolation serializes shards through forked processes, so an
   // unspecified --jobs defaults to 1 there instead of warning.
-  unsigned Jobs = ThreadPool::defaultConcurrency();
+  uint64_t Jobs = ThreadPool::defaultConcurrency();
+  if (!uintFlag(Flags, "jobs", Jobs))
+    return usage();
   if (Flags.count("jobs")) {
-    long long J = std::atoll(Flags["jobs"].c_str());
-    if (J < 1) {
+    if (Jobs < 1) {
       std::cerr << "error: --jobs must be a positive integer\n";
       return usage();
     }
-    Jobs = unsigned(J);
   } else if (SOpts.Isolate) {
     Jobs = 1;
   }
-  SOpts.Jobs = Jobs;
+  SOpts.Jobs = unsigned(Jobs);
+
+  // Tracing never feeds back into the sweep, so it is safe to install
+  // before planning: plan-phase spans (estimate/occupancy under the
+  // metrics pass) land in the file too.
+  std::optional<Tracer> Trace;
+  if (Flags.count("trace")) {
+    Expected<Tracer> T = Tracer::toFile(Flags["trace"]);
+    if (!T) {
+      std::cerr << "error: --trace: " << T.diag().Message << "\n";
+      return ExitUsage;
+    }
+    Trace.emplace(T.takeValue());
+  }
+  ScopedTracer TraceGuard(Trace ? &*Trace : nullptr);
+
+  // Live status line on stderr.  Observation only — it runs on the
+  // committer thread after each record and cannot perturb results.
+  if (Flags.count("progress")) {
+    using Clock = std::chrono::steady_clock;
+    auto Start = Clock::now();
+    auto LastDraw = Start - std::chrono::hours(1);
+    SOpts.OnProgress = [Start, LastDraw](const SweepProgress &P) mutable {
+      auto Now = Clock::now();
+      bool Final = P.Done == P.Total;
+      if (!Final && Now - LastDraw < std::chrono::milliseconds(100))
+        return; // Throttle: a fast sweep would otherwise spam stderr.
+      LastDraw = Now;
+      double Elapsed = std::chrono::duration<double>(Now - Start).count();
+      double Rate = Elapsed > 0 ? double(P.FreshDone) / Elapsed : 0;
+      size_t Left = P.Total - P.Done;
+      std::cerr << "\r  " << P.Done << "/" << P.Total << " configs  "
+                << fmtDouble(Rate, 1) << "/s";
+      if (Rate > 0)
+        std::cerr << "  ETA " << fmtDouble(double(Left) / Rate, 0) << "s";
+      if (P.Quarantined != 0)
+        std::cerr << "  quarantined " << P.Quarantined;
+      std::cerr << "   " << (Final ? "\n" : "") << std::flush;
+    };
+  }
 
   SweepPlan Plan;
   bool Plannable = true;
@@ -359,13 +461,59 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
   return ExitOk;
 }
 
+/// `tune report <journal-or-csv>`: offline analysis of sweep artifacts.
+int cmdReport(const std::string &Path,
+              std::map<std::string, std::string> Flags) {
+  if (Path.empty()) {
+    std::cerr << "error: tune report needs a journal or CSV file\n";
+    return usage();
+  }
+  std::string Format = Flags.count("format") ? Flags["format"] : "text";
+  if (Format != "text" && Format != "json") {
+    std::cerr << "error: --format must be text or json\n";
+    return usage();
+  }
+  ReportOptions RO;
+  uint64_t TopN = RO.TopN;
+  if (!uintFlag(Flags, "top", TopN))
+    return usage();
+  RO.TopN = size_t(TopN);
+
+  Expected<LoadedRecords> Loaded = loadEvalRecords(Path);
+  if (!Loaded) {
+    std::cerr << "error: " << Loaded.diag().Message << "\n";
+    return ExitUsage;
+  }
+  std::optional<TraceSummary> Trace;
+  if (Flags.count("trace")) {
+    Expected<TraceSummary> T = readTraceSummary(Flags["trace"]);
+    if (!T) {
+      std::cerr << "error: " << T.diag().Message << "\n";
+      return ExitUsage;
+    }
+    Trace.emplace(T.takeValue());
+  }
+
+  SweepSummary S = SweepSummary::fromRecords(*Loaded, RO);
+  if (Format == "json")
+    renderReportJson(S, Trace ? &*Trace : nullptr, std::cout);
+  else
+    renderReportText(S, Trace ? &*Trace : nullptr, std::cout);
+  return ExitOk;
+}
+
 int cmdShow(std::map<std::string, std::string> Flags) {
   std::unique_ptr<TunableApp> App = makeApp(Flags["app"]);
   if (!App || !Flags.count("config")) {
     std::cerr << "error: need --app and --config\n";
     return usage();
   }
-  ConfigPoint P = parseInts(Flags["config"]);
+  Expected<std::vector<int>> Parsed = parseIntList(Flags["config"]);
+  if (!Parsed) {
+    std::cerr << "error: --config: " << Parsed.diag().Message << "\n";
+    return usage();
+  }
+  ConfigPoint P = Parsed.takeValue();
   if (P.size() != App->space().numDims() || !App->isExpressible(P)) {
     std::cerr << "error: configuration is not expressible; dimensions:\n";
     for (const ConfigDim &D : App->space().dims()) {
@@ -415,10 +563,23 @@ int cmdInspect(std::map<std::string, std::string> Flags) {
   if (!Errors.empty())
     return ExitParseVerify;
 
-  std::vector<int> Block =
-      Flags.count("block") ? parseInts(Flags["block"]) : std::vector<int>{256};
-  std::vector<int> Grid =
-      Flags.count("grid") ? parseInts(Flags["grid"]) : std::vector<int>{64};
+  std::vector<int> Block{256};
+  std::vector<int> Grid{64};
+  auto DimsFlag = [&Flags](const char *Name, std::vector<int> &Out) {
+    if (!Flags.count(Name))
+      return true;
+    Expected<std::vector<int>> V = parseIntList(Flags[Name]);
+    if (V && !(V->empty() || (*V)[0] < 1 || (V->size() > 1 && (*V)[1] < 1))) {
+      Out = V.takeValue();
+      return true;
+    }
+    std::cerr << "error: --" << Name << ": "
+              << (V ? "needs positive dimensions" : V.diag().Message.c_str())
+              << "\n";
+    return false;
+  };
+  if (!DimsFlag("block", Block) || !DimsFlag("grid", Grid))
+    return usage();
   LaunchConfig LC(
       Dim3(unsigned(Grid[0]), Grid.size() > 1 ? unsigned(Grid[1]) : 1),
       Dim3(unsigned(Block[0]), Block.size() > 1 ? unsigned(Block[1]) : 1));
@@ -470,6 +631,8 @@ int main(int Argc, char **Argv) {
     return cmdList();
   if (Cmd == "search")
     return cmdSearch(std::move(Flags));
+  if (Cmd == "report")
+    return cmdReport(firstPositional(Argc, Argv, 2), std::move(Flags));
   if (Cmd == "show")
     return cmdShow(std::move(Flags));
   if (Cmd == "inspect")
