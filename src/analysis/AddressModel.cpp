@@ -1,0 +1,832 @@
+//===- analysis/AddressModel.cpp ------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AddressModel.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+using namespace g80;
+
+//===----------------------------------------------------------------------===//
+// SymbolTable
+//===----------------------------------------------------------------------===//
+
+unsigned SymbolTable::intern(const std::string &Key) {
+  auto [It, Inserted] = Map.emplace(Key, unsigned(Flags.size()));
+  if (Inserted)
+    Flags.push_back(false);
+  return It->second;
+}
+
+void SymbolTable::markProbeMarker(unsigned Sym) { Flags[Sym] = true; }
+
+bool SymbolTable::isProbeMarker(unsigned Sym) const {
+  return Sym < Flags.size() && Flags[Sym];
+}
+
+//===----------------------------------------------------------------------===//
+// LinExpr
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool symTermZero(const SymTerm &T) {
+  return T.C0 == 0 && T.CT[0] == 0 && T.CT[1] == 0 && T.CT[2] == 0;
+}
+
+/// Drops zero terms; inputs are kept sorted by the arithmetic below.
+void normalize(LinExpr &E) {
+  E.Syms.erase(std::remove_if(E.Syms.begin(), E.Syms.end(), symTermZero),
+               E.Syms.end());
+  E.Loops.erase(std::remove_if(E.Loops.begin(), E.Loops.end(),
+                               [](const LoopTerm &T) { return T.C == 0; }),
+                E.Loops.end());
+}
+
+bool loopKeyLess(const LoopTerm &A, const LoopTerm &B) {
+  return A.Loop != B.Loop ? A.Loop < B.Loop : A.Sym < B.Sym;
+}
+
+} // namespace
+
+bool LinExpr::isUniformNoLoop() const {
+  if (Wild || CT[0] != 0 || CT[1] != 0 || CT[2] != 0 || !Loops.empty())
+    return false;
+  for (const SymTerm &T : Syms)
+    if (T.CT[0] != 0 || T.CT[1] != 0 || T.CT[2] != 0)
+      return false;
+  return true;
+}
+
+bool LinExpr::isThreadInvariant() const {
+  if (Wild || CT[0] != 0 || CT[1] != 0 || CT[2] != 0)
+    return false;
+  for (const SymTerm &T : Syms)
+    if (T.CT[0] != 0 || T.CT[1] != 0 || T.CT[2] != 0)
+      return false;
+  return true;
+}
+
+std::string LinExpr::serialize() const {
+  if (Wild)
+    return "W";
+  std::string S = "c";
+  S += std::to_string(Const);
+  for (int A = 0; A != 3; ++A) {
+    S += ',';
+    S += std::to_string(CT[A]);
+  }
+  for (const SymTerm &T : Syms) {
+    S += ";s";
+    S += std::to_string(T.Sym);
+    S += ':';
+    S += std::to_string(T.C0);
+    for (int A = 0; A != 3; ++A) {
+      S += ',';
+      S += std::to_string(T.CT[A]);
+    }
+  }
+  for (const LoopTerm &T : Loops) {
+    S += ";l";
+    S += std::to_string(T.Loop);
+    S += ':';
+    S += T.Sym == NoSym ? std::string("-") : std::to_string(T.Sym);
+    S += ':';
+    S += std::to_string(T.C);
+  }
+  return S;
+}
+
+bool g80::sameExpr(const LinExpr &A, const LinExpr &B) {
+  if (A.Wild || B.Wild)
+    return A.Wild && B.Wild;
+  if (A.Const != B.Const)
+    return false;
+  for (int Axis = 0; Axis != 3; ++Axis)
+    if (A.CT[Axis] != B.CT[Axis])
+      return false;
+  if (A.Syms.size() != B.Syms.size() || A.Loops.size() != B.Loops.size())
+    return false;
+  for (size_t I = 0; I != A.Syms.size(); ++I) {
+    const SymTerm &X = A.Syms[I], &Y = B.Syms[I];
+    if (X.Sym != Y.Sym || X.C0 != Y.C0 || X.CT[0] != Y.CT[0] ||
+        X.CT[1] != Y.CT[1] || X.CT[2] != Y.CT[2])
+      return false;
+  }
+  for (size_t I = 0; I != A.Loops.size(); ++I) {
+    const LoopTerm &X = A.Loops[I], &Y = B.Loops[I];
+    if (X.Loop != Y.Loop || X.Sym != Y.Sym || X.C != Y.C)
+      return false;
+  }
+  return true;
+}
+
+LinExpr g80::addExpr(const LinExpr &A, const LinExpr &B) {
+  if (A.Wild || B.Wild)
+    return LinExpr::wild();
+  LinExpr R;
+  R.Const = A.Const + B.Const;
+  for (int Axis = 0; Axis != 3; ++Axis)
+    R.CT[Axis] = A.CT[Axis] + B.CT[Axis];
+  // Merge the sorted term lists.
+  size_t I = 0, J = 0;
+  while (I != A.Syms.size() || J != B.Syms.size()) {
+    if (J == B.Syms.size() ||
+        (I != A.Syms.size() && A.Syms[I].Sym < B.Syms[J].Sym)) {
+      R.Syms.push_back(A.Syms[I++]);
+    } else if (I == A.Syms.size() || B.Syms[J].Sym < A.Syms[I].Sym) {
+      R.Syms.push_back(B.Syms[J++]);
+    } else {
+      SymTerm T = A.Syms[I++];
+      const SymTerm &O = B.Syms[J++];
+      T.C0 += O.C0;
+      for (int Axis = 0; Axis != 3; ++Axis)
+        T.CT[Axis] += O.CT[Axis];
+      R.Syms.push_back(T);
+    }
+  }
+  I = J = 0;
+  while (I != A.Loops.size() || J != B.Loops.size()) {
+    if (J == B.Loops.size() ||
+        (I != A.Loops.size() && loopKeyLess(A.Loops[I], B.Loops[J]))) {
+      R.Loops.push_back(A.Loops[I++]);
+    } else if (I == A.Loops.size() || loopKeyLess(B.Loops[J], A.Loops[I])) {
+      R.Loops.push_back(B.Loops[J++]);
+    } else {
+      LoopTerm T = A.Loops[I++];
+      T.C += B.Loops[J++].C;
+      R.Loops.push_back(T);
+    }
+  }
+  normalize(R);
+  return R;
+}
+
+LinExpr g80::mulExprConst(const LinExpr &A, long long C) {
+  if (A.Wild)
+    return LinExpr::wild();
+  if (C == 0)
+    return LinExpr();
+  LinExpr R = A;
+  R.Const *= C;
+  for (int Axis = 0; Axis != 3; ++Axis)
+    R.CT[Axis] *= C;
+  for (SymTerm &T : R.Syms) {
+    T.C0 *= C;
+    for (int Axis = 0; Axis != 3; ++Axis)
+      T.CT[Axis] *= C;
+  }
+  for (LoopTerm &T : R.Loops)
+    T.C *= C;
+  return R;
+}
+
+LinExpr g80::subExpr(const LinExpr &A, const LinExpr &B) {
+  return addExpr(A, mulExprConst(B, -1));
+}
+
+namespace {
+
+/// Hash-conses the product of two uniform symbols, propagating the
+/// probe-marker taint so laundered markers still poison induction deltas.
+unsigned productSym(unsigned A, unsigned B, SymbolTable &Syms) {
+  unsigned Lo = std::min(A, B), Hi = std::max(A, B);
+  unsigned P = Syms.intern("mul(s" + std::to_string(Lo) + ",s" +
+                           std::to_string(Hi) + ")");
+  if (Syms.isProbeMarker(A) || Syms.isProbeMarker(B))
+    Syms.markProbeMarker(P);
+  return P;
+}
+
+/// U is uniform with no loop terms; X is arbitrary (non-wild).
+LinExpr mulUniform(const LinExpr &U, const LinExpr &X, SymbolTable &Syms) {
+  LinExpr R = mulExprConst(X, U.Const);
+  for (const SymTerm &UT : U.Syms) {
+    LinExpr Part;
+    // (c * s) * (x0 + xt.tid) -> (c*x0 + c*xt.tid) * s.
+    if (X.Const != 0 || X.CT[0] != 0 || X.CT[1] != 0 || X.CT[2] != 0) {
+      SymTerm T;
+      T.Sym = UT.Sym;
+      T.C0 = UT.C0 * X.Const;
+      for (int Axis = 0; Axis != 3; ++Axis)
+        T.CT[Axis] = UT.C0 * X.CT[Axis];
+      Part.Syms.push_back(T);
+    }
+    // (c * s) * ((d0 + dt.tid) * s2) -> scaled product symbol.
+    for (const SymTerm &XT : X.Syms) {
+      SymTerm T;
+      T.Sym = productSym(UT.Sym, XT.Sym, Syms);
+      T.C0 = UT.C0 * XT.C0;
+      for (int Axis = 0; Axis != 3; ++Axis)
+        T.CT[Axis] = UT.C0 * XT.CT[Axis];
+      LinExpr One;
+      One.Syms.push_back(T);
+      Part = addExpr(Part, One);
+    }
+    // (c * s) * (d * [s2] * k) -> d*c * (s or s*s2) * k.
+    for (const LoopTerm &XT : X.Loops) {
+      LoopTerm T;
+      T.Loop = XT.Loop;
+      T.Sym = XT.Sym == NoSym ? UT.Sym : productSym(UT.Sym, XT.Sym, Syms);
+      T.C = UT.C0 * XT.C;
+      LinExpr One;
+      One.Loops.push_back(T);
+      Part = addExpr(Part, One);
+    }
+    R = addExpr(R, Part);
+  }
+  return R;
+}
+
+} // namespace
+
+LinExpr g80::mulExpr(const LinExpr &A, const LinExpr &B, SymbolTable &Syms) {
+  if (A.Wild || B.Wild)
+    return LinExpr::wild();
+  if (A.isConstant())
+    return mulExprConst(B, A.Const);
+  if (B.isConstant())
+    return mulExprConst(A, B.Const);
+  if (A.isUniformNoLoop())
+    return mulUniform(A, B, Syms);
+  if (B.isUniformNoLoop())
+    return mulUniform(B, A, Syms);
+  return LinExpr::wild(); // tid * tid, loop * loop, ...: not affine.
+}
+
+//===----------------------------------------------------------------------===//
+// Guards
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool cmpHolds(CmpKind Cmp, long long V) {
+  switch (Cmp) {
+  case CmpKind::Eq:
+    return V == 0;
+  case CmpKind::Ne:
+    return V != 0;
+  case CmpKind::Lt:
+    return V < 0;
+  case CmpKind::Le:
+    return V <= 0;
+  case CmpKind::Gt:
+    return V > 0;
+  case CmpKind::Ge:
+    return V >= 0;
+  }
+  return false;
+}
+
+} // namespace
+
+bool g80::guardHolds(const ConcreteGuard &G, unsigned X, unsigned Y,
+                     unsigned Z) {
+  return cmpHolds(G.Cmp, G.Diff.evalTid(X, Y, Z)) == G.Taken;
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction numbering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void numberBody(const Body &B,
+                std::unordered_map<const Instruction *, unsigned> &Ids,
+                unsigned &Next) {
+  for (const BodyNode &N : B) {
+    if (N.isInstr()) {
+      Ids.emplace(&N.instr(), Next++);
+    } else if (N.isLoop()) {
+      numberBody(N.loop().LoopBody, Ids, Next);
+    } else {
+      numberBody(N.ifNode().Then, Ids, Next);
+      numberBody(N.ifNode().Else, Ids, Next);
+    }
+  }
+}
+
+} // namespace
+
+std::unordered_map<const Instruction *, unsigned>
+g80::numberInstructions(const Body &B) {
+  std::unordered_map<const Instruction *, unsigned> Ids;
+  unsigned Next = 0;
+  numberBody(B, Ids, Next);
+  return Ids;
+}
+
+//===----------------------------------------------------------------------===//
+// Structured symbolic walker
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct PredInfo {
+  bool Valid = false;
+  bool ImmOnly = false; ///< setp compared two literal immediates.
+  CmpKind Cmp = CmpKind::Eq;
+  LinExpr Diff; ///< lhs - rhs of the setp.
+};
+
+struct Env {
+  std::vector<LinExpr> R;
+  std::vector<PredInfo> P;
+};
+
+bool samePred(const PredInfo &A, const PredInfo &B) {
+  if (A.Valid != B.Valid)
+    return false;
+  if (!A.Valid)
+    return true;
+  return A.Cmp == B.Cmp && A.ImmOnly == B.ImmOnly && sameExpr(A.Diff, B.Diff);
+}
+
+bool bodyHasBarrier(const Body &B) {
+  for (const BodyNode &N : B) {
+    if (N.isInstr() && N.instr().isBarrier())
+      return true;
+    if (N.isLoop() && bodyHasBarrier(N.loop().LoopBody))
+      return true;
+    if (N.isIf() &&
+        (bodyHasBarrier(N.ifNode().Then) || bodyHasBarrier(N.ifNode().Else)))
+      return true;
+  }
+  return false;
+}
+
+class Walker {
+public:
+  Walker(const Kernel &K, const LaunchConfig &Launch, WalkResult &Out)
+      : K(K), Launch(Launch), Out(Out), Ids(numberInstructions(K.body())) {}
+
+  void run() {
+    Env E;
+    E.R.assign(K.numVRegs(), LinExpr::wild());
+    E.P.resize(K.numVRegs());
+    walkBody(K.body(), E, /*Collect=*/true);
+  }
+
+private:
+  bool inRange(Reg R) const { return R.isValid() && R.Id < K.numVRegs(); }
+
+  unsigned idOf(const Instruction &I) const {
+    auto It = Ids.find(&I);
+    return It == Ids.end() ? ~0u : It->second;
+  }
+
+  bool hasMarker(const LinExpr &E) const {
+    for (const SymTerm &T : E.Syms)
+      if (Syms.isProbeMarker(T.Sym))
+        return true;
+    for (const LoopTerm &T : E.Loops)
+      if (T.Sym != NoSym && Syms.isProbeMarker(T.Sym))
+        return true;
+    return false;
+  }
+
+  unsigned internOpaque(const std::string &Key, bool Tainted) {
+    unsigned S = Syms.intern(Key);
+    if (Tainted)
+      Syms.markProbeMarker(S);
+    return S;
+  }
+
+  LinExpr evalOperand(const Operand &O, const Env &E) {
+    switch (O.kind()) {
+    case Operand::Kind::None:
+      return LinExpr::wild();
+    case Operand::Kind::Reg:
+      return inRange(O.getReg()) ? E.R[O.getReg().Id] : LinExpr::wild();
+    case Operand::Kind::ImmS32:
+      return LinExpr::constant(O.getImmS32());
+    case Operand::Kind::ImmF32:
+      return LinExpr::symbol(Syms.intern(
+          "f32:" + std::to_string(std::bit_cast<uint32_t>(O.getImmF32()))));
+    case Operand::Kind::Special:
+      switch (O.getSpecial()) {
+      case SpecialReg::TidX:
+        return LinExpr::tid(0);
+      case SpecialReg::TidY:
+        return LinExpr::tid(1);
+      case SpecialReg::TidZ:
+        return LinExpr::tid(2);
+      case SpecialReg::NTidX:
+        return LinExpr::constant(Launch.Block.X);
+      case SpecialReg::NTidY:
+        return LinExpr::constant(Launch.Block.Y);
+      case SpecialReg::NCtaIdX:
+        return LinExpr::constant(Launch.Grid.X);
+      case SpecialReg::NCtaIdY:
+        return LinExpr::constant(Launch.Grid.Y);
+      case SpecialReg::CtaIdX:
+        return LinExpr::symbol(Syms.intern("ctaid.x"));
+      case SpecialReg::CtaIdY:
+        return LinExpr::symbol(Syms.intern("ctaid.y"));
+      }
+      return LinExpr::wild();
+    case Operand::Kind::Param:
+      return LinExpr::symbol(
+          Syms.intern("param:" + std::to_string(O.getParamIndex())));
+    }
+    return LinExpr::wild();
+  }
+
+  void setReg(Env &E, Reg R, LinExpr V) {
+    if (!inRange(R))
+      return;
+    E.R[R.Id] = std::move(V);
+    E.P[R.Id] = PredInfo();
+  }
+
+  /// The default transfer: a block-uniform pure function of uniform inputs
+  /// is hash-consed (equal computations compare equal); anything else is
+  /// Wild.
+  void opaqueResult(const Instruction &I, Env &E) {
+    if (!opcodeHasDst(I.Op) || !inRange(I.Dst))
+      return;
+    unsigned NumSrcs = opcodeNumSrcs(I.Op);
+    const Operand *Srcs[] = {&I.A, &I.B, &I.C};
+    std::string Key = opcodeName(I.Op);
+    if (I.Op == Opcode::SetPF || I.Op == Opcode::SetPI) {
+      Key += '.';
+      Key += cmpKindName(I.Cmp);
+    }
+    bool Tainted = false;
+    for (unsigned S = 0; S != NumSrcs; ++S) {
+      LinExpr V = evalOperand(*Srcs[S], E);
+      if (!V.isUniformNoLoop()) {
+        setReg(E, I.Dst, LinExpr::wild());
+        return;
+      }
+      Tainted |= hasMarker(V);
+      Key += ':';
+      Key += V.serialize();
+    }
+    setReg(E, I.Dst, LinExpr::symbol(internOpaque(Key, Tainted)));
+  }
+
+  void diag(FindingSeverity Sev, FindingCategory Cat, unsigned InstrId,
+            std::string Msg) {
+    if (!Reported.insert({unsigned(Cat), InstrId}).second)
+      return;
+    Out.Diags.push_back({Sev, Cat, InstrId, std::move(Msg)});
+  }
+
+  void record(const Instruction &I, LinExpr Addr) {
+    MemAccess A;
+    A.I = &I;
+    A.InstrId = idOf(I);
+    A.IsStore = I.Op == Opcode::St;
+    A.Space = I.Space;
+    A.Buffer = I.BufferParam;
+    A.Addr = std::move(Addr);
+    A.Interval = Interval;
+    A.Guards = GuardStack;
+    A.GuardUniformUnknown = UniformUnknownDepth > 0;
+    A.GuardDivergentUnknown = DivergentUnknownDepth > 0;
+    Out.Accesses.push_back(std::move(A));
+  }
+
+  void walkInstr(const Instruction &I, Env &E, bool Collect) {
+    switch (I.Op) {
+    case Opcode::Bar:
+      if (Collect) {
+        if (ProvenDivergentDepth > 0)
+          diag(FindingSeverity::Error, FindingCategory::BarrierDivergence,
+               idOf(I),
+               "bar.sync under a branch whose predicate provably diverges "
+               "within a block: threads that skip the branch never reach "
+               "the barrier");
+        ++Interval;
+      }
+      return;
+    case Opcode::Ld:
+    case Opcode::St: {
+      LinExpr Base = I.AddrBase.isNone() ? LinExpr()
+                                         : evalOperand(I.AddrBase, E);
+      LinExpr Addr = addExpr(Base, LinExpr::constant(I.AddrOffset));
+      if (Collect &&
+          (I.Space == MemSpace::Shared || I.Space == MemSpace::Global))
+        record(I, Addr);
+      if (I.Op == Opcode::Ld) {
+        LinExpr V = LinExpr::wild();
+        // A constant-memory load at a uniform address is itself uniform
+        // data, so symbolically equal loads cancel under subtraction.
+        if (I.Space == MemSpace::Const && Addr.isUniformNoLoop())
+          V = LinExpr::symbol(
+              internOpaque("ldconst:" + std::to_string(I.BufferParam) + ":" +
+                               Addr.serialize(),
+                           hasMarker(Addr)));
+        setReg(E, I.Dst, std::move(V));
+      }
+      return;
+    }
+    case Opcode::Mov: {
+      LinExpr V = evalOperand(I.A, E);
+      PredInfo P;
+      if (I.A.isReg() && inRange(I.A.getReg()))
+        P = E.P[I.A.getReg().Id];
+      setReg(E, I.Dst, std::move(V));
+      if (inRange(I.Dst))
+        E.P[I.Dst.Id] = P; // Predicates survive moves.
+      return;
+    }
+    case Opcode::AddI:
+      setReg(E, I.Dst, addExpr(evalOperand(I.A, E), evalOperand(I.B, E)));
+      return;
+    case Opcode::SubI:
+      setReg(E, I.Dst, subExpr(evalOperand(I.A, E), evalOperand(I.B, E)));
+      return;
+    case Opcode::MulI:
+      setReg(E, I.Dst,
+             mulExpr(evalOperand(I.A, E), evalOperand(I.B, E), Syms));
+      return;
+    case Opcode::MadI:
+      setReg(E, I.Dst,
+             addExpr(mulExpr(evalOperand(I.A, E), evalOperand(I.B, E), Syms),
+                     evalOperand(I.C, E)));
+      return;
+    case Opcode::ShlI:
+      if (I.B.kind() == Operand::Kind::ImmS32 && I.B.getImmS32() >= 0 &&
+          I.B.getImmS32() < 32) {
+        setReg(E, I.Dst,
+               mulExprConst(evalOperand(I.A, E),
+                            (long long)1 << I.B.getImmS32()));
+        return;
+      }
+      opaqueResult(I, E);
+      return;
+    case Opcode::SetPI: {
+      LinExpr D = subExpr(evalOperand(I.A, E), evalOperand(I.B, E));
+      bool ImmOnly = I.A.kind() == Operand::Kind::ImmS32 &&
+                     I.B.kind() == Operand::Kind::ImmS32;
+      opaqueResult(I, E); // The 0/1 value itself.
+      if (!D.Wild && inRange(I.Dst)) {
+        PredInfo &P = E.P[I.Dst.Id];
+        P.Valid = true;
+        P.ImmOnly = ImmOnly;
+        P.Cmp = I.Cmp;
+        P.Diff = std::move(D);
+      }
+      return;
+    }
+    default:
+      opaqueResult(I, E);
+      return;
+    }
+  }
+
+  void mergeEnv(Env &E, const Env &T, const Env &F) {
+    for (size_t R = 0; R != E.R.size(); ++R) {
+      E.R[R] = sameExpr(T.R[R], F.R[R]) ? T.R[R] : LinExpr::wild();
+      E.P[R] = samePred(T.P[R], F.P[R]) ? T.P[R] : PredInfo();
+    }
+  }
+
+  static unsigned firstInstrId(
+      const Body &B,
+      const std::unordered_map<const Instruction *, unsigned> &Ids) {
+    for (const BodyNode &N : B) {
+      if (N.isInstr()) {
+        auto It = Ids.find(&N.instr());
+        return It == Ids.end() ? ~0u : It->second;
+      }
+      unsigned Sub = ~0u;
+      if (N.isLoop())
+        Sub = firstInstrId(N.loop().LoopBody, Ids);
+      else if ((Sub = firstInstrId(N.ifNode().Then, Ids)) == ~0u)
+        Sub = firstInstrId(N.ifNode().Else, Ids);
+      if (Sub != ~0u)
+        return Sub;
+    }
+    return ~0u;
+  }
+
+  void walkIf(const If &N, Env &E, bool Collect) {
+    PredInfo P;
+    if (N.Pred.isValid() && N.Pred.Id < E.P.size())
+      P = E.P[N.Pred.Id];
+
+    enum class Mode {
+      ConstTrue,
+      ConstFalse,
+      Varying,
+      UniformUnknown,
+      DivergentUnknown
+    } M;
+    if (P.Valid && P.Diff.isTidAffine()) {
+      bool AnyT = false, AnyF = false;
+      for (unsigned Z = 0; Z != Launch.Block.Z && !(AnyT && AnyF); ++Z)
+        for (unsigned Y = 0; Y != Launch.Block.Y && !(AnyT && AnyF); ++Y)
+          for (unsigned X = 0; X != Launch.Block.X && !(AnyT && AnyF); ++X)
+            (cmpHolds(P.Cmp, P.Diff.evalTid(X, Y, Z)) ? AnyT : AnyF) = true;
+      M = AnyT && AnyF ? Mode::Varying
+                       : (AnyT ? Mode::ConstTrue : Mode::ConstFalse);
+    } else if (P.Valid && P.Diff.isThreadInvariant()) {
+      M = Mode::UniformUnknown;
+    } else {
+      M = Mode::DivergentUnknown;
+    }
+
+    switch (M) {
+    case Mode::ConstTrue:
+    case Mode::ConstFalse: {
+      const Body &Taken = M == Mode::ConstTrue ? N.Then : N.Else;
+      const Body &Dead = M == Mode::ConstTrue ? N.Else : N.Then;
+      // Only literal-immediate comparisons are flagged: a tautological
+      // bounds test against a launch dimension is normal generated code.
+      if (Collect && P.ImmOnly && !Dead.empty())
+        diag(FindingSeverity::Warning, FindingCategory::Unreachable,
+             firstInstrId(Dead, Ids),
+             "branch guarded by a constant immediate comparison never "
+             "executes");
+      walkBody(Taken, E, Collect);
+      return;
+    }
+    case Mode::Varying: {
+      if (Collect && N.Uniform)
+        diag(FindingSeverity::Error, FindingCategory::UniformAnnotation,
+             firstInstrId(N.Then.empty() ? N.Else : N.Then, Ids),
+             "if-region is annotated uniform, but its predicate takes both "
+             "values within one block");
+      ++ProvenDivergentDepth;
+      Env T = E;
+      GuardStack.push_back({P.Diff, P.Cmp, true});
+      walkBody(N.Then, T, Collect);
+      GuardStack.pop_back();
+      Env F = E;
+      GuardStack.push_back({P.Diff, P.Cmp, false});
+      walkBody(N.Else, F, Collect);
+      GuardStack.pop_back();
+      --ProvenDivergentDepth;
+      mergeEnv(E, T, F);
+      return;
+    }
+    case Mode::UniformUnknown:
+    case Mode::DivergentUnknown: {
+      unsigned &Depth = M == Mode::UniformUnknown ? UniformUnknownDepth
+                                                  : DivergentUnknownDepth;
+      ++Depth;
+      Env T = E;
+      walkBody(N.Then, T, Collect);
+      Env F = E;
+      walkBody(N.Else, F, Collect);
+      --Depth;
+      mergeEnv(E, T, F);
+      return;
+    }
+    }
+  }
+
+  /// Multiplies an induction delta (constant plus uniform C0-only symbol
+  /// terms) by the iteration symbol of \p LoopId.
+  LinExpr deltaTimesLoopSym(const LinExpr &D, unsigned LoopId) {
+    LinExpr R;
+    if (D.Const != 0)
+      R.Loops.push_back({LoopId, NoSym, D.Const});
+    for (const SymTerm &T : D.Syms) {
+      LinExpr One;
+      One.Loops.push_back({LoopId, T.Sym, T.C0});
+      R = addExpr(R, One);
+    }
+    return R;
+  }
+
+  void walkLoop(const Loop &L, Env &E, bool Collect) {
+    if (L.TripCount == 0)
+      return; // Invalid IR (the verifier rejects it); body never runs.
+    if (L.TripCount == 1) {
+      walkBody(L.LoopBody, E, Collect); // Exactly one iteration: inline.
+      return;
+    }
+    bool HasBar = bodyHasBarrier(L.LoopBody);
+    unsigned NumR = unsigned(E.R.size());
+
+    // ---- Induction probe: walk once from an environment of fresh marker
+    // symbols; a register ending at marker_r + D with a marker-free,
+    // loop-free, thread-invariant D advances affinely each iteration.
+    Env Probe;
+    Probe.R.resize(NumR);
+    Probe.P.resize(NumR);
+    unsigned ProbeId = ProbeCounter++;
+    std::vector<unsigned> Marker(NumR);
+    for (unsigned R = 0; R != NumR; ++R) {
+      Marker[R] = Syms.intern("probe" + std::to_string(ProbeId) + ":r" +
+                              std::to_string(R));
+      Syms.markProbeMarker(Marker[R]);
+      Probe.R[R] = LinExpr::symbol(Marker[R]);
+    }
+    walkBody(L.LoopBody, Probe, /*Collect=*/false);
+
+    enum class Cls { Unchanged, Inductive, Recomputed, Clobbered };
+    std::vector<Cls> C(NumR, Cls::Clobbered);
+    std::vector<LinExpr> Delta(NumR);
+    for (unsigned R = 0; R != NumR; ++R) {
+      const LinExpr &E1 = Probe.R[R];
+      if (sameExpr(E1, LinExpr::symbol(Marker[R]))) {
+        C[R] = Cls::Unchanged;
+        continue;
+      }
+      if (E1.Wild)
+        continue;
+      LinExpr D = subExpr(E1, LinExpr::symbol(Marker[R]));
+      if (!hasMarker(D) && D.Loops.empty() && D.isUniformNoLoop()) {
+        C[R] = Cls::Inductive;
+        Delta[R] = std::move(D);
+        continue;
+      }
+      if (!hasMarker(E1) && E1.Loops.empty())
+        C[R] = Cls::Recomputed; // Reset to the same value each iteration.
+    }
+
+    // ---- Real walk at a symbolic iteration k.
+    unsigned LoopId = unsigned(Out.Loops.size());
+    Out.Loops.push_back({L.TripCount, /*PerThread=*/!HasBar});
+    Env It;
+    It.R.resize(NumR);
+    It.P.resize(NumR);
+    for (unsigned R = 0; R != NumR; ++R) {
+      switch (C[R]) {
+      case Cls::Unchanged:
+        It.R[R] = E.R[R];
+        It.P[R] = E.P[R];
+        break;
+      case Cls::Inductive:
+        It.R[R] = addExpr(E.R[R], deltaTimesLoopSym(Delta[R], LoopId));
+        break;
+      case Cls::Recomputed:
+        // At iteration 0 the register still holds its pre-loop value, so
+        // the entry value is only known when they coincide.
+        It.R[R] = sameExpr(E.R[R], Probe.R[R]) ? E.R[R] : LinExpr::wild();
+        break;
+      case Cls::Clobbered:
+        It.R[R] = LinExpr::wild();
+        break;
+      }
+    }
+    walkBody(L.LoopBody, It, Collect);
+    // Barrier loops: walk a second iteration (naturally evolved to k+1) so
+    // interval threading exposes races across adjacent iterations.
+    if (HasBar)
+      walkBody(L.LoopBody, It, Collect);
+
+    // ---- Post-loop environment.
+    for (unsigned R = 0; R != NumR; ++R) {
+      switch (C[R]) {
+      case Cls::Unchanged:
+        break;
+      case Cls::Inductive:
+        E.R[R] = addExpr(E.R[R],
+                         mulExprConst(Delta[R], (long long)L.TripCount));
+        E.P[R] = PredInfo();
+        break;
+      case Cls::Recomputed:
+        E.R[R] = Probe.R[R];
+        E.P[R] = PredInfo();
+        break;
+      case Cls::Clobbered:
+        E.R[R] = LinExpr::wild();
+        E.P[R] = PredInfo();
+        break;
+      }
+    }
+  }
+
+  void walkBody(const Body &B, Env &E, bool Collect) {
+    for (const BodyNode &N : B) {
+      if (N.isInstr())
+        walkInstr(N.instr(), E, Collect);
+      else if (N.isLoop())
+        walkLoop(N.loop(), E, Collect);
+      else
+        walkIf(N.ifNode(), E, Collect);
+    }
+  }
+
+  const Kernel &K;
+  LaunchConfig Launch;
+  WalkResult &Out;
+  std::unordered_map<const Instruction *, unsigned> Ids;
+  SymbolTable Syms;
+  unsigned Interval = 0;
+  std::vector<ConcreteGuard> GuardStack;
+  unsigned UniformUnknownDepth = 0;
+  unsigned DivergentUnknownDepth = 0;
+  unsigned ProvenDivergentDepth = 0;
+  unsigned ProbeCounter = 0;
+  std::set<std::pair<unsigned, unsigned>> Reported;
+};
+
+} // namespace
+
+WalkResult g80::walkKernel(const Kernel &K, const LaunchConfig &Launch) {
+  WalkResult Out;
+  Walker(K, Launch, Out).run();
+  return Out;
+}

@@ -1,0 +1,203 @@
+//===- analysis/AddressModel.h - Symbolic thread-affine addresses ----------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A symbolic evaluator for the address arithmetic of generated kernels.
+/// Values are modeled as linear expressions over the thread coordinates
+/// (tid.x/y/z), hash-consed uniform symbols (parameters, ctaid, opaque
+/// block-uniform computations) and counted-loop iteration symbols:
+///
+///   value = Const + CT.tid + sum_i (C0_i + CTi.tid) * sym_i
+///                 + sum_j C_j * [sym] * k_j
+///
+/// Anything outside this form (thread-dependent products, shifts by
+/// non-constants, data loaded from memory) collapses to Wild — the lint
+/// checkers only ever report what the model can *prove*, so Wild means
+/// silence, never a false finding.
+///
+/// The structured walker evaluates a kernel under a concrete LaunchConfig,
+/// splitting execution into barrier intervals (the spans between bar.sync
+/// rendezvous points) and recording every shared/global access with its
+/// symbolic address, interval and branch guards.  Those records feed the
+/// race detector, the bank-conflict analyzer and the coalescing
+/// cross-check in analysis/Lint.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_ANALYSIS_ADDRESSMODEL_H
+#define G80TUNE_ANALYSIS_ADDRESSMODEL_H
+
+#include "analysis/Finding.h"
+#include "arch/LaunchConfig.h"
+#include "ptx/Kernel.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace g80 {
+
+/// Sentinel for "no symbol".
+inline constexpr unsigned NoSym = ~0u;
+
+/// Hash-consed uniform symbols: equal construction keys yield equal ids,
+/// so symbolically equal values cancel under subtraction.
+class SymbolTable {
+public:
+  /// Returns the id for \p Key, allocating one on first sight.
+  unsigned intern(const std::string &Key);
+  /// Marks/queries loop-probe marker symbols, which must never survive
+  /// into a classified induction delta.
+  void markProbeMarker(unsigned Sym);
+  bool isProbeMarker(unsigned Sym) const;
+  size_t size() const { return Flags.size(); }
+
+private:
+  std::unordered_map<std::string, unsigned> Map;
+  std::vector<bool> Flags;
+};
+
+/// (C0 + CT.tid) * sym — a uniform symbol with a possibly thread-affine
+/// multiplier (matrix tiles index rows by ty * pitch, where the pitch is a
+/// problem-size symbol).
+struct SymTerm {
+  unsigned Sym = NoSym;
+  long long C0 = 0;
+  long long CT[3] = {0, 0, 0};
+};
+
+/// C * [sym] * k for counted-loop iteration symbol k.  Sym == NoSym means
+/// a concrete coefficient.
+struct LoopTerm {
+  unsigned Loop = NoSym;
+  unsigned Sym = NoSym;
+  long long C = 0;
+};
+
+/// A thread-affine linear expression, or Wild (unknown).
+struct LinExpr {
+  long long Const = 0;
+  long long CT[3] = {0, 0, 0};
+  std::vector<SymTerm> Syms;   ///< Sorted by Sym.
+  std::vector<LoopTerm> Loops; ///< Sorted by (Loop, Sym).
+  bool Wild = false;
+
+  static LinExpr wild() {
+    LinExpr E;
+    E.Wild = true;
+    return E;
+  }
+  static LinExpr constant(long long V) {
+    LinExpr E;
+    E.Const = V;
+    return E;
+  }
+  static LinExpr tid(unsigned Axis) {
+    LinExpr E;
+    E.CT[Axis] = 1;
+    return E;
+  }
+  static LinExpr symbol(unsigned Sym) {
+    LinExpr E;
+    E.Syms.push_back({Sym, 1, {0, 0, 0}});
+    return E;
+  }
+
+  bool isConstant() const {
+    return !Wild && CT[0] == 0 && CT[1] == 0 && CT[2] == 0 &&
+           Syms.empty() && Loops.empty();
+  }
+  /// Affine in tid only: evaluable per thread.
+  bool isTidAffine() const { return !Wild && Syms.empty() && Loops.empty(); }
+  /// Same value for every thread of a block in every iteration.
+  bool isUniformNoLoop() const;
+  /// Thread-invariant (loop terms allowed — counted loops run in lockstep
+  /// across a block's warps at barrier granularity).
+  bool isThreadInvariant() const;
+
+  /// Const + CT.(X,Y,Z) — the concrete per-thread part, ignoring symbol
+  /// and loop terms (callers separate those first).
+  long long evalTid(unsigned X, unsigned Y, unsigned Z) const {
+    return Const + CT[0] * (long long)X + CT[1] * (long long)Y +
+           CT[2] * (long long)Z;
+  }
+
+  /// Canonical serialization, used for hash-consing opaque results and for
+  /// structural equality.
+  std::string serialize() const;
+};
+
+bool sameExpr(const LinExpr &A, const LinExpr &B);
+LinExpr addExpr(const LinExpr &A, const LinExpr &B);
+LinExpr subExpr(const LinExpr &A, const LinExpr &B);
+LinExpr mulExprConst(const LinExpr &A, long long C);
+/// General product; stays precise for uniform x thread-affine and
+/// uniform x uniform (via hash-consed product symbols), Wild otherwise.
+LinExpr mulExpr(const LinExpr &A, const LinExpr &B, SymbolTable &Syms);
+
+/// One counted loop the walker assigned an iteration symbol to.
+struct WalkLoopInfo {
+  uint64_t TripCount = 0;
+  /// True for loops without barriers: distinct threads' iteration
+  /// positions are unrelated, so the symbol is per-thread.  False for
+  /// barrier loops, whose iterations are block-lockstep.
+  bool PerThread = true;
+};
+
+/// A branch guard the walker could evaluate per thread: taken iff
+/// cmp(Diff(tid), 0) == Taken, with Diff = lhs - rhs of the setp.
+struct ConcreteGuard {
+  LinExpr Diff; ///< Always tid-affine.
+  CmpKind Cmp = CmpKind::Eq;
+  bool Taken = true;
+};
+
+/// True when thread (X,Y,Z) satisfies \p G.
+bool guardHolds(const ConcreteGuard &G, unsigned X, unsigned Y, unsigned Z);
+
+/// One shared/global memory access observed by the walker.
+struct MemAccess {
+  const Instruction *I = nullptr;
+  unsigned InstrId = ~0u; ///< Program-order id (Cfg numbering).
+  bool IsStore = false;
+  MemSpace Space = MemSpace::Shared;
+  unsigned Buffer = 0; ///< Shared array id or pointer-parameter index.
+  LinExpr Addr;        ///< Byte address within the buffer.
+  unsigned Interval = 0;
+  std::vector<ConcreteGuard> Guards;
+  /// Under a branch whose predicate is block-uniform but not statically
+  /// evaluable: activity is all-or-nothing per block.
+  bool GuardUniformUnknown = false;
+  /// Under a branch the model cannot evaluate per thread at all.
+  bool GuardDivergentUnknown = false;
+
+  bool guardUnknown() const {
+    return GuardUniformUnknown || GuardDivergentUnknown;
+  }
+};
+
+/// Everything the symbolic walk produced.
+struct WalkResult {
+  std::vector<MemAccess> Accesses;
+  std::vector<WalkLoopInfo> Loops;
+  /// Findings proved during the walk itself: divergent barriers, Uniform
+  /// annotations contradicted per thread, and statically dead branches.
+  std::vector<Finding> Diags;
+};
+
+/// Program-order instruction numbering (identical to the Cfg's ids).
+std::unordered_map<const Instruction *, unsigned>
+numberInstructions(const Body &B);
+
+/// Symbolically executes \p K under \p Launch.  Barrier-free counted loops
+/// are summarized with an iteration symbol after an induction-detection
+/// probe; barrier loops with TripCount >= 2 are walked twice (iterations k
+/// and k+1) so races across adjacent iterations are observable.
+WalkResult walkKernel(const Kernel &K, const LaunchConfig &Launch);
+
+} // namespace g80
+
+#endif // G80TUNE_ANALYSIS_ADDRESSMODEL_H

@@ -1,0 +1,159 @@
+//===- analysis/CFG.cpp ---------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace g80;
+
+namespace {
+
+/// Incremental CFG construction state shared by the structured walk.
+struct CfgBuilder {
+  std::vector<BasicBlock> &Blocks;
+  unsigned &NumInstrs;
+
+  unsigned newBlock(unsigned Depth) {
+    Blocks.emplace_back();
+    Blocks.back().LoopDepth = Depth;
+    return static_cast<unsigned>(Blocks.size() - 1);
+  }
+
+  void edge(unsigned From, unsigned To) {
+    Blocks[From].Succs.push_back(To);
+    Blocks[To].Preds.push_back(From);
+  }
+
+  /// Walks \p B appending to block \p Cur; returns the block that control
+  /// falls out of.
+  unsigned walk(const Body &B, unsigned Cur, unsigned Depth) {
+    for (const BodyNode &N : B) {
+      if (N.isInstr()) {
+        Blocks[Cur].Instrs.push_back(&N.instr());
+        Blocks[Cur].InstrIds.push_back(NumInstrs++);
+        continue;
+      }
+      if (N.isLoop()) {
+        const Loop &L = N.loop();
+        unsigned Header = newBlock(Depth + 1);
+        unsigned BodyEnd = walk(L.LoopBody, Header, Depth + 1);
+        unsigned After = newBlock(Depth);
+        if (L.TripCount > 0) {
+          // Trip >= 1: the body always runs, so the preheader reaches only
+          // the header and the latch alone reaches the exit.
+          edge(Cur, Header);
+          if (L.TripCount > 1)
+            edge(BodyEnd, Header);
+          edge(BodyEnd, After);
+        } else {
+          // Zero-trip (rejected by the verifier): body is unreachable.
+          edge(Cur, After);
+        }
+        Cur = After;
+        continue;
+      }
+      const If &IfN = N.ifNode();
+      Blocks[Cur].BranchPred = IfN.Pred;
+      unsigned ThenEntry = newBlock(Depth);
+      unsigned ThenEnd = walk(IfN.Then, ThenEntry, Depth);
+      unsigned ElseEntry = ~0u, ElseEnd = ~0u;
+      if (!IfN.Else.empty()) {
+        ElseEntry = newBlock(Depth);
+        ElseEnd = walk(IfN.Else, ElseEntry, Depth);
+      }
+      unsigned Join = newBlock(Depth);
+      edge(Cur, ThenEntry);
+      edge(Cur, ElseEntry != ~0u ? ElseEntry : Join);
+      edge(ThenEnd, Join);
+      if (ElseEnd != ~0u)
+        edge(ElseEnd, Join);
+      Cur = Join;
+    }
+    return Cur;
+  }
+};
+
+} // namespace
+
+Cfg::Cfg(const Kernel &K) {
+  CfgBuilder B{Blocks, NumInstrs};
+  unsigned Entry = B.newBlock(0);
+  Exit = B.walk(K.body(), Entry, 0);
+  computeRpo();
+  computeDominators();
+}
+
+void Cfg::computeRpo() {
+  // Iterative post-order DFS from the entry.
+  std::vector<uint8_t> State(Blocks.size(), 0); // 0 new, 1 open, 2 done
+  std::vector<unsigned> PostOrder;
+  PostOrder.reserve(Blocks.size());
+  std::vector<std::pair<unsigned, size_t>> Stack;
+  Stack.emplace_back(entry(), 0);
+  State[entry()] = 1;
+  while (!Stack.empty()) {
+    auto &[BlockId, NextSucc] = Stack.back();
+    if (NextSucc < Blocks[BlockId].Succs.size()) {
+      unsigned S = Blocks[BlockId].Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    State[BlockId] = 2;
+    PostOrder.push_back(BlockId);
+    Stack.pop_back();
+  }
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+  RpoIndex.assign(Blocks.size(), ~0u);
+  for (unsigned I = 0; I != Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+}
+
+void Cfg::computeDominators() {
+  Idom.assign(Blocks.size(), ~0u);
+  if (Rpo.empty())
+    return;
+  Idom[entry()] = entry();
+  auto Intersect = [&](unsigned A, unsigned B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B : Rpo) {
+      if (B == entry())
+        continue;
+      unsigned NewIdom = ~0u;
+      for (unsigned P : Blocks[B].Preds) {
+        if (Idom[P] == ~0u)
+          continue; // Unreachable or not yet processed.
+        NewIdom = NewIdom == ~0u ? P : Intersect(P, NewIdom);
+      }
+      assert(NewIdom != ~0u && "reachable block with no processed preds");
+      if (Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool Cfg::dominates(unsigned A, unsigned B) const {
+  assert(reachable(A) && reachable(B) && "dominance of unreachable block");
+  while (B != A && B != entry())
+    B = Idom[B];
+  return B == A;
+}

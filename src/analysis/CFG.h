@@ -1,0 +1,84 @@
+//===- analysis/CFG.h - Control-flow graph over the structured IR ----------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the structured Kernel body (straight-line instructions plus
+/// counted Loop and If regions) into a classical basic-block CFG so the
+/// dataflow passes in Dataflow.h can run standard iterative algorithms.
+///
+/// The lowering exploits the structure: a counted loop with TripCount >= 1
+/// always enters its body, so there is no preheader->exit edge — which
+/// makes definite-assignment analysis exact for loop-carried definitions
+/// instead of approximated.  A zero-trip loop (invalid IR, but the graph
+/// must still be buildable) contributes its body as unreachable blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_ANALYSIS_CFG_H
+#define G80TUNE_ANALYSIS_CFG_H
+
+#include "ptx/Kernel.h"
+
+#include <vector>
+
+namespace g80 {
+
+/// One straight-line run of instructions plus its edges.
+struct BasicBlock {
+  /// Instructions in program order; pointers into the Kernel body, which
+  /// must outlive the Cfg.
+  std::vector<const Instruction *> Instrs;
+  /// Program-order instruction ids, parallel to Instrs.
+  std::vector<unsigned> InstrIds;
+  std::vector<unsigned> Succs;
+  std::vector<unsigned> Preds;
+  /// How many counted loops enclose this block.
+  unsigned LoopDepth = 0;
+  /// The predicate consulted when this block ends at the head of an if
+  /// region (a use at the block's end); invalid for fall-through blocks
+  /// and loop latches.
+  Reg BranchPred;
+};
+
+/// A CFG over a Kernel's structured body.
+class Cfg {
+public:
+  explicit Cfg(const Kernel &K);
+
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+  unsigned entry() const { return 0; }
+  unsigned exit() const { return Exit; }
+  /// Total instructions numbered (ids are [0, numInstrs())).
+  unsigned numInstrs() const { return NumInstrs; }
+
+  /// Blocks reachable from the entry, in reverse post-order.
+  const std::vector<unsigned> &rpo() const { return Rpo; }
+  bool reachable(unsigned B) const { return RpoIndex[B] != ~0u; }
+  /// Position of \p B within rpo(), or ~0u when unreachable.
+  unsigned rpoIndex(unsigned B) const { return RpoIndex[B]; }
+
+  /// Immediate dominator of each block (Cooper-Harvey-Kennedy).  The entry
+  /// dominates itself; unreachable blocks map to ~0u.
+  const std::vector<unsigned> &idom() const { return Idom; }
+  /// True when \p A dominates \p B (both must be reachable).
+  bool dominates(unsigned A, unsigned B) const;
+
+private:
+  void computeRpo();
+  void computeDominators();
+
+  std::vector<BasicBlock> Blocks;
+  std::vector<unsigned> Rpo;
+  std::vector<unsigned> RpoIndex;
+  std::vector<unsigned> Idom;
+  unsigned Exit = 0;
+  unsigned NumInstrs = 0;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_ANALYSIS_CFG_H

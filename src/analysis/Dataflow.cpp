@@ -1,0 +1,243 @@
+//===- analysis/Dataflow.cpp ----------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include <bit>
+
+using namespace g80;
+
+void RegSet::setAll() {
+  Words.assign(Words.size(), ~uint64_t(0));
+  unsigned Tail = NumRegs & 63;
+  if (Tail != 0 && !Words.empty())
+    Words.back() = (uint64_t(1) << Tail) - 1;
+}
+
+bool RegSet::unionWith(const RegSet &O) {
+  bool Changed = false;
+  for (size_t I = 0; I != Words.size(); ++I) {
+    uint64_t Next = Words[I] | O.Words[I];
+    Changed |= Next != Words[I];
+    Words[I] = Next;
+  }
+  return Changed;
+}
+
+bool RegSet::intersectWith(const RegSet &O) {
+  bool Changed = false;
+  for (size_t I = 0; I != Words.size(); ++I) {
+    uint64_t Next = Words[I] & O.Words[I];
+    Changed |= Next != Words[I];
+    Words[I] = Next;
+  }
+  return Changed;
+}
+
+unsigned RegSet::count() const {
+  unsigned N = 0;
+  for (uint64_t W : Words)
+    N += static_cast<unsigned>(std::popcount(W));
+  return N;
+}
+
+unsigned g80::instrUses(const Instruction &I, Reg Out[4]) {
+  unsigned N = 0;
+  auto Add = [&](const Operand &O) {
+    if (O.isReg())
+      Out[N++] = O.getReg();
+  };
+  Add(I.A);
+  Add(I.B);
+  Add(I.C);
+  Add(I.AddrBase);
+  return N;
+}
+
+Reg g80::instrDef(const Instruction &I) {
+  return opcodeHasDst(I.Op) ? I.Dst : Reg();
+}
+
+LivenessResult g80::computeLiveness(const Cfg &G, unsigned NumRegs) {
+  unsigned NB = G.numBlocks();
+  // Per-block summaries: Use = upward-exposed reads, Def = writes.
+  std::vector<RegSet> Use(NB, RegSet(NumRegs));
+  std::vector<RegSet> Def(NB, RegSet(NumRegs));
+  auto InRange = [&](Reg R) { return R.isValid() && R.Id < NumRegs; };
+  for (unsigned B = 0; B != NB; ++B) {
+    const BasicBlock &BB = G.blocks()[B];
+    // Backward scan: a read is upward-exposed unless written earlier, so
+    // process later instructions first, starting from the branch use.
+    if (InRange(BB.BranchPred))
+      Use[B].insert(BB.BranchPred.Id);
+    for (size_t I = BB.Instrs.size(); I-- > 0;) {
+      const Instruction &Ins = *BB.Instrs[I];
+      Reg D = instrDef(Ins);
+      if (InRange(D)) {
+        Use[B].erase(D.Id);
+        Def[B].insert(D.Id);
+      }
+      Reg Reads[4];
+      unsigned NumReads = instrUses(Ins, Reads);
+      for (unsigned U = 0; U != NumReads; ++U)
+        if (InRange(Reads[U]))
+          Use[B].insert(Reads[U].Id);
+    }
+  }
+
+  LivenessResult R;
+  R.LiveIn.assign(NB, RegSet(NumRegs));
+  R.LiveOut.assign(NB, RegSet(NumRegs));
+  // Backward fixpoint over reverse RPO (converges in O(loop depth) passes).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t Idx = G.rpo().size(); Idx-- > 0;) {
+      unsigned B = G.rpo()[Idx];
+      for (unsigned S : G.blocks()[B].Succs)
+        Changed |= R.LiveOut[B].unionWith(R.LiveIn[S]);
+      RegSet In = R.LiveOut[B];
+      // In = Use | (Out - Def): clear defs, then add upward-exposed uses.
+      for (unsigned RegId = 0; RegId != NumRegs; ++RegId)
+        if (Def[B].contains(RegId))
+          In.erase(RegId);
+      In.unionWith(Use[B]);
+      Changed |= !(In == R.LiveIn[B]);
+      R.LiveIn[B] = std::move(In);
+    }
+  }
+  return R;
+}
+
+DefUseChains g80::computeDefUse(const Cfg &G, unsigned NumRegs) {
+  DefUseChains C;
+  C.DefsOf.resize(NumRegs);
+  C.UsesOf.resize(NumRegs);
+  auto InRange = [&](Reg R) { return R.isValid() && R.Id < NumRegs; };
+  for (unsigned B = 0; B != G.numBlocks(); ++B) {
+    const BasicBlock &BB = G.blocks()[B];
+    for (size_t I = 0; I != BB.Instrs.size(); ++I) {
+      const Instruction &Ins = *BB.Instrs[I];
+      unsigned Id = BB.InstrIds[I];
+      Reg D = instrDef(Ins);
+      if (InRange(D))
+        C.DefsOf[D.Id].push_back(Id);
+      Reg Reads[4];
+      unsigned NumReads = instrUses(Ins, Reads);
+      for (unsigned U = 0; U != NumReads; ++U)
+        if (InRange(Reads[U]))
+          C.UsesOf[Reads[U].Id].push_back(Id);
+    }
+    if (InRange(BB.BranchPred))
+      C.UsesOf[BB.BranchPred.Id].push_back(DefUseChains::BranchUseBase + B);
+  }
+  return C;
+}
+
+std::vector<std::string> g80::checkDefiniteAssignment(const Cfg &G,
+                                                      unsigned NumRegs) {
+  unsigned NB = G.numBlocks();
+  std::vector<RegSet> In(NB, RegSet(NumRegs));
+  std::vector<RegSet> Out(NB, RegSet(NumRegs));
+  // Must-analysis: initialize every non-entry block to "all defined" (the
+  // lattice top) so the intersection over predecessors starts optimistic.
+  for (unsigned B = 0; B != NB; ++B) {
+    if (B != G.entry()) {
+      In[B].setAll();
+      Out[B].setAll();
+    }
+  }
+  auto InRange = [&](Reg R) { return R.isValid() && R.Id < NumRegs; };
+  auto Transfer = [&](unsigned B) {
+    RegSet S = In[B];
+    for (const Instruction *Ins : G.blocks()[B].Instrs) {
+      Reg D = instrDef(*Ins);
+      if (InRange(D))
+        S.insert(D.Id);
+    }
+    bool Changed = !(S == Out[B]);
+    Out[B] = std::move(S);
+    return Changed;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B : G.rpo()) {
+      if (B != G.entry()) {
+        RegSet Meet(NumRegs);
+        Meet.setAll();
+        for (unsigned P : G.blocks()[B].Preds)
+          Meet.intersectWith(Out[P]);
+        if (!(Meet == In[B])) {
+          In[B] = std::move(Meet);
+          Changed = true;
+        }
+      }
+      Changed |= Transfer(B);
+    }
+  }
+
+  // Report in program order: blocks are created in walk order, so block
+  // index order is source order.
+  std::vector<std::string> Problems;
+  auto Report = [&](const char *Role, Reg R) {
+    Problems.push_back(std::string(Role) + " reads register r" +
+                       std::to_string(R.Id) + " before any definition");
+  };
+  for (unsigned B = 0; B != NB; ++B) {
+    if (!G.reachable(B))
+      continue;
+    const BasicBlock &BB = G.blocks()[B];
+    RegSet Defined = In[B];
+    for (const Instruction *Ins : BB.Instrs) {
+      auto Check = [&](const Operand &O, const char *Role) {
+        if (O.isReg() && InRange(O.getReg()) &&
+            !Defined.contains(O.getReg().Id))
+          Report(Role, O.getReg());
+      };
+      if (Ins->Op == Opcode::Ld || Ins->Op == Opcode::St) {
+        Check(Ins->A, "store value");
+        Check(Ins->AddrBase, "address base");
+      } else {
+        Check(Ins->A, "operand A");
+        Check(Ins->B, "operand B");
+        Check(Ins->C, "operand C");
+      }
+      Reg D = instrDef(*Ins);
+      if (InRange(D))
+        Defined.insert(D.Id);
+    }
+    if (InRange(BB.BranchPred) && !Defined.contains(BB.BranchPred.Id))
+      Problems.push_back("if predicate read before any definition");
+  }
+  return Problems;
+}
+
+unsigned g80::computeMaxLive(const Cfg &G, const LivenessResult &L) {
+  unsigned Max = 0;
+  auto InRange = [&](Reg R, unsigned N) { return R.isValid() && R.Id < N; };
+  for (unsigned B : G.rpo()) {
+    const BasicBlock &BB = G.blocks()[B];
+    RegSet Live = L.LiveOut[B];
+    unsigned NumRegs = Live.universe();
+    if (InRange(BB.BranchPred, NumRegs))
+      Live.insert(BB.BranchPred.Id);
+    Max = std::max(Max, Live.count() + BB.LoopDepth);
+    for (size_t I = BB.Instrs.size(); I-- > 0;) {
+      const Instruction &Ins = *BB.Instrs[I];
+      Reg D = instrDef(Ins);
+      if (InRange(D, NumRegs))
+        Live.erase(D.Id);
+      Reg Reads[4];
+      unsigned NumReads = instrUses(Ins, Reads);
+      for (unsigned U = 0; U != NumReads; ++U)
+        if (InRange(Reads[U], NumRegs))
+          Live.insert(Reads[U].Id);
+      Max = std::max(Max, Live.count() + BB.LoopDepth);
+    }
+  }
+  return Max;
+}

@@ -1,0 +1,109 @@
+//===- analysis/Dataflow.h - Iterative dataflow over the CFG ---------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reusable dataflow building blocks over analysis/CFG.h: a dense register
+/// bitset, backward may-liveness, forward must-definite-assignment,
+/// def-use chains, and a max-live register-pressure measure.  These feed
+/// the verifier (exact definite assignment) and the lint checkers
+/// (dead code, unused registers, register-pressure cross-validation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_ANALYSIS_DATAFLOW_H
+#define G80TUNE_ANALYSIS_DATAFLOW_H
+
+#include "analysis/CFG.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace g80 {
+
+/// Dense bitset over virtual register ids.
+class RegSet {
+public:
+  explicit RegSet(unsigned NumRegs = 0)
+      : NumRegs(NumRegs), Words((NumRegs + 63) / 64, 0) {}
+
+  unsigned universe() const { return NumRegs; }
+
+  void insert(unsigned R) { Words[R >> 6] |= uint64_t(1) << (R & 63); }
+  void erase(unsigned R) { Words[R >> 6] &= ~(uint64_t(1) << (R & 63)); }
+  bool contains(unsigned R) const {
+    return (Words[R >> 6] >> (R & 63)) & 1;
+  }
+
+  void clear() { Words.assign(Words.size(), 0); }
+  /// Fills the set with every register in the universe (the top element of
+  /// the must-analysis lattice).
+  void setAll();
+
+  /// this |= O; returns true when this changed.
+  bool unionWith(const RegSet &O);
+  /// this &= O; returns true when this changed.
+  bool intersectWith(const RegSet &O);
+
+  unsigned count() const;
+
+  friend bool operator==(const RegSet &A, const RegSet &B) {
+    return A.Words == B.Words;
+  }
+
+private:
+  unsigned NumRegs;
+  std::vector<uint64_t> Words;
+};
+
+/// Appends the registers \p I reads (operands A/B/C plus the address base)
+/// into \p Out; returns how many were written (at most 4).
+unsigned instrUses(const Instruction &I, Reg Out[4]);
+
+/// The register \p I defines, or an invalid Reg for no-destination ops.
+Reg instrDef(const Instruction &I);
+
+/// Per-block liveness sets (backward may-analysis).  A block's branch
+/// predicate counts as a use at the block's end.
+struct LivenessResult {
+  std::vector<RegSet> LiveIn;
+  std::vector<RegSet> LiveOut;
+};
+
+LivenessResult computeLiveness(const Cfg &G, unsigned NumRegs);
+
+/// Def-use chains by program-order instruction id.  A use from a block's
+/// branch predicate is encoded as BranchUseBase + block index so callers
+/// can tell instruction uses from branch uses.
+struct DefUseChains {
+  static constexpr unsigned BranchUseBase = 1u << 30;
+
+  std::vector<std::vector<unsigned>> DefsOf; ///< Per register, instr ids.
+  std::vector<std::vector<unsigned>> UsesOf; ///< Per register, use ids.
+};
+
+DefUseChains computeDefUse(const Cfg &G, unsigned NumRegs);
+
+/// Exact definite-assignment check: a forward must-analysis whose lattice
+/// meet is set intersection over predecessors.  Because counted loops with
+/// TripCount >= 1 contribute no preheader->exit edge, loop-carried
+/// definitions are admitted exactly (not approximated as in the historical
+/// two-pass verifier scan).  Returns one human-readable message per use of
+/// a register that is not definitely assigned, in program order.
+/// Registers with out-of-range ids are skipped (the structural verifier
+/// reports those).
+std::vector<std::string> checkDefiniteAssignment(const Cfg &G,
+                                                 unsigned NumRegs);
+
+/// Maximum number of simultaneously live virtual registers at any program
+/// point, plus one hardware loop counter per loop enclosing that point —
+/// the same accounting ptx/ResourceEstimator uses, so the lint pass can
+/// cross-validate the estimate from first principles.
+unsigned computeMaxLive(const Cfg &G, const LivenessResult &L);
+
+} // namespace g80
+
+#endif // G80TUNE_ANALYSIS_DATAFLOW_H

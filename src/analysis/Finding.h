@@ -1,0 +1,63 @@
+//===- analysis/Finding.h - Static-analysis diagnostics --------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result currency of the lint passes: a Finding is one statically
+/// proven (or strongly indicated) problem in a generated kernel.  Errors
+/// are proven violations that quarantine a configuration in the sweep
+/// pipeline; warnings are performance or hygiene observations that never
+/// fail a configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_ANALYSIS_FINDING_H
+#define G80TUNE_ANALYSIS_FINDING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace g80 {
+
+/// How severe a finding is.  Only Error findings gate the sweep.
+enum class FindingSeverity : uint8_t {
+  Error,
+  Warning,
+};
+
+/// What kind of problem a finding reports.
+enum class FindingCategory : uint8_t {
+  Race,              ///< Proven shared-memory race between block threads.
+  BarrierDivergence, ///< bar.sync under a proven-divergent branch.
+  UniformAnnotation, ///< If marked Uniform but the predicate diverges.
+  Coalescing,        ///< EffBytesPerThread contradicts the address model.
+  BankConflict,      ///< Shared access conflicts within a half-warp.
+  RegPressure,       ///< Max-live registers exceed the resource estimate.
+  DeadCode,          ///< Result register is never read.
+  Unreachable,       ///< Code that can never execute.
+  UnusedReg,         ///< Virtual registers never defined or used.
+};
+
+/// Returns a short kebab-case name ("race", "bank-conflict", ...).
+const char *findingCategoryName(FindingCategory C);
+
+/// Returns "error" or "warning".
+const char *findingSeverityName(FindingSeverity S);
+
+/// One statically derived problem, anchored to a program-order instruction
+/// id (the Cfg numbering) when one applies.
+struct Finding {
+  FindingSeverity Severity = FindingSeverity::Warning;
+  FindingCategory Category = FindingCategory::DeadCode;
+  /// Program-order instruction id the finding anchors to, or ~0u for
+  /// whole-kernel findings.
+  unsigned InstrId = ~0u;
+  std::string Message;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_ANALYSIS_FINDING_H

@@ -1,0 +1,75 @@
+//===- analysis/Lint.h - Kernel lint passes --------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lint driver: runs every static checker over one generated kernel
+/// under one launch configuration and returns the combined, deterministic
+/// list of findings.
+///
+/// Checkers (all proven-only — Wild symbolic values produce silence, never
+/// a report):
+///  - shared-memory race detector over barrier intervals (divergence-aware
+///    via the if-region structure, loop-carried via iteration symbols),
+///  - bank-conflict analyzer per half-warp,
+///  - coalescing cross-check against Instruction::EffBytesPerThread,
+///  - register-pressure cross-validation against ptx/ResourceEstimator,
+///  - dead code, unreachable code and unused-register hygiene.
+///
+/// Error findings quarantine a configuration under Stage::Lint in the
+/// sweep pipeline; warnings are informational only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_ANALYSIS_LINT_H
+#define G80TUNE_ANALYSIS_LINT_H
+
+#include "analysis/Finding.h"
+#include "arch/LaunchConfig.h"
+#include "ptx/Kernel.h"
+#include "support/Status.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace g80 {
+
+/// Switches for the lint stage of the evaluation pipeline.
+struct LintOptions {
+  bool Enabled = false;
+};
+
+/// All findings for one (kernel, launch) pair, sorted deterministically:
+/// errors before warnings, then by instruction id, category and message.
+struct LintResult {
+  std::vector<Finding> Findings;
+
+  unsigned errorCount() const;
+  unsigned warningCount() const;
+};
+
+/// Runs every lint pass over \p K under \p Launch.
+LintResult runLint(const Kernel &K, const LaunchConfig &Launch);
+
+/// Maps a failing LintResult to the pipeline error code: LintRace for
+/// races and divergent barriers, LintAnnotation for contradicted metadata
+/// (coalescing bytes, Uniform if-regions), LintFailed otherwise.
+/// Pre: R.errorCount() > 0.
+ErrorCode lintErrorCode(const LintResult &R);
+
+/// One-line summary of the error findings (first few messages plus a
+/// count), suitable for a Diagnostic message.
+std::string lintErrorSummary(const LintResult &R);
+
+/// Human-readable rendering, one finding per line.
+void renderLintText(const LintResult &R, std::ostream &OS);
+
+/// Single JSON object with a findings array and severity totals.
+void renderLintJson(const LintResult &R, std::ostream &OS);
+
+} // namespace g80
+
+#endif // G80TUNE_ANALYSIS_LINT_H

@@ -1,11 +1,13 @@
-//===- ptx/Verifier.cpp ---------------------------------------------------===//
+//===- analysis/Verifier.cpp ----------------------------------------------===//
 //
 // Part of g80tune.  SPDX-License-Identifier: MIT
 //
 //===----------------------------------------------------------------------===//
 
-#include "ptx/Verifier.h"
+#include "analysis/Verifier.h"
 
+#include "analysis/CFG.h"
+#include "analysis/Dataflow.h"
 #include "ptx/Kernel.h"
 
 #include <vector>
@@ -16,20 +18,26 @@ namespace {
 
 class VerifierImpl {
 public:
-  explicit VerifierImpl(const Kernel &K)
-      : K(K), Defined(K.numVRegs(), false) {}
+  explicit VerifierImpl(const Kernel &K) : K(K) {}
 
   std::vector<std::string> run() {
     checkBody(K.body());
+    // Definite assignment is checked separately on the CFG: a forward
+    // must-analysis whose meet is intersection over predecessors, so a use
+    // is flagged iff some execution path reaches it with the register
+    // still undefined (loop-carried definitions count exactly).
+    Cfg G(K);
+    for (std::string &Problem : checkDefiniteAssignment(G, K.numVRegs()))
+      error(std::move(Problem));
     return std::move(Errors);
   }
 
 private:
-  void error(const std::string &Msg) {
+  void error(std::string Msg) {
     // Cap the error list; a badly broken kernel would otherwise produce one
     // message per instruction.
     if (Errors.size() < 32)
-      Errors.push_back(Msg);
+      Errors.push_back(std::move(Msg));
   }
 
   bool checkRegId(Reg R, const char *Role) {
@@ -47,14 +55,9 @@ private:
     case Operand::Kind::ImmS32:
     case Operand::Kind::Special:
       return;
-    case Operand::Kind::Reg: {
-      if (!checkRegId(O.getReg(), Role))
-        return;
-      if (!Defined[O.getReg().Id])
-        error(std::string(Role) + " reads register r" +
-              std::to_string(O.getReg().Id) + " before any definition");
+    case Operand::Kind::Reg:
+      checkRegId(O.getReg(), Role);
       return;
-    }
     case Operand::Kind::Param: {
       unsigned Idx = O.getParamIndex();
       if (Idx >= K.params().size()) {
@@ -113,7 +116,6 @@ private:
 
   void checkInstr(const Instruction &I) {
     if (opcodeHasDst(I.Op)) {
-      // Range-check only; the caller marks Dst defined after source checks.
       checkRegId(I.Dst, "destination");
     } else if (I.Dst.isValid()) {
       error(std::string("opcode ") + opcodeName(I.Op) +
@@ -149,55 +151,22 @@ private:
   void checkBody(const Body &B) {
     for (const BodyNode &N : B) {
       if (N.isInstr()) {
-        const Instruction &I = N.instr();
-        checkInstr(I);
-        if (opcodeHasDst(I.Op) && I.Dst.isValid() &&
-            I.Dst.Id < K.numVRegs())
-          Defined[I.Dst.Id] = true;
+        checkInstr(N.instr());
       } else if (N.isLoop()) {
         const Loop &L = N.loop();
         if (L.TripCount == 0)
           error("loop with zero trip count");
-        // Two passes: pass one may report uses of registers that are only
-        // defined later in the body (genuinely undefined on the first
-        // iteration); pass two validates loop-carried uses.  To avoid false
-        // positives on rotating registers we run the body once to collect
-        // definitions, then once to check uses.
-        size_t ErrorsBefore = Errors.size();
-        std::vector<bool> Saved = Defined;
-        collectDefs(L.LoopBody);
-        Errors.resize(ErrorsBefore); // collectDefs reports nothing, but be safe.
         checkBody(L.LoopBody);
-        (void)Saved;
       } else {
         const If &IfN = N.ifNode();
-        if (checkRegId(IfN.Pred, "if predicate") && !Defined[IfN.Pred.Id])
-          error("if predicate read before any definition");
+        checkRegId(IfN.Pred, "if predicate");
         checkBody(IfN.Then);
         checkBody(IfN.Else);
       }
     }
   }
 
-  /// Marks every register defined anywhere in \p B as defined, without
-  /// checking uses.  Used to admit loop-carried definitions.
-  void collectDefs(const Body &B) {
-    for (const BodyNode &N : B) {
-      if (N.isInstr()) {
-        const Instruction &I = N.instr();
-        if (opcodeHasDst(I.Op) && I.Dst.isValid() && I.Dst.Id < K.numVRegs())
-          Defined[I.Dst.Id] = true;
-      } else if (N.isLoop()) {
-        collectDefs(N.loop().LoopBody);
-      } else {
-        collectDefs(N.ifNode().Then);
-        collectDefs(N.ifNode().Else);
-      }
-    }
-  }
-
   const Kernel &K;
-  std::vector<bool> Defined;
   std::vector<std::string> Errors;
 };
 
@@ -211,8 +180,13 @@ Expected<Unit> g80::checkKernel(const Kernel &K) {
   std::vector<std::string> Errors = verifyKernel(K);
   if (Errors.empty())
     return Unit{};
-  std::string Msg = Errors.front();
-  if (Errors.size() > 1)
-    Msg += " (+" + std::to_string(Errors.size() - 1) + " more)";
+  // Carry every problem: a quarantined configuration's journal row is the
+  // only artifact a sweep keeps, so truncating here would lose evidence.
+  std::string Msg;
+  for (size_t I = 0; I != Errors.size(); ++I) {
+    if (I)
+      Msg += "; ";
+    Msg += Errors[I];
+  }
   return makeDiag(ErrorCode::VerifyFailed, Stage::Verify, std::move(Msg));
 }

@@ -1,4 +1,4 @@
-//===- ptx/Verifier.h - Kernel well-formedness checks ----------------------===//
+//===- analysis/Verifier.h - Kernel well-formedness checks -----------------===//
 //
 // Part of g80tune.  SPDX-License-Identifier: MIT
 //
@@ -11,8 +11,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef G80TUNE_PTX_VERIFIER_H
-#define G80TUNE_PTX_VERIFIER_H
+#ifndef G80TUNE_ANALYSIS_VERIFIER_H
+#define G80TUNE_ANALYSIS_VERIFIER_H
 
 #include "support/Status.h"
 
@@ -28,17 +28,19 @@ class Kernel;
 /// operand/parameter kind agreement, register ids within the virtual file,
 /// memory-space vs. buffer-kind agreement, shared/local accesses against
 /// declared allocations, trip counts, destination presence, coalescing
-/// annotations, and definite-assignment of registers before use (loop
-/// bodies are scanned twice so loop-carried definitions count; if-region
-/// definitions are unioned, so this is a liveness approximation that never
-/// reports false positives).
+/// annotations, and definite-assignment of registers before use.  Definite
+/// assignment is the exact forward must-analysis over the control-flow
+/// graph from analysis/Dataflow.h (a use is flagged iff some path reaches
+/// it without a definition), replacing the historical two-pass
+/// approximation.  Structural problems precede definite-assignment
+/// problems; each group is in program order.
 std::vector<std::string> verifyKernel(const Kernel &K);
 
 /// Expected-returning form of verifyKernel for the evaluation pipeline:
 /// success is Unit; failure is one Diagnostic (Code VerifyFailed, Stage
-/// Verify) whose message is the first problem plus a count of the rest.
+/// Verify) carrying every problem, joined with "; ".
 Expected<Unit> checkKernel(const Kernel &K);
 
 } // namespace g80
 
-#endif // G80TUNE_PTX_VERIFIER_H
+#endif // G80TUNE_ANALYSIS_VERIFIER_H

@@ -111,7 +111,7 @@ Expected<EvalRecord> EvalRecord::fromJson(std::string_view Json) {
   jsonUintField(Json, "stall", R.IssueStallCycles);
   jsonUintField(Json, "memwait", R.MemQueueWaitCycles);
   jsonUintField(Json, "bsm", R.BlocksPerSM);
-  if (Code > unsigned(ErrorCode::WorkerTimeout) || StageVal >= NumStages)
+  if (Code > unsigned(LastErrorCode) || StageVal >= NumStages)
     return recordError("eval record carries an unknown code or stage");
   R.Code = ErrorCode(Code);
   R.At = Stage(StageVal);

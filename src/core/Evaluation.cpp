@@ -6,7 +6,8 @@
 
 #include "core/Evaluation.h"
 
-#include "ptx/Verifier.h"
+#include "analysis/Lint.h"
+#include "analysis/Verifier.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
@@ -49,6 +50,26 @@ void Evaluator::evaluateOne(ConfigEval &E) const {
       E.Failure = std::move(*InjectedVerify);
     } else if (Expected<Unit> V = checkKernel(*K); !V) {
       E.Failure = V.takeDiag();
+    }
+  }
+  if (E.failed())
+    return;
+
+  // The optional lint gate: statically proven races, contradicted
+  // annotations and resource undershoots quarantine the configuration
+  // before any metric or simulation work is spent on it.  Off by default
+  // (a clean space must journal byte-identically with or without it).
+  if (LOpts.Enabled) {
+    TraceSpan Span("lint", I);
+    std::optional<Diagnostic> InjectedLint =
+        Injecting ? Inject.at(Stage::Lint, I) : std::nullopt;
+    if (InjectedLint) {
+      E.Failure = std::move(*InjectedLint);
+    } else {
+      LintResult L = runLint(*K, App.launch(E.Point));
+      if (L.errorCount() > 0)
+        E.Failure =
+            makeDiag(lintErrorCode(L), Stage::Lint, lintErrorSummary(L));
     }
   }
   if (E.failed())

@@ -15,6 +15,7 @@
 #ifndef G80TUNE_CORE_EVALUATION_H
 #define G80TUNE_CORE_EVALUATION_H
 
+#include "analysis/Lint.h"
 #include "core/TunableApp.h"
 #include "metrics/Metrics.h"
 #include "sim/Simulator.h"
@@ -69,9 +70,9 @@ class Evaluator {
 public:
   Evaluator(const TunableApp &App, MachineModel Machine,
             MetricOptions MOpts = {}, SimOptions SOpts = {},
-            FaultPlan Faults = {})
+            FaultPlan Faults = {}, LintOptions LOpts = {})
       : App(App), Machine(std::move(Machine)), MOpts(MOpts), SOpts(SOpts),
-        Inject(std::move(Faults)) {}
+        LOpts(LOpts), Inject(std::move(Faults)) {}
 
   /// Enumerates the full space and computes static metrics for every
   /// expressible configuration.  No simulation happens here.  Verification
@@ -117,6 +118,7 @@ private:
   const MachineModel Machine;
   MetricOptions MOpts;
   SimOptions SOpts;
+  LintOptions LOpts;
   FaultInjector Inject;
 
   /// Memoized results, guarded by CacheM.  The evaluator's inputs are

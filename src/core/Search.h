@@ -108,8 +108,9 @@ class SearchEngine {
 public:
   SearchEngine(const TunableApp &App, MachineModel Machine,
                MetricOptions MOpts = {}, SimOptions SOpts = {},
-               FaultPlan Faults = {})
-      : Eval(App, std::move(Machine), MOpts, SOpts, std::move(Faults)) {}
+               FaultPlan Faults = {}, LintOptions LOpts = {})
+      : Eval(App, std::move(Machine), MOpts, SOpts, std::move(Faults),
+             LOpts) {}
 
   /// Measures every valid configuration.
   SearchOutcome exhaustive() const;

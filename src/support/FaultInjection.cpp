@@ -50,6 +50,8 @@ bool lookupStageWord(std::string_view Word, Stage &S, ErrorCode &Pinned) {
     S = Stage::Emulate;
   } else if (Word == "simulate") {
     S = Stage::Simulate;
+  } else if (Word == "lint") {
+    S = Stage::Lint;
   } else if (Word == "timeout") {
     S = Stage::Simulate;
     Pinned = ErrorCode::SimulatorTimeout;
@@ -80,6 +82,8 @@ ErrorCode g80::defaultInjectedCode(Stage S, uint64_t ConfigIndex) {
     // Exercise both watchdog exits.
     return (ConfigIndex & 1) ? ErrorCode::SimulatorDeadlock
                              : ErrorCode::SimulatorTimeout;
+  case Stage::Lint:
+    return ErrorCode::LintFailed;
   }
   return ErrorCode::InjectedFault;
 }

@@ -86,8 +86,8 @@ ErrorCode defaultInjectedCode(Stage S, uint64_t ConfigIndex);
 
 /// Parses a plan spec: comma-separated `seed=N`, `<stage>=<rate>`, and
 /// `<stage>@<index>` tokens, where `<stage>` is one of parse, verify,
-/// estimate, occupancy, emulate, simulate, timeout, deadlock (the last two
-/// are Simulate-stage faults pinned to one code).  `crash@<index>` and
+/// estimate, occupancy, emulate, simulate, lint, timeout, deadlock (the
+/// last two are Simulate-stage faults pinned to one code).  `crash@<index>` and
 /// `hang@<index>` arm process-level actions for the isolation layer (see
 /// FaultAction).  Examples:
 ///   "seed=7,parse=0.05,simulate=0.1"

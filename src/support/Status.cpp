@@ -24,6 +24,8 @@ const char *g80::stageName(Stage S) {
     return "emulate";
   case Stage::Simulate:
     return "simulate";
+  case Stage::Lint:
+    return "lint";
   }
   G80_UNREACHABLE("unknown stage");
 }
@@ -54,6 +56,12 @@ const char *g80::errorCodeName(ErrorCode C) {
     return "worker-crashed";
   case ErrorCode::WorkerTimeout:
     return "worker-timeout";
+  case ErrorCode::LintRace:
+    return "lint-race";
+  case ErrorCode::LintAnnotation:
+    return "lint-annotation";
+  case ErrorCode::LintFailed:
+    return "lint-failed";
   }
   G80_UNREACHABLE("unknown error code");
 }
@@ -66,7 +74,7 @@ std::optional<Stage> g80::stageFromName(std::string_view Name) {
 }
 
 std::optional<ErrorCode> g80::errorCodeFromName(std::string_view Name) {
-  for (unsigned C = 0; C <= unsigned(ErrorCode::WorkerTimeout); ++C)
+  for (unsigned C = 0; C <= unsigned(LastErrorCode); ++C)
     if (Name == errorCodeName(ErrorCode(C)))
       return ErrorCode(C);
   return std::nullopt;

@@ -39,10 +39,11 @@ enum class Stage : uint8_t {
   Occupancy, ///< B_SM calculation (arch/Occupancy).
   Emulate,   ///< Functional execution (emu/Emulator).
   Simulate,  ///< Timing simulation (sim/Simulator).
+  Lint,      ///< Static-analysis lint gate (analysis/Lint).
 };
 
 /// Number of Stage values, for per-stage counters.
-inline constexpr size_t NumStages = 6;
+inline constexpr size_t NumStages = 7;
 
 /// Returns a short lowercase name for \p S ("parse", "verify", ...).
 const char *stageName(Stage S);
@@ -62,7 +63,14 @@ enum class ErrorCode : uint8_t {
   JournalError,      ///< Sweep journal I/O, corruption, or stale header.
   WorkerCrashed,     ///< Isolated worker died on a signal or bad exit.
   WorkerTimeout,     ///< Isolated worker exceeded its wall-clock budget.
+  LintRace,          ///< Proven shared-memory race or divergent barrier.
+  LintAnnotation,    ///< Annotation contradicts the symbolic analysis.
+  LintFailed,        ///< Any other error-severity lint finding.
 };
+
+/// The last ErrorCode value, for wire-format range checks and inverse
+/// lookups (keep in sync when appending codes).
+inline constexpr ErrorCode LastErrorCode = ErrorCode::LintFailed;
 
 /// Returns a short name for \p C ("parse-error", "sim-deadlock", ...).
 const char *errorCodeName(ErrorCode C);

@@ -21,7 +21,7 @@
 #include "ptx/Builder.h"
 #include "ptx/Parser.h"
 #include "ptx/ResourceEstimator.h"
-#include "ptx/Verifier.h"
+#include "analysis/Verifier.h"
 #include "sim/Simulator.h"
 #include "support/FaultInjection.h"
 #include "support/Journal.h"

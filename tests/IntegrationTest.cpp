@@ -12,6 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "core/Search.h"
 #include "kernels/Cp.h"
 #include "kernels/MatMul.h"
@@ -100,6 +101,32 @@ TEST_P(HeadlineClaim, PerformanceSpreadIsLarge) {
   for (size_t I : Full.Candidates)
     Worst = std::max(Worst, Full.Evals[I].TimeSeconds);
   EXPECT_GT(Worst / Full.BestTime, C.MinSpread) << C.Name;
+}
+
+TEST_P(HeadlineClaim, LintIsCleanAcrossTheFullSpace) {
+  // Every expressible configuration of every paper app must lint free of
+  // errors: no shared-memory races, no contradicted coalescing
+  // annotations, no register-pressure undershoot.  The only tolerated
+  // warnings are bank conflicts (matmul's 8-wide tiles genuinely conflict
+  // on the B-tile store; the paper's kernels do too).
+  AppCase &C = apps()[GetParam()];
+  const ConfigSpace &S = C.App->space();
+  for (const ConfigPoint &P : S.enumerate()) {
+    if (!C.App->isExpressible(P))
+      continue;
+    Kernel K = C.App->buildKernel(P);
+    LintResult R = runLint(K, C.App->launch(P));
+    for (const Finding &F : R.Findings) {
+      EXPECT_NE(F.Severity, FindingSeverity::Error)
+          << C.Name << " " << S.describe(P) << ": ["
+          << findingCategoryName(F.Category) << "] " << F.Message;
+      if (F.Severity == FindingSeverity::Warning) {
+        EXPECT_EQ(F.Category, FindingCategory::BankConflict)
+            << C.Name << " " << S.describe(P) << ": ["
+            << findingCategoryName(F.Category) << "] " << F.Message;
+      }
+    }
+  }
 }
 
 std::string appCaseName(const ::testing::TestParamInfo<size_t> &Info) {

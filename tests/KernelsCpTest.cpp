@@ -8,7 +8,7 @@
 
 #include "core/Evaluation.h"
 #include "metrics/Metrics.h"
-#include "ptx/Verifier.h"
+#include "analysis/Verifier.h"
 
 #include <gtest/gtest.h>
 

@@ -9,7 +9,7 @@
 #include "metrics/Metrics.h"
 #include "ptx/Printer.h"
 #include "ptx/StaticProfile.h"
-#include "ptx/Verifier.h"
+#include "analysis/Verifier.h"
 
 #include <gtest/gtest.h>
 

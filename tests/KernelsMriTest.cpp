@@ -9,7 +9,7 @@
 #include "core/Cluster.h"
 #include "core/Evaluation.h"
 #include "metrics/Metrics.h"
-#include "ptx/Verifier.h"
+#include "analysis/Verifier.h"
 
 #include <gtest/gtest.h>
 

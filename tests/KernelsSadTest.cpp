@@ -8,7 +8,7 @@
 
 #include "metrics/Metrics.h"
 #include "ptx/StaticProfile.h"
-#include "ptx/Verifier.h"
+#include "analysis/Verifier.h"
 
 #include <gtest/gtest.h>
 

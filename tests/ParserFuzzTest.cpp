@@ -18,7 +18,8 @@
 #include "ptx/Printer.h"
 #include "ptx/ResourceEstimator.h"
 #include "ptx/StaticProfile.h"
-#include "ptx/Verifier.h"
+#include "analysis/Lint.h"
+#include "analysis/Verifier.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
@@ -122,14 +123,19 @@ private:
         Reg Pred = B.setpi(CmpKind::Lt, randomSrc(), randomSrc());
         Defined.push_back(Pred);
         bool Uniform = R.nextBelow(2) != 0;
+        // Definitions inside a branch may never execute, so they must not
+        // escape into the defined pool (the verifier's definite-assignment
+        // analysis is exact over paths).  Loop bodies run at least once and
+        // keep their definitions.
+        auto Branch = [&] {
+          size_t Saved = Defined.size();
+          emitBody(Depth + 1, 1 + R.nextBelow(4));
+          Defined.resize(Saved);
+        };
         if (R.nextBelow(2))
-          B.ifThen(Pred, Uniform,
-                   [&] { emitBody(Depth + 1, 1 + R.nextBelow(4)); });
+          B.ifThen(Pred, Uniform, Branch);
         else
-          B.ifThenElse(
-              Pred, Uniform,
-              [&] { emitBody(Depth + 1, 1 + R.nextBelow(4)); },
-              [&] { emitBody(Depth + 1, 1 + R.nextBelow(4)); });
+          B.ifThenElse(Pred, Uniform, Branch, Branch);
       } else if (Kind == 2 && Depth == 0) {
         B.bar();
       } else {
@@ -165,6 +171,20 @@ TEST_P(ParserFuzz, PrintParseRoundTrip) {
   EXPECT_EQ(PA.SfuInstrs, PB.SfuInstrs);
   EXPECT_EQ(PA.GlobalBytesEffective, PB.GlobalBytesEffective);
   EXPECT_EQ(estimateRegisters(K), estimateRegisters(*R));
+
+  // Every lint pass must run without crashing on arbitrary verifier-clean
+  // kernels and produce deterministic findings (the parsed twin sees the
+  // same structure, so it must see the same diagnostics).
+  LaunchConfig Launch{{4, 1, 1}, {32, 2, 1}};
+  LintResult LA = runLint(K, Launch);
+  LintResult LB = runLint(*R, Launch);
+  ASSERT_EQ(LA.Findings.size(), LB.Findings.size());
+  for (size_t I = 0; I != LA.Findings.size(); ++I) {
+    EXPECT_EQ(LA.Findings[I].Severity, LB.Findings[I].Severity);
+    EXPECT_EQ(LA.Findings[I].Category, LB.Findings[I].Category);
+    EXPECT_EQ(LA.Findings[I].InstrId, LB.Findings[I].InstrId);
+    EXPECT_EQ(LA.Findings[I].Message, LB.Findings[I].Message);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,

@@ -15,7 +15,7 @@
 #include "kernels/Workloads.h"
 #include "ptx/Printer.h"
 #include "ptx/StaticProfile.h"
-#include "ptx/Verifier.h"
+#include "analysis/Verifier.h"
 
 #include <gtest/gtest.h>
 

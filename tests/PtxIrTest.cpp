@@ -6,7 +6,7 @@
 
 #include "ptx/Builder.h"
 #include "ptx/Printer.h"
-#include "ptx/Verifier.h"
+#include "analysis/Verifier.h"
 
 #include <gtest/gtest.h>
 

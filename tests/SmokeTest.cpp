@@ -11,7 +11,7 @@
 #include "kernels/Sad.h"
 #include "metrics/Metrics.h"
 #include "ptx/Printer.h"
-#include "ptx/Verifier.h"
+#include "analysis/Verifier.h"
 
 #include <gtest/gtest.h>
 

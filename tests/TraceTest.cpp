@@ -275,6 +275,83 @@ TEST(EvalRecordObservability, CsvRoundTripsFailureWithCommaAndQuote) {
   EXPECT_TRUE(Back->failed());
 }
 
+TEST(EvalRecordObservability, LintFailureRoundTripsJsonAndCsv) {
+  EvalRecord R;
+  R.Index = 11;
+  R.Point = {16, 4};
+  R.Expressible = true;
+  R.Code = ErrorCode::LintRace;
+  R.At = Stage::Lint;
+  R.Message = "shared-memory race on tile";
+
+  Expected<EvalRecord> Json = EvalRecord::fromJson(R.toJson());
+  ASSERT_TRUE(Json.ok()) << Json.diag().Message;
+  EXPECT_EQ(Json->Code, ErrorCode::LintRace);
+  EXPECT_EQ(Json->At, Stage::Lint);
+  EXPECT_TRUE(Json->failed());
+
+  // The CSV path carries the stage and code by name, so a report over a
+  // lint-quarantined dump must parse "lint"/"lint-race" cells back.
+  std::vector<std::string> Header = EvalRecord::csvHeader();
+  std::vector<std::string> Row = R.csvRow();
+  bool SawStage = false, SawCode = false;
+  for (size_t I = 0; I != Header.size(); ++I) {
+    if (Header[I] == "fail_stage") {
+      EXPECT_EQ(Row[I], "lint");
+      SawStage = true;
+    }
+    if (Header[I] == "fail_code") {
+      EXPECT_EQ(Row[I], "lint-race");
+      SawCode = true;
+    }
+  }
+  EXPECT_TRUE(SawStage);
+  EXPECT_TRUE(SawCode);
+  Expected<EvalRecord> Csv = EvalRecord::fromCsvRow(Header, Row);
+  ASSERT_TRUE(Csv.ok()) << Csv.diag().Message;
+  EXPECT_EQ(Csv->Code, ErrorCode::LintRace);
+  EXPECT_EQ(Csv->At, Stage::Lint);
+  EXPECT_EQ(Csv->Message, R.Message);
+}
+
+TEST(EvalRecordObservability, OutOfRangeStageOrCodeIsRejected) {
+  // The numeric wire format bounds-checks against the current enum tails,
+  // so every Lint value is in range for today's readers while a payload
+  // from some future revision (larger code/stage) is rejected loudly
+  // instead of aliasing onto the wrong stage.
+  EvalRecord R;
+  R.Index = 3;
+  R.Point = {8};
+  R.Expressible = true;
+  R.Code = ErrorCode::LintFailed;
+  R.At = Stage::Lint;
+  R.Message = "gate";
+  std::string Json = R.toJson();
+
+  std::string CodeKey =
+      "\"code\":" + std::to_string(unsigned(ErrorCode::LintFailed));
+  std::string StageKey = "\"stage\":" + std::to_string(unsigned(Stage::Lint));
+  ASSERT_NE(Json.find(CodeKey), std::string::npos);
+  ASSERT_NE(Json.find(StageKey), std::string::npos);
+
+  std::string BadCode = Json;
+  BadCode.replace(BadCode.find(CodeKey), CodeKey.size(),
+                  "\"code\":" +
+                      std::to_string(unsigned(LastErrorCode) + 1));
+  EXPECT_FALSE(EvalRecord::fromJson(BadCode).ok());
+
+  std::string BadStage = Json;
+  BadStage.replace(BadStage.find(StageKey), StageKey.size(),
+                   "\"stage\":" + std::to_string(unsigned(NumStages)));
+  EXPECT_FALSE(EvalRecord::fromJson(BadStage).ok());
+
+  // The unmodified payload — the largest values currently in use — loads.
+  Expected<EvalRecord> Back = EvalRecord::fromJson(Json);
+  ASSERT_TRUE(Back.ok()) << Back.diag().Message;
+  EXPECT_EQ(Back->Code, ErrorCode::LintFailed);
+  EXPECT_EQ(Back->At, Stage::Lint);
+}
+
 TEST(EvalRecordObservability, FromCsvRowRejectsGarbageCells) {
   std::vector<std::string> Header = EvalRecord::csvHeader();
   std::vector<std::string> Row = sampleRecord().csvRow();
@@ -347,6 +424,29 @@ TEST(ReportTest, SummaryCountsAttributionAndQuarantine) {
   EXPECT_EQ(S.Best.Index, 7u); // The fast-bw record is fastest.
   EXPECT_DOUBLE_EQ(S.MeanBlocksPerSm, 4.0);
   EXPECT_DOUBLE_EQ(S.rawSpaceReduction(), 1.0 - 7.0 / 100.0);
+}
+
+TEST(ReportTest, LintQuarantinesAreAttributedToTheirOwnStage) {
+  LoadedRecords L = syntheticRecords(3);
+  EvalRecord Linted;
+  Linted.Index = L.Records.back().Index + 1;
+  Linted.Point = {int(Linted.Index)};
+  Linted.Expressible = Linted.Valid = true;
+  Linted.Code = ErrorCode::LintRace;
+  Linted.At = Stage::Lint;
+  Linted.Message = "shared-memory race on tile";
+  L.Records.push_back(Linted);
+
+  SweepSummary S = SweepSummary::fromRecords(L);
+  EXPECT_EQ(S.Quarantined, 2u);
+  EXPECT_EQ(S.QuarantinedPerStage[size_t(Stage::Lint)], 1u);
+  EXPECT_EQ(S.QuarantinedPerStage[size_t(Stage::Simulate)], 1u);
+  EXPECT_EQ(S.QuarantineCodes.at("lint-race"), 1u);
+
+  std::ostringstream Text;
+  renderReportText(S, nullptr, Text);
+  EXPECT_NE(Text.str().find("lint"), std::string::npos);
+  EXPECT_NE(Text.str().find("lint-race"), std::string::npos);
 }
 
 TEST(ReportTest, SlowestListIsCappedAndSortedDescending) {

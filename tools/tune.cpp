@@ -12,7 +12,7 @@
 //   tune search --app <name> [--strategy pareto|exhaustive|cluster|
 //                             random|greedy] [--machine gtx|nextgen]
 //                            [--budget N] [--seed N] [--inject SPEC]
-//                            [--jobs N] [--fast-bw]
+//                            [--jobs N] [--fast-bw] [--lint]
 //                            [--journal FILE [--resume]] [--isolate]
 //                            [--task-timeout S] [--shard N] [--out FILE.csv]
 //       Run a search strategy and print the outcome (Table-4 style).
@@ -24,7 +24,11 @@
 //       bit-identical for any job count.  --fast-bw replaces simulation
 //       with the analytic bandwidth bound for configurations the §5.3
 //       screen marks bandwidth-bound (an estimate; changes results, so it
-//       is part of the journal fingerprint).
+//       is part of the journal fingerprint).  --lint inserts the static-
+//       analysis gate (analysis/Lint.h) between verification and metric
+//       evaluation: configurations with error-severity findings are
+//       quarantined under Stage::Lint.  A clean space journals
+//       byte-identically with or without the gate.
 //       --journal streams every completed evaluation through a crash-safe
 //       write-ahead journal; --resume replays a matching journal and
 //       skips finished configurations.  --isolate forks a worker per
@@ -45,6 +49,13 @@
 //       counts and space reduction, stall/bandwidth attribution from the
 //       simulator counters, quarantine breakdown, slowest configurations,
 //       and — with --trace — the per-stage wall-time histogram.
+//
+//   tune lint <app> [--config "v1,v2,..."] [--format text|json]
+//       Run the static-analysis passes (races, divergent barriers, bank
+//       conflicts, coalescing and resource cross-checks, dead code) over
+//       one configuration or the whole expressible space, without
+//       simulating anything.  Exits 4 when any error-severity finding
+//       exists, so the command doubles as a CI gate.
 //
 //   tune show --app <name> --config "v1,v2,..."
 //       Print the generated kernel for one configuration plus its
@@ -68,7 +79,9 @@
 #include "metrics/Metrics.h"
 #include "ptx/Parser.h"
 #include "ptx/Printer.h"
-#include "ptx/Verifier.h"
+#include "analysis/Lint.h"
+#include "analysis/Verifier.h"
+#include "support/Journal.h"
 #include "support/Csv.h"
 #include "support/FaultInjection.h"
 #include "support/Format.h"
@@ -112,11 +125,13 @@ int usage() {
          "exhaustive|cluster|random|greedy]\n"
          "               [--machine gtx|nextgen] [--budget N] [--seed N] "
          "[--inject SPEC]\n"
-         "               [--jobs N] [--fast-bw]\n"
+         "               [--jobs N] [--fast-bw] [--lint]\n"
          "               [--journal FILE [--resume]] [--isolate] "
          "[--task-timeout S] [--shard N]\n"
          "               [--out FILE.csv] [--trace FILE.jsonl] [--progress]\n"
          "  tune report  <journal-or-csv> [--trace FILE.jsonl] [--top N] "
+         "[--format text|json]\n"
+         "  tune lint    <matmul|cp|sad|mri> [--config \"v1,v2,...\"] "
          "[--format text|json]\n"
          "  tune show    --app <name> --config \"v1,v2,...\"\n"
          "  tune inspect --file <kernel.ptx> --block X[,Y] --grid X[,Y]\n";
@@ -175,7 +190,7 @@ bool doubleFlag(const std::map<std::string, std::string> &Flags,
 
 bool isValuelessSwitch(std::string_view Name) {
   return Name == "resume" || Name == "isolate" || Name == "fast-bw" ||
-         Name == "progress";
+         Name == "progress" || Name == "lint";
 }
 
 std::map<std::string, std::string> parseFlags(int Argc, char **Argv,
@@ -292,9 +307,11 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
     Faults = Parsed.takeValue();
   }
   bool FastBw = Flags.count("fast-bw") != 0;
+  bool Lint = Flags.count("lint") != 0;
   SimOptions SimO;
   SimO.BandwidthFastPath = FastBw;
-  SearchEngine Engine(*App, Machine, {}, SimO, std::move(Faults));
+  SearchEngine Engine(*App, Machine, {}, SimO, std::move(Faults),
+                      LintOptions{Lint});
 
   std::string Strategy =
       Flags.count("strategy") ? Flags["strategy"] : "pareto";
@@ -417,8 +434,18 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
     SOpts.Fingerprint.RawSize = App->space().rawSize();
     // The fast path changes measured results, so it is part of the
     // resume fingerprint: a --fast-bw journal cannot silently resume a
-    // full-simulation sweep or vice versa.
-    SOpts.Fingerprint.Extra = InjectSpec + (FastBw ? "|fastbw" : "");
+    // full-simulation sweep or vice versa.  The lint gate joins it only
+    // when it actually quarantined something: a clean space journals
+    // byte-identically with or without --lint, but a journal carrying
+    // lint quarantines must not silently resume a non-lint sweep.
+    bool LintQuarantined = false;
+    for (const ConfigEval &E : Plan.Evals)
+      if (E.failed() && E.Failure.At == Stage::Lint) {
+        LintQuarantined = true;
+        break;
+      }
+    SOpts.Fingerprint.Extra = InjectSpec + (FastBw ? "|fastbw" : "") +
+                              (LintQuarantined ? "|lint" : "");
 
     SweepDriver Driver(Engine, SOpts);
     clearSweepInterrupt();
@@ -500,6 +527,91 @@ int cmdReport(const std::string &Path,
   else
     renderReportText(S, Trace ? &*Trace : nullptr, std::cout);
   return ExitOk;
+}
+
+/// `tune lint <app> [--config "v1,v2,..."] [--format text|json]`:
+/// run the static-analysis passes over one configuration's kernel or the
+/// whole expressible space, without simulating anything.
+int cmdLint(const std::string &Positional,
+            std::map<std::string, std::string> Flags) {
+  std::string AppName = Flags.count("app") ? Flags["app"] : Positional;
+  std::unique_ptr<TunableApp> App = makeApp(AppName);
+  if (!App) {
+    std::cerr << "error: unknown or missing app (tune lint <matmul|cp|sad|"
+                 "mri> or --app <name>)\n";
+    return usage();
+  }
+  std::string Format = Flags.count("format") ? Flags["format"] : "text";
+  if (Format != "text" && Format != "json") {
+    std::cerr << "error: --format must be text or json\n";
+    return usage();
+  }
+  const ConfigSpace &S = App->space();
+
+  // Single-configuration mode.
+  if (Flags.count("config")) {
+    Expected<std::vector<int>> Parsed = parseIntList(Flags["config"]);
+    if (!Parsed) {
+      std::cerr << "error: --config: " << Parsed.diag().Message << "\n";
+      return usage();
+    }
+    ConfigPoint P = Parsed.takeValue();
+    if (P.size() != S.numDims() || !App->isExpressible(P)) {
+      std::cerr << "error: configuration is not expressible\n";
+      return ExitUsage;
+    }
+    Kernel K = App->buildKernel(P);
+    LintResult R = runLint(K, App->launch(P));
+    if (Format == "json") {
+      renderLintJson(R, std::cout);
+    } else {
+      std::cout << AppName << " " << S.describe(P) << "\n";
+      if (R.Findings.empty())
+        std::cout << "  clean\n";
+      else
+        renderLintText(R, std::cout);
+    }
+    return R.errorCount() > 0 ? ExitEvaluation : ExitOk;
+  }
+
+  // Whole-space mode: lint every expressible configuration; print only
+  // the ones with findings (clean spaces print a one-line summary).
+  size_t Checked = 0, Flagged = 0;
+  unsigned Errors = 0, Warnings = 0;
+  bool FirstJson = true;
+  if (Format == "json")
+    std::cout << "{\"app\":\"" << jsonEscape(AppName) << "\",\"configs\":[";
+  for (const ConfigPoint &P : S.enumerate()) {
+    if (!App->isExpressible(P))
+      continue;
+    ++Checked;
+    Kernel K = App->buildKernel(P);
+    LintResult R = runLint(K, App->launch(P));
+    if (R.Findings.empty())
+      continue;
+    ++Flagged;
+    Errors += R.errorCount();
+    Warnings += R.warningCount();
+    if (Format == "json") {
+      std::cout << (FirstJson ? "" : ",") << "{\"config\":\""
+                << jsonEscape(S.describe(P)) << "\",\"lint\":";
+      renderLintJson(R, std::cout);
+      std::cout << "}";
+      FirstJson = false;
+    } else {
+      std::cout << AppName << " " << S.describe(P) << "\n";
+      renderLintText(R, std::cout);
+    }
+  }
+  if (Format == "json") {
+    std::cout << "],\"checked\":" << Checked << ",\"errors\":" << Errors
+              << ",\"warnings\":" << Warnings << "}\n";
+  } else {
+    std::cout << AppName << ": " << Checked << " configurations linted, "
+              << Flagged << " with findings (" << Errors << " errors, "
+              << Warnings << " warnings)\n";
+  }
+  return Errors > 0 ? ExitEvaluation : ExitOk;
 }
 
 int cmdShow(std::map<std::string, std::string> Flags) {
@@ -633,6 +745,8 @@ int main(int Argc, char **Argv) {
     return cmdSearch(std::move(Flags));
   if (Cmd == "report")
     return cmdReport(firstPositional(Argc, Argv, 2), std::move(Flags));
+  if (Cmd == "lint")
+    return cmdLint(firstPositional(Argc, Argv, 2), std::move(Flags));
   if (Cmd == "show")
     return cmdShow(std::move(Flags));
   if (Cmd == "inspect")
