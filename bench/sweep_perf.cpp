@@ -115,8 +115,14 @@ AppResult benchApp(const std::string &Name, const TunableApp &App,
 void writeJson(const std::string &Path, unsigned Jobs,
                const std::vector<AppResult> &Results) {
   std::ostringstream OS;
+  // On a single-core runner the "parallel" sweep cannot scale, so its
+  // speedup numbers are noise: scaling_valid tells consumers (CI perf
+  // dashboards, regression gates) to skip speedup assertions rather
+  // than fail on hardware that cannot express the difference.
+  bool ScalingValid = ThreadPool::defaultConcurrency() >= 2 && Jobs >= 2;
   OS << "{\n  \"bench\": \"sweep_perf\",\n  \"jobs\": " << Jobs
      << ",\n  \"hardware_concurrency\": " << ThreadPool::defaultConcurrency()
+     << ",\n  \"scaling_valid\": " << (ScalingValid ? "true" : "false")
      << ",\n  \"apps\": [\n";
   for (size_t I = 0; I != Results.size(); ++I) {
     const AppResult &R = Results[I];

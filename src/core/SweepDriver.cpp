@@ -29,9 +29,14 @@ using namespace g80;
 
 namespace {
 
+// 0 = run, 1 = graceful stop requested, 2 = force-quit requested (the
+// operator signalled twice).  A plain counter capped at 2: sig_atomic_t
+// guarantees only single read/write atomicity, which this pattern needs.
 volatile std::sig_atomic_t SweepInterruptFlag = 0;
 
-extern "C" void sweepSignalHandler(int) { SweepInterruptFlag = 1; }
+extern "C" void sweepSignalHandler(int) {
+  SweepInterruptFlag = SweepInterruptFlag < 1 ? 1 : 2;
+}
 
 struct SavedHandlers {
   void (*Int)(int);
@@ -40,9 +45,12 @@ struct SavedHandlers {
 
 } // namespace
 
-void g80::requestSweepInterrupt() { SweepInterruptFlag = 1; }
+void g80::requestSweepInterrupt() {
+  SweepInterruptFlag = SweepInterruptFlag < 1 ? 1 : 2;
+}
 void g80::clearSweepInterrupt() { SweepInterruptFlag = 0; }
 bool g80::sweepInterruptRequested() { return SweepInterruptFlag != 0; }
+bool g80::sweepForceQuitRequested() { return SweepInterruptFlag >= 2; }
 
 ScopedSweepSignalHandlers::ScopedSweepSignalHandlers() {
   auto *S = new SavedHandlers;
@@ -99,6 +107,18 @@ struct DriveState {
       : Engine(Engine), Opts(Opts) {}
 
   SearchOutcome &out() { return Rep.Outcome; }
+
+  /// Whether this sweep should stop: the process-wide interrupt flag (a
+  /// signal) or the per-sweep ShouldStop hook (a deadline or drain).
+  bool stopRequested() const {
+    return sweepInterruptRequested() ||
+           (Opts.ShouldStop && Opts.ShouldStop());
+  }
+
+  /// Attempts a configuration gets before quarantine (0 acts as 1).
+  unsigned maxAttempts() const {
+    return std::max(1u, Opts.MaxWorkerAttempts);
+  }
 
   void warn(std::string Msg) { Rep.Warnings.push_back(std::move(Msg)); }
 
@@ -177,10 +197,47 @@ struct DriveState {
     ConfigEval &E = out().Evals[Idx];
     E.Failure = makeDiag(Code, Stage::Simulate,
                          Why + " (config #" + std::to_string(E.FlatIndex) +
-                             ", after retry)");
+                             ", after " + std::to_string(maxAttempts()) +
+                             " attempts)");
     complete(Idx);
   }
 };
+
+/// Sleeps \p Seconds in short slices, bailing out (false) when a stop is
+/// requested mid-backoff so a deadline or drain is not blocked behind a
+/// retry pause.
+bool sleepUnlessStopped(DriveState &D, double Seconds) {
+  while (Seconds > 0) {
+    if (D.stopRequested())
+      return false;
+    double Slice = std::min(Seconds, 0.05);
+    sleepSeconds(Slice);
+    Seconds -= Slice;
+  }
+  return !D.stopRequested();
+}
+
+/// Polls \p Worker in short slices so a stop request (signal, deadline,
+/// drain) cancels an in-flight shard within ~50ms instead of waiting out
+/// the full task timeout.  Returns false when stopped (the worker is
+/// killed; its unjournaled work will be re-measured on resume).
+bool pollSliced(DriveState &D, Subprocess &Worker, std::string &Line,
+                Subprocess::Poll &Out) {
+  double Remaining = D.Opts.TaskTimeoutSeconds;
+  for (;;) {
+    if (D.stopRequested()) {
+      Worker.kill();
+      return false;
+    }
+    double Slice = std::min(Remaining, 0.05);
+    Out = Worker.poll(Slice, Line);
+    if (Out != Subprocess::Poll::Timeout)
+      return true;
+    Remaining -= Slice;
+    if (Remaining <= 0)
+      return true; // Out is Timeout: the real task-timeout budget ran out.
+  }
+}
 
 /// The worker side: measure each shard config, streaming one EvalRecord
 /// JSON line per completion.  Armed crash/hang actions genuinely
@@ -232,12 +289,12 @@ bool runIsolated(DriveState &D, std::deque<size_t> &Todo) {
   }
 
   while (!Todo.empty()) {
-    if (sweepInterruptRequested())
+    if (D.stopRequested())
       return false;
 
     // A config that already failed a worker retries alone in a fresh
-    // worker, after a backoff, so a second failure is unambiguously its
-    // own fault.
+    // worker, after a backoff, so a subsequent failure is unambiguously
+    // its own fault.
     bool IsRetry = D.Attempts[D.out().Evals[Todo.front()].FlatIndex] > 0;
     size_t N = IsRetry ? 1 : std::min(ShardSize, Todo.size());
     if (!IsRetry) {
@@ -253,8 +310,12 @@ bool runIsolated(DriveState &D, std::deque<size_t> &Todo) {
     // Spans the worker's whole lifetime (spawn, measurement streaming,
     // exit handling), tagged with the shard's first configuration.
     TraceSpan ShardSpan("worker", D.out().Evals[Shard[0]].FlatIndex);
-    if (IsRetry)
-      sleepSeconds(D.Opts.RetryBackoffSeconds);
+    if (IsRetry) {
+      uint64_t Flat = D.out().Evals[Shard[0]].FlatIndex;
+      if (!sleepUnlessStopped(
+              D, D.Opts.RetryBackoff.delaySeconds(D.Attempts[Flat], Flat)))
+        return false;
+    }
 
     Subprocess Worker =
         Subprocess::spawn([&](const Subprocess::Emit &Emit) {
@@ -281,8 +342,8 @@ bool runIsolated(DriveState &D, std::deque<size_t> &Todo) {
         Todo.push_front(Shard[I]);
       size_t Victim = Shard[Received];
       unsigned &A = D.Attempts[D.out().Evals[Victim].FlatIndex];
-      if (A == 0) {
-        A = 1;
+      ++A;
+      if (A < D.maxAttempts()) {
         ++D.Rep.WorkerRetries;
         traceCount("sweep.worker_retries");
         Todo.push_front(Victim);
@@ -293,12 +354,11 @@ bool runIsolated(DriveState &D, std::deque<size_t> &Todo) {
 
     bool ShardDone = false;
     while (!ShardDone) {
-      if (sweepInterruptRequested()) {
-        Worker.kill();
-        return false;
-      }
       std::string Line;
-      switch (Worker.poll(D.Opts.TaskTimeoutSeconds, Line)) {
+      Subprocess::Poll P;
+      if (!pollSliced(D, Worker, Line, P))
+        return false;
+      switch (P) {
       case Subprocess::Poll::Line: {
         Expected<EvalRecord> R = EvalRecord::fromJson(Line);
         if (!R || Received >= Shard.size() ||
@@ -347,7 +407,7 @@ bool runIsolated(DriveState &D, std::deque<size_t> &Todo) {
 
 bool runInProcess(DriveState &D, std::deque<size_t> &Todo) {
   while (!Todo.empty()) {
-    if (sweepInterruptRequested())
+    if (D.stopRequested())
       return false;
     size_t Idx = Todo.front();
     Todo.pop_front();
@@ -397,7 +457,7 @@ bool runInProcessParallel(DriveState &D, std::deque<size_t> &Todo,
   size_t Next = 0;
   bool Interrupted = false;
   while (Next != N) {
-    if (sweepInterruptRequested()) {
+    if (D.stopRequested()) {
       Interrupted = true;
       break;
     }

@@ -42,6 +42,7 @@
 #define G80TUNE_CORE_SWEEPDRIVER_H
 
 #include "core/Search.h"
+#include "support/Backoff.h"
 #include "support/Journal.h"
 
 #include <functional>
@@ -74,8 +75,13 @@ struct SweepOptions {
   double TaskTimeoutSeconds = 30.0;
   /// Candidates per forked worker.
   size_t ShardSize = 8;
-  /// Pause before retrying a crashed/hung configuration.
-  double RetryBackoffSeconds = 0.05;
+  /// Total attempts a configuration gets in isolated workers before it is
+  /// quarantined (2 = the original try plus one retry, the historical
+  /// policy).  0 is treated as 1.
+  unsigned MaxWorkerAttempts = 2;
+  /// Pacing between attempts: exponential with deterministic jitter,
+  /// salted by the configuration's flat index (see support/Backoff.h).
+  BackoffPolicy RetryBackoff;
   /// Fingerprint written to (and checked against) the journal header.
   JournalHeader Fingerprint;
   /// Worker threads for the in-process measurement path (1 = serial).
@@ -94,6 +100,12 @@ struct SweepOptions {
   /// must not mutate sweep state; it cannot affect results, journal
   /// bytes, or quarantine accounting.
   std::function<void(const SweepProgress &)> OnProgress;
+  /// Per-sweep cancellation hook, polled wherever the global interrupt
+  /// flag is polled (record boundaries, worker-poll slices).  Returning
+  /// true stops this sweep with SweepStatus::Interrupted without touching
+  /// the process-wide flag — how the serve daemon enforces per-request
+  /// deadlines and drains without killing sibling sweeps.
+  std::function<bool()> ShouldStop;
 };
 
 enum class SweepStatus : uint8_t {
@@ -140,17 +152,25 @@ private:
   SweepOptions Opts;
 };
 
-/// Sets the sweep-interrupt flag that run() polls between records — what
-/// the signal handlers call, exposed for tests.
+/// Bumps the sweep-interrupt counter that run() polls between records —
+/// what the signal handlers call, exposed for tests.  The first request
+/// asks for a graceful stop; a second is a force-quit escalation (see
+/// sweepForceQuitRequested).
 void requestSweepInterrupt();
-/// Clears the flag (call before starting a fresh sweep).
+/// Clears the counter (call before starting a fresh sweep).
 void clearSweepInterrupt();
-/// Whether an interrupt is pending.
+/// Whether at least one interrupt is pending (graceful stop).
 bool sweepInterruptRequested();
+/// Whether a second interrupt arrived while the first was being honored
+/// — the operator insisting.  Long drains (the serve daemon's SIGTERM
+/// handling) poll this to abandon graceful work and exit immediately;
+/// everything journaled remains resumable.
+bool sweepForceQuitRequested();
 
 /// RAII: while alive, SIGINT and SIGTERM request a graceful sweep
-/// interrupt instead of killing the process; previous dispositions are
-/// restored on destruction.  The driver then flushes and reports
+/// interrupt instead of killing the process (a second signal escalates
+/// to a force-quit request); previous dispositions are restored on
+/// destruction.  The driver then flushes and reports
 /// SweepStatus::Interrupted so the caller can exit with the distinct
 /// "interrupted, resumable" code.
 class ScopedSweepSignalHandlers {

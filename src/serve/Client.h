@@ -1,0 +1,68 @@
+//===- serve/Client.h - Blocking client for the tune serve daemon ---------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin blocking client over the serve wire protocol, shared by the
+/// load benchmark, the tests, and anything else that talks to the
+/// daemon.  One ServeClient owns one connection; every call is a simple
+/// frame exchange with a wall-clock timeout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SERVE_CLIENT_H
+#define G80TUNE_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+#include "support/Socket.h"
+#include "support/Status.h"
+
+#include <functional>
+#include <string>
+
+namespace g80 {
+
+class ServeClient {
+public:
+  /// Connects to a daemon on \p SocketPath (Unix) when non-empty, else
+  /// loopback TCP \p TcpPort.
+  static Expected<ServeClient> connect(const std::string &SocketPath,
+                                       uint16_t TcpPort);
+
+  /// Sends \p Frame and returns the next frame within \p TimeoutSeconds.
+  Expected<std::string> roundTrip(const std::string &Frame,
+                                  double TimeoutSeconds);
+
+  /// Submits \p Req and returns the immediate reply frame (accepted,
+  /// overloaded, or error).
+  Expected<std::string> submit(const TuneRequest &Req,
+                               double TimeoutSeconds);
+
+  /// After a wait-mode submit: reads frames, skipping progress, until a
+  /// terminal frame (result or error) or the timeout.  \p OnProgress, if
+  /// set, sees each skipped progress frame.
+  Expected<std::string>
+  awaitResult(double TimeoutSeconds,
+              const std::function<void(const std::string &)> &OnProgress = {});
+
+  /// One status round-trip, parsed.
+  Expected<ServeStatus> status(double TimeoutSeconds);
+
+  /// Asks the daemon to drain and exit; returns once acknowledged.
+  Expected<Unit> shutdown(double TimeoutSeconds);
+
+  Socket &socket() { return Conn; }
+
+private:
+  explicit ServeClient(Socket Conn) : Conn(std::move(Conn)) {}
+
+  Expected<std::string> recvOne(double TimeoutSeconds);
+
+  Socket Conn;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_SERVE_CLIENT_H

@@ -1,0 +1,108 @@
+//===- serve/RequestQueue.h - Bounded admission queue ---------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's admission queue: a small bounded MPMC queue between the
+/// session threads (producers) and the executor threads (consumers).
+/// The bound is the backpressure mechanism — tryPush fails when the
+/// queue is full, and the session answers with an "overloaded" frame
+/// instead of letting a traffic burst grow an unbounded backlog (each
+/// queued request pins a spool ticket and a client's patience).
+///
+/// push() bypasses the bound: restart recovery re-admits journaled jobs
+/// that were *already* accepted before the crash, and re-shedding them
+/// would break the completion guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SERVE_REQUESTQUEUE_H
+#define G80TUNE_SERVE_REQUESTQUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace g80 {
+
+template <typename T> class RequestQueue {
+public:
+  explicit RequestQueue(size_t Limit) : Limit(Limit) {}
+
+  /// Admits \p Item unless the queue is at its bound or closed.  The
+  /// false return is the overload-shed signal.
+  bool tryPush(T Item) {
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (Closed || Items.size() >= Limit)
+        return false;
+      Items.push_back(std::move(Item));
+    }
+    Cv.notify_one();
+    return true;
+  }
+
+  /// Unbounded admit for restart recovery (see file comment).  False only
+  /// when closed.
+  bool push(T Item) {
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (Closed)
+        return false;
+      Items.push_back(std::move(Item));
+    }
+    Cv.notify_one();
+    return true;
+  }
+
+  /// Waits up to \p TimeoutSeconds for an item.  Empty optional on
+  /// timeout, or immediately once closed and drained.
+  std::optional<T> pop(double TimeoutSeconds) {
+    std::unique_lock<std::mutex> L(M);
+    Cv.wait_for(L, std::chrono::duration<double>(TimeoutSeconds),
+                [this] { return !Items.empty() || Closed; });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    return Item;
+  }
+
+  /// Stops all admission (tryPush and push fail) and wakes waiting
+  /// consumers; already-queued items still drain through pop.
+  void close() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Closed = true;
+    }
+    Cv.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> L(M);
+    return Items.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> L(M);
+    return Closed;
+  }
+
+  size_t limit() const { return Limit; }
+
+private:
+  const size_t Limit;
+  mutable std::mutex M;
+  std::condition_variable Cv;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_SERVE_REQUESTQUEUE_H

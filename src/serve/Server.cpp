@@ -1,0 +1,459 @@
+//===- serve/Server.cpp ---------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "core/Search.h"
+#include "core/SweepDriver.h"
+#include "kernels/Cp.h"
+#include "kernels/MatMul.h"
+#include "kernels/MriFhd.h"
+#include "kernels/Sad.h"
+#include "support/Trace.h"
+
+#include <filesystem>
+#include <utility>
+
+using namespace g80;
+
+//===--- App/machine factories (serve-local copies of tune.cpp's) -------------//
+
+namespace {
+
+std::unique_ptr<TunableApp> serveMakeApp(const std::string &Name) {
+  if (Name == "matmul")
+    return std::make_unique<MatMulApp>(MatMulProblem::bench());
+  if (Name == "cp")
+    return std::make_unique<CpApp>(CpProblem::bench());
+  if (Name == "sad")
+    return std::make_unique<SadApp>(SadApp::benchProblem());
+  if (Name == "mri" || Name == "mri-fhd")
+    return std::make_unique<MriFhdApp>(MriProblem::bench());
+  return nullptr;
+}
+
+MachineModel serveMakeMachine(const std::string &Name) {
+  if (Name == "nextgen")
+    return MachineModel::hypotheticalNextGen();
+  return MachineModel::geForce8800Gtx();
+}
+
+/// Admission-time validation, so only executable requests earn a durable
+/// ticket (a spooled request that can never run would recover forever).
+bool validateRequest(const TuneRequest &Req, std::string &Error) {
+  if (Req.App != "matmul" && Req.App != "cp" && Req.App != "sad" &&
+      Req.App != "mri" && Req.App != "mri-fhd") {
+    Error = "unknown app '" + Req.App + "'";
+    return false;
+  }
+  if (Req.Machine != "gtx" && Req.Machine != "nextgen") {
+    Error = "unknown machine '" + Req.Machine + "'";
+    return false;
+  }
+  if (Req.Strategy != "pareto" && Req.Strategy != "exhaustive" &&
+      Req.Strategy != "cluster" && Req.Strategy != "random") {
+    Error = "unknown or unsupported strategy '" + Req.Strategy +
+            "' (serve supports pareto|exhaustive|cluster|random)";
+    return false;
+  }
+  return true;
+}
+
+void finishJob(ServeJob &Job, std::string Frame) {
+  {
+    std::lock_guard<std::mutex> L(Job.M);
+    Job.Finished = true;
+    Job.ResultJson = std::move(Frame);
+  }
+  Job.Cv.notify_all();
+}
+
+} // namespace
+
+//===--- TuneServer ------------------------------------------------------------//
+
+struct TuneServer::Engine {
+  std::unique_ptr<TunableApp> App;
+  std::unique_ptr<SearchEngine> Eng;
+};
+
+TuneServer::TuneServer(ServeOptions Opts)
+    : Opts(std::move(Opts)), Queue(std::max<size_t>(1, this->Opts.QueueLimit)) {}
+
+TuneServer::~TuneServer() {
+  requestDrain();
+  Queue.close();
+  for (std::thread &T : Executors)
+    if (T.joinable())
+      T.join();
+  for (std::thread &T : Sessions)
+    if (T.joinable())
+      T.join();
+}
+
+Expected<Unit> TuneServer::start() {
+  StartedAt = std::chrono::steady_clock::now();
+
+  Expected<Spool> Sp = Spool::open(Opts.SpoolDir);
+  if (!Sp)
+    return Sp.takeDiag();
+  Requests = Sp.takeValue();
+
+  // Re-admit everything accepted before a crash: each recovered job's
+  // journal resumes through the normal fingerprint-checked path, so
+  // already-measured configurations are replayed, not re-run.
+  Expected<std::vector<std::pair<std::string, TuneRequest>>> Pending =
+      Requests.recover();
+  if (!Pending)
+    return Pending.takeDiag();
+  for (auto &P : *Pending) {
+    auto Job = std::make_shared<ServeJob>();
+    Job->Id = P.first;
+    Job->Req = std::move(P.second);
+    Job->AdmittedAt = StartedAt; // Deadlines restart with the daemon.
+    Queue.push(Job);
+    Recovered.fetch_add(1, std::memory_order_relaxed);
+    traceCount("serve.recovered");
+  }
+
+  Expected<ListenSocket> L = Opts.SocketPath.empty()
+                                 ? ListenSocket::listenTcp(Opts.TcpPort)
+                                 : ListenSocket::listenUnix(Opts.SocketPath);
+  if (!L)
+    return L.takeDiag();
+  Listener = L.takeValue();
+
+  unsigned N = std::max(1u, Opts.Executors);
+  Executors.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Executors.emplace_back(&TuneServer::executorLoop, this);
+  return Unit{};
+}
+
+ServeExit TuneServer::serve() {
+  while (!Draining.load(std::memory_order_acquire) &&
+         !sweepInterruptRequested()) {
+    Expected<Socket> Conn = Listener.acceptFor(0.1);
+    if (!Conn)
+      break; // Hard accept error: drain what was admitted and exit.
+    if (!Conn->valid())
+      continue; // Timeout slice; re-check the shutdown conditions.
+    TraceSpan Span("serve.accept");
+    traceCount("serve.connections");
+    Sessions.emplace_back(&TuneServer::sessionLoop, this,
+                          std::move(*Conn));
+  }
+
+  // Drain: stop admitting (listener down, queue closed), let executors
+  // finish (protocol shutdown) or checkpoint (signal) what was admitted,
+  // then let every session observe its job's terminal state and exit.
+  Draining.store(true, std::memory_order_release);
+  Listener.close();
+  Queue.close();
+  for (std::thread &T : Executors)
+    T.join();
+  Executors.clear();
+  for (std::thread &T : Sessions)
+    T.join();
+  Sessions.clear();
+  return sweepForceQuitRequested() ? ServeExit::Forced : ServeExit::Drained;
+}
+
+ServeStatus TuneServer::status() const {
+  ServeStatus S;
+  S.QueueDepth = Queue.depth();
+  S.QueueLimit = Queue.limit();
+  S.Active = Active.load(std::memory_order_relaxed);
+  S.Completed = Completed.load(std::memory_order_relaxed);
+  S.Shed = Shed.load(std::memory_order_relaxed);
+  S.Recovered = Recovered.load(std::memory_order_relaxed);
+  S.CacheHits = EngineHits.load(std::memory_order_relaxed);
+  S.CacheMisses = EngineMisses.load(std::memory_order_relaxed);
+  S.UptimeSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - StartedAt)
+                        .count();
+  S.Draining = Draining.load(std::memory_order_relaxed);
+  return S;
+}
+
+std::shared_ptr<TuneServer::Engine>
+TuneServer::engineFor(const TuneRequest &Req, std::string &Error) {
+  std::string Key = Req.App + "|" + Req.Machine +
+                    (Req.FastBw ? "|fastbw" : "") +
+                    (Req.Lint ? "|lint" : "");
+  std::lock_guard<std::mutex> L(EngineM);
+  auto It = EngineRegistry.find(Key);
+  if (It != EngineRegistry.end()) {
+    EngineHits.fetch_add(1, std::memory_order_relaxed);
+    traceCount("serve.engine_hits");
+    return It->second;
+  }
+  EngineMisses.fetch_add(1, std::memory_order_relaxed);
+  traceCount("serve.engine_misses");
+  auto E = std::make_shared<Engine>();
+  E->App = serveMakeApp(Req.App);
+  if (!E->App) {
+    Error = "unknown app '" + Req.App + "'";
+    return nullptr;
+  }
+  SimOptions SimO;
+  SimO.BandwidthFastPath = Req.FastBw;
+  E->Eng = std::make_unique<SearchEngine>(*E->App,
+                                          serveMakeMachine(Req.Machine),
+                                          MetricOptions{}, SimO, FaultPlan{},
+                                          LintOptions{Req.Lint});
+  EngineRegistry[Key] = E;
+  return E;
+}
+
+std::string TuneServer::admit(const TuneRequest &Req,
+                              std::shared_ptr<ServeJob> &Out) {
+  TraceSpan Span("serve.admit");
+  if (Draining.load(std::memory_order_acquire) || sweepInterruptRequested())
+    return errorFrame("daemon is draining; not accepting new requests");
+  std::string Error;
+  if (!validateRequest(Req, Error))
+    return errorFrame(Error);
+
+  // AdmitM serializes the capacity check with ticket creation, so the
+  // ticket for an admitted request always lands in the queue: depth can
+  // only shrink (executors pop) while we hold the lock.
+  std::lock_guard<std::mutex> L(AdmitM);
+  if (Queue.depth() >= Queue.limit()) {
+    Shed.fetch_add(1, std::memory_order_relaxed);
+    traceCount("serve.shed");
+    return overloadedFrame(Queue.depth(), Queue.limit());
+  }
+  Expected<std::string> Id = Requests.createTicket(Req);
+  if (!Id)
+    return errorFrame("spool failure: " + Id.diag().Message);
+
+  auto Job = std::make_shared<ServeJob>();
+  Job->Id = *Id;
+  Job->Req = Req;
+  Job->AdmittedAt = std::chrono::steady_clock::now();
+  if (!Queue.tryPush(Job)) {
+    // Drain began between the check above and here: un-spool the ticket
+    // (the client is getting an error, not an "accepted").
+    std::error_code Ec;
+    std::filesystem::remove(Requests.ticketPath(*Id), Ec);
+    return errorFrame("daemon is draining; not accepting new requests");
+  }
+  traceCount("serve.admitted");
+  Out = Job;
+  return acceptedFrame(*Id);
+}
+
+void TuneServer::runJob(const std::shared_ptr<ServeJob> &Job) {
+  TraceSpan Span("serve.execute");
+  const TuneRequest &Req = Job->Req;
+
+  double Deadline = Req.DeadlineSeconds > 0 ? Req.DeadlineSeconds
+                                            : Opts.DefaultDeadlineSeconds;
+  auto Expired = [Job, Deadline] {
+    return Deadline > 0 &&
+           std::chrono::steady_clock::now() - Job->AdmittedAt >
+               std::chrono::duration<double>(Deadline);
+  };
+
+  // Terminal error outcomes are durable: without a result file the
+  // ticket would recover (and fail identically) on every restart.
+  auto FailDurable = [&](const std::string &Why) {
+    TuneResult Res;
+    Res.Id = Job->Id;
+    Res.Req = Req;
+    Res.Status = "error";
+    Res.Error = Why;
+    std::string Json = Res.toJson();
+    // Best effort: even if the spool write fails the client still hears
+    // the error; the ticket then recovers (and fails again) on restart.
+    (void)Requests.writeResult(Job->Id, Json);
+    Completed.fetch_add(1, std::memory_order_relaxed);
+    finishJob(*Job, Json);
+  };
+
+  std::string Error;
+  std::shared_ptr<Engine> E = engineFor(Req, Error);
+  if (!E)
+    return FailDurable(Error);
+  if (Expired())
+    return FailDurable("deadline exceeded before execution");
+
+  SweepPlan Plan;
+  if (Req.Strategy == "pareto")
+    Plan = E->Eng->planPareto({}, Opts.Jobs);
+  else if (Req.Strategy == "exhaustive")
+    Plan = E->Eng->planExhaustive(Opts.Jobs);
+  else if (Req.Strategy == "cluster")
+    Plan = E->Eng->planClustered({}, 1e-3, Opts.Jobs);
+  else if (Req.Strategy == "random")
+    Plan = E->Eng->planRandom(Req.Budget, Req.Seed, Opts.Jobs);
+  else
+    return FailDurable("unsupported strategy '" + Req.Strategy + "'");
+  Job->Total.store(Plan.Candidates.size(), std::memory_order_relaxed);
+
+  SweepOptions SOpts;
+  SOpts.JournalPath = Requests.journalPath(Job->Id);
+  SOpts.Resume = std::filesystem::exists(SOpts.JournalPath);
+  SOpts.Isolate = Opts.Isolate;
+  SOpts.Jobs = Opts.Jobs;
+  SOpts.Fingerprint.App = std::string(E->App->name());
+  SOpts.Fingerprint.Machine = E->Eng->evaluator().machine().Name;
+  SOpts.Fingerprint.Strategy = Plan.Strategy;
+  SOpts.Fingerprint.Seed = Req.Seed;
+  SOpts.Fingerprint.Budget = Req.Budget;
+  SOpts.Fingerprint.RawSize = E->App->space().rawSize();
+  // Mirrors tune.cpp's fingerprint Extra (inject spec is always empty in
+  // serve), so the CLI can --resume or report a spool journal directly.
+  bool LintQuarantined = false;
+  for (const ConfigEval &Ev : Plan.Evals)
+    if (Ev.failed() && Ev.Failure.At == Stage::Lint) {
+      LintQuarantined = true;
+      break;
+    }
+  SOpts.Fingerprint.Extra = std::string(Req.FastBw ? "|fastbw" : "") +
+                            (LintQuarantined ? "|lint" : "");
+  SOpts.OnProgress = [Job](const SweepProgress &P) {
+    Job->Done.store(P.Done, std::memory_order_relaxed);
+    Job->Total.store(P.Total, std::memory_order_relaxed);
+    Job->Quarantined.store(P.Quarantined, std::memory_order_relaxed);
+  };
+  // Deadlines and force-quit cancel at record boundaries (and kill
+  // in-flight isolated shards); a plain graceful drain reaches the
+  // driver through the global interrupt flag instead, checkpointing the
+  // sweep resumably.
+  SOpts.ShouldStop = [&Expired] {
+    return Expired() || sweepForceQuitRequested();
+  };
+
+  SweepReport Rep = SweepDriver(*E->Eng, SOpts).run(std::move(Plan));
+
+  if (Rep.Status == SweepStatus::Error)
+    return FailDurable(Rep.Error.Message);
+  if (Rep.Status == SweepStatus::Interrupted) {
+    if (Expired())
+      return FailDurable("deadline exceeded");
+    // Checkpointed by a drain: no durable result — the ticket plus the
+    // journal recover this job on the next start.
+    traceCount("serve.checkpointed");
+    finishJob(*Job,
+              errorFrame("daemon draining; request checkpointed and will "
+                         "resume on restart"));
+    return;
+  }
+
+  TraceSpan CommitSpan("serve.commit");
+  const SearchOutcome &Out = Rep.Outcome;
+  TuneResult Res;
+  Res.Id = Job->Id;
+  Res.Req = Req;
+  Res.Status = "completed";
+  Res.Valid = Out.ValidCount;
+  Res.Measured = Out.Candidates.size();
+  Res.Quarantined = Out.Quarantined.size();
+  if (Out.hasBest()) {
+    Res.Best = E->App->space().describe(Out.Evals[Out.BestIndex].Point);
+    Res.BestTime = Out.BestTime;
+  }
+  Res.TotalMeasuredSeconds = Out.TotalMeasuredSeconds;
+  std::string Json = Res.toJson();
+  Expected<Unit> W = Requests.writeResult(Job->Id, Json);
+  if (!W)
+    return FailDurable("cannot write result: " + W.diag().Message);
+  Completed.fetch_add(1, std::memory_order_relaxed);
+  traceCount("serve.completed");
+  finishJob(*Job, Json);
+}
+
+void TuneServer::executorLoop() {
+  for (;;) {
+    if (sweepForceQuitRequested())
+      return;
+    std::optional<std::shared_ptr<ServeJob>> Job = Queue.pop(0.05);
+    if (!Job) {
+      if (Queue.closed())
+        return; // Closed and drained.
+      continue;
+    }
+    if (sweepInterruptRequested()) {
+      // Signal-initiated drain: leave queued-but-unstarted jobs spooled
+      // for restart recovery instead of starting doomed sweeps.
+      finishJob(**Job, errorFrame("daemon draining; request will resume "
+                                  "on restart"));
+      continue;
+    }
+    Active.fetch_add(1, std::memory_order_relaxed);
+    runJob(*Job);
+    Active.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void TuneServer::sessionLoop(Socket Conn) {
+  std::string Payload;
+  for (;;) {
+    if (sweepForceQuitRequested())
+      return;
+    Socket::Recv R = Conn.recvFrame(0.25, Payload);
+    if (R == Socket::Recv::Closed || R == Socket::Recv::Error)
+      return;
+    if (R == Socket::Recv::Timeout) {
+      if (Draining.load(std::memory_order_acquire) ||
+          sweepInterruptRequested())
+        return; // Idle connection during a drain: hang up.
+      continue;
+    }
+
+    std::string Type = frameType(Payload);
+    if (Type == "tune") {
+      Expected<TuneRequest> Req = TuneRequest::fromJson(Payload);
+      if (!Req) {
+        if (!Conn.sendFrame(errorFrame(Req.diag().Message)))
+          return;
+        continue;
+      }
+      std::shared_ptr<ServeJob> Job;
+      std::string Reply = admit(*Req, Job);
+      if (!Conn.sendFrame(Reply))
+        return;
+      if (!Job || !Req->Wait)
+        continue;
+      // Wait mode: stream progress until the job's terminal frame.  The
+      // job itself is fire-and-forget durable — a send failure here only
+      // ends the session, never the sweep.
+      uint64_t LastDone = ~uint64_t(0);
+      for (;;) {
+        std::string Result = Job->waitResult(0.1);
+        if (!Result.empty()) {
+          if (!Conn.sendFrame(Result))
+            return;
+          break;
+        }
+        if (sweepForceQuitRequested())
+          return;
+        uint64_t Done = Job->Done.load(std::memory_order_relaxed);
+        if (Done != LastDone) {
+          LastDone = Done;
+          if (!Conn.sendFrame(progressFrame(
+                  Job->Id, Done,
+                  Job->Total.load(std::memory_order_relaxed),
+                  Job->Quarantined.load(std::memory_order_relaxed))))
+            return;
+        }
+      }
+    } else if (Type == "status" || Type == "health") {
+      if (!Conn.sendFrame(status().toJson()))
+        return;
+    } else if (Type == "shutdown") {
+      (void)Conn.sendFrame(okFrame()); // Draining anyway if this fails.
+      requestDrain();
+      return;
+    } else {
+      if (!Conn.sendFrame(errorFrame("unknown request type '" + Type +
+                                     "'")))
+        return;
+    }
+  }
+}

@@ -1,0 +1,170 @@
+//===- serve/Spool.cpp ----------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Spool.h"
+
+#include "support/Journal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+using namespace g80;
+
+namespace {
+
+Diagnostic spoolError(std::string Msg) {
+  return makeDiag(ErrorCode::SocketError, Stage::Parse, std::move(Msg));
+}
+
+std::string idForSeq(uint64_t Seq) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "req-%06llu",
+                static_cast<unsigned long long>(Seq));
+  return Buf;
+}
+
+/// "req-000123" -> 123; 0 when the name is not a request id.
+uint64_t seqForId(const std::string &Id) {
+  if (Id.size() < 5 || Id.compare(0, 4, "req-") != 0)
+    return 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Id.c_str() + 4, &End, 10);
+  return (End && *End == '\0') ? V : 0;
+}
+
+#ifndef _WIN32
+
+/// Writes \p Content to \p Path via tmp + fsync + rename + dir fsync, so
+/// the file appears atomically and durably or not at all.
+Expected<Unit> writeFileDurable(const std::string &Path,
+                                const std::string &Content) {
+  std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return spoolError("cannot create '" + Tmp +
+                      "': " + std::strerror(errno));
+  size_t Done = 0;
+  while (Done < Content.size()) {
+    ssize_t N = ::write(Fd, Content.data() + Done, Content.size() - Done);
+    if (N < 0) {
+      std::string E = std::strerror(errno);
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return spoolError("write to '" + Tmp + "' failed: " + E);
+    }
+    Done += size_t(N);
+  }
+  ::fsync(Fd);
+  ::close(Fd);
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::string E = std::strerror(errno);
+    ::unlink(Tmp.c_str());
+    return spoolError("rename to '" + Path + "' failed: " + E);
+  }
+  fsyncParentDir(Path);
+  return Unit{};
+}
+
+#else
+
+Expected<Unit> writeFileDurable(const std::string &Path,
+                                const std::string &Content) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out.write(Content.data(), std::streamsize(Content.size())))
+    return spoolError("cannot write '" + Path + "'");
+  return Unit{};
+}
+
+#endif
+
+} // namespace
+
+Expected<Spool> Spool::open(const std::string &Dir) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec)
+    return spoolError("cannot create spool directory '" + Dir +
+                      "': " + Ec.message());
+  Spool S;
+  S.Dir = Dir;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, Ec)) {
+    if (!Entry.is_regular_file())
+      continue;
+    std::filesystem::path P = Entry.path();
+    if (P.extension() != ".job")
+      continue;
+    uint64_t Seq = seqForId(P.stem().string());
+    S.NextId = std::max(S.NextId, Seq + 1);
+  }
+  if (Ec)
+    return spoolError("cannot scan spool directory '" + Dir +
+                      "': " + Ec.message());
+  return S;
+}
+
+Expected<std::string> Spool::createTicket(const TuneRequest &Req) {
+  std::string Id = idForSeq(NextId);
+  Expected<Unit> W = writeFileDurable(ticketPath(Id), Req.toJson() + "\n");
+  if (!W)
+    return W.takeDiag();
+  ++NextId;
+  return Id;
+}
+
+Expected<Unit> Spool::writeResult(const std::string &Id,
+                                  const std::string &ResultJson) {
+  return writeFileDurable(resultPath(Id), ResultJson + "\n");
+}
+
+Expected<std::string> Spool::readResult(const std::string &Id) const {
+  std::ifstream In(resultPath(Id), std::ios::binary);
+  if (!In)
+    return spoolError("no result for '" + Id + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+Expected<std::vector<std::pair<std::string, TuneRequest>>>
+Spool::recover() const {
+  std::vector<std::pair<std::string, TuneRequest>> Pending;
+  std::error_code Ec;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, Ec)) {
+    if (!Entry.is_regular_file())
+      continue;
+    std::filesystem::path P = Entry.path();
+    if (P.extension() != ".job")
+      continue;
+    std::string Id = P.stem().string();
+    if (seqForId(Id) == 0 || std::filesystem::exists(resultPath(Id)))
+      continue;
+    std::ifstream In(P, std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Expected<TuneRequest> Req = TuneRequest::fromJson(Buf.str());
+    if (!Req)
+      return spoolError("corrupt spool ticket '" + P.string() +
+                        "': " + Req.diag().Message);
+    Pending.emplace_back(Id, Req.takeValue());
+  }
+  if (Ec)
+    return spoolError("cannot scan spool directory '" + Dir +
+                      "': " + Ec.message());
+  std::sort(Pending.begin(), Pending.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Pending;
+}

@@ -1,0 +1,70 @@
+//===- support/Backoff.h - Jittered exponential retry backoff -------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retry-pacing policy shared by the sweep driver's isolated-worker
+/// retries and the serve daemon: exponential growth from an initial delay,
+/// a hard cap, and deterministic jitter so a fleet of retrying workers
+/// does not stampede in lockstep.
+///
+/// Jitter is derived from an FNV-1a hash of (salt, attempt), not from a
+/// random source: given the same configuration index the delay sequence
+/// is reproducible, which keeps retry timing out of the set of things
+/// that can differ between two runs of the same sweep.  Jitter affects
+/// only *when* a retry happens, never its result, so journals stay
+/// byte-identical regardless of the policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SUPPORT_BACKOFF_H
+#define G80TUNE_SUPPORT_BACKOFF_H
+
+#include <algorithm>
+#include <cstdint>
+
+namespace g80 {
+
+/// How long to pause before retry attempt N.  Defaults give 50ms, ~100ms,
+/// ~200ms, ... capped at 2s, each within +/-10% jitter.
+struct BackoffPolicy {
+  /// Delay before the first retry (attempt 1).
+  double InitialSeconds = 0.05;
+  /// Growth factor per additional failed attempt.
+  double Multiplier = 2.0;
+  /// Upper bound on the un-jittered delay.
+  double MaxSeconds = 2.0;
+  /// Half-width of the uniform jitter band around the delay (0.1 means
+  /// the result lands in [0.9x, 1.1x]).
+  double JitterFraction = 0.1;
+
+  /// Delay before retry \p Attempt (1-based: 1 = first retry), jittered
+  /// deterministically by \p Salt (e.g. the configuration's flat index).
+  double delaySeconds(unsigned Attempt, uint64_t Salt) const {
+    double D = InitialSeconds;
+    for (unsigned I = 1; I < Attempt && D < MaxSeconds; ++I)
+      D *= Multiplier;
+    D = std::min(D, MaxSeconds);
+    if (JitterFraction > 0) {
+      // FNV-1a over the (salt, attempt) pair, folded to [0, 1).
+      uint64_t H = 0xcbf29ce484222325ULL;
+      auto Mix = [&H](uint64_t V) {
+        for (int B = 0; B != 8; ++B) {
+          H ^= (V >> (B * 8)) & 0xff;
+          H *= 0x100000001b3ULL;
+        }
+      };
+      Mix(Salt);
+      Mix(Attempt);
+      double Unit = double(H >> 11) / double(1ULL << 53);
+      D *= 1.0 + JitterFraction * (2.0 * Unit - 1.0);
+    }
+    return std::max(D, 0.0);
+  }
+};
+
+} // namespace g80
+
+#endif // G80TUNE_SUPPORT_BACKOFF_H

@@ -338,6 +338,18 @@ JournalWriter::~JournalWriter() { close(); }
 
 #ifndef _WIN32
 
+void g80::fsyncParentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
 static Expected<Unit> writeAll(int Fd, std::string_view Bytes) {
   size_t Done = 0;
   while (Done < Bytes.size()) {
@@ -361,6 +373,10 @@ Expected<JournalWriter> JournalWriter::create(const std::string &Path,
   if (Expected<Unit> R = writeAll(Fd, Line); !R)
     return R.takeDiag();
   ::fsync(Fd);
+  // The file's contents are durable, but its directory entry is not until
+  // the parent directory is synced too — without this a freshly created
+  // journal can vanish wholesale on power loss.
+  fsyncParentDir(Path);
   return W;
 }
 
@@ -408,6 +424,8 @@ void JournalWriter::close() {
 }
 
 #else // _WIN32 — stdio fallback without durability guarantees.
+
+void g80::fsyncParentDir(const std::string &) {}
 
 Expected<JournalWriter> JournalWriter::create(const std::string &Path,
                                               const JournalHeader &Header) {

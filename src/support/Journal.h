@@ -52,6 +52,14 @@ namespace g80 {
 /// reusable wherever a cheap content fingerprint is needed.
 uint64_t fnv1a64(std::string_view Bytes);
 
+/// Fsyncs the directory containing \p Path, making a just-created (or
+/// renamed) directory entry itself durable.  Syncing a new file's fd
+/// flushes the file's *contents*, but the *name* lives in the parent
+/// directory's data; without this a freshly created journal can vanish
+/// entirely on power loss.  Best-effort no-op on platforms where
+/// directories cannot be opened.
+void fsyncParentDir(const std::string &Path);
+
 /// Escapes \p S as the body of a JSON string literal (quotes, backslash,
 /// control characters).
 std::string jsonEscape(std::string_view S);

@@ -1,0 +1,349 @@
+//===- support/Socket.cpp -------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <algorithm>
+#include <utility>
+
+#ifndef _WIN32
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+using namespace g80;
+
+Socket::Socket(Socket &&Other) noexcept : Fd(std::exchange(Other.Fd, -1)) {}
+
+Socket &Socket::operator=(Socket &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = std::exchange(Other.Fd, -1);
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+ListenSocket::ListenSocket(ListenSocket &&Other) noexcept
+    : Fd(std::exchange(Other.Fd, -1)), UnixPath(std::move(Other.UnixPath)),
+      Port(Other.Port) {}
+
+ListenSocket &ListenSocket::operator=(ListenSocket &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = std::exchange(Other.Fd, -1);
+    UnixPath = std::move(Other.UnixPath);
+    Port = Other.Port;
+  }
+  return *this;
+}
+
+ListenSocket::~ListenSocket() { close(); }
+
+namespace {
+
+Diagnostic socketDiag(std::string Message) {
+  return makeDiag(ErrorCode::SocketError, Stage::Parse, std::move(Message));
+}
+
+} // namespace
+
+#ifndef _WIN32
+
+bool g80::socketsSupported() { return true; }
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+namespace {
+
+/// Milliseconds left until \p Deadline, clamped to [0, INT_MAX-ish].
+int millisLeft(std::chrono::steady_clock::time_point Deadline) {
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Deadline - std::chrono::steady_clock::now());
+  if (Left.count() < 0)
+    return 0;
+  if (Left.count() > 3600000)
+    return 3600000;
+  return int(Left.count());
+}
+
+std::chrono::steady_clock::time_point deadlineIn(double Seconds) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(Seconds));
+}
+
+} // namespace
+
+Expected<Unit> Socket::sendFrame(std::string_view Payload) {
+  if (Fd < 0)
+    return socketDiag("sendFrame on a closed socket");
+  if (Payload.size() > MaxFrameBytes)
+    return socketDiag("frame payload exceeds " +
+                      std::to_string(MaxFrameBytes) + " bytes");
+  uint32_t Len = uint32_t(Payload.size());
+  unsigned char Prefix[4] = {
+      (unsigned char)(Len >> 24), (unsigned char)(Len >> 16),
+      (unsigned char)(Len >> 8), (unsigned char)(Len)};
+  std::string Wire(reinterpret_cast<const char *>(Prefix), 4);
+  Wire.append(Payload);
+  size_t Done = 0;
+  while (Done < Wire.size()) {
+    ssize_t N = ::send(Fd, Wire.data() + Done, Wire.size() - Done,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return socketDiag(std::string("send failed: ") + std::strerror(errno));
+    }
+    Done += size_t(N);
+  }
+  return Unit{};
+}
+
+Socket::Recv Socket::recvFrame(double TimeoutSeconds, std::string &Payload) {
+  if (Fd < 0)
+    return Recv::Error;
+  auto Deadline = deadlineIn(TimeoutSeconds);
+  // Phase 1: the 4-byte prefix; phase 2: the payload.
+  unsigned char Prefix[4];
+  size_t Got = 0;
+  uint32_t Need = 0;
+  bool HavePrefix = false;
+  Payload.clear();
+  for (;;) {
+    struct pollfd Pfd = {Fd, POLLIN, 0};
+    int R = ::poll(&Pfd, 1, millisLeft(Deadline));
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return Recv::Error;
+    }
+    if (R == 0)
+      return Recv::Timeout;
+    char Chunk[4096];
+    size_t Want = !HavePrefix ? 4 - Got
+                              : std::min(size_t(Need) - Got, sizeof(Chunk));
+    ssize_t N = ::recv(Fd, Chunk, Want, 0);
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return Recv::Error;
+    }
+    if (N == 0) {
+      // Orderly close is only clean at a frame boundary; EOF inside a
+      // frame means the peer died mid-message.
+      return (!HavePrefix && Got == 0) ? Recv::Closed : Recv::Error;
+    }
+    if (!HavePrefix) {
+      std::memcpy(Prefix + Got, Chunk, size_t(N));
+      Got += size_t(N);
+      if (Got == 4) {
+        Need = (uint32_t(Prefix[0]) << 24) | (uint32_t(Prefix[1]) << 16) |
+               (uint32_t(Prefix[2]) << 8) | uint32_t(Prefix[3]);
+        if (Need > MaxFrameBytes)
+          return Recv::Error;
+        HavePrefix = true;
+        Got = 0;
+        Payload.reserve(Need);
+        if (Need == 0)
+          return Recv::Frame;
+      }
+    } else {
+      Payload.append(Chunk, size_t(N));
+      Got += size_t(N);
+      if (Got == Need)
+        return Recv::Frame;
+    }
+  }
+}
+
+void ListenSocket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+    if (!UnixPath.empty())
+      ::unlink(UnixPath.c_str());
+  }
+}
+
+Expected<ListenSocket> ListenSocket::listenUnix(const std::string &Path) {
+  struct sockaddr_un Addr;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return socketDiag("unix socket path too long: " + Path);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return socketDiag(std::string("socket failed: ") + std::strerror(errno));
+  // A crashed daemon leaves its socket file behind; rebinding requires
+  // removing it first (connect() to the stale file fails, so this is
+  // safe for the single-daemon-per-spool model).
+  ::unlink(Path.c_str());
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    std::string E = std::strerror(errno);
+    ::close(Fd);
+    return socketDiag("bind " + Path + " failed: " + E);
+  }
+  if (::listen(Fd, 64) != 0) {
+    std::string E = std::strerror(errno);
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    return socketDiag("listen " + Path + " failed: " + E);
+  }
+  return ListenSocket(Fd, Path, 0);
+}
+
+Expected<ListenSocket> ListenSocket::listenTcp(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return socketDiag(std::string("socket failed: ") + std::strerror(errno));
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  struct sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    std::string E = std::strerror(errno);
+    ::close(Fd);
+    return socketDiag("bind 127.0.0.1:" + std::to_string(Port) +
+                      " failed: " + E);
+  }
+  if (::listen(Fd, 64) != 0) {
+    std::string E = std::strerror(errno);
+    ::close(Fd);
+    return socketDiag("listen failed: " + E);
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<struct sockaddr *>(&Addr), &Len) !=
+      0) {
+    std::string E = std::strerror(errno);
+    ::close(Fd);
+    return socketDiag("getsockname failed: " + E);
+  }
+  return ListenSocket(Fd, "", ntohs(Addr.sin_port));
+}
+
+Expected<Socket> ListenSocket::acceptFor(double TimeoutSeconds) {
+  if (Fd < 0)
+    return socketDiag("accept on a closed listener");
+  auto Deadline = deadlineIn(TimeoutSeconds);
+  for (;;) {
+    struct pollfd Pfd = {Fd, POLLIN, 0};
+    int R = ::poll(&Pfd, 1, millisLeft(Deadline));
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return socketDiag(std::string("poll failed: ") + std::strerror(errno));
+    }
+    if (R == 0)
+      return Socket(); // Timeout: invalid socket, not an error.
+    int Conn = ::accept(Fd, nullptr, nullptr);
+    if (Conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK)
+        continue;
+      return socketDiag(std::string("accept failed: ") +
+                        std::strerror(errno));
+    }
+    return Socket::fromFd(Conn);
+  }
+}
+
+namespace {
+
+Expected<Socket> connectAddr(int Family, const struct sockaddr *Addr,
+                             socklen_t Len, const std::string &What) {
+  int Fd = ::socket(Family, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return socketDiag(std::string("socket failed: ") + std::strerror(errno));
+  int R;
+  do {
+    R = ::connect(Fd, Addr, Len);
+  } while (R != 0 && errno == EINTR);
+  if (R != 0) {
+    std::string E = std::strerror(errno);
+    ::close(Fd);
+    return socketDiag("connect " + What + " failed: " + E);
+  }
+  return Socket::fromFd(Fd);
+}
+
+} // namespace
+
+Expected<Socket> g80::connectUnix(const std::string &Path) {
+  struct sockaddr_un Addr;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return socketDiag("unix socket path too long: " + Path);
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return connectAddr(AF_UNIX, reinterpret_cast<struct sockaddr *>(&Addr),
+                     sizeof(Addr), Path);
+}
+
+Expected<Socket> g80::connectTcp(uint16_t Port) {
+  struct sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  return connectAddr(AF_INET, reinterpret_cast<struct sockaddr *>(&Addr),
+                     sizeof(Addr), "127.0.0.1:" + std::to_string(Port));
+}
+
+#else // _WIN32
+
+bool g80::socketsSupported() { return false; }
+
+void Socket::close() { Fd = -1; }
+
+Expected<Unit> Socket::sendFrame(std::string_view) {
+  return socketDiag("sockets unsupported on this platform");
+}
+
+Socket::Recv Socket::recvFrame(double, std::string &) { return Recv::Error; }
+
+void ListenSocket::close() { Fd = -1; }
+
+Expected<ListenSocket> ListenSocket::listenUnix(const std::string &) {
+  return socketDiag("sockets unsupported on this platform");
+}
+
+Expected<ListenSocket> ListenSocket::listenTcp(uint16_t) {
+  return socketDiag("sockets unsupported on this platform");
+}
+
+Expected<Socket> ListenSocket::acceptFor(double) {
+  return socketDiag("sockets unsupported on this platform");
+}
+
+Expected<Socket> g80::connectUnix(const std::string &) {
+  return socketDiag("sockets unsupported on this platform");
+}
+
+Expected<Socket> g80::connectTcp(uint16_t) {
+  return socketDiag("sockets unsupported on this platform");
+}
+
+#endif

@@ -62,6 +62,12 @@ const char *g80::errorCodeName(ErrorCode C) {
     return "lint-annotation";
   case ErrorCode::LintFailed:
     return "lint-failed";
+  case ErrorCode::SocketError:
+    return "socket-error";
+  case ErrorCode::Overloaded:
+    return "overloaded";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline-exceeded";
   }
   G80_UNREACHABLE("unknown error code");
 }

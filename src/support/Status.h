@@ -66,11 +66,15 @@ enum class ErrorCode : uint8_t {
   LintRace,          ///< Proven shared-memory race or divergent barrier.
   LintAnnotation,    ///< Annotation contradicts the symbolic analysis.
   LintFailed,        ///< Any other error-severity lint finding.
+  SocketError,       ///< Serve transport failure (bind, frame, protocol).
+  Overloaded,        ///< Serve admission queue full; request was shed.
+  DeadlineExceeded,  ///< Serve request exceeded its deadline and was
+                     ///< cancelled at a record boundary.
 };
 
 /// The last ErrorCode value, for wire-format range checks and inverse
 /// lookups (keep in sync when appending codes).
-inline constexpr ErrorCode LastErrorCode = ErrorCode::LintFailed;
+inline constexpr ErrorCode LastErrorCode = ErrorCode::DeadlineExceeded;
 
 /// Returns a short name for \p C ("parse-error", "sim-deadlock", ...).
 const char *errorCodeName(ErrorCode C);

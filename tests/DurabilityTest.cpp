@@ -26,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -458,7 +459,7 @@ TEST(SweepDriverTest, IsolatedCrashAndHangQuarantineOnlyVictims) {
   Opts.Isolate = true;
   Opts.ShardSize = 8;
   Opts.TaskTimeoutSeconds = 0.25;
-  Opts.RetryBackoffSeconds = 0.01;
+  Opts.RetryBackoff.InitialSeconds = 0.01;
   Opts.JournalPath = tmpPath("crashhang");
   Opts.Fingerprint = toyFp(toy100(), "crash@7,hang@13");
   SweepReport Rep = SweepDriver(Engine, Opts).run(Engine.planExhaustive());
@@ -543,5 +544,101 @@ TEST(SweepDriverTest, RealAppJournaledResumeMatchesPlain) {
   EXPECT_EQ(Res.ResumedSkipped, 10u);
   expectEqualOutcomes(Res.Outcome, Want);
 }
+
+//===--- Signal semantics: graceful drain vs force-quit escalation --------===//
+
+#ifndef _WIN32
+
+namespace signalprobe {
+// A plain sigaction handler: proof that the *previous* disposition is
+// what fires, not the sweep handler.
+volatile sig_atomic_t ProbeHits = 0;
+extern "C" void probeHandler(int) { ProbeHits = ProbeHits + 1; }
+} // namespace signalprobe
+
+TEST(SweepSignalsTest, SingleSignalIsGracefulSecondIsForceQuit) {
+  clearSweepInterrupt();
+  ScopedSweepSignalHandlers Guard;
+  ASSERT_FALSE(sweepInterruptRequested());
+  ASSERT_FALSE(sweepForceQuitRequested());
+
+  // First SIGINT: graceful-drain request only.
+  ASSERT_EQ(raise(SIGINT), 0);
+  EXPECT_TRUE(sweepInterruptRequested());
+  EXPECT_FALSE(sweepForceQuitRequested());
+
+  // Second signal (either of the pair): force-quit escalation.
+  ASSERT_EQ(raise(SIGTERM), 0);
+  EXPECT_TRUE(sweepInterruptRequested());
+  EXPECT_TRUE(sweepForceQuitRequested());
+
+  // Further signals stay a force-quit; nothing wraps or throws.
+  ASSERT_EQ(raise(SIGINT), 0);
+  EXPECT_TRUE(sweepForceQuitRequested());
+  clearSweepInterrupt();
+}
+
+TEST(SweepSignalsTest, InterruptedSweepDrainsGracefully) {
+  // A sweep that receives one interrupt finishes its record boundary and
+  // reports Interrupted — the journal stays resumable, nothing is lost.
+  SearchEngine Engine(toy100(), gtx());
+  clearSweepInterrupt();
+  ScopedSweepSignalHandlers Guard;
+  std::atomic<int> Committed{0};
+  SweepOptions Opts;
+  Opts.JournalPath = tmpPath("sig_drain");
+  Opts.Fingerprint = toyFp(toy100());
+  Opts.OnProgress = [&](const SweepProgress &) {
+    if (++Committed == 3)
+      ASSERT_EQ(raise(SIGINT), 0);
+  };
+  SweepReport Rep = SweepDriver(Engine, Opts).run(Engine.planExhaustive());
+  EXPECT_EQ(Rep.Status, SweepStatus::Interrupted);
+  EXPECT_LT(Committed.load(), 100);
+  EXPECT_FALSE(sweepForceQuitRequested());
+  clearSweepInterrupt();
+
+  // The drained journal resumes cleanly to the full outcome.
+  Opts.OnProgress = nullptr;
+  Opts.Resume = true;
+  SweepReport Res = SweepDriver(Engine, Opts).run(Engine.planExhaustive());
+  ASSERT_EQ(Res.Status, SweepStatus::Completed);
+  EXPECT_EQ(Res.ResumedSkipped, size_t(Committed.load()));
+}
+
+TEST(SweepSignalsTest, PreviousHandlersRestoredAfterScopeExit) {
+  clearSweepInterrupt();
+  struct sigaction Probe = {};
+  Probe.sa_handler = signalprobe::probeHandler;
+  sigemptyset(&Probe.sa_mask);
+  struct sigaction SavedInt = {}, SavedTerm = {};
+  ASSERT_EQ(sigaction(SIGINT, &Probe, &SavedInt), 0);
+  ASSERT_EQ(sigaction(SIGTERM, &Probe, &SavedTerm), 0);
+  signalprobe::ProbeHits = 0;
+
+  {
+    ScopedSweepSignalHandlers Guard;
+    // Inside the scope the sweep handler owns the signal: the probe must
+    // not fire, the interrupt counter must.
+    ASSERT_EQ(raise(SIGINT), 0);
+    EXPECT_EQ(int(signalprobe::ProbeHits), 0);
+    EXPECT_TRUE(sweepInterruptRequested());
+  }
+
+  // After scope exit the probe (the "previous" disposition) fires again
+  // and the counter no longer moves.
+  clearSweepInterrupt();
+  ASSERT_EQ(raise(SIGINT), 0);
+  EXPECT_EQ(int(signalprobe::ProbeHits), 1);
+  EXPECT_FALSE(sweepInterruptRequested());
+  ASSERT_EQ(raise(SIGTERM), 0);
+  EXPECT_EQ(int(signalprobe::ProbeHits), 2);
+
+  ASSERT_EQ(sigaction(SIGINT, &SavedInt, nullptr), 0);
+  ASSERT_EQ(sigaction(SIGTERM, &SavedTerm, nullptr), 0);
+  clearSweepInterrupt();
+}
+
+#endif // !_WIN32
 
 } // namespace

@@ -1,0 +1,703 @@
+//===- tests/ServeTest.cpp - the tune serve daemon stack ------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The serve subsystem bottom up: backoff policy determinism, the
+// length-prefixed socket transport, the wire protocol round-trips, the
+// bounded admission queue, the durable spool, driver-level cooperative
+// cancellation, and the daemon end to end — accept/execute/result,
+// overload shedding, deadlines, status, graceful drain, and the chaos
+// scenario: SIGKILL the daemon mid-request, restart on the same spool,
+// and every journaled request completes with results byte-identical to
+// an uninterrupted run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ToyApps.h"
+
+#include "core/Search.h"
+#include "core/SweepDriver.h"
+#include "serve/Client.h"
+#include "serve/RequestQueue.h"
+#include "serve/Server.h"
+#include "serve/Spool.h"
+#include "support/Backoff.h"
+#include "support/Socket.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#ifndef _WIN32
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+using namespace g80;
+
+namespace {
+
+std::string tmpDir(const char *Name) {
+  std::string Path = testing::TempDir() + "g80_serve_" + Name;
+  std::filesystem::remove_all(Path);
+  return Path;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+TuneRequest tinyRequest(uint64_t Seed, bool Wait = false) {
+  TuneRequest Req;
+  Req.App = "matmul";
+  Req.Strategy = "random";
+  Req.Budget = 3;
+  Req.Seed = Seed;
+  Req.Wait = Wait;
+  return Req;
+}
+
+/// Polls \p Pred at 10ms until true or \p Seconds elapse.
+bool waitFor(double Seconds, const std::function<bool()> &Pred) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(Seconds);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    if (Pred())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return Pred();
+}
+
+//===--- Backoff --------------------------------------------------------------//
+
+TEST(BackoffTest, DeterministicExponentialWithCap) {
+  BackoffPolicy P;
+  // Same (salt, attempt) always yields the same delay.
+  EXPECT_DOUBLE_EQ(P.delaySeconds(0, 42), P.delaySeconds(0, 42));
+  EXPECT_DOUBLE_EQ(P.delaySeconds(3, 7), P.delaySeconds(3, 7));
+  // Grows roughly exponentially until the cap.
+  EXPECT_LT(P.delaySeconds(0, 1), P.delaySeconds(2, 1));
+  for (unsigned A = 0; A != 16; ++A)
+    EXPECT_LE(P.delaySeconds(A, 1), P.MaxSeconds * (1 + P.JitterFraction));
+}
+
+TEST(BackoffTest, JitterStaysWithinFraction) {
+  BackoffPolicy P;
+  for (uint64_t Salt = 0; Salt != 50; ++Salt) {
+    // Attempts are 1-based: the first retry waits ~InitialSeconds.
+    double D = P.delaySeconds(1, Salt);
+    double Base = P.InitialSeconds;
+    EXPECT_GE(D, Base * (1 - P.JitterFraction) - 1e-12);
+    EXPECT_LE(D, Base * (1 + P.JitterFraction) + 1e-12);
+  }
+}
+
+TEST(BackoffTest, SaltsDecorrelate) {
+  BackoffPolicy P;
+  // Not all salts may differ, but across 20 salts at least two delays
+  // must (otherwise the jitter is dead code).
+  bool AnyDiffer = false;
+  double First = P.delaySeconds(1, 0);
+  for (uint64_t Salt = 1; Salt != 20; ++Salt)
+    AnyDiffer |= P.delaySeconds(1, Salt) != First;
+  EXPECT_TRUE(AnyDiffer);
+}
+
+//===--- Socket ---------------------------------------------------------------//
+
+TEST(SocketTest, TcpFrameRoundTrip) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no sockets on this platform";
+  Expected<ListenSocket> L = ListenSocket::listenTcp(0);
+  ASSERT_TRUE(L.ok()) << L.diag().Message;
+  ASSERT_NE(L->port(), 0);
+
+  Expected<Socket> Client = connectTcp(L->port());
+  ASSERT_TRUE(Client.ok()) << Client.diag().Message;
+  Expected<Socket> Server = L->acceptFor(5);
+  ASSERT_TRUE(Server.ok()) << Server.diag().Message;
+  ASSERT_TRUE(Server->valid());
+
+  std::string Msg = "{\"type\":\"ping\",\"blob\":\"\x01\x02\xff wire\"}";
+  ASSERT_TRUE(Client->sendFrame(Msg).ok());
+  std::string Got;
+  ASSERT_EQ(Server->recvFrame(5, Got), Socket::Recv::Frame);
+  EXPECT_EQ(Got, Msg);
+
+  // And the other direction on the same connection.
+  ASSERT_TRUE(Server->sendFrame("pong").ok());
+  ASSERT_EQ(Client->recvFrame(5, Got), Socket::Recv::Frame);
+  EXPECT_EQ(Got, "pong");
+}
+
+TEST(SocketTest, RecvTimesOutAndConnectionCloseIsClean) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no sockets on this platform";
+  Expected<ListenSocket> L = ListenSocket::listenTcp(0);
+  ASSERT_TRUE(L.ok());
+  Expected<Socket> Client = connectTcp(L->port());
+  ASSERT_TRUE(Client.ok());
+  Expected<Socket> Server = L->acceptFor(5);
+  ASSERT_TRUE(Server.ok());
+
+  std::string Got;
+  EXPECT_EQ(Server->recvFrame(0.05, Got), Socket::Recv::Timeout);
+  Client->close();
+  EXPECT_EQ(Server->recvFrame(1, Got), Socket::Recv::Closed);
+}
+
+TEST(SocketTest, OversizedSendIsRejected) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no sockets on this platform";
+  Expected<ListenSocket> L = ListenSocket::listenTcp(0);
+  ASSERT_TRUE(L.ok());
+  Expected<Socket> Client = connectTcp(L->port());
+  ASSERT_TRUE(Client.ok());
+  std::string Huge(Socket::MaxFrameBytes + 1, 'x');
+  EXPECT_FALSE(Client->sendFrame(Huge).ok());
+}
+
+TEST(SocketTest, UnixSocketRoundTripAndStaleReplacement) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no sockets on this platform";
+  std::string Path = testing::TempDir() + "g80_serve_sock_test";
+  {
+    Expected<ListenSocket> L = ListenSocket::listenUnix(Path);
+    ASSERT_TRUE(L.ok()) << L.diag().Message;
+    Expected<Socket> Client = connectUnix(Path);
+    ASSERT_TRUE(Client.ok());
+    Expected<Socket> Server = L->acceptFor(5);
+    ASSERT_TRUE(Server.ok());
+    ASSERT_TRUE(Client->sendFrame("hello").ok());
+    std::string Got;
+    ASSERT_EQ(Server->recvFrame(5, Got), Socket::Recv::Frame);
+    EXPECT_EQ(Got, "hello");
+    // Leave the socket file behind deliberately (simulates a crash).
+    L->close();
+  }
+  // A fresh daemon replaces the stale socket file.
+  Expected<ListenSocket> L2 = ListenSocket::listenUnix(Path);
+  EXPECT_TRUE(L2.ok()) << (L2.ok() ? "" : L2.diag().Message);
+}
+
+//===--- Protocol -------------------------------------------------------------//
+
+TEST(ServeProtocolTest, TuneRequestRoundTrip) {
+  TuneRequest R;
+  R.App = "sad";
+  R.Machine = "nextgen";
+  R.Strategy = "cluster";
+  R.Seed = 99;
+  R.Budget = 7;
+  R.FastBw = true;
+  R.Lint = true;
+  R.DeadlineSeconds = 12.5;
+  R.Wait = true;
+  Expected<TuneRequest> Back = TuneRequest::fromJson(R.toJson());
+  ASSERT_TRUE(Back.ok()) << Back.diag().Message;
+  EXPECT_EQ(Back->App, R.App);
+  EXPECT_EQ(Back->Machine, R.Machine);
+  EXPECT_EQ(Back->Strategy, R.Strategy);
+  EXPECT_EQ(Back->Seed, R.Seed);
+  EXPECT_EQ(Back->Budget, R.Budget);
+  EXPECT_EQ(Back->FastBw, R.FastBw);
+  EXPECT_EQ(Back->Lint, R.Lint);
+  EXPECT_DOUBLE_EQ(Back->DeadlineSeconds, R.DeadlineSeconds);
+  EXPECT_EQ(Back->Wait, R.Wait);
+  EXPECT_EQ(frameType(R.toJson()), "tune");
+}
+
+TEST(ServeProtocolTest, ForeignWhitespaceTolerated) {
+  // python's json.dumps and pretty-printers put whitespace between
+  // tokens; the parser must not care.
+  std::string Json = "{ \"type\" : \"tune\",\n  \"app\" : \"matmul\",\n"
+                     "  \"seed\" : 5, \"wait\" : true }";
+  EXPECT_EQ(frameType(Json), "tune");
+  Expected<TuneRequest> R = TuneRequest::fromJson(Json);
+  ASSERT_TRUE(R.ok()) << R.diag().Message;
+  EXPECT_EQ(R->App, "matmul");
+  EXPECT_EQ(R->Seed, 5u);
+  EXPECT_TRUE(R->Wait);
+  // ... while whitespace *inside* strings is preserved.
+  Expected<TuneRequest> R2 = TuneRequest::fromJson(
+      "{\"type\":\"tune\",\"app\":\"mat mul\"}");
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(R2->App, "mat mul");
+}
+
+TEST(ServeProtocolTest, RequestValidation) {
+  EXPECT_FALSE(TuneRequest::fromJson("{\"type\":\"tune\"}").ok());
+  EXPECT_FALSE(TuneRequest::fromJson(
+                   "{\"type\":\"tune\",\"app\":\"matmul\","
+                   "\"deadline\":-1}")
+                   .ok());
+}
+
+TEST(ServeProtocolTest, TuneResultRoundTripIsDeterministic) {
+  TuneResult R;
+  R.Id = "req-000007";
+  R.Req = tinyRequest(3);
+  R.Status = "completed";
+  R.Valid = 96;
+  R.Measured = 3;
+  R.Quarantined = 1;
+  R.Best = "tile=16 rect=2";
+  R.BestTime = 0.0012345678901234567;
+  R.TotalMeasuredSeconds = 0.5;
+  std::string Json = R.toJson();
+  // Serialization is stable: the chaos test byte-compares result files.
+  EXPECT_EQ(Json, R.toJson());
+  Expected<TuneResult> Back = TuneResult::fromJson(Json);
+  ASSERT_TRUE(Back.ok()) << Back.diag().Message;
+  EXPECT_EQ(Back->Id, R.Id);
+  EXPECT_EQ(Back->Status, "completed");
+  EXPECT_EQ(Back->Valid, R.Valid);
+  EXPECT_EQ(Back->Measured, R.Measured);
+  EXPECT_EQ(Back->Quarantined, R.Quarantined);
+  EXPECT_EQ(Back->Best, R.Best);
+  EXPECT_DOUBLE_EQ(Back->BestTime, R.BestTime);
+  EXPECT_EQ(Back->toJson(), Json);
+}
+
+TEST(ServeProtocolTest, StatusRoundTrip) {
+  ServeStatus S;
+  S.QueueDepth = 3;
+  S.QueueLimit = 16;
+  S.Active = 2;
+  S.Completed = 40;
+  S.Shed = 5;
+  S.Recovered = 1;
+  S.CacheHits = 30;
+  S.CacheMisses = 10;
+  S.UptimeSeconds = 12.25;
+  S.Draining = true;
+  EXPECT_DOUBLE_EQ(S.cacheHitRate(), 0.75);
+  Expected<ServeStatus> Back = ServeStatus::fromJson(S.toJson());
+  ASSERT_TRUE(Back.ok()) << Back.diag().Message;
+  EXPECT_EQ(Back->QueueDepth, S.QueueDepth);
+  EXPECT_EQ(Back->Shed, S.Shed);
+  EXPECT_EQ(Back->Recovered, S.Recovered);
+  EXPECT_TRUE(Back->Draining);
+}
+
+//===--- RequestQueue ---------------------------------------------------------//
+
+TEST(RequestQueueTest, BoundShedsAndRecoveryBypasses) {
+  RequestQueue<int> Q(2);
+  EXPECT_TRUE(Q.tryPush(1));
+  EXPECT_TRUE(Q.tryPush(2));
+  EXPECT_FALSE(Q.tryPush(3)) << "third push must shed at bound 2";
+  EXPECT_TRUE(Q.push(3)) << "recovery push bypasses the bound";
+  EXPECT_EQ(Q.depth(), 3u);
+  EXPECT_EQ(Q.pop(0.1).value(), 1);
+  EXPECT_EQ(Q.pop(0.1).value(), 2);
+  EXPECT_EQ(Q.pop(0.1).value(), 3);
+  EXPECT_FALSE(Q.pop(0.02).has_value());
+}
+
+TEST(RequestQueueTest, CloseStopsAdmissionButDrainsItems) {
+  RequestQueue<int> Q(4);
+  EXPECT_TRUE(Q.tryPush(1));
+  Q.close();
+  EXPECT_FALSE(Q.tryPush(2));
+  EXPECT_FALSE(Q.push(2));
+  EXPECT_EQ(Q.pop(0.1).value(), 1);
+  EXPECT_FALSE(Q.pop(0.1).has_value());
+  EXPECT_TRUE(Q.closed());
+}
+
+TEST(RequestQueueTest, PopWakesOnPushFromAnotherThread) {
+  RequestQueue<int> Q(4);
+  std::thread Producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    Q.tryPush(42);
+  });
+  std::optional<int> Got = Q.pop(5);
+  Producer.join();
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(*Got, 42);
+}
+
+//===--- Spool ----------------------------------------------------------------//
+
+TEST(SpoolTest, TicketResultAndRecoveryInvariant) {
+  std::string Dir = tmpDir("spool");
+  Expected<Spool> Sp = Spool::open(Dir);
+  ASSERT_TRUE(Sp.ok()) << Sp.diag().Message;
+
+  Expected<std::string> A = Sp->createTicket(tinyRequest(1));
+  Expected<std::string> B = Sp->createTicket(tinyRequest(2));
+  Expected<std::string> C = Sp->createTicket(tinyRequest(3));
+  ASSERT_TRUE(A.ok() && B.ok() && C.ok());
+  EXPECT_EQ(*A, "req-000001");
+  EXPECT_EQ(*B, "req-000002");
+  EXPECT_EQ(*C, "req-000003");
+
+  // Complete B only: recovery must list exactly A and C, in id order.
+  ASSERT_TRUE(Sp->writeResult(*B, "{\"type\":\"result\"}").ok());
+  Expected<std::string> Read = Sp->readResult(*B);
+  ASSERT_TRUE(Read.ok());
+  EXPECT_NE(Read->find("result"), std::string::npos);
+
+  auto Pending = Sp->recover();
+  ASSERT_TRUE(Pending.ok()) << Pending.diag().Message;
+  ASSERT_EQ(Pending->size(), 2u);
+  EXPECT_EQ((*Pending)[0].first, "req-000001");
+  EXPECT_EQ((*Pending)[0].second.Seed, 1u);
+  EXPECT_EQ((*Pending)[1].first, "req-000003");
+  EXPECT_EQ((*Pending)[1].second.Seed, 3u);
+
+  // Reopening seeds the id counter past existing tickets.
+  Expected<Spool> Again = Spool::open(Dir);
+  ASSERT_TRUE(Again.ok());
+  Expected<std::string> D = Again->createTicket(tinyRequest(4));
+  ASSERT_TRUE(D.ok());
+  EXPECT_EQ(*D, "req-000004");
+}
+
+TEST(SpoolTest, CorruptTicketIsAHardError) {
+  std::string Dir = tmpDir("spool_corrupt");
+  Expected<Spool> Sp = Spool::open(Dir);
+  ASSERT_TRUE(Sp.ok());
+  std::ofstream(Dir + "/req-000009.job") << "not json at all";
+  EXPECT_FALSE(Sp->recover().ok());
+}
+
+//===--- Driver-level cooperative cancellation --------------------------------//
+
+TEST(SweepDriverTest, ShouldStopCancelsAtRecordBoundary) {
+  static ToyApp Toy(20);
+  SearchEngine Engine(Toy, MachineModel::geForce8800Gtx());
+  std::atomic<int> Committed{0};
+  SweepOptions Opts;
+  Opts.OnProgress = [&](const SweepProgress &) { ++Committed; };
+  Opts.ShouldStop = [&] { return Committed.load() >= 5; };
+  SweepReport Rep = SweepDriver(Engine, Opts).run(Engine.planExhaustive());
+  EXPECT_EQ(Rep.Status, SweepStatus::Interrupted);
+  // Stopped at the next record boundary: far fewer than the 100 planned
+  // measurements were committed.
+  EXPECT_GE(Committed.load(), 5);
+  EXPECT_LT(Committed.load(), 100);
+}
+
+} // namespace
+
+//===--- Daemon end to end -----------------------------------------------------//
+
+namespace {
+
+#ifndef _WIN32
+
+TEST(ServeEndToEndTest, AcceptExecuteResultAndStatus) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no sockets on this platform";
+  ServeOptions SO;
+  SO.SpoolDir = tmpDir("e2e");
+  SO.TcpPort = 0;
+  SO.Executors = 1;
+  TuneServer Server(SO);
+  ASSERT_TRUE(Server.start().ok());
+  std::thread T([&] { Server.serve(); });
+
+  Expected<ServeClient> Client = ServeClient::connect("", Server.port());
+  ASSERT_TRUE(Client.ok()) << Client.diag().Message;
+  Expected<std::string> Reply = Client->submit(tinyRequest(5, true), 30);
+  ASSERT_TRUE(Reply.ok()) << Reply.diag().Message;
+  ASSERT_EQ(frameType(*Reply), "accepted");
+
+  Expected<std::string> Result = Client->awaitResult(60);
+  ASSERT_TRUE(Result.ok()) << Result.diag().Message;
+  ASSERT_EQ(frameType(*Result), "result");
+  Expected<TuneResult> Parsed = TuneResult::fromJson(*Result);
+  ASSERT_TRUE(Parsed.ok());
+  EXPECT_EQ(Parsed->Status, "completed");
+  EXPECT_EQ(Parsed->Measured, 3u);
+  EXPECT_FALSE(Parsed->Best.empty());
+
+  Expected<ServeStatus> Status = Client->status(10);
+  ASSERT_TRUE(Status.ok()) << Status.diag().Message;
+  EXPECT_EQ(Status->Completed, 1u);
+  EXPECT_EQ(Status->Shed, 0u);
+  EXPECT_FALSE(Status->Draining);
+
+  ASSERT_TRUE(Client->shutdown(10).ok());
+  T.join();
+}
+
+TEST(ServeEndToEndTest, OverloadShedsWithBackpressureFrame) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no sockets on this platform";
+  ServeOptions SO;
+  SO.SpoolDir = tmpDir("shed");
+  SO.TcpPort = 0;
+  SO.QueueLimit = 1;
+  SO.Executors = 1;
+  TuneServer Server(SO);
+  ASSERT_TRUE(Server.start().ok());
+  std::thread T([&] { Server.serve(); });
+
+  Expected<ServeClient> Client = ServeClient::connect("", Server.port());
+  ASSERT_TRUE(Client.ok());
+  // Burst faster than one executor can drain a bound-1 queue: some must
+  // be accepted, some must be shed with the overloaded frame.
+  unsigned Accepted = 0, Shed = 0;
+  for (unsigned I = 0; I != 10; ++I) {
+    Expected<std::string> Reply = Client->submit(tinyRequest(100 + I), 30);
+    ASSERT_TRUE(Reply.ok());
+    std::string Type = frameType(*Reply);
+    if (Type == "accepted")
+      ++Accepted;
+    else if (Type == "overloaded")
+      ++Shed;
+  }
+  EXPECT_GE(Accepted, 1u);
+  EXPECT_GE(Shed, 1u);
+
+  Expected<ServeStatus> Status = Client->status(10);
+  ASSERT_TRUE(Status.ok());
+  EXPECT_EQ(Status->Shed, Shed);
+
+  ASSERT_TRUE(Client->shutdown(10).ok());
+  T.join();
+  // The protocol-shutdown drain finishes every accepted job: tickets
+  // minus results must be empty.
+  Expected<Spool> Sp = Spool::open(SO.SpoolDir);
+  ASSERT_TRUE(Sp.ok());
+  auto Pending = Sp->recover();
+  ASSERT_TRUE(Pending.ok());
+  EXPECT_TRUE(Pending->empty());
+}
+
+TEST(ServeEndToEndTest, DeadlineExceededYieldsDurableError) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no sockets on this platform";
+  ServeOptions SO;
+  SO.SpoolDir = tmpDir("deadline");
+  SO.TcpPort = 0;
+  SO.Executors = 1;
+  TuneServer Server(SO);
+  ASSERT_TRUE(Server.start().ok());
+  std::thread T([&] { Server.serve(); });
+
+  Expected<ServeClient> Client = ServeClient::connect("", Server.port());
+  ASSERT_TRUE(Client.ok());
+  TuneRequest Req = tinyRequest(5, /*Wait=*/true);
+  Req.DeadlineSeconds = 1e-9; // Expired before the executor gets to it.
+  Expected<std::string> Reply = Client->submit(Req, 30);
+  ASSERT_TRUE(Reply.ok());
+  ASSERT_EQ(frameType(*Reply), "accepted");
+  Expected<std::string> Result = Client->awaitResult(30);
+  ASSERT_TRUE(Result.ok());
+  Expected<TuneResult> Parsed = TuneResult::fromJson(*Result);
+  ASSERT_TRUE(Parsed.ok()) << *Result;
+  EXPECT_EQ(Parsed->Status, "error");
+  EXPECT_NE(Parsed->Error.find("deadline"), std::string::npos);
+
+  ASSERT_TRUE(Client->shutdown(10).ok());
+  T.join();
+  // A deadline failure is terminal: it must NOT recover on restart.
+  Expected<Spool> Sp = Spool::open(SO.SpoolDir);
+  ASSERT_TRUE(Sp.ok());
+  auto Pending = Sp->recover();
+  ASSERT_TRUE(Pending.ok());
+  EXPECT_TRUE(Pending->empty());
+}
+
+TEST(ServeEndToEndTest, InvalidRequestsRejectedBeforeTicketing) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no sockets on this platform";
+  ServeOptions SO;
+  SO.SpoolDir = tmpDir("invalid");
+  SO.TcpPort = 0;
+  TuneServer Server(SO);
+  ASSERT_TRUE(Server.start().ok());
+  std::thread T([&] { Server.serve(); });
+
+  Expected<ServeClient> Client = ServeClient::connect("", Server.port());
+  ASSERT_TRUE(Client.ok());
+  TuneRequest Bad = tinyRequest(1);
+  Bad.App = "no-such-app";
+  Expected<std::string> Reply = Client->submit(Bad, 10);
+  ASSERT_TRUE(Reply.ok());
+  EXPECT_EQ(frameType(*Reply), "error");
+
+  Bad = tinyRequest(1);
+  Bad.Strategy = "greedy"; // Not plannable, so not servable.
+  Reply = Client->submit(Bad, 10);
+  ASSERT_TRUE(Reply.ok());
+  EXPECT_EQ(frameType(*Reply), "error");
+
+  Expected<std::string> Unknown =
+      Client->roundTrip("{\"type\":\"frobnicate\"}", 10);
+  ASSERT_TRUE(Unknown.ok());
+  EXPECT_EQ(frameType(*Unknown), "error");
+
+  ASSERT_TRUE(Client->shutdown(10).ok());
+  T.join();
+  // Nothing was ticketed: a rejected request must not recover.
+  EXPECT_FALSE(
+      std::filesystem::exists(SO.SpoolDir + "/req-000001.job"));
+}
+
+TEST(ServeEndToEndTest, EngineRegistrySharesAcrossRequests) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no sockets on this platform";
+  ServeOptions SO;
+  SO.SpoolDir = tmpDir("registry");
+  SO.TcpPort = 0;
+  SO.Executors = 1;
+  TuneServer Server(SO);
+  ASSERT_TRUE(Server.start().ok());
+  std::thread T([&] { Server.serve(); });
+
+  Expected<ServeClient> Client = ServeClient::connect("", Server.port());
+  ASSERT_TRUE(Client.ok());
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    Expected<std::string> Reply =
+        Client->submit(tinyRequest(Seed, true), 30);
+    ASSERT_TRUE(Reply.ok());
+    ASSERT_EQ(frameType(*Reply), "accepted");
+    Expected<std::string> Result = Client->awaitResult(60);
+    ASSERT_TRUE(Result.ok());
+    ASSERT_EQ(frameType(*Result), "result");
+  }
+  Expected<ServeStatus> Status = Client->status(10);
+  ASSERT_TRUE(Status.ok());
+  // One engine built, two registry hits: the memoized evaluator is
+  // shared across same-config requests.
+  EXPECT_EQ(Status->CacheMisses, 1u);
+  EXPECT_EQ(Status->CacheHits, 2u);
+  EXPECT_GT(Status->cacheHitRate(), 0.5);
+
+  ASSERT_TRUE(Client->shutdown(10).ok());
+  T.join();
+}
+
+//===--- Chaos: SIGKILL mid-request, restart, byte-identical results ----------//
+
+/// Runs \p Count sequential tiny requests on a fresh in-process server
+/// over \p SpoolDir and returns after all results are durable.
+void runCleanServer(const std::string &SpoolDir, unsigned Count) {
+  ServeOptions SO;
+  SO.SpoolDir = SpoolDir;
+  SO.TcpPort = 0;
+  SO.Executors = 1;
+  TuneServer Server(SO);
+  ASSERT_TRUE(Server.start().ok());
+  std::thread T([&] { Server.serve(); });
+  Expected<ServeClient> Client = ServeClient::connect("", Server.port());
+  ASSERT_TRUE(Client.ok());
+  for (uint64_t Seed = 1; Seed <= Count; ++Seed) {
+    Expected<std::string> Reply =
+        Client->submit(tinyRequest(Seed, true), 30);
+    ASSERT_TRUE(Reply.ok());
+    ASSERT_EQ(frameType(*Reply), "accepted");
+    Expected<std::string> Result = Client->awaitResult(120);
+    ASSERT_TRUE(Result.ok());
+    ASSERT_EQ(frameType(*Result), "result");
+  }
+  ASSERT_TRUE(Client->shutdown(10).ok());
+  T.join();
+}
+
+TEST(ServeChaosTest, KillMidRequestRestartCompletesByteIdentical) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no fork/sockets on this platform";
+  const unsigned Count = 3;
+  std::string ChaosSpool = tmpDir("chaos");
+  std::string SockPath = testing::TempDir() + "g80_serve_chaos.sock";
+  std::remove(SockPath.c_str());
+
+  // Daemon in a child process, so SIGKILL is the real thing.
+  pid_t Pid = fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    ServeOptions SO;
+    SO.SpoolDir = ChaosSpool;
+    SO.SocketPath = SockPath;
+    SO.Executors = 1;
+    TuneServer Server(SO);
+    if (!Server.start().ok())
+      _exit(99);
+    Server.serve();
+    _exit(0);
+  }
+
+  // Submit all requests fire-and-forget, then wait for the first sweep
+  // to journal some records so the kill lands mid-request.
+  ASSERT_TRUE(waitFor(10, [&] {
+    return std::filesystem::exists(SockPath);
+  }));
+  {
+    Expected<ServeClient> Client = ServeClient::connect(SockPath, 0);
+    ASSERT_TRUE(Client.ok()) << Client.diag().Message;
+    for (uint64_t Seed = 1; Seed <= Count; ++Seed) {
+      Expected<std::string> Reply = Client->submit(tinyRequest(Seed), 30);
+      ASSERT_TRUE(Reply.ok());
+      ASSERT_EQ(frameType(*Reply), "accepted") << *Reply;
+    }
+  }
+  std::string FirstJournal = ChaosSpool + "/req-000001.journal";
+  ASSERT_TRUE(waitFor(30, [&] {
+    std::error_code Ec;
+    return std::filesystem::exists(FirstJournal, Ec) &&
+           std::filesystem::file_size(FirstJournal, Ec) > 0;
+  })) << "daemon never started journaling the first request";
+
+  ASSERT_EQ(kill(Pid, SIGKILL), 0);
+  int WStatus = 0;
+  ASSERT_EQ(waitpid(Pid, &WStatus, 0), Pid);
+  ASSERT_TRUE(WIFSIGNALED(WStatus));
+
+  // Not every request may have finished — that is the point.  Restart on
+  // the same spool: recovery must complete all of them.
+  {
+    ServeOptions SO;
+    SO.SpoolDir = ChaosSpool;
+    SO.TcpPort = 0;
+    SO.Executors = 1;
+    TuneServer Server(SO);
+    ASSERT_TRUE(Server.start().ok());
+    std::thread T([&] { Server.serve(); });
+    ASSERT_TRUE(waitFor(120, [&] {
+      for (unsigned I = 1; I <= Count; ++I) {
+        char Name[32];
+        std::snprintf(Name, sizeof(Name), "/req-%06u.result", I);
+        if (!std::filesystem::exists(ChaosSpool + Name))
+          return false;
+      }
+      return true;
+    })) << "restart did not complete every journaled request";
+    Server.requestDrain();
+    T.join();
+  }
+
+  // The acceptance bar: results byte-identical to an uninterrupted run.
+  std::string CleanSpool = tmpDir("chaos_clean");
+  runCleanServer(CleanSpool, Count);
+  for (unsigned I = 1; I <= Count; ++I) {
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "/req-%06u.result", I);
+    std::string Chaos = slurp(ChaosSpool + Name);
+    std::string Clean = slurp(CleanSpool + Name);
+    ASSERT_FALSE(Chaos.empty());
+    EXPECT_EQ(Chaos, Clean) << "result " << Name
+                            << " diverged after kill+resume";
+  }
+}
+
+#endif // !_WIN32
+
+} // namespace

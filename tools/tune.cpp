@@ -41,7 +41,9 @@
 //
 // Exit codes: 0 success, 2 bad usage (incl. stale/corrupt journal),
 // 3 parse/verify failure, 4 evaluation failure (nothing could be
-// measured), 5 interrupted by SIGINT/SIGTERM (journal is resumable).
+// measured), 5 interrupted by SIGINT/SIGTERM (journal is resumable),
+// 6 `tune serve` force-quit by a second signal (spool is resumable).
+// README.md has the consolidated table.
 //
 //   tune report <journal-or-csv> [--trace FILE] [--top N]
 //                                [--format text|json]
@@ -66,12 +68,21 @@
 //       report resources, occupancy, profile and metrics — the
 //       `nvcc -ptx/-cubin` workflow of §2.3 in one command.
 //
+//   tune serve --spool DIR [--socket PATH | --tcp-port N] ...
+//       The fault-tolerant autotuning daemon: accepts tuning requests
+//       over a length-prefixed JSON protocol, executes them durably
+//       (per-request journals under --spool), sheds load past
+//       --queue-limit, enforces per-request deadlines, and resumes every
+//       accepted-but-unfinished request after a crash or restart.  See
+//       serve/Server.h and DESIGN.md §12.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/EvalRecord.h"
 #include "core/Report.h"
 #include "core/Search.h"
 #include "core/SweepDriver.h"
+#include "serve/Server.h"
 #include "kernels/Cp.h"
 #include "kernels/MatMul.h"
 #include "kernels/MriFhd.h"
@@ -115,6 +126,8 @@ enum ExitCode : int {
   ExitEvaluation = 4,  ///< Evaluation pipeline measured nothing.
   ExitInterrupted = 5, ///< SIGINT/SIGTERM stopped the sweep; the journal
                        ///< (if any) holds all completed work — resumable.
+  ExitForcedShutdown = 6, ///< `tune serve` force-quit by a second signal;
+                          ///< the spool resumes everything on restart.
 };
 
 int usage() {
@@ -134,7 +147,10 @@ int usage() {
          "  tune lint    <matmul|cp|sad|mri> [--config \"v1,v2,...\"] "
          "[--format text|json]\n"
          "  tune show    --app <name> --config \"v1,v2,...\"\n"
-         "  tune inspect --file <kernel.ptx> --block X[,Y] --grid X[,Y]\n";
+         "  tune inspect --file <kernel.ptx> --block X[,Y] --grid X[,Y]\n"
+         "  tune serve   --spool DIR [--socket PATH | --tcp-port N]\n"
+         "               [--queue-limit N] [--executors N] [--jobs N]\n"
+         "               [--isolate] [--deadline S] [--trace FILE.jsonl]\n";
   return ExitUsage;
 }
 
@@ -488,6 +504,100 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
   return ExitOk;
 }
 
+/// `tune serve --spool DIR`: the fault-tolerant autotuning daemon
+/// (serve/Server.h).  Listens on a Unix socket (--socket) or loopback
+/// TCP (--tcp-port; 0 picks an ephemeral port, printed on stdout),
+/// accepts length-prefixed JSON tune requests, and executes them through
+/// the durable SweepDriver with per-request journals under --spool.  A
+/// protocol "shutdown" frame or a single SIGINT/SIGTERM drains
+/// gracefully (exit 0); a second signal force-quits (exit 6).  Either
+/// way, restarting with the same --spool resumes every accepted-but-
+/// unfinished request.
+int cmdServe(std::map<std::string, std::string> Flags) {
+  if (!socketsSupported()) {
+    std::cerr << "error: tune serve is not supported on this platform\n";
+    return ExitUsage;
+  }
+  ServeOptions SO;
+  if (Flags.count("socket"))
+    SO.SocketPath = Flags["socket"];
+  if (!Flags.count("spool")) {
+    std::cerr << "error: tune serve needs --spool DIR\n";
+    return usage();
+  }
+  SO.SpoolDir = Flags["spool"];
+  uint64_t Port = 0;
+  uint64_t QueueLimit = SO.QueueLimit;
+  uint64_t Executors = SO.Executors;
+  uint64_t Jobs = SO.Jobs;
+  if (!uintFlag(Flags, "tcp-port", Port) ||
+      !uintFlag(Flags, "queue-limit", QueueLimit) ||
+      !uintFlag(Flags, "executors", Executors) ||
+      !uintFlag(Flags, "jobs", Jobs) ||
+      !doubleFlag(Flags, "deadline", SO.DefaultDeadlineSeconds))
+    return usage();
+  if (Port > 65535) {
+    std::cerr << "error: --tcp-port must be below 65536\n";
+    return usage();
+  }
+  if (QueueLimit < 1 || Executors < 1 || Jobs < 1) {
+    std::cerr << "error: --queue-limit/--executors/--jobs must be "
+                 "positive\n";
+    return usage();
+  }
+  SO.TcpPort = uint16_t(Port);
+  SO.QueueLimit = size_t(QueueLimit);
+  SO.Executors = unsigned(Executors);
+  SO.Jobs = unsigned(Jobs);
+  SO.Isolate = Flags.count("isolate") != 0;
+  if (SO.DefaultDeadlineSeconds < 0) {
+    std::cerr << "error: --deadline must be non-negative\n";
+    return usage();
+  }
+
+  std::optional<Tracer> Trace;
+  if (Flags.count("trace")) {
+    Expected<Tracer> T = Tracer::toFile(Flags["trace"]);
+    if (!T) {
+      std::cerr << "error: --trace: " << T.diag().Message << "\n";
+      return usage();
+    }
+    Trace.emplace(T.takeValue());
+  }
+  ScopedTracer TraceGuard(Trace ? &*Trace : nullptr);
+
+  TuneServer Server(std::move(SO));
+  Expected<Unit> Started = Server.start();
+  if (!Started) {
+    std::cerr << "error: " << Started.diag().Message << "\n";
+    return ExitUsage;
+  }
+  // The readiness line: scripts (CI, the chaos test) wait for it before
+  // connecting, and it is how an ephemeral --tcp-port 0 is discovered.
+  if (Flags.count("socket"))
+    std::cout << "serve: listening on unix " << Flags["socket"] << "\n"
+              << std::flush;
+  else
+    std::cout << "serve: listening on tcp 127.0.0.1:" << Server.port()
+              << "\n"
+              << std::flush;
+
+  clearSweepInterrupt();
+  ScopedSweepSignalHandlers Guard;
+  ServeExit E = Server.serve();
+  switch (E) {
+  case ServeExit::Drained:
+    std::cout << "serve: drained\n";
+    return ExitOk;
+  case ServeExit::Forced:
+    std::cerr << "serve: force-quit; spool will resume on restart\n";
+    return ExitForcedShutdown;
+  case ServeExit::Error:
+    return ExitUsage;
+  }
+  return ExitUsage;
+}
+
 /// `tune report <journal-or-csv>`: offline analysis of sweep artifacts.
 int cmdReport(const std::string &Path,
               std::map<std::string, std::string> Flags) {
@@ -743,6 +853,8 @@ int main(int Argc, char **Argv) {
     return cmdList();
   if (Cmd == "search")
     return cmdSearch(std::move(Flags));
+  if (Cmd == "serve")
+    return cmdServe(std::move(Flags));
   if (Cmd == "report")
     return cmdReport(firstPositional(Argc, Argv, 2), std::move(Flags));
   if (Cmd == "lint")
