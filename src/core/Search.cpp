@@ -60,6 +60,17 @@ SearchOutcome SearchEngine::measureCandidates(SweepPlan Plan) const {
   return Out;
 }
 
+SweepPlan SweepPlan::slice(size_t Begin, size_t End) const {
+  SweepPlan Out;
+  Out.Strategy = Strategy;
+  Out.Evals = Evals;
+  Begin = std::min(Begin, Candidates.size());
+  End = std::min(std::max(End, Begin), Candidates.size());
+  Out.Candidates.assign(Candidates.begin() + ptrdiff_t(Begin),
+                        Candidates.begin() + ptrdiff_t(End));
+  return Out;
+}
+
 SweepPlan SearchEngine::planExhaustive(unsigned Jobs) const {
   SweepPlan Plan;
   Plan.Strategy = "exhaustive";

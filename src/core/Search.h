@@ -40,6 +40,14 @@ struct SweepPlan {
   std::string Strategy;
   std::vector<ConfigEval> Evals;
   std::vector<size_t> Candidates;
+
+  /// The plan restricted to candidate positions [\p Begin, \p End) —
+  /// the unit of fleet distribution.  Evals (the full static space) and
+  /// Strategy are preserved so journal fingerprints, resume validation,
+  /// and record contents are identical to the unsliced plan's; only the
+  /// measurement work list shrinks.  Positions are clamped to the
+  /// candidate count.
+  SweepPlan slice(size_t Begin, size_t End) const;
 };
 
 /// The result of running one strategy over one app's space.

@@ -1,0 +1,138 @@
+//===- fleet/Coordinator.h - Fault-tolerant fleet sweep coordinator -------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `tune fleet`'s engine: partitions one deterministic sweep plan into
+/// shards (fleet/ShardPlan.h), dispatches them to N tune-serve workers
+/// over the framed-JSON protocol, and merges the returned journal
+/// records into a single journal byte-identical to what one daemon (or
+/// `tune search --journal`) would have written for the same plan.
+///
+/// Robustness model (DESIGN.md §13):
+///  - every shard is idempotent, keyed by (plan fingerprint, shard
+///    index); duplicate completions are dropped first-result-wins;
+///  - a dead, hung, or refused worker gets its in-flight shard
+///    re-queued and its runner reconnects with capped exponential
+///    backoff (support/Backoff.h); idle runners heartbeat with status
+///    probes so silent death is noticed within a heartbeat period;
+///  - stragglers past a configurable percentile of completed-shard
+///    durations are hedged onto a second worker;
+///  - when every remote worker is unhealthy the coordinator degrades to
+///    executing shards in-process rather than stalling;
+///  - the coordinator keeps its own crash-safe spool (a plan manifest,
+///    a ticket per shard, durable per-shard results written
+///    tmp+fsync+rename — the serve/Spool invariants), so a SIGKILLed
+///    coordinator restarted on the same spool resumes only unfinished
+///    shards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_FLEET_COORDINATOR_H
+#define G80TUNE_FLEET_COORDINATOR_H
+
+#include "fleet/ShardPlan.h"
+#include "fleet/WorkerPool.h"
+#include "serve/Protocol.h"
+#include "support/Backoff.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace g80 {
+
+/// Live counters streamed to --progress.
+struct FleetProgress {
+  uint64_t ShardsDone = 0;
+  uint64_t ShardsTotal = 0;
+  uint64_t HealthyWorkers = 0;
+  uint64_t TotalWorkers = 0;
+  uint64_t ReDispatched = 0;
+  uint64_t Hedged = 0;
+  uint64_t LocalShards = 0;
+  bool Degraded = false; ///< Remote workers configured but shards ran locally.
+};
+
+/// How a fleet run ended.
+enum class FleetStatus : uint8_t {
+  Completed,   ///< All shards done; merged journal written.
+  Interrupted, ///< Stopped by signal/ShouldStop; spool resumes the rest.
+  Error,       ///< Unrecoverable setup/merge failure; see Error.
+};
+
+struct FleetReport {
+  FleetStatus Status = FleetStatus::Error;
+  uint64_t ShardsTotal = 0;
+  uint64_t ShardsCompleted = 0;
+  uint64_t ShardsRecovered = 0;   ///< Already durable when the run started.
+  uint64_t ReDispatched = 0;      ///< Requeued after a worker failure.
+  uint64_t Hedged = 0;            ///< Straggler duplicates issued.
+  uint64_t DuplicatesDropped = 0; ///< Late results beaten by a first finisher.
+  uint64_t LocalShards = 0;       ///< Executed in-process by the coordinator.
+  bool Degraded = false;
+  uint64_t PlanFp = 0;
+  std::vector<std::string> Warnings;
+  Diagnostic Error;
+};
+
+struct FleetOptions {
+  /// What to sweep (app/machine/strategy/seed/budget/fastbw/lint; Wait
+  /// and DeadlineSeconds are ignored).
+  TuneRequest Request;
+  /// Remote workers.  May be empty: the coordinator then runs every
+  /// shard in-process (AllowLocal must be true).
+  std::vector<WorkerEndpoint> Workers;
+  /// Coordinator spool directory (manifest + shard tickets/results).
+  std::string SpoolDir;
+  /// The merged journal's path.  Written atomically (tmp + rename) once
+  /// every shard is durable.
+  std::string JournalPath;
+  /// Candidates per shard (clamped to [1, 1024]).
+  uint64_t ShardSize = 8;
+  /// Plan-derivation and in-process execution threads.
+  unsigned Jobs = 1;
+  /// Per-dispatch wall-clock budget before a worker is declared hung and
+  /// the shard re-queued.
+  double ShardTimeoutSeconds = 600;
+  /// Idle-worker status-probe period.
+  double HeartbeatSeconds = 2;
+  /// Straggler threshold: hedge an in-flight shard once it exceeds this
+  /// percentile of completed-shard durations (needs >= 3 completions).
+  double HedgePercentile = 0.95;
+  /// Floor under the hedge threshold, so tiny shards don't hedge wildly.
+  double HedgeMinSeconds = 1.0;
+  /// Degrade to coordinator-local in-process execution when no remote
+  /// worker is healthy.
+  bool AllowLocal = true;
+  /// Reconnect pacing for failed workers.
+  BackoffPolicy ReconnectBackoff;
+  std::function<void(const FleetProgress &)> OnProgress;
+  /// Checked continuously; true interrupts the run resumably.
+  std::function<bool()> ShouldStop;
+};
+
+class FleetCoordinator {
+public:
+  explicit FleetCoordinator(FleetOptions Opts);
+  ~FleetCoordinator();
+  FleetCoordinator(const FleetCoordinator &) = delete;
+  FleetCoordinator &operator=(const FleetCoordinator &) = delete;
+
+  /// Plans, recovers the spool, dispatches every unfinished shard, and
+  /// merges.  Blocking; returns when the journal is written, the run is
+  /// interrupted, or setup fails.
+  FleetReport run();
+
+private:
+  struct Impl;
+  Impl *M;
+};
+
+} // namespace g80
+
+#endif // G80TUNE_FLEET_COORDINATOR_H

@@ -1,0 +1,28 @@
+//===- fleet/ShardPlan.cpp ------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/ShardPlan.h"
+
+#include <algorithm>
+
+using namespace g80;
+
+ShardPlan ShardPlan::partition(uint64_t Candidates, uint64_t PlanFp,
+                               uint64_t ShardSize) {
+  ShardPlan P;
+  P.PlanFp = PlanFp;
+  P.Candidates = Candidates;
+  P.ShardSize = std::clamp<uint64_t>(ShardSize, 1, 1024);
+  P.Shards.reserve(size_t((Candidates + P.ShardSize - 1) / P.ShardSize));
+  for (uint64_t Begin = 0; Begin < Candidates; Begin += P.ShardSize) {
+    ShardRange R;
+    R.Index = P.Shards.size();
+    R.Begin = Begin;
+    R.End = std::min(Begin + P.ShardSize, Candidates);
+    P.Shards.push_back(R);
+  }
+  return P;
+}

@@ -6,6 +6,9 @@
 
 #include "serve/Client.h"
 
+#include "support/Journal.h"
+
+#include <algorithm>
 #include <chrono>
 
 using namespace g80;
@@ -38,6 +41,9 @@ Expected<std::string> ServeClient::recvOne(double TimeoutSeconds) {
     return clientError("daemon closed the connection");
   case Socket::Recv::Error:
     return clientError("transport error while receiving");
+  case Socket::Recv::Oversized:
+    return clientError("daemon sent a frame exceeding the " +
+                       std::to_string(Socket::MaxFrameBytes) + "-byte cap");
   }
   return clientError("unreachable");
 }
@@ -75,6 +81,51 @@ Expected<std::string> ServeClient::awaitResult(
       continue;
     }
     return Frame;
+  }
+}
+
+Expected<ShardResult>
+ServeClient::runShard(const ShardRequest &Req, double TimeoutSeconds,
+                      const std::function<bool()> &ShouldAbandon) {
+  Expected<Unit> S = Conn.sendFrame(Req.toJson());
+  if (!S)
+    return S.takeDiag();
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(TimeoutSeconds);
+  // Short receive slices so a coordinator can abandon a hung worker (or
+  // shut down) promptly instead of blocking out the whole shard budget.
+  for (;;) {
+    if (ShouldAbandon && ShouldAbandon())
+      return clientError("shard wait abandoned");
+    double Left = std::chrono::duration<double>(
+                      Deadline - std::chrono::steady_clock::now())
+                      .count();
+    if (Left <= 0)
+      return clientError("timed out waiting for a shard_result frame");
+    std::string Payload;
+    switch (Conn.recvFrame(std::min(Left, 0.25), Payload)) {
+    case Socket::Recv::Frame: {
+      std::string Type = frameType(Payload);
+      if (Type == "shard_result")
+        return ShardResult::fromJson(Payload);
+      if (Type == "error") {
+        std::string Msg = Payload;
+        jsonStringField(Payload, "error", Msg);
+        return clientError(Msg);
+      }
+      continue; // Skip unrelated frames (progress etc.).
+    }
+    case Socket::Recv::Timeout:
+      continue;
+    case Socket::Recv::Closed:
+      return clientError("daemon closed the connection");
+    case Socket::Recv::Error:
+      return clientError("transport error while receiving");
+    case Socket::Recv::Oversized:
+      return clientError("daemon sent a frame exceeding the " +
+                         std::to_string(Socket::MaxFrameBytes) +
+                         "-byte cap");
+    }
   }
 }
 

@@ -47,6 +47,15 @@ public:
   awaitResult(double TimeoutSeconds,
               const std::function<void(const std::string &)> &OnProgress = {});
 
+  /// Dispatches one fleet shard and waits for its shard_result frame.
+  /// Receives in short slices, polling \p ShouldAbandon between them so
+  /// a coordinator can walk away from a hung worker promptly.  An
+  /// "error" reply (draining, fingerprint mismatch, ...) comes back as a
+  /// Diagnostic.
+  Expected<ShardResult>
+  runShard(const ShardRequest &Req, double TimeoutSeconds,
+           const std::function<bool()> &ShouldAbandon = {});
+
   /// One status round-trip, parsed.
   Expected<ServeStatus> status(double TimeoutSeconds);
 

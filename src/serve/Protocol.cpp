@@ -34,6 +34,47 @@ void putBool(std::ostringstream &OS, const char *Key, bool V) {
 /// (python's json.dumps, pretty-printers) legitimately contain it, so
 /// normalize by dropping all whitespace outside string literals before
 /// field extraction.
+/// Parses "key":["s1","s2",...] from normalized flat JSON into \p Out.
+/// Returns false (leaving \p Out untouched) when the key is absent or the
+/// array is malformed.
+bool jsonStringArrayField(const std::string &Json, const char *Key,
+                          std::vector<std::string> &Out) {
+  std::string Needle = "\"" + std::string(Key) + "\":[";
+  size_t At = Json.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  size_t I = At + Needle.size();
+  std::vector<std::string> Items;
+  if (I < Json.size() && Json[I] == ']') {
+    Out = std::move(Items);
+    return true;
+  }
+  while (I < Json.size()) {
+    if (Json[I] != '"')
+      return false;
+    size_t Start = ++I;
+    while (I < Json.size() && Json[I] != '"') {
+      if (Json[I] == '\\')
+        ++I;
+      ++I;
+    }
+    if (I >= Json.size())
+      return false;
+    Items.push_back(jsonUnescape(Json.substr(Start, I - Start)));
+    ++I; // closing quote
+    if (I < Json.size() && Json[I] == ',') {
+      ++I;
+      continue;
+    }
+    if (I < Json.size() && Json[I] == ']') {
+      Out = std::move(Items);
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
 std::string stripInterTokenWhitespace(std::string_view Json) {
   std::string Out;
   Out.reserve(Json.size());
@@ -147,6 +188,74 @@ Expected<TuneResult> TuneResult::fromJson(std::string_view Raw) {
   return R;
 }
 
+//===--- ShardRequest ---------------------------------------------------------//
+
+std::string ShardRequest::toJson() const {
+  std::ostringstream OS;
+  OS << "{\"type\":\"shard\",\"app\":\"" << jsonEscape(Tune.App)
+     << "\",\"machine\":\"" << jsonEscape(Tune.Machine)
+     << "\",\"strategy\":\"" << jsonEscape(Tune.Strategy)
+     << "\",\"seed\":" << Tune.Seed << ",\"budget\":" << Tune.Budget;
+  putBool(OS, "fastbw", Tune.FastBw);
+  putBool(OS, "lint", Tune.Lint);
+  OS << ",\"plan_fp\":" << PlanFp << ",\"shard\":" << ShardIndex
+     << ",\"begin\":" << Begin << ",\"end\":" << End << "}";
+  return OS.str();
+}
+
+Expected<ShardRequest> ShardRequest::fromJson(std::string_view Raw) {
+  std::string Json = stripInterTokenWhitespace(Raw);
+  ShardRequest R;
+  if (!jsonStringField(Json, "app", R.Tune.App) || R.Tune.App.empty())
+    return protoError("shard request needs an \"app\" field");
+  jsonStringField(Json, "machine", R.Tune.Machine);
+  jsonStringField(Json, "strategy", R.Tune.Strategy);
+  jsonUintField(Json, "seed", R.Tune.Seed);
+  jsonUintField(Json, "budget", R.Tune.Budget);
+  jsonBoolField(Json, "fastbw", R.Tune.FastBw);
+  jsonBoolField(Json, "lint", R.Tune.Lint);
+  if (!jsonUintField(Json, "plan_fp", R.PlanFp))
+    return protoError("shard request needs a \"plan_fp\" field");
+  jsonUintField(Json, "shard", R.ShardIndex);
+  jsonUintField(Json, "begin", R.Begin);
+  if (!jsonUintField(Json, "end", R.End) || R.End < R.Begin)
+    return protoError("shard request needs \"end\" >= \"begin\"");
+  return R;
+}
+
+//===--- ShardResult ----------------------------------------------------------//
+
+std::string ShardResult::toJson() const {
+  std::ostringstream OS;
+  OS << "{\"type\":\"shard_result\",\"shard\":" << ShardIndex
+     << ",\"plan_fp\":" << PlanFp << ",\"begin\":" << Begin
+     << ",\"end\":" << End << ",\"status\":\"" << jsonEscape(Status)
+     << "\"";
+  if (!Error.empty())
+    OS << ",\"error\":\"" << jsonEscape(Error) << "\"";
+  OS << ",\"records\":[";
+  for (size_t I = 0; I < Records.size(); ++I)
+    OS << (I ? "," : "") << "\"" << jsonEscape(Records[I]) << "\"";
+  OS << "]}";
+  return OS.str();
+}
+
+Expected<ShardResult> ShardResult::fromJson(std::string_view Raw) {
+  std::string Json = stripInterTokenWhitespace(Raw);
+  ShardResult R;
+  if (!jsonStringField(Json, "status", R.Status))
+    return protoError("malformed shard_result frame");
+  jsonUintField(Json, "shard", R.ShardIndex);
+  jsonUintField(Json, "plan_fp", R.PlanFp);
+  jsonUintField(Json, "begin", R.Begin);
+  jsonUintField(Json, "end", R.End);
+  jsonStringField(Json, "error", R.Error);
+  if (!jsonStringArrayField(Json, "records", R.Records) && R.completed())
+    return protoError("shard_result frame has a malformed \"records\" "
+                      "array");
+  return R;
+}
+
 //===--- ServeStatus ----------------------------------------------------------//
 
 std::string ServeStatus::toJson() const {
@@ -157,6 +266,7 @@ std::string ServeStatus::toJson() const {
      << ",\"recovered\":" << Recovered << ",\"cache_hits\":" << CacheHits
      << ",\"cache_misses\":" << CacheMisses
      << ",\"cache_hit_rate\":" << serveDouble(cacheHitRate())
+     << ",\"shards_served\":" << ShardsServed
      << ",\"uptime_seconds\":" << serveDouble(UptimeSeconds);
   putBool(OS, "draining", Draining);
   OS << "}";
@@ -175,6 +285,7 @@ Expected<ServeStatus> ServeStatus::fromJson(std::string_view Raw) {
   jsonUintField(Json, "recovered", S.Recovered);
   jsonUintField(Json, "cache_hits", S.CacheHits);
   jsonUintField(Json, "cache_misses", S.CacheMisses);
+  jsonUintField(Json, "shards_served", S.ShardsServed);
   jsonDoubleField(Json, "uptime_seconds", S.UptimeSeconds);
   jsonBoolField(Json, "draining", S.Draining);
   return S;

@@ -16,19 +16,25 @@
 ///   tune      one tuning request (app/machine/strategy/seed/budget/
 ///             fastbw/lint/deadline; "wait" streams progress + result
 ///             back on this connection)
+///   shard     one fleet shard: candidates [begin,end) of a plan the
+///             worker re-derives deterministically and cross-checks by
+///             fingerprint (serve/Shard.h)
 ///   status    queue depth, active jobs, cache hit rate, uptime, ...
 ///   health    liveness probe (subset of status)
 ///   shutdown  graceful drain: finish running jobs, then exit
 ///
 /// Server -> client frames:
-///   accepted    {"type":"accepted","id":"req-000001"}
-///   overloaded  admission queue full — the 429: try again later
-///   error       malformed/unsupported request, or draining
-///   progress    {"type":"progress","id":...,"done":N,"total":N,...}
-///   result      terminal per-request outcome (also the durable spool
-///               record)
-///   status      the stats snapshot
-///   ok          acknowledgement (shutdown)
+///   accepted      {"type":"accepted","id":"req-000001"}
+///   overloaded    admission queue full — the 429: try again later
+///   error         malformed/unsupported request, or draining
+///   progress      {"type":"progress","id":...,"done":N,"total":N,...}
+///   result        terminal per-request outcome (also the durable spool
+///                 record)
+///   shard_result  the shard's journal record payloads, in candidate
+///                 order — what the coordinator splices into the merged
+///                 journal
+///   status        the stats snapshot
+///   ok            acknowledgement (shutdown)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +46,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace g80 {
 
@@ -86,6 +93,40 @@ struct TuneResult {
   static Expected<TuneResult> fromJson(std::string_view Json);
 };
 
+/// One fleet shard assignment: candidates [Begin, End) of the sweep plan
+/// the request's tune fields deterministically re-derive.  PlanFp is the
+/// coordinator's fingerprint of that plan (serve/Shard.h); a worker whose
+/// re-derived plan disagrees refuses the shard, which catches version or
+/// configuration skew before it can corrupt a merged journal.
+struct ShardRequest {
+  TuneRequest Tune;        ///< Wait/DeadlineSeconds are ignored.
+  uint64_t PlanFp = 0;
+  uint64_t ShardIndex = 0;
+  uint64_t Begin = 0;      ///< First candidate position (inclusive).
+  uint64_t End = 0;        ///< One past the last candidate position.
+
+  std::string toJson() const;
+  static Expected<ShardRequest> fromJson(std::string_view Json);
+};
+
+/// A shard's terminal outcome: on success, exactly End-Begin journal
+/// record payloads in candidate order, byte-identical to what a local
+/// single-daemon sweep would have appended for those candidates.
+struct ShardResult {
+  uint64_t ShardIndex = 0;
+  uint64_t PlanFp = 0;
+  uint64_t Begin = 0;
+  uint64_t End = 0;
+  std::string Status;      ///< "completed" | "error".
+  std::string Error;       ///< Failure detail when Status == "error".
+  std::vector<std::string> Records;
+
+  bool completed() const { return Status == "completed"; }
+
+  std::string toJson() const;
+  static Expected<ShardResult> fromJson(std::string_view Json);
+};
+
 /// The status/health snapshot frame.
 struct ServeStatus {
   uint64_t QueueDepth = 0;
@@ -96,6 +137,7 @@ struct ServeStatus {
   uint64_t Recovered = 0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  uint64_t ShardsServed = 0;
   double UptimeSeconds = 0;
   bool Draining = false;
 

@@ -8,59 +8,16 @@
 
 #include "core/Search.h"
 #include "core/SweepDriver.h"
-#include "kernels/Cp.h"
-#include "kernels/MatMul.h"
-#include "kernels/MriFhd.h"
-#include "kernels/Sad.h"
+#include "serve/Shard.h"
 #include "support/Trace.h"
 
 #include <filesystem>
+#include <iostream>
 #include <utility>
 
 using namespace g80;
 
-//===--- App/machine factories (serve-local copies of tune.cpp's) -------------//
-
 namespace {
-
-std::unique_ptr<TunableApp> serveMakeApp(const std::string &Name) {
-  if (Name == "matmul")
-    return std::make_unique<MatMulApp>(MatMulProblem::bench());
-  if (Name == "cp")
-    return std::make_unique<CpApp>(CpProblem::bench());
-  if (Name == "sad")
-    return std::make_unique<SadApp>(SadApp::benchProblem());
-  if (Name == "mri" || Name == "mri-fhd")
-    return std::make_unique<MriFhdApp>(MriProblem::bench());
-  return nullptr;
-}
-
-MachineModel serveMakeMachine(const std::string &Name) {
-  if (Name == "nextgen")
-    return MachineModel::hypotheticalNextGen();
-  return MachineModel::geForce8800Gtx();
-}
-
-/// Admission-time validation, so only executable requests earn a durable
-/// ticket (a spooled request that can never run would recover forever).
-bool validateRequest(const TuneRequest &Req, std::string &Error) {
-  if (Req.App != "matmul" && Req.App != "cp" && Req.App != "sad" &&
-      Req.App != "mri" && Req.App != "mri-fhd") {
-    Error = "unknown app '" + Req.App + "'";
-    return false;
-  }
-  if (Req.Machine != "gtx" && Req.Machine != "nextgen") {
-    Error = "unknown machine '" + Req.Machine + "'";
-    return false;
-  }
-  if (Req.Strategy != "pareto" && Req.Strategy != "exhaustive" &&
-      Req.Strategy != "cluster" && Req.Strategy != "random") {
-    Error = "unknown or unsupported strategy '" + Req.Strategy +
-            "' (serve supports pareto|exhaustive|cluster|random)";
-    return false;
-  }
-  return true;
-}
 
 void finishJob(ServeJob &Job, std::string Frame) {
   {
@@ -104,11 +61,18 @@ Expected<Unit> TuneServer::start() {
 
   // Re-admit everything accepted before a crash: each recovered job's
   // journal resumes through the normal fingerprint-checked path, so
-  // already-measured configurations are replayed, not re-run.
+  // already-measured configurations are replayed, not re-run.  Tickets
+  // torn by the crash are quarantined (renamed .bad), logged, and
+  // skipped — they must not block recovery of the healthy ones.
+  std::vector<std::string> Quarantined;
   Expected<std::vector<std::pair<std::string, TuneRequest>>> Pending =
-      Requests.recover();
+      Requests.recover(&Quarantined);
   if (!Pending)
     return Pending.takeDiag();
+  for (const std::string &Note : Quarantined) {
+    std::cerr << "serve: " << Note << "\n";
+    traceCount("serve.quarantined_tickets");
+  }
   for (auto &P : *Pending) {
     auto Job = std::make_shared<ServeJob>();
     Job->Id = P.first;
@@ -172,6 +136,7 @@ ServeStatus TuneServer::status() const {
   S.Recovered = Recovered.load(std::memory_order_relaxed);
   S.CacheHits = EngineHits.load(std::memory_order_relaxed);
   S.CacheMisses = EngineMisses.load(std::memory_order_relaxed);
+  S.ShardsServed = ShardsServed.load(std::memory_order_relaxed);
   S.UptimeSeconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - StartedAt)
                         .count();
@@ -194,7 +159,7 @@ TuneServer::engineFor(const TuneRequest &Req, std::string &Error) {
   EngineMisses.fetch_add(1, std::memory_order_relaxed);
   traceCount("serve.engine_misses");
   auto E = std::make_shared<Engine>();
-  E->App = serveMakeApp(Req.App);
+  E->App = makeServeApp(Req.App);
   if (!E->App) {
     Error = "unknown app '" + Req.App + "'";
     return nullptr;
@@ -202,7 +167,7 @@ TuneServer::engineFor(const TuneRequest &Req, std::string &Error) {
   SimOptions SimO;
   SimO.BandwidthFastPath = Req.FastBw;
   E->Eng = std::make_unique<SearchEngine>(*E->App,
-                                          serveMakeMachine(Req.Machine),
+                                          makeServeMachine(Req.Machine),
                                           MetricOptions{}, SimO, FaultPlan{},
                                           LintOptions{Req.Lint});
   EngineRegistry[Key] = E;
@@ -215,7 +180,7 @@ std::string TuneServer::admit(const TuneRequest &Req,
   if (Draining.load(std::memory_order_acquire) || sweepInterruptRequested())
     return errorFrame("daemon is draining; not accepting new requests");
   std::string Error;
-  if (!validateRequest(Req, Error))
+  if (!validateServeRequest(Req, Error))
     return errorFrame(Error);
 
   // AdmitM serializes the capacity check with ticket creation, so the
@@ -282,17 +247,7 @@ void TuneServer::runJob(const std::shared_ptr<ServeJob> &Job) {
   if (Expired())
     return FailDurable("deadline exceeded before execution");
 
-  SweepPlan Plan;
-  if (Req.Strategy == "pareto")
-    Plan = E->Eng->planPareto({}, Opts.Jobs);
-  else if (Req.Strategy == "exhaustive")
-    Plan = E->Eng->planExhaustive(Opts.Jobs);
-  else if (Req.Strategy == "cluster")
-    Plan = E->Eng->planClustered({}, 1e-3, Opts.Jobs);
-  else if (Req.Strategy == "random")
-    Plan = E->Eng->planRandom(Req.Budget, Req.Seed, Opts.Jobs);
-  else
-    return FailDurable("unsupported strategy '" + Req.Strategy + "'");
+  SweepPlan Plan = planForRequest(*E->Eng, Req, Opts.Jobs);
   Job->Total.store(Plan.Candidates.size(), std::memory_order_relaxed);
 
   SweepOptions SOpts;
@@ -300,22 +255,7 @@ void TuneServer::runJob(const std::shared_ptr<ServeJob> &Job) {
   SOpts.Resume = std::filesystem::exists(SOpts.JournalPath);
   SOpts.Isolate = Opts.Isolate;
   SOpts.Jobs = Opts.Jobs;
-  SOpts.Fingerprint.App = std::string(E->App->name());
-  SOpts.Fingerprint.Machine = E->Eng->evaluator().machine().Name;
-  SOpts.Fingerprint.Strategy = Plan.Strategy;
-  SOpts.Fingerprint.Seed = Req.Seed;
-  SOpts.Fingerprint.Budget = Req.Budget;
-  SOpts.Fingerprint.RawSize = E->App->space().rawSize();
-  // Mirrors tune.cpp's fingerprint Extra (inject spec is always empty in
-  // serve), so the CLI can --resume or report a spool journal directly.
-  bool LintQuarantined = false;
-  for (const ConfigEval &Ev : Plan.Evals)
-    if (Ev.failed() && Ev.Failure.At == Stage::Lint) {
-      LintQuarantined = true;
-      break;
-    }
-  SOpts.Fingerprint.Extra = std::string(Req.FastBw ? "|fastbw" : "") +
-                            (LintQuarantined ? "|lint" : "");
+  SOpts.Fingerprint = fingerprintForRequest(*E->App, *E->Eng, Plan, Req);
   SOpts.OnProgress = [Job](const SweepProgress &P) {
     Job->Done.store(P.Done, std::memory_order_relaxed);
     Job->Total.store(P.Total, std::memory_order_relaxed);
@@ -368,6 +308,38 @@ void TuneServer::runJob(const std::shared_ptr<ServeJob> &Job) {
   finishJob(*Job, Json);
 }
 
+std::string TuneServer::runShard(const ShardRequest &SReq) {
+  TraceSpan Span("serve.shard");
+  if (Draining.load(std::memory_order_acquire) || sweepInterruptRequested())
+    return errorFrame("daemon is draining; not accepting new requests");
+  std::string Error;
+  if (!validateServeRequest(SReq.Tune, Error))
+    return errorFrame(Error);
+  std::shared_ptr<Engine> E = engineFor(SReq.Tune, Error);
+  if (!E)
+    return errorFrame(Error);
+
+  // Shards run synchronously on the session thread: the coordinator owns
+  // scheduling and dispatches at most one shard per connection, so the
+  // admission queue (sized for fire-and-forget tune requests) is not
+  // involved.  The per-shard journal makes a re-dispatched shard resume
+  // rather than re-measure.
+  Active.fetch_add(1, std::memory_order_relaxed);
+  ShardResult Res = executeShard(
+      *E->Eng, *E->App, SReq,
+      Requests.shardJournalPath(SReq.PlanFp, SReq.ShardIndex), Opts.Jobs,
+      [this] {
+        return Draining.load(std::memory_order_acquire) ||
+               sweepInterruptRequested() || sweepForceQuitRequested();
+      });
+  Active.fetch_sub(1, std::memory_order_relaxed);
+  if (Res.completed()) {
+    ShardsServed.fetch_add(1, std::memory_order_relaxed);
+    traceCount("serve.shards");
+  }
+  return Res.toJson();
+}
+
 void TuneServer::executorLoop() {
   for (;;) {
     if (sweepForceQuitRequested())
@@ -399,6 +371,15 @@ void TuneServer::sessionLoop(Socket Conn) {
     Socket::Recv R = Conn.recvFrame(0.25, Payload);
     if (R == Socket::Recv::Closed || R == Socket::Recv::Error)
       return;
+    if (R == Socket::Recv::Oversized) {
+      // The peer announced a frame beyond the cap.  Its payload was
+      // never read, so the stream is still writable: tell it why before
+      // hanging up instead of silently dropping the session.
+      (void)Conn.sendFrame(errorFrame(
+          "frame exceeds the " + std::to_string(Socket::MaxFrameBytes) +
+          "-byte cap"));
+      return;
+    }
     if (R == Socket::Recv::Timeout) {
       if (Draining.load(std::memory_order_acquire) ||
           sweepInterruptRequested())
@@ -443,6 +424,11 @@ void TuneServer::sessionLoop(Socket Conn) {
             return;
         }
       }
+    } else if (Type == "shard") {
+      Expected<ShardRequest> SReq = ShardRequest::fromJson(Payload);
+      if (!Conn.sendFrame(SReq ? runShard(*SReq)
+                               : errorFrame(SReq.diag().Message)))
+        return;
     } else if (Type == "status" || Type == "health") {
       if (!Conn.sendFrame(status().toJson()))
         return;

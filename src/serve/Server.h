@@ -147,6 +147,10 @@ private:
   /// Handles one parsed "tune" frame; returns the immediate reply and,
   /// when admitted, the job for wait-mode streaming.
   std::string admit(const TuneRequest &Req, std::shared_ptr<ServeJob> &Out);
+  /// Handles one parsed "shard" frame synchronously on the session
+  /// thread (fleet coordinators own shard scheduling); returns the
+  /// shard_result or error reply.
+  std::string runShard(const ShardRequest &Req);
 
   ServeOptions Opts;
   ListenSocket Listener;
@@ -163,6 +167,7 @@ private:
   std::atomic<uint64_t> Recovered{0};
   std::atomic<uint64_t> EngineHits{0};
   std::atomic<uint64_t> EngineMisses{0};
+  std::atomic<uint64_t> ShardsServed{0};
 
   std::mutex AdmitM;   ///< Serializes ticket creation + enqueue.
   std::mutex EngineM;  ///< Guards the engine registry.

@@ -1,0 +1,160 @@
+//===- serve/Shard.cpp ----------------------------------------------------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Shard.h"
+
+#include "core/EvalRecord.h"
+#include "core/SweepDriver.h"
+#include "kernels/Cp.h"
+#include "kernels/MatMul.h"
+#include "kernels/MriFhd.h"
+#include "kernels/Sad.h"
+
+#include <filesystem>
+#include <utility>
+
+using namespace g80;
+
+std::unique_ptr<TunableApp> g80::makeServeApp(const std::string &Name) {
+  if (Name == "matmul")
+    return std::make_unique<MatMulApp>(MatMulProblem::bench());
+  if (Name == "cp")
+    return std::make_unique<CpApp>(CpProblem::bench());
+  if (Name == "sad")
+    return std::make_unique<SadApp>(SadApp::benchProblem());
+  if (Name == "mri" || Name == "mri-fhd")
+    return std::make_unique<MriFhdApp>(MriProblem::bench());
+  return nullptr;
+}
+
+MachineModel g80::makeServeMachine(const std::string &Name) {
+  if (Name == "nextgen")
+    return MachineModel::hypotheticalNextGen();
+  return MachineModel::geForce8800Gtx();
+}
+
+bool g80::validateServeRequest(const TuneRequest &Req, std::string &Error) {
+  if (Req.App != "matmul" && Req.App != "cp" && Req.App != "sad" &&
+      Req.App != "mri" && Req.App != "mri-fhd") {
+    Error = "unknown app '" + Req.App + "'";
+    return false;
+  }
+  if (Req.Machine != "gtx" && Req.Machine != "nextgen") {
+    Error = "unknown machine '" + Req.Machine + "'";
+    return false;
+  }
+  if (Req.Strategy != "pareto" && Req.Strategy != "exhaustive" &&
+      Req.Strategy != "cluster" && Req.Strategy != "random") {
+    Error = "unknown or unsupported strategy '" + Req.Strategy +
+            "' (serve supports pareto|exhaustive|cluster|random)";
+    return false;
+  }
+  return true;
+}
+
+SweepPlan g80::planForRequest(const SearchEngine &Eng, const TuneRequest &Req,
+                              unsigned Jobs) {
+  if (Req.Strategy == "exhaustive")
+    return Eng.planExhaustive(Jobs);
+  if (Req.Strategy == "cluster")
+    return Eng.planClustered({}, 1e-3, Jobs);
+  if (Req.Strategy == "random")
+    return Eng.planRandom(Req.Budget, Req.Seed, Jobs);
+  return Eng.planPareto({}, Jobs);
+}
+
+JournalHeader g80::fingerprintForRequest(const TunableApp &App,
+                                         const SearchEngine &Eng,
+                                         const SweepPlan &Plan,
+                                         const TuneRequest &Req) {
+  JournalHeader H;
+  H.App = std::string(App.name());
+  H.Machine = Eng.evaluator().machine().Name;
+  H.Strategy = Plan.Strategy;
+  H.Seed = Req.Seed;
+  H.Budget = Req.Budget;
+  H.RawSize = App.space().rawSize();
+  // Mirrors tune.cpp's fingerprint Extra (inject spec is always empty in
+  // serve/fleet), so the CLI can --resume or report these journals.
+  bool LintQuarantined = false;
+  for (const ConfigEval &Ev : Plan.Evals)
+    if (Ev.failed() && Ev.Failure.At == Stage::Lint) {
+      LintQuarantined = true;
+      break;
+    }
+  H.Extra = std::string(Req.FastBw ? "|fastbw" : "") +
+            (LintQuarantined ? "|lint" : "");
+  return H;
+}
+
+uint64_t g80::planFingerprint(const JournalHeader &Header,
+                              const SweepPlan &Plan) {
+  std::string Bytes = Header.toJson();
+  Bytes += '|';
+  for (size_t Flat : Plan.Candidates) {
+    Bytes += std::to_string(Flat);
+    Bytes += ',';
+  }
+  return fnv1a64(Bytes);
+}
+
+ShardResult g80::executeShard(const SearchEngine &Eng, const TunableApp &App,
+                              const ShardRequest &Req,
+                              const std::string &JournalPath, unsigned Jobs,
+                              const std::function<bool()> &ShouldStop) {
+  ShardResult Res;
+  Res.ShardIndex = Req.ShardIndex;
+  Res.Begin = Req.Begin;
+  Res.End = Req.End;
+  Res.Status = "error";
+
+  SweepPlan Plan = planForRequest(Eng, Req.Tune, Jobs);
+  JournalHeader Header = fingerprintForRequest(App, Eng, Plan, Req.Tune);
+  Res.PlanFp = planFingerprint(Header, Plan);
+  if (Req.PlanFp != 0 && Res.PlanFp != Req.PlanFp) {
+    Res.Error = "plan fingerprint mismatch: derived " +
+                std::to_string(Res.PlanFp) + ", coordinator sent " +
+                std::to_string(Req.PlanFp) +
+                " (version or configuration skew)";
+    return Res;
+  }
+  if (Req.End > Plan.Candidates.size()) {
+    Res.Error = "shard range [" + std::to_string(Req.Begin) + ", " +
+                std::to_string(Req.End) + ") exceeds the plan's " +
+                std::to_string(Plan.Candidates.size()) + " candidates";
+    return Res;
+  }
+
+  // Capture the work list before the driver consumes the plan: the
+  // reply's records are keyed by these flat indices, in this order.
+  std::vector<size_t> Flat(Plan.Candidates.begin() + ptrdiff_t(Req.Begin),
+                           Plan.Candidates.begin() + ptrdiff_t(Req.End));
+
+  SweepOptions SOpts;
+  SOpts.JournalPath = JournalPath;
+  SOpts.Resume = std::filesystem::exists(JournalPath);
+  SOpts.Jobs = Jobs;
+  SOpts.Fingerprint = Header;
+  SOpts.ShouldStop = ShouldStop;
+  SweepReport Rep =
+      SweepDriver(Eng, SOpts).run(Plan.slice(Req.Begin, Req.End));
+
+  if (Rep.Status == SweepStatus::Error) {
+    Res.Error = Rep.Error.Message;
+    return Res;
+  }
+  if (Rep.Status == SweepStatus::Interrupted) {
+    Res.Error = "shard interrupted; journal checkpointed for resume";
+    return Res;
+  }
+
+  Res.Records.reserve(Flat.size());
+  for (size_t Idx : Flat)
+    Res.Records.push_back(EvalRecord::fromEval(Rep.Outcome.Evals[Idx]).toJson());
+  Res.Status = "completed";
+  Res.Error.clear();
+  return Res;
+}

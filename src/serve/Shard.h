@@ -1,0 +1,78 @@
+//===- serve/Shard.h - Deterministic shard planning and execution ---------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared substrate of fleet mode: both the worker daemon (serving
+/// "shard" frames) and the coordinator (planning the partition, and
+/// executing shards in-process when every worker is gone) must derive
+/// *exactly* the same sweep plan, journal fingerprint, and plan
+/// fingerprint from a TuneRequest — that is what makes shards idempotent
+/// and the merged journal byte-identical to a single-daemon run.
+///
+/// The plan fingerprint hashes the journal header together with the
+/// ordered candidate flat indices, so any skew in app space, machine
+/// model, pruning, or sampling between coordinator and worker is caught
+/// as a refused shard instead of a silently corrupted merge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef G80TUNE_SERVE_SHARD_H
+#define G80TUNE_SERVE_SHARD_H
+
+#include "core/Search.h"
+#include "serve/Protocol.h"
+#include "support/Journal.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace g80 {
+
+/// The daemon's app registry: bench-sized problems only, so every worker
+/// in a fleet tunes the same space.  Null for unknown names.
+std::unique_ptr<TunableApp> makeServeApp(const std::string &Name);
+
+/// gtx (default) | nextgen.
+MachineModel makeServeMachine(const std::string &Name);
+
+/// Whether \p Req names a servable app/machine/strategy; on failure
+/// \p Error says which field is wrong.
+bool validateServeRequest(const TuneRequest &Req, std::string &Error);
+
+/// Re-derives the deterministic plan \p Req names.  Identical for any
+/// \p Jobs value (parallelism only speeds up the static phase).
+SweepPlan planForRequest(const SearchEngine &Eng, const TuneRequest &Req,
+                         unsigned Jobs);
+
+/// The journal fingerprint header for \p Req's plan — byte-compatible
+/// with what `tune search` and `tune serve` write, so fleet journals can
+/// be resumed/reported by the CLI directly.
+JournalHeader fingerprintForRequest(const TunableApp &App,
+                                    const SearchEngine &Eng,
+                                    const SweepPlan &Plan,
+                                    const TuneRequest &Req);
+
+/// Order-sensitive FNV-1a-64 over the header JSON plus every candidate
+/// flat index — the shard idempotency key's plan half.
+uint64_t planFingerprint(const JournalHeader &Header, const SweepPlan &Plan);
+
+/// Executes candidates [Req.Begin, Req.End) of the plan \p Req.Tune
+/// re-derives, journaled durably at \p JournalPath (resumed when the
+/// file already exists, so a re-dispatched shard replays instead of
+/// re-measuring).  Never fails out-of-band: refusals (fingerprint or
+/// range mismatch) and sweep errors come back as Status == "error".
+/// On success Records holds exactly End-Begin journal record payloads in
+/// candidate order — byte-identical to the records a single-daemon sweep
+/// would have appended for those candidates.
+ShardResult executeShard(const SearchEngine &Eng, const TunableApp &App,
+                         const ShardRequest &Req,
+                         const std::string &JournalPath, unsigned Jobs,
+                         const std::function<bool()> &ShouldStop);
+
+} // namespace g80
+
+#endif // G80TUNE_SERVE_SHARD_H

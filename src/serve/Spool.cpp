@@ -46,12 +46,12 @@ uint64_t seqForId(const std::string &Id) {
   return (End && *End == '\0') ? V : 0;
 }
 
+} // namespace
+
 #ifndef _WIN32
 
-/// Writes \p Content to \p Path via tmp + fsync + rename + dir fsync, so
-/// the file appears atomically and durably or not at all.
-Expected<Unit> writeFileDurable(const std::string &Path,
-                                const std::string &Content) {
+Expected<Unit> g80::writeFileDurable(const std::string &Path,
+                                     const std::string &Content) {
   std::string Tmp = Path + ".tmp";
   int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (Fd < 0)
@@ -81,8 +81,8 @@ Expected<Unit> writeFileDurable(const std::string &Path,
 
 #else
 
-Expected<Unit> writeFileDurable(const std::string &Path,
-                                const std::string &Content) {
+Expected<Unit> g80::writeFileDurable(const std::string &Path,
+                                     const std::string &Content) {
   std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
   if (!Out.write(Content.data(), std::streamsize(Content.size())))
     return spoolError("cannot write '" + Path + "'");
@@ -90,8 +90,6 @@ Expected<Unit> writeFileDurable(const std::string &Path,
 }
 
 #endif
-
-} // namespace
 
 Expected<Spool> Spool::open(const std::string &Dir) {
   std::error_code Ec;
@@ -105,6 +103,10 @@ Expected<Spool> Spool::open(const std::string &Dir) {
     if (!Entry.is_regular_file())
       continue;
     std::filesystem::path P = Entry.path();
+    // Quarantined tickets ("<id>.job.bad") still reserve their id so a
+    // restart never reissues it.
+    if (P.extension() == ".bad")
+      P = P.stem();
     if (P.extension() != ".job")
       continue;
     uint64_t Seq = seqForId(P.stem().string());
@@ -130,6 +132,15 @@ Expected<Unit> Spool::writeResult(const std::string &Id,
   return writeFileDurable(resultPath(Id), ResultJson + "\n");
 }
 
+std::string Spool::shardJournalPath(uint64_t PlanFp,
+                                    uint64_t ShardIndex) const {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "shard-%016llx-%06llu.journal",
+                static_cast<unsigned long long>(PlanFp),
+                static_cast<unsigned long long>(ShardIndex));
+  return Dir + "/" + Buf;
+}
+
 Expected<std::string> Spool::readResult(const std::string &Id) const {
   std::ifstream In(resultPath(Id), std::ios::binary);
   if (!In)
@@ -140,7 +151,7 @@ Expected<std::string> Spool::readResult(const std::string &Id) const {
 }
 
 Expected<std::vector<std::pair<std::string, TuneRequest>>>
-Spool::recover() const {
+Spool::recover(std::vector<std::string> *Quarantined) const {
   std::vector<std::pair<std::string, TuneRequest>> Pending;
   std::error_code Ec;
   for (const auto &Entry : std::filesystem::directory_iterator(Dir, Ec)) {
@@ -156,9 +167,22 @@ Spool::recover() const {
     std::ostringstream Buf;
     Buf << In.rdbuf();
     Expected<TuneRequest> Req = TuneRequest::fromJson(Buf.str());
-    if (!Req)
-      return spoolError("corrupt spool ticket '" + P.string() +
-                        "': " + Req.diag().Message);
+    if (!Req) {
+      // A ticket torn by a mid-write crash must not take down recovery
+      // of the healthy ones: quarantine it under a .bad name (so the
+      // evidence survives and the scan never re-trips on it) and move
+      // on.
+      std::string Bad = P.string() + ".bad";
+      std::error_code RenEc;
+      std::filesystem::rename(P, Bad, RenEc);
+      std::string Note = "quarantined corrupt spool ticket '" + P.string() +
+                         "': " + Req.diag().Message;
+      if (RenEc)
+        Note += " (rename to .bad failed: " + RenEc.message() + ")";
+      if (Quarantined)
+        Quarantined->push_back(Note);
+      continue;
+    }
     Pending.emplace_back(Id, Req.takeValue());
   }
   if (Ec)

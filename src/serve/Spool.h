@@ -39,6 +39,13 @@
 
 namespace g80 {
 
+/// Writes \p Content to \p Path via tmp + fsync + rename + parent-dir
+/// fsync, so the file appears atomically and durably or not at all.
+/// This is the spool's core invariant, exported so the fleet
+/// coordinator's shard spool can share it.
+Expected<Unit> writeFileDurable(const std::string &Path,
+                                const std::string &Content);
+
 class Spool {
 public:
   /// Opens (creating if needed) the spool directory and seeds the id
@@ -61,8 +68,13 @@ public:
   Expected<std::string> readResult(const std::string &Id) const;
 
   /// Accepted-but-unfinished requests (ticket without result), ordered by
-  /// id — the restart-recovery work list.
-  Expected<std::vector<std::pair<std::string, TuneRequest>>> recover() const;
+  /// id — the restart-recovery work list.  A truncated or corrupt ticket
+  /// (a crash can tear the write on filesystems without atomic rename
+  /// durability) is quarantined — renamed to `<id>.job.bad` — and
+  /// reported via \p Quarantined rather than aborting recovery of the
+  /// remaining tickets.
+  Expected<std::vector<std::pair<std::string, TuneRequest>>>
+  recover(std::vector<std::string> *Quarantined = nullptr) const;
 
   std::string ticketPath(const std::string &Id) const {
     return Dir + "/" + Id + ".job";
@@ -73,6 +85,10 @@ public:
   std::string resultPath(const std::string &Id) const {
     return Dir + "/" + Id + ".result";
   }
+  /// Per-shard journal used when serving fleet shard requests; keyed by
+  /// the plan fingerprint and shard index so re-dispatched shards resume
+  /// instead of re-measuring.
+  std::string shardJournalPath(uint64_t PlanFp, uint64_t ShardIndex) const;
 
 private:
   std::string Dir;

@@ -12,6 +12,7 @@
 #ifndef _WIN32
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <netinet/in.h>
 #include <poll.h>
@@ -88,6 +89,24 @@ std::chrono::steady_clock::time_point deadlineIn(double Seconds) {
              std::chrono::duration<double>(Seconds));
 }
 
+// A write to a peer that already closed must fail with EPIPE, not kill
+// the process with SIGPIPE.  Where the platform has MSG_NOSIGNAL the
+// flag suppresses it per-send; elsewhere a one-time process-wide
+// SIG_IGN covers the same hazard.
+#ifdef MSG_NOSIGNAL
+constexpr int SendFlags = MSG_NOSIGNAL;
+inline void suppressSigpipe() {}
+#else
+constexpr int SendFlags = 0;
+void suppressSigpipe() {
+  static const bool Installed = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)Installed;
+}
+#endif
+
 } // namespace
 
 Expected<Unit> Socket::sendFrame(std::string_view Payload) {
@@ -102,10 +121,10 @@ Expected<Unit> Socket::sendFrame(std::string_view Payload) {
       (unsigned char)(Len >> 8), (unsigned char)(Len)};
   std::string Wire(reinterpret_cast<const char *>(Prefix), 4);
   Wire.append(Payload);
+  suppressSigpipe();
   size_t Done = 0;
   while (Done < Wire.size()) {
-    ssize_t N = ::send(Fd, Wire.data() + Done, Wire.size() - Done,
-                       MSG_NOSIGNAL);
+    ssize_t N = ::send(Fd, Wire.data() + Done, Wire.size() - Done, SendFlags);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -157,7 +176,7 @@ Socket::Recv Socket::recvFrame(double TimeoutSeconds, std::string &Payload) {
         Need = (uint32_t(Prefix[0]) << 24) | (uint32_t(Prefix[1]) << 16) |
                (uint32_t(Prefix[2]) << 8) | uint32_t(Prefix[3]);
         if (Need > MaxFrameBytes)
-          return Recv::Error;
+          return Recv::Oversized;
         HavePrefix = true;
         Got = 0;
         Payload.reserve(Need);
@@ -277,10 +296,35 @@ Expected<Socket> connectAddr(int Family, const struct sockaddr *Addr,
   int Fd = ::socket(Family, SOCK_STREAM, 0);
   if (Fd < 0)
     return socketDiag(std::string("socket failed: ") + std::strerror(errno));
-  int R;
-  do {
-    R = ::connect(Fd, Addr, Len);
-  } while (R != 0 && errno == EINTR);
+  int R = ::connect(Fd, Addr, Len);
+  if (R != 0 && errno == EINTR) {
+    // POSIX: a connect() interrupted by a signal keeps completing
+    // asynchronously, and re-calling it races the in-flight attempt
+    // (EALREADY/EADDRINUSE).  Wait for writability, then read the real
+    // outcome from SO_ERROR.
+    for (;;) {
+      struct pollfd Pfd = {Fd, POLLOUT, 0};
+      int P = ::poll(&Pfd, 1, -1);
+      if (P < 0 && errno == EINTR)
+        continue;
+      if (P < 0) {
+        std::string E = std::strerror(errno);
+        ::close(Fd);
+        return socketDiag("connect " + What + " failed: " + E);
+      }
+      break;
+    }
+    int Err = 0;
+    socklen_t ErrLen = sizeof(Err);
+    if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &Err, &ErrLen) != 0)
+      Err = errno;
+    if (Err == 0) {
+      R = 0;
+    } else {
+      errno = Err;
+      R = -1;
+    }
+  }
   if (R != 0) {
     std::string E = std::strerror(errno);
     ::close(Fd);

@@ -61,11 +61,15 @@ public:
 
   /// What recvFrame observed.
   enum class Recv : uint8_t {
-    Frame,   ///< \p Payload holds one complete frame.
-    Timeout, ///< No complete frame within the budget.
-    Closed,  ///< Peer closed the connection at a frame boundary.
-    Error,   ///< Transport or protocol failure (oversized frame, mid-
-             ///< frame EOF, I/O error); the connection is unusable.
+    Frame,     ///< \p Payload holds one complete frame.
+    Timeout,   ///< No complete frame within the budget.
+    Closed,    ///< Peer closed the connection at a frame boundary.
+    Error,     ///< Transport failure (mid-frame EOF, I/O error); the
+               ///< connection is unusable.
+    Oversized, ///< The prefix announced a frame beyond MaxFrameBytes.
+               ///< The payload was not read, so the stream is still
+               ///< writable — the server sends a structured error reply
+               ///< before dropping the session.
   };
 
   /// Waits up to \p TimeoutSeconds for one complete frame.  The budget

@@ -28,15 +28,19 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #ifndef _WIN32
 #include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #endif
@@ -367,12 +371,34 @@ TEST(SpoolTest, TicketResultAndRecoveryInvariant) {
   EXPECT_EQ(*D, "req-000004");
 }
 
-TEST(SpoolTest, CorruptTicketIsAHardError) {
+TEST(SpoolTest, CorruptTicketIsQuarantinedNotFatal) {
   std::string Dir = tmpDir("spool_corrupt");
   Expected<Spool> Sp = Spool::open(Dir);
   ASSERT_TRUE(Sp.ok());
+  // One healthy ticket and one torn by a simulated mid-write crash.
+  Expected<std::string> A = Sp->createTicket(tinyRequest(1));
+  ASSERT_TRUE(A.ok());
   std::ofstream(Dir + "/req-000009.job") << "not json at all";
-  EXPECT_FALSE(Sp->recover().ok());
+
+  // Recovery quarantines the torn ticket (renamed .bad, reported) and
+  // still returns every healthy one.
+  std::vector<std::string> Quarantined;
+  auto Pending = Sp->recover(&Quarantined);
+  ASSERT_TRUE(Pending.ok()) << Pending.diag().Message;
+  ASSERT_EQ(Pending->size(), 1u);
+  EXPECT_EQ((*Pending)[0].first, *A);
+  ASSERT_EQ(Quarantined.size(), 1u);
+  EXPECT_NE(Quarantined[0].find("req-000009"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(Dir + "/req-000009.job"));
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/req-000009.job.bad"));
+
+  // The quarantined id still reserves its slot: a reopened spool must
+  // not reissue req-000009 and overwrite the evidence.
+  Expected<Spool> Again = Spool::open(Dir);
+  ASSERT_TRUE(Again.ok());
+  Expected<std::string> B = Again->createTicket(tinyRequest(2));
+  ASSERT_TRUE(B.ok());
+  EXPECT_EQ(*B, "req-000010");
 }
 
 //===--- Driver-level cooperative cancellation --------------------------------//
@@ -583,6 +609,146 @@ TEST(ServeEndToEndTest, EngineRegistrySharesAcrossRequests) {
 
   ASSERT_TRUE(Client->shutdown(10).ok());
   T.join();
+}
+
+//===--- Oversized frames, both directions ------------------------------------//
+
+/// Raw loopback TCP connect: the only way to emit a frame prefix the
+/// Socket class itself refuses to send.
+int rawConnect(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// 4-byte big-endian prefix announcing MaxFrameBytes + 1.
+std::array<unsigned char, 4> oversizedPrefix() {
+  uint32_t N = Socket::MaxFrameBytes + 1;
+  return {static_cast<unsigned char>(N >> 24),
+          static_cast<unsigned char>(N >> 16),
+          static_cast<unsigned char>(N >> 8),
+          static_cast<unsigned char>(N)};
+}
+
+TEST(SocketTest, OversizedInboundPrefixDetectedWithoutReadingPayload) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no sockets on this platform";
+  Expected<ListenSocket> L = ListenSocket::listenTcp(0);
+  ASSERT_TRUE(L.ok());
+  int Raw = rawConnect(L->port());
+  ASSERT_GE(Raw, 0);
+  Expected<Socket> Server = L->acceptFor(5);
+  ASSERT_TRUE(Server.ok());
+
+  // Send only the prefix: the receiver must classify it from the header
+  // alone, without waiting for a megabyte that will never arrive.
+  auto Prefix = oversizedPrefix();
+  ASSERT_EQ(::send(Raw, Prefix.data(), Prefix.size(), 0),
+            ssize_t(Prefix.size()));
+  std::string Got;
+  EXPECT_EQ(Server->recvFrame(5, Got), Socket::Recv::Oversized);
+
+  // The stream is still writable: the server can answer before closing.
+  EXPECT_TRUE(Server->sendFrame("bye").ok());
+  ::close(Raw);
+}
+
+TEST(ServeEndToEndTest, OversizedInboundFrameGetsStructuredErrorReply) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no sockets on this platform";
+  ServeOptions SO;
+  SO.SpoolDir = tmpDir("oversized");
+  SO.TcpPort = 0;
+  TuneServer Server(SO);
+  ASSERT_TRUE(Server.start().ok());
+  std::thread T([&] { Server.serve(); });
+
+  int Raw = rawConnect(Server.port());
+  ASSERT_GE(Raw, 0);
+  auto Prefix = oversizedPrefix();
+  ASSERT_EQ(::send(Raw, Prefix.data(), Prefix.size(), 0),
+            ssize_t(Prefix.size()));
+
+  // The daemon must reply with a framed structured error, then close —
+  // not just drop the connection.
+  unsigned char Hdr[4];
+  size_t HdrGot = 0;
+  while (HdrGot < 4) {
+    ssize_t N = ::recv(Raw, Hdr + HdrGot, 4 - HdrGot, 0);
+    ASSERT_GT(N, 0) << "daemon closed without replying";
+    HdrGot += size_t(N);
+  }
+  uint32_t Len = (uint32_t(Hdr[0]) << 24) | (uint32_t(Hdr[1]) << 16) |
+                 (uint32_t(Hdr[2]) << 8) | uint32_t(Hdr[3]);
+  ASSERT_LE(Len, Socket::MaxFrameBytes);
+  std::string Payload(Len, '\0');
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::recv(Raw, &Payload[Got], Len - Got, 0);
+    ASSERT_GT(N, 0);
+    Got += size_t(N);
+  }
+  EXPECT_EQ(frameType(Payload), "error");
+  EXPECT_NE(Payload.find("cap"), std::string::npos) << Payload;
+  // And then the close.
+  char Extra;
+  EXPECT_EQ(::recv(Raw, &Extra, 1, 0), 0);
+  ::close(Raw);
+
+  Server.requestDrain();
+  T.join();
+}
+
+TEST(ServeClientTest, OversizedDaemonFrameIsAClientError) {
+  if (!socketsSupported())
+    GTEST_SKIP() << "no sockets on this platform";
+  // A hand-rolled "daemon" that answers any frame with an oversized
+  // prefix — the client must fail with a diagnostic, not hang or crash.
+  int Listen = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Listen, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(Listen, reinterpret_cast<sockaddr *>(&Addr),
+                   sizeof(Addr)),
+            0);
+  ASSERT_EQ(::listen(Listen, 1), 0);
+  socklen_t AddrLen = sizeof(Addr);
+  ASSERT_EQ(::getsockname(Listen, reinterpret_cast<sockaddr *>(&Addr),
+                          &AddrLen),
+            0);
+  uint16_t Port = ntohs(Addr.sin_port);
+
+  std::thread Fake([&] {
+    int Conn = ::accept(Listen, nullptr, nullptr);
+    if (Conn < 0)
+      return;
+    char Buf[256];
+    ::recv(Conn, Buf, sizeof(Buf), 0); // The client's status frame.
+    auto Prefix = oversizedPrefix();
+    ::send(Conn, Prefix.data(), Prefix.size(), 0);
+    // Hold the connection open so the failure is the cap, not a close.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    ::close(Conn);
+  });
+
+  Expected<ServeClient> Client = ServeClient::connect("", Port);
+  ASSERT_TRUE(Client.ok());
+  Expected<ServeStatus> Status = Client->status(5);
+  ASSERT_FALSE(Status.ok());
+  EXPECT_NE(Status.diag().Message.find("cap"), std::string::npos)
+      << Status.diag().Message;
+  Fake.join();
+  ::close(Listen);
 }
 
 //===--- Chaos: SIGKILL mid-request, restart, byte-identical results ----------//

@@ -42,7 +42,8 @@
 // Exit codes: 0 success, 2 bad usage (incl. stale/corrupt journal),
 // 3 parse/verify failure, 4 evaluation failure (nothing could be
 // measured), 5 interrupted by SIGINT/SIGTERM (journal is resumable),
-// 6 `tune serve` force-quit by a second signal (spool is resumable).
+// 6 `tune serve` force-quit by a second signal (spool is resumable),
+// 7 `tune fleet` failed to complete (its spool keeps partial shards).
 // README.md has the consolidated table.
 //
 //   tune report <journal-or-csv> [--trace FILE] [--top N]
@@ -76,12 +77,24 @@
 //       accepted-but-unfinished request after a crash or restart.  See
 //       serve/Server.h and DESIGN.md §12.
 //
+//   tune fleet --app <name> --spool DIR --journal FILE
+//              [--workers ep1,ep2,...] ...
+//       Horizontal sharding across tune-serve daemons: partitions one
+//       deterministic sweep into shards, dispatches them to the workers,
+//       re-dispatches on worker death, hedges stragglers, degrades to
+//       in-process execution when no worker is healthy, and merges a
+//       journal byte-identical to a single-daemon run.  The coordinator
+//       keeps its own crash-safe spool, so a killed coordinator resumes
+//       only unfinished shards.  See fleet/Coordinator.h and DESIGN.md
+//       §13.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/EvalRecord.h"
 #include "core/Report.h"
 #include "core/Search.h"
 #include "core/SweepDriver.h"
+#include "fleet/Coordinator.h"
 #include "serve/Server.h"
 #include "kernels/Cp.h"
 #include "kernels/MatMul.h"
@@ -128,6 +141,8 @@ enum ExitCode : int {
                        ///< (if any) holds all completed work — resumable.
   ExitForcedShutdown = 6, ///< `tune serve` force-quit by a second signal;
                           ///< the spool resumes everything on restart.
+  ExitFleetFailed = 7,    ///< `tune fleet` could not complete (setup or
+                          ///< merge failure); the spool keeps partial work.
 };
 
 int usage() {
@@ -150,7 +165,16 @@ int usage() {
          "  tune inspect --file <kernel.ptx> --block X[,Y] --grid X[,Y]\n"
          "  tune serve   --spool DIR [--socket PATH | --tcp-port N]\n"
          "               [--queue-limit N] [--executors N] [--jobs N]\n"
-         "               [--isolate] [--deadline S] [--trace FILE.jsonl]\n";
+         "               [--isolate] [--deadline S] [--trace FILE.jsonl]\n"
+         "  tune fleet   --app <name> --spool DIR --journal FILE\n"
+         "               [--workers ep1,ep2,...] [--machine gtx|nextgen]\n"
+         "               [--strategy pareto|exhaustive|cluster|random]\n"
+         "               [--seed N] [--budget N] [--fast-bw] [--lint]\n"
+         "               [--shard-size N] [--shard-timeout S] "
+         "[--heartbeat S]\n"
+         "               [--hedge-pct P] [--jobs N] [--no-local] "
+         "[--progress]\n"
+         "               [--trace FILE.jsonl]\n";
   return ExitUsage;
 }
 
@@ -206,7 +230,7 @@ bool doubleFlag(const std::map<std::string, std::string> &Flags,
 
 bool isValuelessSwitch(std::string_view Name) {
   return Name == "resume" || Name == "isolate" || Name == "fast-bw" ||
-         Name == "progress" || Name == "lint";
+         Name == "progress" || Name == "lint" || Name == "no-local";
 }
 
 std::map<std::string, std::string> parseFlags(int Argc, char **Argv,
@@ -598,6 +622,134 @@ int cmdServe(std::map<std::string, std::string> Flags) {
   return ExitUsage;
 }
 
+/// `tune fleet`: the horizontal-sharding coordinator (fleet/Coordinator.h).
+/// Partitions one deterministic sweep into shards, dispatches them to
+/// the --workers tune-serve daemons, survives worker and coordinator
+/// crashes via its own spool, and writes a merged journal byte-identical
+/// to a single-daemon run.  Exit 0 on completion (even degraded-local),
+/// 5 when interrupted (spool resumes), 7 on setup/merge failure.
+int cmdFleet(std::map<std::string, std::string> Flags) {
+  FleetOptions FO;
+  if (!Flags.count("app")) {
+    std::cerr << "error: tune fleet needs --app\n";
+    return usage();
+  }
+  FO.Request.App = Flags["app"];
+  if (Flags.count("machine"))
+    FO.Request.Machine = Flags["machine"];
+  if (Flags.count("strategy"))
+    FO.Request.Strategy = Flags["strategy"];
+  FO.Request.FastBw = Flags.count("fast-bw") != 0;
+  FO.Request.Lint = Flags.count("lint") != 0;
+  if (!Flags.count("spool")) {
+    std::cerr << "error: tune fleet needs --spool DIR\n";
+    return usage();
+  }
+  FO.SpoolDir = Flags["spool"];
+  if (!Flags.count("journal")) {
+    std::cerr << "error: tune fleet needs --journal FILE\n";
+    return usage();
+  }
+  FO.JournalPath = Flags["journal"];
+  uint64_t Jobs = FO.Jobs;
+  if (!uintFlag(Flags, "seed", FO.Request.Seed) ||
+      !uintFlag(Flags, "budget", FO.Request.Budget) ||
+      !uintFlag(Flags, "shard-size", FO.ShardSize) ||
+      !uintFlag(Flags, "jobs", Jobs) ||
+      !doubleFlag(Flags, "shard-timeout", FO.ShardTimeoutSeconds) ||
+      !doubleFlag(Flags, "heartbeat", FO.HeartbeatSeconds) ||
+      !doubleFlag(Flags, "hedge-pct", FO.HedgePercentile))
+    return usage();
+  if (FO.ShardSize < 1 || Jobs < 1) {
+    std::cerr << "error: --shard-size/--jobs must be positive\n";
+    return usage();
+  }
+  if (FO.ShardTimeoutSeconds <= 0 || FO.HeartbeatSeconds <= 0) {
+    std::cerr << "error: --shard-timeout/--heartbeat must be positive\n";
+    return usage();
+  }
+  if (FO.HedgePercentile < 0 || FO.HedgePercentile > 1) {
+    std::cerr << "error: --hedge-pct must be in [0, 1]\n";
+    return usage();
+  }
+  FO.Jobs = unsigned(Jobs);
+  FO.AllowLocal = Flags.count("no-local") == 0;
+  if (Flags.count("workers")) {
+    Expected<std::vector<WorkerEndpoint>> W = parseWorkerList(Flags["workers"]);
+    if (!W) {
+      std::cerr << "error: --workers: " << W.diag().Message << "\n";
+      return usage();
+    }
+    FO.Workers = W.takeValue();
+  }
+  if (!FO.Workers.empty() && !socketsSupported()) {
+    std::cerr << "error: tune fleet with remote workers is not supported "
+                 "on this platform (use local execution)\n";
+    return ExitUsage;
+  }
+  if (FO.Workers.empty() && !FO.AllowLocal) {
+    std::cerr << "error: --no-local requires at least one --workers "
+                 "endpoint\n";
+    return usage();
+  }
+
+  std::optional<Tracer> Trace;
+  if (Flags.count("trace")) {
+    Expected<Tracer> T = Tracer::toFile(Flags["trace"]);
+    if (!T) {
+      std::cerr << "error: --trace: " << T.diag().Message << "\n";
+      return usage();
+    }
+    Trace.emplace(T.takeValue());
+  }
+  ScopedTracer TraceGuard(Trace ? &*Trace : nullptr);
+
+  bool Progress = Flags.count("progress") != 0;
+  if (Progress)
+    FO.OnProgress = [](const FleetProgress &P) {
+      std::cerr << "\rfleet: " << P.ShardsDone << "/" << P.ShardsTotal
+                << " shards  workers " << P.HealthyWorkers << "/"
+                << P.TotalWorkers << " healthy  redispatched "
+                << P.ReDispatched << "  hedged " << P.Hedged;
+      if (P.LocalShards)
+        std::cerr << "  local " << P.LocalShards
+                  << (P.Degraded ? " (degraded)" : "");
+      std::cerr << "    " << std::flush;
+    };
+
+  clearSweepInterrupt();
+  ScopedSweepSignalHandlers Guard;
+  FO.ShouldStop = [] { return sweepInterruptRequested(); };
+
+  FleetCoordinator Coord(std::move(FO));
+  FleetReport Rep = Coord.run();
+  if (Progress)
+    std::cerr << "\n";
+  for (const std::string &W : Rep.Warnings)
+    std::cerr << "fleet: warning: " << W << "\n";
+  std::cout << "fleet: " << Rep.ShardsCompleted << "/" << Rep.ShardsTotal
+            << " shards (" << Rep.ShardsRecovered << " recovered, "
+            << Rep.ReDispatched << " re-dispatched, " << Rep.Hedged
+            << " hedged, " << Rep.DuplicatesDropped << " duplicates dropped, "
+            << Rep.LocalShards << " local)\n";
+  switch (Rep.Status) {
+  case FleetStatus::Completed:
+    if (Rep.Degraded)
+      std::cerr << "fleet: completed degraded — some shards ran locally "
+                   "because no worker was healthy\n";
+    std::cout << "fleet: journal written to " << Flags["journal"] << "\n";
+    return ExitOk;
+  case FleetStatus::Interrupted:
+    std::cerr << "fleet: interrupted; rerun with the same --spool to "
+                 "resume\n";
+    return ExitInterrupted;
+  case FleetStatus::Error:
+    std::cerr << "error: " << Rep.Error.Message << "\n";
+    return ExitFleetFailed;
+  }
+  return ExitFleetFailed;
+}
+
 /// `tune report <journal-or-csv>`: offline analysis of sweep artifacts.
 int cmdReport(const std::string &Path,
               std::map<std::string, std::string> Flags) {
@@ -855,6 +1007,8 @@ int main(int Argc, char **Argv) {
     return cmdSearch(std::move(Flags));
   if (Cmd == "serve")
     return cmdServe(std::move(Flags));
+  if (Cmd == "fleet")
+    return cmdFleet(std::move(Flags));
   if (Cmd == "report")
     return cmdReport(firstPositional(Argc, Argv, 2), std::move(Flags));
   if (Cmd == "lint")
