@@ -110,16 +110,25 @@ BENCHMARK(BM_ParetoFront)->Range(64, 16384)->Complexity();
 
 void BM_SimulateSmallMatMul(benchmark::State &State) {
   // One measurement at a reduced problem size, for the static/measured
-  // cost ratio.
+  // cost ratio.  Parameterized over the scheduler core: Arg(0) is the
+  // default event engine, Arg(1) the reference scan engine; the ratio of
+  // the two is the engine speedup on this kernel.
   MatMulApp App(MatMulProblem{128});
   Kernel K = App.buildKernel(exampleConfig());
   MachineModel M = MachineModel::geForce8800Gtx();
+  SimOptions Opts;
+  Opts.EngineSel = State.range(0) ? SimOptions::Engine::Scan
+                                  : SimOptions::Engine::Event;
   for (auto _ : State) {
-    Expected<SimResult> R = simulateKernel(K, App.launch(exampleConfig()), M);
+    Expected<SimResult> R =
+        simulateKernel(K, App.launch(exampleConfig()), M, Opts);
     benchmark::DoNotOptimize(R->Cycles);
   }
 }
-BENCHMARK(BM_SimulateSmallMatMul);
+BENCHMARK(BM_SimulateSmallMatMul)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("scan");
 
 void BM_EmulateTinyMatMul(benchmark::State &State) {
   MatMulApp App(MatMulProblem{32});

@@ -1,0 +1,290 @@
+//===- bench/sim_engine_perf.cpp - Scan vs event engine throughput -----------===//
+//
+// Part of g80tune.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Times raw cycle simulation — no metric evaluation, no sweep planning —
+// of every expressible configuration of each application under both
+// scheduler cores (SimOptions::Engine::Scan vs ::Event) and reports
+// simulated cycles per wall second for each.  Kernels, launches, and
+// expressibility checks are done once up front so the timed region is
+// simulateKernel() alone; the same prebuilt variants feed both engines.
+//
+// Every configuration's result is compared field-for-field across the
+// engines (cycles, issued instructions, issue stalls, memory-queue wait,
+// blocks, and failure diagnostics), so this doubles as a whole-space
+// differential check and is safe to gate CI on: the perf floor in
+// .github/workflows/ci.yml parses the JSON emitted here and fails if the
+// event engine is ever slower than the scan engine on any app.
+//
+// Flags:
+//   --app matmul|cp|sad|mri|all   which space(s) to time (default all)
+//   --tiny                        emulation-sized problems (CI smoke)
+//   --out PATH                    JSON output (default BENCH_sim_engine.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+#include "core/TunableApp.h"
+#include "kernels/Cp.h"
+#include "kernels/MatMul.h"
+#include "kernels/MriFhd.h"
+#include "kernels/Sad.h"
+#include "sim/Simulator.h"
+#include "support/Format.h"
+#include "support/Journal.h"
+#include "support/TextTable.h"
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace g80;
+
+namespace {
+
+struct Variant {
+  Kernel K;
+  LaunchConfig Launch;
+};
+
+struct EngineRun {
+  double Seconds = 0;
+  uint64_t SimCycles = 0; ///< Sum of Cycles over successful simulations.
+  uint64_t SimIssued = 0; ///< Sum of IssuedWarpInstrs over the same runs.
+  uint64_t Failures = 0;  ///< Occupancy-invalid and other diagnostics.
+};
+
+struct AppResult {
+  std::string Name;
+  size_t Configs = 0;
+  EngineRun Scan;
+  EngineRun Event;
+  bool EnginesMatch = false;
+};
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// One simulateKernel outcome, flattened for cross-engine comparison.
+struct Outcome {
+  bool Ok = false;
+  uint64_t Cycles = 0;
+  uint64_t Issued = 0;
+  uint64_t Stall = 0;
+  uint64_t MemWait = 0;
+  uint64_t Blocks = 0;
+  unsigned Bsm = 0;
+  std::string Error;
+
+  bool operator==(const Outcome &O) const {
+    return Ok == O.Ok && Cycles == O.Cycles && Issued == O.Issued &&
+           Stall == O.Stall && MemWait == O.MemWait && Blocks == O.Blocks &&
+           Bsm == O.Bsm && Error == O.Error;
+  }
+};
+
+EngineRun timeEngine(const std::vector<Variant> &Variants,
+                     const MachineModel &Machine, SimOptions::Engine Engine,
+                     std::vector<Outcome> &Outcomes) {
+  SimOptions Opts;
+  Opts.EngineSel = Engine;
+  Outcomes.clear();
+  Outcomes.reserve(Variants.size());
+  EngineRun R;
+  auto T0 = std::chrono::steady_clock::now();
+  for (const Variant &V : Variants) {
+    Expected<SimResult> Sim = simulateKernel(V.K, V.Launch, Machine, Opts);
+    Outcome O;
+    if (Sim) {
+      O.Ok = true;
+      O.Cycles = Sim->Cycles;
+      O.Issued = Sim->IssuedWarpInstrs;
+      O.Stall = Sim->IssueStallCycles;
+      O.MemWait = Sim->MemQueueWaitCycles;
+      O.Blocks = Sim->BlocksRun;
+      O.Bsm = Sim->Occ.BlocksPerSM;
+      R.SimCycles += Sim->Cycles;
+      R.SimIssued += Sim->IssuedWarpInstrs;
+    } else {
+      O.Error = Sim.diag().Message;
+      ++R.Failures;
+    }
+    Outcomes.push_back(std::move(O));
+  }
+  R.Seconds = secondsSince(T0);
+  return R;
+}
+
+AppResult benchApp(const std::string &Name, const TunableApp &App) {
+  const MachineModel Machine = MachineModel::geForce8800Gtx();
+  std::vector<Variant> Variants;
+  for (const ConfigPoint &P : App.space().enumerate()) {
+    if (!App.isExpressible(P))
+      continue;
+    Variants.push_back({App.buildKernel(P), App.launch(P)});
+  }
+
+  AppResult R;
+  R.Name = Name;
+  R.Configs = Variants.size();
+  std::vector<Outcome> ScanOut, EventOut;
+  // Scan first, event second, so a warm cache favors neither engine's
+  // headline number more than run-to-run noise does.
+  R.Scan = timeEngine(Variants, Machine, SimOptions::Engine::Scan, ScanOut);
+  R.Event = timeEngine(Variants, Machine, SimOptions::Engine::Event, EventOut);
+  R.EnginesMatch = ScanOut == EventOut;
+  if (!R.EnginesMatch) // Pinpoint the first divergence for debugging.
+    for (size_t I = 0; I != ScanOut.size(); ++I)
+      if (!(ScanOut[I] == EventOut[I])) {
+        const Outcome &S = ScanOut[I], &E = EventOut[I];
+        std::cerr << Name << " config " << I << " diverged:\n  scan  cycles="
+                  << S.Cycles << " issued=" << S.Issued << " stall=" << S.Stall
+                  << " memwait=" << S.MemWait << " blocks=" << S.Blocks
+                  << " err=" << S.Error << "\n  event cycles=" << E.Cycles
+                  << " issued=" << E.Issued << " stall=" << E.Stall
+                  << " memwait=" << E.MemWait << " blocks=" << E.Blocks
+                  << " err=" << E.Error << "\n";
+        break;
+      }
+  return R;
+}
+
+void writeJson(const std::string &Path, const std::vector<AppResult> &Results) {
+  std::ostringstream OS;
+  OS << "{\n  \"bench\": \"sim_engine_perf\",\n  \"apps\": [\n";
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const AppResult &R = Results[I];
+    auto PerSec = [](const EngineRun &E) {
+      return E.Seconds > 0 ? double(E.SimCycles) / E.Seconds : 0;
+    };
+    double Speedup =
+        R.Event.Seconds > 0 ? R.Scan.Seconds / R.Event.Seconds : 0;
+    OS << "    {\"app\": \"" << jsonEscape(R.Name)
+       << "\", \"configs\": " << R.Configs
+       << ", \"scan_seconds\": " << fmtSci(R.Scan.Seconds)
+       << ", \"event_seconds\": " << fmtSci(R.Event.Seconds)
+       << ", \"sim_cycles_per_sec_scan\": " << fmtSci(PerSec(R.Scan))
+       << ", \"sim_cycles_per_sec_event\": " << fmtSci(PerSec(R.Event))
+       << ", \"sim_cycles\": " << R.Event.SimCycles
+       << ", \"sim_issued\": " << R.Event.SimIssued
+       << ", \"event_speedup\": " << fmtDouble(Speedup, 3)
+       << ", \"engines_match\": " << (R.EnginesMatch ? "true" : "false")
+       << "}" << (I + 1 != Results.size() ? "," : "") << "\n";
+  }
+  OS << "  ]\n}\n";
+
+  std::ofstream File(Path, std::ios::trunc);
+  if (!File) {
+    std::cerr << "error: cannot write " << Path << "\n";
+    std::exit(1);
+  }
+  File << OS.str();
+  std::cout << "\nwrote " << Path << "\n";
+}
+
+void usage() {
+  std::cerr
+      << "usage: sim_engine_perf [--app matmul|cp|sad|mri|all] [--tiny] "
+         "[--out PATH]\n";
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Which = "all";
+  std::string OutPath = "BENCH_sim_engine.json";
+  bool Tiny = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&]() -> std::string {
+      if (I + 1 >= argc)
+        usage();
+      return argv[++I];
+    };
+    if (Arg == "--app")
+      Which = Value();
+    else if (Arg == "--tiny")
+      Tiny = true;
+    else if (Arg == "--out")
+      OutPath = Value();
+    else
+      usage();
+  }
+
+  struct Entry {
+    const char *Name;
+    std::function<std::unique_ptr<TunableApp>()> Make;
+  };
+  std::vector<Entry> Apps = {
+      {"matmul",
+       [&]() -> std::unique_ptr<TunableApp> {
+         return std::make_unique<MatMulApp>(Tiny ? MatMulProblem::emulation()
+                                                 : MatMulProblem::bench());
+       }},
+      {"cp",
+       [&]() -> std::unique_ptr<TunableApp> {
+         return std::make_unique<CpApp>(Tiny ? CpProblem::emulation()
+                                             : CpProblem::bench());
+       }},
+      {"sad",
+       [&]() -> std::unique_ptr<TunableApp> {
+         return std::make_unique<SadApp>(Tiny ? SadApp::emulationProblem()
+                                              : SadApp::benchProblem());
+       }},
+      {"mri",
+       [&]() -> std::unique_ptr<TunableApp> {
+         return std::make_unique<MriFhdApp>(Tiny ? MriProblem::emulation()
+                                                 : MriProblem::bench());
+       }},
+  };
+
+  std::cout << "=== Simulator engine throughput: scan vs event ===\n\n";
+
+  std::vector<AppResult> Results;
+  bool Ran = false;
+  for (const Entry &E : Apps) {
+    if (Which != "all" && Which != E.Name)
+      continue;
+    Ran = true;
+    std::unique_ptr<TunableApp> App = E.Make();
+    Results.push_back(benchApp(E.Name, *App));
+  }
+  if (!Ran)
+    usage();
+
+  TextTable T;
+  T.setHeader({"App", "Configs", "Scan cyc/s", "Event cyc/s", "Speedup",
+               "Match"});
+  bool AllMatch = true;
+  for (const AppResult &R : Results) {
+    auto PerSec = [](const EngineRun &E) {
+      return E.Seconds > 0 ? double(E.SimCycles) / E.Seconds : 0;
+    };
+    double Speedup =
+        R.Event.Seconds > 0 ? R.Scan.Seconds / R.Event.Seconds : 0;
+    T.addRow({R.Name, fmtInt(uint64_t(R.Configs)), fmtSci(PerSec(R.Scan)),
+              fmtSci(PerSec(R.Event)), fmtDouble(Speedup, 2) + "x",
+              R.EnginesMatch ? "yes" : "NO"});
+    AllMatch &= R.EnginesMatch;
+  }
+  T.print(std::cout);
+
+  writeJson(OutPath, Results);
+
+  if (!AllMatch) {
+    std::cerr << "error: event engine diverged from scan engine\n";
+    return 1;
+  }
+  return 0;
+}

@@ -5,11 +5,17 @@
 //===----------------------------------------------------------------------===//
 //
 // Times an exhaustive sweep of each application's configuration space
-// twice — once serially (--jobs 1) and once with the work-stealing
-// in-process pool — and reports the speedup plus the throughput numbers
-// (configurations/second and simulated cycles/second) behind it.  Also
-// asserts the parallel outcome matches the serial one, so this doubles
-// as an end-to-end determinism smoke test.
+// three ways — serially under the reference scan scheduler core, serially
+// under the event core (the default engine), and under the event core
+// with the work-stealing in-process pool — and reports the parallel
+// speedup plus the throughput numbers (configurations/second and
+// simulated cycles/second) behind each.  The per-engine columns measure
+// the whole sweep (planning, kernel construction, metric evaluation, and
+// simulation), so the engine speedup here is the end-to-end win, a lower
+// bound on the raw simulateKernel() speedup that bench/sim_engine_perf
+// isolates.  Also asserts the parallel outcome matches the serial one
+// and that both engines produce identical outcomes, so this doubles as
+// an end-to-end determinism smoke test.
 //
 // Emits machine-readable JSON (default BENCH_sweep.json) for the CI
 // perf-regression artifact.
@@ -56,9 +62,11 @@ struct AppResult {
   std::string Name;
   size_t Configs = 0;   ///< Measured candidates per sweep.
   uint64_t SimCycles = 0; ///< Total simulated cycles across candidates.
-  double SerialSeconds = 0;
-  double ParallelSeconds = 0;
-  bool OutcomesMatch = false;
+  double ScanSeconds = 0;   ///< Serial sweep, scan (reference) engine.
+  double SerialSeconds = 0; ///< Serial sweep, event engine.
+  double ParallelSeconds = 0; ///< --jobs N sweep, event engine.
+  bool OutcomesMatch = false; ///< Serial event == parallel event.
+  bool EnginesMatch = false;  ///< Serial scan == serial event.
 };
 
 double secondsSince(std::chrono::steady_clock::time_point T0) {
@@ -70,9 +78,11 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
 /// the evaluator's kernel/metric memoization cannot leak work from the
 /// serial timing into the parallel one.
 SearchOutcome timedSweep(const TunableApp &App, unsigned Jobs,
-                         double &Seconds) {
+                         SimOptions::Engine EngineSel, double &Seconds) {
   auto T0 = std::chrono::steady_clock::now();
-  SearchEngine Engine(App, MachineModel::geForce8800Gtx());
+  SimOptions SimO;
+  SimO.EngineSel = EngineSel;
+  SearchEngine Engine(App, MachineModel::geForce8800Gtx(), {}, SimO);
   SweepPlan Plan = Engine.planExhaustive(Jobs);
   SweepOptions Opts;
   Opts.Jobs = Jobs;
@@ -103,12 +113,17 @@ AppResult benchApp(const std::string &Name, const TunableApp &App,
                    unsigned Jobs) {
   AppResult R;
   R.Name = Name;
-  SearchOutcome Serial = timedSweep(App, 1, R.SerialSeconds);
-  SearchOutcome Parallel = timedSweep(App, Jobs, R.ParallelSeconds);
+  SearchOutcome Scan =
+      timedSweep(App, 1, SimOptions::Engine::Scan, R.ScanSeconds);
+  SearchOutcome Serial =
+      timedSweep(App, 1, SimOptions::Engine::Event, R.SerialSeconds);
+  SearchOutcome Parallel =
+      timedSweep(App, Jobs, SimOptions::Engine::Event, R.ParallelSeconds);
   R.Configs = Serial.Candidates.size();
   for (size_t I : Serial.Candidates)
     R.SimCycles += Serial.Evals[I].Sim.Cycles;
   R.OutcomesMatch = outcomesEqual(Serial, Parallel);
+  R.EnginesMatch = outcomesEqual(Scan, Serial);
   return R;
 }
 
@@ -131,18 +146,25 @@ void writeJson(const std::string &Path, unsigned Jobs,
     auto PerSec = [&](double Seconds) {
       return Seconds > 0 ? double(R.Configs) / Seconds : 0;
     };
+    double EngineSpeedup =
+        R.SerialSeconds > 0 ? R.ScanSeconds / R.SerialSeconds : 0;
     OS << "    {\"app\": \"" << jsonEscape(R.Name)
        << "\", \"configs\": " << R.Configs
+       << ", \"scan_seconds\": " << fmtSci(R.ScanSeconds)
        << ", \"serial_seconds\": " << fmtSci(R.SerialSeconds)
        << ", \"parallel_seconds\": " << fmtSci(R.ParallelSeconds)
        << ", \"speedup\": " << fmtDouble(Speedup, 3)
+       << ", \"engine_speedup\": " << fmtDouble(EngineSpeedup, 3)
        << ", \"configs_per_sec_serial\": " << fmtDouble(PerSec(R.SerialSeconds), 1)
        << ", \"configs_per_sec_parallel\": "
        << fmtDouble(PerSec(R.ParallelSeconds), 1)
+       << ", \"sim_cycles_per_sec_scan\": "
+       << fmtSci(R.ScanSeconds > 0 ? double(R.SimCycles) / R.ScanSeconds : 0)
        << ", \"sim_cycles_per_sec\": "
        << fmtSci(R.ParallelSeconds > 0 ? double(R.SimCycles) / R.ParallelSeconds
                                        : 0)
        << ", \"outcomes_match\": " << (R.OutcomesMatch ? "true" : "false")
+       << ", \"engines_match\": " << (R.EnginesMatch ? "true" : "false")
        << "}" << (I + 1 != Results.size() ? "," : "") << "\n";
   }
   OS << "  ]\n}\n";
@@ -270,22 +292,22 @@ int main(int argc, char **argv) {
     usage();
 
   TextTable T;
-  T.setHeader({"App", "Configs", "Serial", "Parallel", "Speedup",
-               "Cfg/s (par)", "Match"});
+  T.setHeader({"App", "Configs", "Scan", "Event", "Parallel", "Eng x",
+               "Par x", "Match"});
   bool AllMatch = true;
   for (const AppResult &R : Results) {
     double Speedup =
         R.ParallelSeconds > 0 ? R.SerialSeconds / R.ParallelSeconds : 0;
+    double EngineSpeedup =
+        R.SerialSeconds > 0 ? R.ScanSeconds / R.SerialSeconds : 0;
     T.addRow({R.Name, fmtInt(uint64_t(R.Configs)),
+              fmtDouble(R.ScanSeconds * 1e3, 1) + " ms",
               fmtDouble(R.SerialSeconds * 1e3, 1) + " ms",
               fmtDouble(R.ParallelSeconds * 1e3, 1) + " ms",
+              fmtDouble(EngineSpeedup, 2) + "x",
               fmtDouble(Speedup, 2) + "x",
-              fmtDouble(R.ParallelSeconds > 0
-                            ? double(R.Configs) / R.ParallelSeconds
-                            : 0,
-                        1),
-              R.OutcomesMatch ? "yes" : "NO"});
-    AllMatch &= R.OutcomesMatch;
+              R.OutcomesMatch && R.EnginesMatch ? "yes" : "NO"});
+    AllMatch &= R.OutcomesMatch && R.EnginesMatch;
   }
   T.print(std::cout);
 
@@ -299,7 +321,8 @@ int main(int argc, char **argv) {
   }
 
   if (!AllMatch) {
-    std::cerr << "error: parallel outcome diverged from serial\n";
+    std::cerr << "error: sweep outcomes diverged (parallel vs serial, or "
+                 "event vs scan engine)\n";
     return 1;
   }
   return 0;

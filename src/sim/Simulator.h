@@ -52,6 +52,24 @@ class Kernel;
 /// kernels come from mechanical sweeps, so a runaway variant must not take
 /// the whole search down with it.
 struct SimOptions {
+  /// Scheduler-core selection.  Both engines execute the same trace with
+  /// the same round-robin issue order and produce bit-identical SimResults
+  /// (asserted by tests/SimEngineTest.cpp and bench/sweep_perf); they
+  /// differ only in how the next issueable warp is found.
+  enum class Engine : uint8_t {
+    /// Event-driven core (default): dense SoA warp state, a ready bitmask
+    /// scanned with ctz, and a wake calendar over the cached StallUntil
+    /// values so an all-stalled SM jumps the clock straight to the next
+    /// wake cycle.  The fast path.
+    Event,
+    /// The original round-robin scan over every resident warp per issue
+    /// slot.  Kept as the debugging/differential reference (`tune search
+    /// --sim-engine scan`).
+    Scan,
+  };
+
+  Engine EngineSel = Engine::Event;
+
   /// Watchdog cap on issued warp instructions.
   uint64_t MaxIssues = 1ull << 33;
   /// Watchdog cap on simulated cycles.  The default is far above any

@@ -13,6 +13,7 @@
 //                             random|greedy] [--machine gtx|nextgen]
 //                            [--budget N] [--seed N] [--inject SPEC]
 //                            [--jobs N] [--fast-bw] [--lint]
+//                            [--sim-engine event|scan]
 //                            [--journal FILE [--resume]] [--isolate]
 //                            [--task-timeout S] [--shard N] [--out FILE.csv]
 //       Run a search strategy and print the outcome (Table-4 style).
@@ -29,6 +30,10 @@
 //       evaluation: configurations with error-severity findings are
 //       quarantined under Stage::Lint.  A clean space journals
 //       byte-identically with or without the gate.
+//       --sim-engine picks the simulator scheduler core (default: event,
+//       the fast one; scan is the reference).  The engines are
+//       bit-identical — journals do not depend on the choice, so it stays
+//       out of the resume fingerprint.
 //       --journal streams every completed evaluation through a crash-safe
 //       write-ahead journal; --resume replays a matching journal and
 //       skips finished configurations.  --isolate forks a worker per
@@ -153,7 +158,8 @@ int usage() {
          "exhaustive|cluster|random|greedy]\n"
          "               [--machine gtx|nextgen] [--budget N] [--seed N] "
          "[--inject SPEC]\n"
-         "               [--jobs N] [--fast-bw] [--lint]\n"
+         "               [--jobs N] [--fast-bw] [--lint] "
+         "[--sim-engine event|scan]\n"
          "               [--journal FILE [--resume]] [--isolate] "
          "[--task-timeout S] [--shard N]\n"
          "               [--out FILE.csv] [--trace FILE.jsonl] [--progress]\n"
@@ -350,6 +356,21 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
   bool Lint = Flags.count("lint") != 0;
   SimOptions SimO;
   SimO.BandwidthFastPath = FastBw;
+  // Engine selection changes how the schedule is computed, never the
+  // results (the engines are bit-identical), so it deliberately stays out
+  // of the journal fingerprint: a scan-engine journal resumes under the
+  // event engine and vice versa.
+  if (Flags.count("sim-engine")) {
+    const std::string &E = Flags["sim-engine"];
+    if (E == "scan")
+      SimO.EngineSel = SimOptions::Engine::Scan;
+    else if (E == "event")
+      SimO.EngineSel = SimOptions::Engine::Event;
+    else {
+      std::cerr << "error: --sim-engine must be 'event' or 'scan'\n";
+      return usage();
+    }
+  }
   SearchEngine Engine(*App, Machine, {}, SimO, std::move(Faults),
                       LintOptions{Lint});
 
