@@ -12,6 +12,22 @@
 
 using namespace g80;
 
+const char *g80::spaceTierName(SpaceTier Tier) {
+  return Tier == SpaceTier::Large ? "large" : "small";
+}
+
+bool g80::parseSpaceTier(std::string_view Text, SpaceTier &Tier) {
+  if (Text == "small") {
+    Tier = SpaceTier::Small;
+    return true;
+  }
+  if (Text == "large") {
+    Tier = SpaceTier::Large;
+    return true;
+  }
+  return false;
+}
+
 void ConfigSpace::addDim(std::string Name, std::vector<int> Values) {
   assert(!Values.empty() && "dimension with no values");
   Dims.push_back({std::move(Name), std::move(Values)});
@@ -22,6 +38,13 @@ size_t ConfigSpace::dimIndex(std::string_view Name) const {
     if (Dims[I].Name == Name)
       return I;
   reportFatalError("config space has no dimension with the requested name");
+}
+
+bool ConfigSpace::hasDim(std::string_view Name) const {
+  for (const ConfigDim &D : Dims)
+    if (D.Name == Name)
+      return true;
+  return false;
 }
 
 uint64_t ConfigSpace::rawSize() const {

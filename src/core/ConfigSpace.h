@@ -28,6 +28,17 @@ namespace g80 {
 /// space's dimension list.
 using ConfigPoint = std::vector<int>;
 
+/// Which config-space tier an app exposes.  Small is today's tier-1
+/// verified space; Large is the 1e5..1e6-point cross product searched
+/// with non-exhaustive strategies.
+enum class SpaceTier { Small, Large };
+
+/// "small" / "large".
+const char *spaceTierName(SpaceTier Tier);
+
+/// Parses "small"/"large"; returns false on anything else.
+bool parseSpaceTier(std::string_view Text, SpaceTier &Tier);
+
 /// A named discrete dimension.
 struct ConfigDim {
   std::string Name;
@@ -46,6 +57,9 @@ public:
 
   /// Index of the dimension named \p Name; fatal if absent.
   size_t dimIndex(std::string_view Name) const;
+
+  /// Whether the space has a dimension named \p Name.
+  bool hasDim(std::string_view Name) const;
 
   /// The raw cross-product size (before any validity filtering).
   uint64_t rawSize() const;

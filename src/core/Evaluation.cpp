@@ -134,6 +134,61 @@ std::vector<ConfigEval> Evaluator::evaluateMetrics(unsigned Jobs) const {
   return Evals;
 }
 
+std::vector<uint64_t> Evaluator::expressibleIndices() const {
+  {
+    std::lock_guard<std::mutex> L(CacheM);
+    if (ExpressibleMemo)
+      return *ExpressibleMemo;
+  }
+
+  const ConfigSpace &Space = App.space();
+  uint64_t Raw = Space.rawSize();
+  std::vector<uint64_t> Out;
+  for (uint64_t I = 0; I != Raw; ++I)
+    if (App.isExpressible(Space.pointAt(I)))
+      Out.push_back(I);
+
+  std::lock_guard<std::mutex> L(CacheM);
+  if (!ExpressibleMemo)
+    ExpressibleMemo = std::make_shared<const std::vector<uint64_t>>(Out);
+  return *ExpressibleMemo;
+}
+
+ConfigEval Evaluator::evaluateAt(uint64_t FlatIndex) const {
+  {
+    std::lock_guard<std::mutex> L(CacheM);
+    auto It = PointMemo.find(FlatIndex);
+    if (It != PointMemo.end())
+      return It->second;
+  }
+
+  ConfigEval E;
+  E.FlatIndex = FlatIndex;
+  evaluateOne(E);
+
+  std::lock_guard<std::mutex> L(CacheM);
+  auto [It, Inserted] = PointMemo.emplace(FlatIndex, std::move(E));
+  (void)Inserted;
+  return It->second;
+}
+
+std::vector<ConfigEval>
+Evaluator::evaluateSubset(const std::vector<uint64_t> &Indices,
+                          unsigned Jobs) const {
+  std::vector<ConfigEval> Evals(Indices.size());
+  if (Jobs > 1 && Indices.size() > 1) {
+    ThreadPool Pool(std::min<uint64_t>(Jobs, Indices.size()));
+    size_t Grain =
+        std::max<size_t>(1, Indices.size() / (size_t(Pool.size()) * 8));
+    parallelFor(Pool, Indices.size(), Grain,
+                [&](size_t I) { Evals[I] = evaluateAt(Indices[I]); });
+  } else {
+    for (size_t I = 0; I != Indices.size(); ++I)
+      Evals[I] = evaluateAt(Indices[I]);
+  }
+  return Evals;
+}
+
 std::shared_ptr<const Kernel> Evaluator::kernelFor(const ConfigEval &E) const {
   {
     std::lock_guard<std::mutex> L(CacheM);

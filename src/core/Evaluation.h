@@ -87,6 +87,24 @@ public:
   /// benchmarks stop recomputing the same metrics; callers get a copy.
   std::vector<ConfigEval> evaluateMetrics(unsigned Jobs = 1) const;
 
+  /// Flat indices of every expressible configuration, in enumeration
+  /// order.  Cheap — pointAt + isExpressible per point, no kernel
+  /// generation — and memoized, so large spaces can be screened without
+  /// paying for full static evaluation.
+  std::vector<uint64_t> expressibleIndices() const;
+
+  /// Static metrics for one flat index, memoized per point.  The adaptive
+  /// strategies' probe primitive: a greedy walk or annealing chain touches
+  /// a vanishing fraction of a large space, and revisits are free.
+  ConfigEval evaluateAt(uint64_t FlatIndex) const;
+
+  /// Static metrics for exactly \p Indices, returned in the same order —
+  /// the sparse-space analog of evaluateMetrics for spaces too large to
+  /// scan.  Each result is computed (or recalled) via evaluateAt, so the
+  /// output is identical for any job count.
+  std::vector<ConfigEval> evaluateSubset(const std::vector<uint64_t> &Indices,
+                                         unsigned Jobs = 1) const;
+
   /// Measures \p E by simulation (the ground-truth "run it" step).
   /// Returns true on success; on failure records the diagnostic in
   /// \p E.Failure and returns false so the caller can quarantine the
@@ -126,6 +144,8 @@ private:
   /// kernel cache is bounded by the number of usable configurations.
   mutable std::mutex CacheM;
   mutable std::shared_ptr<const std::vector<ConfigEval>> MetricsMemo;
+  mutable std::shared_ptr<const std::vector<uint64_t>> ExpressibleMemo;
+  mutable std::unordered_map<uint64_t, ConfigEval> PointMemo;
   mutable std::unordered_map<uint64_t, std::shared_ptr<const Kernel>>
       KernelMemo;
 };

@@ -71,10 +71,18 @@ SweepPlan SweepPlan::slice(size_t Begin, size_t End) const {
   return Out;
 }
 
+std::vector<ConfigEval> SearchEngine::planStatics(unsigned Jobs) const {
+  if (Eval.app().space().rawSize() <= DenseEvalLimit)
+    return Eval.evaluateMetrics(Jobs);
+  // Large tier: a full raw scan is off the table, but the expressible
+  // subset (a cheap pointAt+isExpressible screen) is still enumerable.
+  return Eval.evaluateSubset(Eval.expressibleIndices(), Jobs);
+}
+
 SweepPlan SearchEngine::planExhaustive(unsigned Jobs) const {
   SweepPlan Plan;
   Plan.Strategy = "exhaustive";
-  Plan.Evals = Eval.evaluateMetrics(Jobs);
+  Plan.Evals = planStatics(Jobs);
   Plan.Candidates.reserve(Plan.Evals.size());
   for (size_t I = 0; I != Plan.Evals.size(); ++I)
     if (Plan.Evals[I].usable())
@@ -86,7 +94,7 @@ SweepPlan SearchEngine::planPareto(const ParetoOptions &Opts,
                                    unsigned Jobs) const {
   SweepPlan Plan;
   Plan.Strategy = "pareto";
-  Plan.Evals = Eval.evaluateMetrics(Jobs);
+  Plan.Evals = planStatics(Jobs);
   Plan.Candidates = paretoSubset(Plan.Evals, Opts);
   return Plan;
 }
@@ -95,7 +103,7 @@ SweepPlan SearchEngine::planClustered(const ParetoOptions &Opts,
                                       double RelTol, unsigned Jobs) const {
   SweepPlan Plan;
   Plan.Strategy = "pareto+cluster";
-  Plan.Evals = Eval.evaluateMetrics(Jobs);
+  Plan.Evals = planStatics(Jobs);
   std::vector<size_t> Subset = paretoSubset(Plan.Evals, Opts);
   std::vector<std::vector<size_t>> Clusters =
       clusterByMetrics(Plan.Evals, Subset, RelTol);
@@ -113,6 +121,27 @@ SweepPlan SearchEngine::planRandom(size_t K, uint64_t Seed,
                                    unsigned Jobs) const {
   SweepPlan Plan;
   Plan.Strategy = "random";
+  if (Eval.app().space().rawSize() > DenseEvalLimit) {
+    // Sparse draw: sample flat indices from the expressible screen first,
+    // then pay for statics only on the sample.  Resource-invalid draws
+    // stay in Evals (journal fingerprinting needs the full sample) but do
+    // not become candidates, so a sparse plan may measure fewer than K.
+    std::vector<uint64_t> Expr = Eval.expressibleIndices();
+    Rng R(Seed);
+    size_t Draw = std::min<size_t>(K, Expr.size());
+    for (size_t I = 0; I != Draw; ++I) {
+      size_t J = I + size_t(R.nextBelow(Expr.size() - I));
+      std::swap(Expr[I], Expr[J]);
+    }
+    std::vector<uint64_t> Picked(Expr.begin(),
+                                 Expr.begin() + ptrdiff_t(Draw));
+    std::sort(Picked.begin(), Picked.end());
+    Plan.Evals = Eval.evaluateSubset(Picked, Jobs);
+    for (size_t I = 0; I != Plan.Evals.size(); ++I)
+      if (Plan.Evals[I].usable())
+        Plan.Candidates.push_back(I);
+    return Plan;
+  }
   Plan.Evals = Eval.evaluateMetrics(Jobs);
   std::vector<size_t> Usable;
   Usable.reserve(Plan.Evals.size());

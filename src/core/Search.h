@@ -134,6 +134,15 @@ public:
   /// Measures \p K distinct uniformly random valid configurations.
   SearchOutcome randomSample(size_t K, uint64_t Seed) const;
 
+  /// Spaces at or below this raw size get the historical dense plan
+  /// (Evals holds every raw point, position == flat index); larger spaces
+  /// — the `--space large` tiers — are planned sparsely: Evals holds only
+  /// the expressible subset (or, for random, only the sampled subset),
+  /// each entry still carrying its FlatIndex.  Journal records address
+  /// configurations by flat index either way, so resume and fleet
+  /// sharding work identically for both layouts.
+  static constexpr uint64_t DenseEvalLimit = 1u << 16;
+
   /// Candidate planning without measurement — the cheap static phase of
   /// each strategy above, exposed so the durable SweepDriver can journal
   /// and shard the expensive measurement phase itself.  Greedy climbing
@@ -159,6 +168,10 @@ public:
 private:
   SearchOutcome measureCandidates(SweepPlan Plan) const;
   static SearchOutcome finishGreedy(SearchOutcome Out);
+
+  /// Static metrics for planning: dense below DenseEvalLimit, the
+  /// expressible subset above it.
+  std::vector<ConfigEval> planStatics(unsigned Jobs) const;
 
   Evaluator Eval;
 };

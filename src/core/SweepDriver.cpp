@@ -498,6 +498,13 @@ SweepReport SweepDriver::run(SweepPlan Plan) const {
   for (size_t Idx : D.out().Candidates)
     CandidateFlat.insert(D.out().Evals[Idx].FlatIndex);
 
+  // Journal records address configurations by flat index.  Exhaustive
+  // plans are dense (position == flat index), but budgeted strategies
+  // carry only the planned subset in Evals, so replay has to translate.
+  std::unordered_map<uint64_t, size_t> PosOfFlat;
+  for (size_t I = 0; I != D.out().Evals.size(); ++I)
+    PosOfFlat.emplace(D.out().Evals[I].FlatIndex, I);
+
   //--- Journal setup (and resume replay). ---------------------------------//
   if (!Opts.JournalPath.empty()) {
     bool Exists = fileExists(Opts.JournalPath);
@@ -518,20 +525,20 @@ SweepReport SweepDriver::run(SweepPlan Plan) const {
         Expected<EvalRecord> R = EvalRecord::fromJson(Payload);
         if (!R)
           return Fail(R.takeDiag());
-        if (R->Index >= D.out().Evals.size() ||
-            !CandidateFlat.count(R->Index) ||
-            D.out().Evals[R->Index].Point != R->Point)
+        auto PosIt = PosOfFlat.find(R->Index);
+        if (PosIt == PosOfFlat.end() || !CandidateFlat.count(R->Index) ||
+            D.out().Evals[PosIt->second].Point != R->Point)
           return Fail(sweepError(
               "journal record for config #" + std::to_string(R->Index) +
               " does not match the planned sweep; refusing to resume"));
         if (D.Done.count(R->Index))
           continue;
-        ConfigEval &E = D.out().Evals[size_t(R->Index)];
+        ConfigEval &E = D.out().Evals[PosIt->second];
         R->applyTo(E);
         if (E.failed())
-          D.out().noteQuarantined(size_t(R->Index));
+          D.out().noteQuarantined(PosIt->second);
         else if (E.Measured)
-          D.out().noteMeasured(size_t(R->Index));
+          D.out().noteMeasured(PosIt->second);
         D.Done.insert(R->Index);
       }
       D.Rep.ResumedSkipped = D.Done.size();

@@ -156,9 +156,16 @@ struct FleetCoordinator::Impl {
     std::string Error;
     if (!validateServeRequest(Opts.Request, Error))
       return fleetDiag(Error);
+    if (!serveStrategyIsPlannable(Opts.Request))
+      return fleetDiag("strategy '" + Opts.Request.Strategy +
+                       "' is adaptive and cannot be sharded; run it on a "
+                       "single daemon with 'tune serve' or locally with "
+                       "'tune search'");
     Opts.Request.Wait = false;
     Opts.Request.DeadlineSeconds = 0;
-    App = makeServeApp(Opts.Request.App);
+    SpaceTier Tier = SpaceTier::Small;
+    (void)parseSpaceTier(Opts.Request.Space, Tier); // Validated above.
+    App = makeServeApp(Opts.Request.App, Tier);
     if (!App)
       return fleetDiag("unknown app '" + Opts.Request.App + "'");
     SimOptions SimO;

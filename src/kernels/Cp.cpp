@@ -11,6 +11,7 @@
 #include "ptx/Builder.h"
 #include "support/Random.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -19,15 +20,27 @@ using namespace g80;
 namespace {
 
 struct CpConfig {
-  unsigned BlockY;   ///< Block is 16 x BlockY threads.
+  unsigned BlockX;   ///< Block width (16 in the small tier).
+  unsigned BlockY;   ///< Block is BlockX x BlockY threads.
   unsigned Tiling;   ///< F: points per thread along x.
+  unsigned YTile;    ///< Points per thread along y, BlockY rows apart.
+  unsigned Unroll;   ///< Atom-loop unroll factor.
   bool Coalesce;     ///< Strided (true) vs adjacent (false) point layout.
 };
 
 CpConfig decode(const ConfigSpace &S, const ConfigPoint &P) {
   CpConfig C;
+  C.BlockX = S.hasDim("blockx")
+                 ? static_cast<unsigned>(S.valueOf(P, "blockx"))
+                 : 16;
   C.BlockY = static_cast<unsigned>(S.valueOf(P, "blocky"));
   C.Tiling = static_cast<unsigned>(S.valueOf(P, "tiling"));
+  C.YTile = S.hasDim("ytile")
+                ? static_cast<unsigned>(S.valueOf(P, "ytile"))
+                : 1;
+  C.Unroll = S.hasDim("unroll")
+                 ? static_cast<unsigned>(S.valueOf(P, "unroll"))
+                 : 1;
   C.Coalesce = S.valueOf(P, "coalesce") != 0;
   return C;
 }
@@ -50,31 +63,54 @@ std::vector<CpAtom> makeAtoms(const CpProblem &P) {
 
 } // namespace
 
-CpApp::CpApp(CpProblem Problem)
+CpApp::CpApp(CpProblem Problem, SpaceTier Tier)
     : Problem(Problem), Atoms(makeAtoms(Problem)) {
-  Space.addDim("blocky", {2, 4, 8, 16});
-  Space.addDim("tiling", {1, 2, 4, 8, 16});
+  if (Tier == SpaceTier::Small) {
+    Space.addDim("blocky", {2, 4, 8, 16});
+    Space.addDim("tiling", {1, 2, 4, 8, 16});
+    Space.addDim("coalesce", {0, 1});
+    return;
+  }
+  // Large tier: 6*10*16*4*14*2 = 107,520 raw points.
+  Space.addDim("blockx", {1, 2, 4, 8, 16, 32});
+  Space.addDim("blocky", {1, 2, 3, 4, 6, 8, 12, 16, 24, 32});
+  Space.addDim("tiling",
+               {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  Space.addDim("ytile", {1, 2, 4, 8});
+  Space.addDim("unroll",
+               {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128});
   Space.addDim("coalesce", {0, 1});
 }
 
 bool CpApp::isExpressible(const ConfigPoint &P) const {
   CpConfig C = decode(Space, P);
-  return Problem.W % (16 * C.Tiling) == 0 && Problem.H % C.BlockY == 0;
+  return Problem.W % (C.BlockX * C.Tiling) == 0 &&
+         Problem.H % (C.BlockY * C.YTile) == 0 &&
+         Problem.NumAtoms % C.Unroll == 0 &&
+         C.BlockX * C.BlockY <= 512; // G80 thread-block size cap.
 }
 
 LaunchConfig CpApp::launch(const ConfigPoint &P) const {
   CpConfig C = decode(Space, P);
-  return LaunchConfig(Dim3(Problem.W / (16 * C.Tiling), Problem.H / C.BlockY),
-                      Dim3(16, C.BlockY));
+  return LaunchConfig(Dim3(Problem.W / (C.BlockX * C.Tiling),
+                           Problem.H / (C.BlockY * C.YTile)),
+                      Dim3(C.BlockX, C.BlockY));
 }
 
 Kernel CpApp::buildKernel(const ConfigPoint &P) const {
   assert(isExpressible(P) && "building an inexpressible configuration");
   CpConfig C = decode(Space, P);
   const unsigned F = C.Tiling;
+  const unsigned BX = C.BlockX;
+  const unsigned TY = C.YTile;
+  const unsigned U = C.Unroll;
 
-  KernelBuilder B("cp_by" + std::to_string(C.BlockY) + "_f" +
-                  std::to_string(F) + (C.Coalesce ? "_co" : "_nc"));
+  KernelBuilder B("cp_" + (BX != 16 ? "bx" + std::to_string(BX) + "_" : "") +
+                  "by" + std::to_string(C.BlockY) +
+                  (TY > 1 ? "x" + std::to_string(TY) : "") + "_f" +
+                  std::to_string(F) +
+                  (U > 1 ? "_u" + std::to_string(U) : "") +
+                  (C.Coalesce ? "_co" : "_nc"));
   // Atom records are (x, y, z^2, q), 16 bytes each, in constant memory —
   // z^2 precomputed host-side since the slice sits at z = 0.
   unsigned PAtoms = B.addConstPtr("atoms");
@@ -89,62 +125,82 @@ Kernel CpApp::buildKernel(const ConfigPoint &P) const {
   Reg GridW = B.mov(B.param(PWidth));
 
   // First x index of this thread's points, and the element stride
-  // between them: strided-by-16 when coalescing, adjacent otherwise.
+  // between them: strided-by-BlockX when coalescing, adjacent otherwise.
   Reg XIdx0;
   unsigned PointStride;
   if (C.Coalesce) {
-    XIdx0 = B.madi(B.special(SpecialReg::CtaIdX), B.imm(int32_t(16 * F)), Tx);
-    PointStride = 16;
+    XIdx0 = B.madi(B.special(SpecialReg::CtaIdX), B.imm(int32_t(BX * F)), Tx);
+    PointStride = BX;
   } else {
     Reg Linear =
-        B.madi(B.special(SpecialReg::CtaIdX), B.imm(16), Tx);
+        B.madi(B.special(SpecialReg::CtaIdX), B.imm(int32_t(BX)), Tx);
     XIdx0 = B.muli(Linear, B.imm(int32_t(F)));
     PointStride = 1;
   }
-  Reg YIdx = B.madi(B.special(SpecialReg::CtaIdY),
-                    B.imm(int32_t(C.BlockY)), Ty);
-  Reg YCoord = B.mulf(B.cvtFI(YIdx), Spacing);
+  // This thread's y rows: row t sits BlockY rows below the previous, the
+  // same strided layout the x tiling uses.
+  std::vector<Reg> YIdxT(TY), YCoordT(TY);
+  for (unsigned T = 0; T != TY; ++T) {
+    YIdxT[T] = T == 0 ? B.madi(B.special(SpecialReg::CtaIdY),
+                               B.imm(int32_t(C.BlockY * TY)), Ty)
+                      : B.addi(YIdxT[0], B.imm(int32_t(T * C.BlockY)));
+    YCoordT[T] = B.mulf(B.cvtFI(YIdxT[T]), Spacing);
+  }
 
   // Per-point x coordinates and accumulators stay in registers for the
   // whole atom loop — the register pressure that caps this space's
   // occupancy at high tiling factors.
-  std::vector<Reg> XCoord(F), Acc(F);
+  std::vector<Reg> XCoord(F), Acc(size_t(F) * TY);
   Reg XIdxF = B.cvtFI(XIdx0);
   for (unsigned R = 0; R != F; ++R) {
     Reg Xi = R == 0 ? XIdxF
                     : B.addf(XIdxF, B.imm(float(R * PointStride)));
     XCoord[R] = B.mulf(Xi, Spacing);
-    Acc[R] = B.mov(B.imm(0.0f));
+    for (unsigned T = 0; T != TY; ++T)
+      Acc[T * F + R] = B.mov(B.imm(0.0f));
   }
 
   //===--- Atom loop --------------------------------------------------------//
   Reg CAddr = B.mov(B.imm(0));
-  B.forLoop(Problem.NumAtoms, [&] {
-    Reg Ax = B.ldConst(PAtoms, CAddr, 0);
-    Reg Ay = B.ldConst(PAtoms, CAddr, 4);
-    Reg Az2 = B.ldConst(PAtoms, CAddr, 8);
-    Reg Aq = B.ldConst(PAtoms, CAddr, 12);
-    Reg Dy = B.subf(YCoord, Ay);
-    Reg DyZ = B.madf(Dy, Dy, Az2);
-    for (unsigned R = 0; R != F; ++R) {
-      Reg Dx = B.subf(XCoord[R], Ax);
-      Reg R2 = B.madf(Dx, Dx, DyZ);
-      Reg RInv = B.rsqrtf(R2);
-      B.madfAcc(Acc[R], Aq, RInv);
+  B.forLoop(Problem.NumAtoms / U, [&] {
+    for (unsigned Uu = 0; Uu != U; ++Uu) {
+      int32_t AOff = int32_t(Uu * 16);
+      Reg Ax = B.ldConst(PAtoms, CAddr, AOff + 0);
+      Reg Ay = B.ldConst(PAtoms, CAddr, AOff + 4);
+      Reg Az2 = B.ldConst(PAtoms, CAddr, AOff + 8);
+      Reg Aq = B.ldConst(PAtoms, CAddr, AOff + 12);
+      std::vector<Reg> DyZT(TY);
+      for (unsigned T = 0; T != TY; ++T) {
+        Reg Dy = B.subf(YCoordT[T], Ay);
+        DyZT[T] = B.madf(Dy, Dy, Az2);
+      }
+      for (unsigned T = 0; T != TY; ++T) {
+        for (unsigned R = 0; R != F; ++R) {
+          Reg Dx = B.subf(XCoord[R], Ax);
+          Reg R2 = B.madf(Dx, Dx, DyZT[T]);
+          Reg RInv = B.rsqrtf(R2);
+          B.madfAcc(Acc[T * F + R], Aq, RInv);
+        }
+      }
     }
-    B.addiTo(CAddr, CAddr, B.imm(16));
+    B.addiTo(CAddr, CAddr, B.imm(int32_t(16 * U)));
   });
 
   //===--- Epilogue ---------------------------------------------------------//
-  Reg OutIdx = B.madi(YIdx, GridW, XIdx0);
-  Reg OutAddr = B.shli(OutIdx, B.imm(2));
-  // Strided points: each half-warp stores 16 consecutive words per point
-  // (coalesced).  Adjacent points: thread stores are F words apart, so a
-  // half-warp's accesses serialize into per-thread transactions.
+  // Strided points: each half-warp stores BlockX consecutive words per
+  // point (fully coalesced at 16-wide blocks, partially below).  Adjacent
+  // points: thread stores are F words apart, so a half-warp's accesses
+  // serialize into per-thread transactions.
+  unsigned CoalBytes = BX >= 16 ? 4 : std::min(32u, 64u / BX);
   unsigned EffSt =
-      C.Coalesce || F == 1 ? 4 : (F >= 8 ? 32 : 4 * F);
-  for (unsigned R = 0; R != F; ++R)
-    B.stGlobal(POut, OutAddr, int32_t(R * PointStride * 4), Acc[R], EffSt);
+      C.Coalesce || F == 1 ? CoalBytes : (F >= 8 ? 32 : 4 * F);
+  for (unsigned T = 0; T != TY; ++T) {
+    Reg OutIdx = B.madi(YIdxT[T], GridW, XIdx0);
+    Reg OutAddr = B.shli(OutIdx, B.imm(2));
+    for (unsigned R = 0; R != F; ++R)
+      B.stGlobal(POut, OutAddr, int32_t(R * PointStride * 4),
+                 Acc[T * F + R], EffSt);
+  }
 
   return B.take();
 }

@@ -12,15 +12,20 @@
 /// points of a 2D slice.
 ///
 /// Optimization space (Table 4: "block size, per-thread tiling,
-/// coalescing of output"):
+/// coalescing of output"), small tier:
 ///   blocky   {2, 4, 8, 16}   block is 16 x blocky threads
 ///   tiling   {1, 2, 4, 8, 16} grid points computed per thread (along x);
 ///                            amortizes the per-atom loads — the Fig. 5
 ///                            efficiency/utilization tradeoff axis
-///   coalesce {0, 1}          1: a thread's points are strided by 16 so
-///                            each half-warp writes consecutive words;
-///                            0: adjacent points per thread (uncoalesced
-///                            stores)
+///   coalesce {0, 1}          1: a thread's points are strided by the
+///                            block width so each half-warp writes
+///                            consecutive words; 0: adjacent points per
+///                            thread (uncoalesced stores)
+///
+/// The large tier (SpaceTier::Large) adds a `blockx` dimension (block
+/// width, 16 in the small tier), `ytile` (grid points per thread along y,
+/// each BlockY rows apart), and `unroll` (atom-loop unroll factor) and
+/// refines the blocky/tiling lists: 6*10*16*4*14*2 = 107,520 raw points.
 ///
 /// The per-atom inner loop has no global accesses and no barriers, so the
 /// rsqrt SFU ops are the blocking instructions of the Regions metric —
@@ -53,7 +58,7 @@ struct CpProblem {
 
 class CpApp : public TunableApp {
 public:
-  explicit CpApp(CpProblem Problem);
+  explicit CpApp(CpProblem Problem, SpaceTier Tier = SpaceTier::Small);
 
   std::string_view name() const override { return "cp"; }
   const ConfigSpace &space() const override { return Space; }

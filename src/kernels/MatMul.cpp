@@ -12,6 +12,7 @@
 #include "ptx/Builder.h"
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -22,21 +23,25 @@ namespace {
 
 /// Decoded configuration point.
 struct MatMulConfig {
-  unsigned Tile;    ///< T: square tile edge (8 or 16).
-  unsigned Rect;    ///< R: output elements per thread.
+  unsigned Tile;    ///< T: square tile edge.
+  unsigned Rect;    ///< R: output columns per thread.
+  unsigned RRow;    ///< RR: output rows per thread (large tier only).
   unsigned Unroll;  ///< Inner-loop unroll (decoded; T for "complete").
   bool Prefetch;
-  bool Spill;
+  unsigned Spill;   ///< Spill level: each level parks one more cold value.
 };
 
 MatMulConfig decode(const ConfigSpace &S, const ConfigPoint &P) {
   MatMulConfig C;
   C.Tile = static_cast<unsigned>(S.valueOf(P, "tile"));
   C.Rect = static_cast<unsigned>(S.valueOf(P, "rect"));
+  C.RRow = S.hasDim("rrow")
+               ? static_cast<unsigned>(S.valueOf(P, "rrow"))
+               : 1;
   int U = S.valueOf(P, "unroll");
   C.Unroll = U == 0 ? C.Tile : static_cast<unsigned>(U);
   C.Prefetch = S.valueOf(P, "prefetch") != 0;
-  C.Spill = S.valueOf(P, "spill") != 0;
+  C.Spill = static_cast<unsigned>(S.valueOf(P, "spill"));
   return C;
 }
 
@@ -50,17 +55,38 @@ unsigned log2Exact(unsigned V) {
 
 } // namespace
 
-MatMulApp::MatMulApp(MatMulProblem Problem) : Problem(Problem) {
-  Space.addDim("tile", {8, 16});
-  Space.addDim("rect", {1, 2, 4});
-  Space.addDim("unroll", {1, 2, 4, 0}); // 0 = complete.
+MatMulApp::MatMulApp(MatMulProblem Problem, SpaceTier Tier)
+    : Problem(Problem) {
+  if (Tier == SpaceTier::Small) {
+    Space.addDim("tile", {8, 16});
+    Space.addDim("rect", {1, 2, 4});
+    Space.addDim("unroll", {1, 2, 4, 0}); // 0 = complete.
+    Space.addDim("prefetch", {0, 1});
+    Space.addDim("spill", {0, 1});
+    return;
+  }
+  // Large tier: 12*8*4*33*2*4 = 101,376 raw points.  Non-divisor tiles
+  // and over-512-thread blocks are pruned by isExpressible, which is the
+  // point — a search strategy has to navigate the pruning, not have it
+  // pre-baked into the dimension lists.
+  Space.addDim("tile", {2, 4, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32});
+  Space.addDim("rect", {1, 2, 3, 4, 5, 6, 7, 8});
+  Space.addDim("rrow", {1, 2, 4, 8});
+  std::vector<int> Unrolls;
+  for (int U = 1; U <= 32; ++U)
+    Unrolls.push_back(U);
+  Unrolls.push_back(0); // Complete unroll, last as in the small tier.
+  Space.addDim("unroll", Unrolls);
   Space.addDim("prefetch", {0, 1});
-  Space.addDim("spill", {0, 1});
+  Space.addDim("spill", {0, 1, 2, 3});
 }
 
 bool MatMulApp::isExpressible(const ConfigPoint &P) const {
   MatMulConfig C = decode(Space, P);
-  if (Problem.N % C.Tile != 0 || Problem.N % (C.Tile * C.Rect) != 0)
+  if (Problem.N % C.Tile != 0 || Problem.N % (C.Tile * C.Rect) != 0 ||
+      Problem.N % (C.Tile * C.RRow) != 0)
+    return false;
+  if (C.Tile * C.Tile > 512) // G80 thread-block size cap.
     return false;
   return C.Tile % C.Unroll == 0;
 }
@@ -73,7 +99,7 @@ ConfigPoint MatMulApp::paperExampleConfig() const {
 LaunchConfig MatMulApp::launch(const ConfigPoint &P) const {
   MatMulConfig C = decode(Space, P);
   return LaunchConfig(
-      Dim3(Problem.N / (C.Tile * C.Rect), Problem.N / C.Tile),
+      Dim3(Problem.N / (C.Tile * C.Rect), Problem.N / (C.Tile * C.RRow)),
       Dim3(C.Tile, C.Tile));
 }
 
@@ -82,32 +108,44 @@ Kernel MatMulApp::buildKernel(const ConfigPoint &P) const {
   MatMulConfig C = decode(Space, P);
   const unsigned T = C.Tile;
   const unsigned R = C.Rect;
+  const unsigned RR = C.RRow;
   const unsigned U = C.Unroll;
+  const unsigned N = Problem.N; // For constant row offsets (widthA == N).
   const unsigned Trips = Problem.N / T;
   // 16-wide tiles give each half-warp 16 consecutive words (coalesced);
-  // 8-wide tiles split it across two matrix rows and the G80 issues one
+  // narrower tiles split it across matrix rows and the G80 issues one
   // 32-byte transaction per thread.
   const unsigned EffLd = T >= 16 ? 4 : 32;
 
-  KernelBuilder B("matmul_t" + std::to_string(T) + "_r1x" +
-                  std::to_string(R) + "_u" + std::to_string(U) +
-                  (C.Prefetch ? "_pf" : "") + (C.Spill ? "_sp" : ""));
+  KernelBuilder B("matmul_t" + std::to_string(T) + "_r" +
+                  std::to_string(RR) + "x" + std::to_string(R) + "_u" +
+                  std::to_string(U) + (C.Prefetch ? "_pf" : "") +
+                  (C.Spill == 0 ? ""
+                   : C.Spill == 1
+                       ? "_sp"
+                       : "_sp" + std::to_string(C.Spill)));
   unsigned PA = B.addGlobalPtr("A");
   unsigned PB = B.addGlobalPtr("B");
   unsigned PC = B.addGlobalPtr("C");
   unsigned PWidthA = B.addScalarS32("widthA");
   unsigned PWidthB = B.addScalarS32("widthB");
-  unsigned As = B.addShared("As", T * T * 4);
+  // With RR output rows per thread the A tile is (T*RR) x T, laid out
+  // row-major so thread row r's slice starts at byte r*T*T*4.
+  unsigned As = B.addShared("As", T * RR * T * 4);
   unsigned Bs = B.addShared("Bs", T * T * R * 4);
+  // Spill slots, one per level: 0 indexC, 4 sStoreB, 8 stepB, 12 sStoreA.
   if (C.Spill)
-    B.kernel().allocLocal(8); // Two spill slots: indexC, sStoreB.
+    B.kernel().allocLocal(4 * (1 + std::min(C.Spill, 3u)));
 
   //===--- Prologue ---------------------------------------------------------//
   Reg Tx = B.mov(B.special(SpecialReg::TidX));
   Reg Ty = B.mov(B.special(SpecialReg::TidY));
   Reg WA = B.mov(B.param(PWidthA));
   Reg WB = B.mov(B.param(PWidthB));
-  Reg Row = B.madi(B.special(SpecialReg::CtaIdY), B.imm(int32_t(T)), Ty);
+  // Row 0 of this thread's RR output rows; row r sits T rows below the
+  // previous, a constant element offset of r*T*N.
+  Reg Row =
+      B.madi(B.special(SpecialReg::CtaIdY), B.imm(int32_t(T * RR)), Ty);
   Reg ColBase =
       B.madi(B.special(SpecialReg::CtaIdX), B.imm(int32_t(T * R)), Tx);
   Reg IndexA = B.shli(B.madi(Row, WA, Tx), B.imm(2));
@@ -121,22 +159,35 @@ Kernel MatMulApp::buildKernel(const ConfigPoint &P) const {
   Reg ARowBase = B.shli(Ty, B.imm(int32_t(log2Exact(T) + 2)));
   Reg BCol = B.shli(Tx, B.imm(2));
 
-  std::vector<Reg> Acc(R);
-  for (unsigned Ri = 0; Ri != R; ++Ri)
-    Acc[Ri] = B.mov(B.imm(0.0f));
+  std::vector<Reg> Acc(size_t(RR) * R);
+  for (unsigned Rr = 0; Rr != RR; ++Rr)
+    for (unsigned Ri = 0; Ri != R; ++Ri)
+      Acc[Rr * R + Ri] = B.mov(B.imm(0.0f));
 
   if (C.Spill) {
-    // Proactive spilling (§3.1 resource balancing): park two cold values
-    // in local memory so their registers can be reused.
+    // Proactive spilling (§3.1 resource balancing): park cold values in
+    // local memory so their registers can be reused.  Each level spills
+    // one more.
     B.stLocal(Operand(), 0, IndexC);
     B.stLocal(Operand(), 4, SStoreB);
+    if (C.Spill >= 2)
+      B.stLocal(Operand(), 8, StepB);
+    if (C.Spill >= 3)
+      B.stLocal(Operand(), 12, SStoreA);
   }
 
+  // Constant byte offsets for thread row r: r*T rows of A/C (r*T*N
+  // elements) and r*T rows of the shared A tile (r*T*T elements).
+  auto ARowOff = [&](unsigned Rr) { return int32_t(Rr * T * N * 4); };
+  auto ASharedOff = [&](unsigned Rr) { return int32_t(Rr * T * T * 4); };
+
   // Prefetch the first tile pair (Fig. 2(d)).
-  Reg ACur, BCur[4];
+  std::vector<Reg> ACur(RR), BCur(R);
   if (C.Prefetch) {
-    ACur = B.reg();
-    B.ldGlobalTo(ACur, PA, IndexA, 0, EffLd);
+    for (unsigned Rr = 0; Rr != RR; ++Rr) {
+      ACur[Rr] = B.reg();
+      B.ldGlobalTo(ACur[Rr], PA, IndexA, ARowOff(Rr), EffLd);
+    }
     for (unsigned Ri = 0; Ri != R; ++Ri) {
       BCur[Ri] = B.reg();
       B.ldGlobalTo(BCur[Ri], PB, IndexB, int32_t(Ri * T * 4), EffLd);
@@ -144,68 +195,77 @@ Kernel MatMulApp::buildKernel(const ConfigPoint &P) const {
   }
 
   //===--- Main K-tile loop -------------------------------------------------//
+  auto emitComputeStep = [&](unsigned K, Reg KA, Reg KB) {
+    std::vector<Reg> AVals(RR);
+    for (unsigned Rr = 0; Rr != RR; ++Rr)
+      AVals[Rr] = B.ldShared(As, KA, int32_t(K * 4) + ASharedOff(Rr));
+    for (unsigned Ri = 0; Ri != R; ++Ri) {
+      Reg BVal = B.ldShared(Bs, KB, int32_t((K * T * R + Ri * T) * 4));
+      for (unsigned Rr = 0; Rr != RR; ++Rr)
+        B.madfAcc(Acc[Rr * R + Ri], AVals[Rr], BVal);
+    }
+  };
   auto emitInnerCompute = [&] {
     if (U == T) {
       // Complete unroll (Fig. 2(c)): constant shared offsets, no
       // induction arithmetic.
-      for (unsigned K = 0; K != T; ++K) {
-        Reg AVal = B.ldShared(As, ARowBase, int32_t(K * 4));
-        for (unsigned Ri = 0; Ri != R; ++Ri) {
-          Reg BVal =
-              B.ldShared(Bs, BCol, int32_t((K * T * R + Ri * T) * 4));
-          B.madfAcc(Acc[Ri], AVal, BVal);
-        }
-      }
+      for (unsigned K = 0; K != T; ++K)
+        emitComputeStep(K, ARowBase, BCol);
       return;
     }
     Reg KA = B.mov(ARowBase);
     Reg KB = B.mov(BCol);
     B.forLoop(T / U, [&] {
-      for (unsigned Uu = 0; Uu != U; ++Uu) {
-        Reg AVal = B.ldShared(As, KA, int32_t(Uu * 4));
-        for (unsigned Ri = 0; Ri != R; ++Ri) {
-          Reg BVal =
-              B.ldShared(Bs, KB, int32_t((Uu * T * R + Ri * T) * 4));
-          B.madfAcc(Acc[Ri], AVal, BVal);
-        }
-      }
+      for (unsigned Uu = 0; Uu != U; ++Uu)
+        emitComputeStep(Uu, KA, KB);
       B.addiTo(KA, KA, B.imm(int32_t(U * 4)));
       B.addiTo(KB, KB, B.imm(int32_t(U * T * R * 4)));
     });
   };
 
   B.forLoop(Trips, [&] {
-    // When spilled, the Bs store address is reloaded from local memory
+    // When spilled, the parked values are reloaded from local memory
     // each iteration (the added latency the optimization trades for
     // registers).
     Reg SStoreBv = SStoreB;
     if (C.Spill)
       SStoreBv = B.ldLocal(Operand(), 4);
+    Reg StepBv = StepB;
+    if (C.Spill >= 2)
+      StepBv = B.ldLocal(Operand(), 8);
+    Reg SStoreAv = SStoreA;
+    if (C.Spill >= 3)
+      SStoreAv = B.ldLocal(Operand(), 12);
 
     if (!C.Prefetch) {
       // Loads first (the CUDA runtime hoists them; §2.3), then the
       // shared-tile stores that consume them.
-      Reg AVal = B.ldGlobal(PA, IndexA, 0, EffLd);
+      std::vector<Reg> AVals(RR);
+      for (unsigned Rr = 0; Rr != RR; ++Rr)
+        AVals[Rr] = B.ldGlobal(PA, IndexA, ARowOff(Rr), EffLd);
       std::vector<Reg> BVals(R);
       for (unsigned Ri = 0; Ri != R; ++Ri)
         BVals[Ri] = B.ldGlobal(PB, IndexB, int32_t(Ri * T * 4), EffLd);
-      B.stShared(As, SStoreA, 0, AVal);
+      for (unsigned Rr = 0; Rr != RR; ++Rr)
+        B.stShared(As, SStoreAv, ASharedOff(Rr), AVals[Rr]);
       for (unsigned Ri = 0; Ri != R; ++Ri)
         B.stShared(Bs, SStoreBv, int32_t(Ri * T * 4), BVals[Ri]);
       B.addiTo(IndexA, IndexA, B.imm(int32_t(T * 4)));
-      B.addiTo(IndexB, IndexB, StepB);
+      B.addiTo(IndexB, IndexB, StepBv);
       B.bar();
       emitInnerCompute();
     } else {
       // Store the prefetched tile, then immediately start the next
       // loads so the compute phase hides their latency.
-      B.stShared(As, SStoreA, 0, ACur);
+      for (unsigned Rr = 0; Rr != RR; ++Rr)
+        B.stShared(As, SStoreAv, ASharedOff(Rr), ACur[Rr]);
       for (unsigned Ri = 0; Ri != R; ++Ri)
         B.stShared(Bs, SStoreBv, int32_t(Ri * T * 4), BCur[Ri]);
       B.bar();
       B.addiTo(IndexA, IndexA, B.imm(int32_t(T * 4)));
-      B.addiTo(IndexB, IndexB, StepB);
-      B.ldGlobalTo(ACur, PA, IndexA, 0, EffLd);
+      B.addiTo(IndexB, IndexB, StepBv);
+      for (unsigned Rr = 0; Rr != RR; ++Rr)
+        B.ldGlobalTo(ACur[Rr], PA, IndexA, ARowOff(Rr), EffLd);
       for (unsigned Ri = 0; Ri != R; ++Ri)
         B.ldGlobalTo(BCur[Ri], PB, IndexB, int32_t(Ri * T * 4), EffLd);
       emitInnerCompute();
@@ -217,8 +277,10 @@ Kernel MatMulApp::buildKernel(const ConfigPoint &P) const {
   Reg IndexCv = IndexC;
   if (C.Spill)
     IndexCv = B.ldLocal(Operand(), 0);
-  for (unsigned Ri = 0; Ri != R; ++Ri)
-    B.stGlobal(PC, IndexCv, int32_t(Ri * T * 4), Acc[Ri], EffLd);
+  for (unsigned Rr = 0; Rr != RR; ++Rr)
+    for (unsigned Ri = 0; Ri != R; ++Ri)
+      B.stGlobal(PC, IndexCv, ARowOff(Rr) + int32_t(Ri * T * 4),
+                 Acc[Rr * R + Ri], EffLd);
 
   return B.take();
 }

@@ -9,7 +9,7 @@
 /// N x N single-precision matrix multiplication with shared-memory tiling.
 ///
 /// Optimization space (Table 4: "tile/block size, rectangular tile
-/// dimension, unroll factor, prefetching, register spilling"):
+/// dimension, unroll factor, prefetching, register spilling"), small tier:
 ///   tile      {8, 16}        square thread-block tile edge
 ///   rect      {1, 2, 4}      output elements per thread (1xR tiling,
 ///                            Fig. 2(b))
@@ -18,6 +18,13 @@
 ///                            registers (Fig. 2(d))
 ///   spill     {0, 1}         proactive register spilling of cold values
 ///                            to local memory (§3.1 resource balancing)
+///
+/// The large tier (SpaceTier::Large) is the 10^5-point cross product the
+/// non-exhaustive strategies search: finer tile edges, RxC rectangular
+/// tiling (a new `rrow` dimension gives each thread RRow output rows),
+/// every unroll factor 1..32, and graduated spill levels 0..3 (each level
+/// parks one more cold value in local memory).  101,376 raw points;
+/// expressibility prunes non-divisors and over-512-thread blocks.
 ///
 /// Coalescing: with 16-wide tiles a half-warp touches 16 consecutive
 /// words (coalesced); with 8-wide tiles it spans two rows and the G80
@@ -48,7 +55,8 @@ struct MatMulProblem {
 
 class MatMulApp : public TunableApp {
 public:
-  explicit MatMulApp(MatMulProblem Problem);
+  explicit MatMulApp(MatMulProblem Problem,
+                     SpaceTier Tier = SpaceTier::Small);
 
   std::string_view name() const override { return "matmul"; }
   const ConfigSpace &space() const override { return Space; }

@@ -52,11 +52,24 @@ constexpr float TwoPi = 6.2831853071795864769f;
 
 } // namespace
 
-MriFhdApp::MriFhdApp(MriProblem Problem)
+MriFhdApp::MriFhdApp(MriProblem Problem, SpaceTier Tier)
     : Problem(Problem), Samples(makeSamples(Problem.NumSamples)) {
-  Space.addDim("tpb", {32, 64, 128, 256, 512});
-  Space.addDim("unroll", {1, 2, 4, 8, 16});
-  Space.addDim("work", {1, 2, 4, 8, 16, 32, 64});
+  if (Tier == SpaceTier::Small) {
+    Space.addDim("tpb", {32, 64, 128, 256, 512});
+    Space.addDim("unroll", {1, 2, 4, 8, 16});
+    Space.addDim("work", {1, 2, 4, 8, 16, 32, 64});
+    return;
+  }
+  // Large tier: every multiple-of-32 block size, every unroll factor up
+  // to 32, finer work splits.  16*32*8 = 4096 raw.
+  std::vector<int> Tpbs, Unrolls;
+  for (int V = 32; V <= 512; V += 32)
+    Tpbs.push_back(V);
+  for (int V = 1; V <= 32; ++V)
+    Unrolls.push_back(V);
+  Space.addDim("tpb", Tpbs);
+  Space.addDim("unroll", Unrolls);
+  Space.addDim("work", {1, 2, 4, 8, 16, 32, 64, 128});
 }
 
 bool MriFhdApp::isExpressible(const ConfigPoint &P) const {

@@ -55,7 +55,8 @@ struct MriProblem {
 
 class MriFhdApp : public TunableApp {
 public:
-  explicit MriFhdApp(MriProblem Problem);
+  explicit MriFhdApp(MriProblem Problem,
+                     SpaceTier Tier = SpaceTier::Small);
 
   std::string_view name() const override { return "mri-fhd"; }
   const ConfigSpace &space() const override { return Space; }

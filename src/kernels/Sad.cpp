@@ -46,15 +46,31 @@ unsigned log2Exact(unsigned V) {
 
 } // namespace
 
-SadApp::SadApp(SadProblem Problem) : Problem(Problem) {
+SadApp::SadApp(SadProblem Problem, SpaceTier Tier) : Problem(Problem) {
   assert((Problem.blocksX() & (Problem.blocksX() - 1)) == 0 &&
          "SAD frame width must give a power-of-two macroblock row");
   assert((Problem.SearchDim & (Problem.SearchDim - 1)) == 0 &&
          "search dimension must be a power of two");
-  Space.addDim("tpb",
-               {32, 64, 96, 128, 160, 192, 224, 256, 288, 320, 352, 384});
-  Space.addDim("tiling", {1, 2, 4, 8, 16});
-  Space.addDim("uoff", {1, 2, 4});
+  if (Tier == SpaceTier::Small) {
+    Space.addDim("tpb",
+                 {32, 64, 96, 128, 160, 192, 224, 256, 288, 320, 352, 384});
+    Space.addDim("tiling", {1, 2, 4, 8, 16});
+    Space.addDim("uoff", {1, 2, 4});
+    Space.addDim("urow", {1, 2, 4});
+    Space.addDim("ucol", {1, 2, 4});
+    return;
+  }
+  // Large tier: every multiple-of-32 block size up to the G80 cap, every
+  // tiling factor, deeper offset unrolls.  The row/column unrolls must
+  // divide the 4x4 macroblock and stay as-is.  16*16*5*3*3 = 11,520 raw.
+  std::vector<int> Tpbs, Tilings;
+  for (int V = 32; V <= 512; V += 32)
+    Tpbs.push_back(V);
+  for (int V = 1; V <= 16; ++V)
+    Tilings.push_back(V);
+  Space.addDim("tpb", Tpbs);
+  Space.addDim("tiling", Tilings);
+  Space.addDim("uoff", {1, 2, 4, 8, 16});
   Space.addDim("urow", {1, 2, 4});
   Space.addDim("ucol", {1, 2, 4});
 }

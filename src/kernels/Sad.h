@@ -36,7 +36,7 @@ namespace g80 {
 
 class SadApp : public TunableApp {
 public:
-  explicit SadApp(SadProblem Problem);
+  explicit SadApp(SadProblem Problem, SpaceTier Tier = SpaceTier::Small);
 
   /// Small instance for emulator-based verification.
   static SadProblem emulationProblem() { return {32, 32, 32}; }

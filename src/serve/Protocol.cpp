@@ -113,8 +113,8 @@ std::string TuneRequest::toJson() const {
   std::ostringstream OS;
   OS << "{\"type\":\"tune\",\"app\":\"" << jsonEscape(App)
      << "\",\"machine\":\"" << jsonEscape(Machine) << "\",\"strategy\":\""
-     << jsonEscape(Strategy) << "\",\"seed\":" << Seed
-     << ",\"budget\":" << Budget;
+     << jsonEscape(Strategy) << "\",\"space\":\"" << jsonEscape(Space)
+     << "\",\"seed\":" << Seed << ",\"budget\":" << Budget;
   putBool(OS, "fastbw", FastBw);
   putBool(OS, "lint", Lint);
   OS << ",\"deadline\":" << serveDouble(DeadlineSeconds);
@@ -132,6 +132,8 @@ Expected<TuneRequest> TuneRequest::fromJson(std::string_view Raw) {
   // keep their defaults (the flat-JSON helpers return false for both).
   jsonStringField(Json, "machine", R.Machine);
   jsonStringField(Json, "strategy", R.Strategy);
+  // Pre-tier clients omit "space"; they mean the small spaces.
+  jsonStringField(Json, "space", R.Space);
   jsonUintField(Json, "seed", R.Seed);
   jsonUintField(Json, "budget", R.Budget);
   jsonBoolField(Json, "fastbw", R.FastBw);
@@ -150,7 +152,8 @@ std::string TuneResult::toJson() const {
   OS << "{\"type\":\"result\",\"id\":\"" << jsonEscape(Id)
      << "\",\"app\":\"" << jsonEscape(Req.App) << "\",\"machine\":\""
      << jsonEscape(Req.Machine) << "\",\"strategy\":\""
-     << jsonEscape(Req.Strategy) << "\",\"seed\":" << Req.Seed
+     << jsonEscape(Req.Strategy) << "\",\"space\":\""
+     << jsonEscape(Req.Space) << "\",\"seed\":" << Req.Seed
      << ",\"budget\":" << Req.Budget;
   putBool(OS, "fastbw", Req.FastBw);
   putBool(OS, "lint", Req.Lint);
@@ -174,6 +177,7 @@ Expected<TuneResult> TuneResult::fromJson(std::string_view Raw) {
     return protoError("malformed result frame");
   jsonStringField(Json, "machine", R.Req.Machine);
   jsonStringField(Json, "strategy", R.Req.Strategy);
+  jsonStringField(Json, "space", R.Req.Space);
   jsonUintField(Json, "seed", R.Req.Seed);
   jsonUintField(Json, "budget", R.Req.Budget);
   jsonBoolField(Json, "fastbw", R.Req.FastBw);
@@ -195,6 +199,7 @@ std::string ShardRequest::toJson() const {
   OS << "{\"type\":\"shard\",\"app\":\"" << jsonEscape(Tune.App)
      << "\",\"machine\":\"" << jsonEscape(Tune.Machine)
      << "\",\"strategy\":\"" << jsonEscape(Tune.Strategy)
+     << "\",\"space\":\"" << jsonEscape(Tune.Space)
      << "\",\"seed\":" << Tune.Seed << ",\"budget\":" << Tune.Budget;
   putBool(OS, "fastbw", Tune.FastBw);
   putBool(OS, "lint", Tune.Lint);
@@ -210,6 +215,7 @@ Expected<ShardRequest> ShardRequest::fromJson(std::string_view Raw) {
     return protoError("shard request needs an \"app\" field");
   jsonStringField(Json, "machine", R.Tune.Machine);
   jsonStringField(Json, "strategy", R.Tune.Strategy);
+  jsonStringField(Json, "space", R.Tune.Space);
   jsonUintField(Json, "seed", R.Tune.Seed);
   jsonUintField(Json, "budget", R.Tune.Budget);
   jsonBoolField(Json, "fastbw", R.Tune.FastBw);

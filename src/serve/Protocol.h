@@ -55,7 +55,10 @@ namespace g80 {
 struct TuneRequest {
   std::string App;               ///< matmul | cp | sad | mri.
   std::string Machine = "gtx";   ///< gtx | nextgen.
-  std::string Strategy = "pareto"; ///< pareto|exhaustive|cluster|random.
+  std::string Strategy = "pareto"; ///< Any strategyName(); adaptive ones
+                                   ///< (greedy/anneal/genetic) are whole-
+                                   ///< job only — shards refuse them.
+  std::string Space = "small";   ///< small | large (config-space tier).
   uint64_t Seed = 1;
   uint64_t Budget = 16;
   bool FastBw = false;

@@ -146,7 +146,7 @@ ServeStatus TuneServer::status() const {
 
 std::shared_ptr<TuneServer::Engine>
 TuneServer::engineFor(const TuneRequest &Req, std::string &Error) {
-  std::string Key = Req.App + "|" + Req.Machine +
+  std::string Key = Req.App + "|" + Req.Machine + "|" + Req.Space +
                     (Req.FastBw ? "|fastbw" : "") +
                     (Req.Lint ? "|lint" : "");
   std::lock_guard<std::mutex> L(EngineM);
@@ -159,7 +159,9 @@ TuneServer::engineFor(const TuneRequest &Req, std::string &Error) {
   EngineMisses.fetch_add(1, std::memory_order_relaxed);
   traceCount("serve.engine_misses");
   auto E = std::make_shared<Engine>();
-  E->App = makeServeApp(Req.App);
+  SpaceTier Tier = SpaceTier::Small;
+  (void)parseSpaceTier(Req.Space, Tier); // Validated at admission.
+  E->App = makeServeApp(Req.App, Tier);
   if (!E->App) {
     Error = "unknown app '" + Req.App + "'";
     return nullptr;
@@ -247,15 +249,10 @@ void TuneServer::runJob(const std::shared_ptr<ServeJob> &Job) {
   if (Expired())
     return FailDurable("deadline exceeded before execution");
 
-  SweepPlan Plan = planForRequest(*E->Eng, Req, Opts.Jobs);
-  Job->Total.store(Plan.Candidates.size(), std::memory_order_relaxed);
-
   SweepOptions SOpts;
   SOpts.JournalPath = Requests.journalPath(Job->Id);
   SOpts.Resume = std::filesystem::exists(SOpts.JournalPath);
-  SOpts.Isolate = Opts.Isolate;
   SOpts.Jobs = Opts.Jobs;
-  SOpts.Fingerprint = fingerprintForRequest(*E->App, *E->Eng, Plan, Req);
   SOpts.OnProgress = [Job](const SweepProgress &P) {
     Job->Done.store(P.Done, std::memory_order_relaxed);
     Job->Total.store(P.Total, std::memory_order_relaxed);
@@ -269,7 +266,37 @@ void TuneServer::runJob(const std::shared_ptr<ServeJob> &Job) {
     return Expired() || sweepForceQuitRequested();
   };
 
-  SweepReport Rep = SweepDriver(*E->Eng, SOpts).run(std::move(Plan));
+  SweepReport Rep;
+  if (serveStrategyIsPlannable(Req)) {
+    SweepPlan Plan = planForRequest(*E->Eng, Req, Opts.Jobs);
+    Job->Total.store(Plan.Candidates.size(), std::memory_order_relaxed);
+    SOpts.Isolate = Opts.Isolate;
+    SOpts.Fingerprint = fingerprintForRequest(*E->App, *E->Eng, Plan, Req);
+    Rep = SweepDriver(*E->Eng, SOpts).run(std::move(Plan));
+  } else {
+    // Adaptive strategies (greedy/anneal/genetic) have no up-front plan;
+    // they run through the cursor executor against the same journal, so
+    // kill+restart recovery replays exactly like the plannable path.
+    StrategyKind Kind = StrategyKind::Pareto;
+    (void)parseStrategy(Req.Strategy, Kind); // Validated at admission.
+    Job->Total.store(Req.Budget, std::memory_order_relaxed);
+    JournalHeader H;
+    H.App = std::string(E->App->name());
+    H.Machine = E->Eng->evaluator().machine().Name;
+    H.Strategy = strategyName(Kind);
+    H.Seed = Req.Seed;
+    H.Budget = Req.Budget;
+    H.RawSize = E->App->space().rawSize();
+    H.Space = Req.Space;
+    // No plan to scan for quarantines: lint joins the fingerprint
+    // whenever armed, matching the CLI's adaptive path.
+    H.Extra = std::string(Req.FastBw ? "|fastbw" : "") +
+              (Req.Lint ? "|lint" : "");
+    SOpts.Fingerprint = H;
+    // Isolate is unsupported by the adaptive executor and ignored.
+    Rep = runAdaptiveSweep(*E->Eng, Kind,
+                           strategyOptionsForRequest(Req, Opts.Jobs), SOpts);
+  }
 
   if (Rep.Status == SweepStatus::Error)
     return FailDurable(Rep.Error.Message);

@@ -18,15 +18,16 @@
 
 using namespace g80;
 
-std::unique_ptr<TunableApp> g80::makeServeApp(const std::string &Name) {
+std::unique_ptr<TunableApp> g80::makeServeApp(const std::string &Name,
+                                              SpaceTier Tier) {
   if (Name == "matmul")
-    return std::make_unique<MatMulApp>(MatMulProblem::bench());
+    return std::make_unique<MatMulApp>(MatMulProblem::bench(), Tier);
   if (Name == "cp")
-    return std::make_unique<CpApp>(CpProblem::bench());
+    return std::make_unique<CpApp>(CpProblem::bench(), Tier);
   if (Name == "sad")
-    return std::make_unique<SadApp>(SadApp::benchProblem());
+    return std::make_unique<SadApp>(SadApp::benchProblem(), Tier);
   if (Name == "mri" || Name == "mri-fhd")
-    return std::make_unique<MriFhdApp>(MriProblem::bench());
+    return std::make_unique<MriFhdApp>(MriProblem::bench(), Tier);
   return nullptr;
 }
 
@@ -46,24 +47,45 @@ bool g80::validateServeRequest(const TuneRequest &Req, std::string &Error) {
     Error = "unknown machine '" + Req.Machine + "'";
     return false;
   }
-  if (Req.Strategy != "pareto" && Req.Strategy != "exhaustive" &&
-      Req.Strategy != "cluster" && Req.Strategy != "random") {
-    Error = "unknown or unsupported strategy '" + Req.Strategy +
-            "' (serve supports pareto|exhaustive|cluster|random)";
+  StrategyKind Kind;
+  if (!parseStrategy(Req.Strategy, Kind)) {
+    Error = "unknown strategy '" + Req.Strategy + "'";
+    return false;
+  }
+  SpaceTier Tier;
+  if (!parseSpaceTier(Req.Space, Tier)) {
+    Error = "unknown space tier '" + Req.Space +
+            "' (serve supports small|large)";
     return false;
   }
   return true;
 }
 
+bool g80::serveStrategyIsPlannable(const TuneRequest &Req) {
+  StrategyKind Kind;
+  return parseStrategy(Req.Strategy, Kind) && strategyIsPlannable(Kind);
+}
+
 SweepPlan g80::planForRequest(const SearchEngine &Eng, const TuneRequest &Req,
                               unsigned Jobs) {
-  if (Req.Strategy == "exhaustive")
-    return Eng.planExhaustive(Jobs);
-  if (Req.Strategy == "cluster")
-    return Eng.planClustered({}, 1e-3, Jobs);
-  if (Req.Strategy == "random")
-    return Eng.planRandom(Req.Budget, Req.Seed, Jobs);
-  return Eng.planPareto({}, Jobs);
+  StrategyOptions Opts;
+  Opts.Seed = Req.Seed;
+  Opts.Budget = Req.Budget;
+  Opts.Jobs = Jobs;
+  StrategyKind Kind;
+  if (!parseStrategy(Req.Strategy, Kind) || !strategyIsPlannable(Kind))
+    Kind = StrategyKind::Pareto; // Callers validate first; keep the old
+                                 // pareto default for anything else.
+  return planForStrategy(Eng, Kind, Opts);
+}
+
+StrategyOptions g80::strategyOptionsForRequest(const TuneRequest &Req,
+                                               unsigned Jobs) {
+  StrategyOptions Opts;
+  Opts.Seed = Req.Seed;
+  Opts.Budget = Req.Budget;
+  Opts.Jobs = Jobs;
+  return Opts;
 }
 
 JournalHeader g80::fingerprintForRequest(const TunableApp &App,
@@ -77,6 +99,7 @@ JournalHeader g80::fingerprintForRequest(const TunableApp &App,
   H.Seed = Req.Seed;
   H.Budget = Req.Budget;
   H.RawSize = App.space().rawSize();
+  H.Space = Req.Space;
   // Mirrors tune.cpp's fingerprint Extra (inject spec is always empty in
   // serve/fleet), so the CLI can --resume or report these journals.
   bool LintQuarantined = false;
@@ -94,8 +117,12 @@ uint64_t g80::planFingerprint(const JournalHeader &Header,
                               const SweepPlan &Plan) {
   std::string Bytes = Header.toJson();
   Bytes += '|';
-  for (size_t Flat : Plan.Candidates) {
-    Bytes += std::to_string(Flat);
+  // Hash the candidates' flat indices, not their Evals positions: dense
+  // plans are position == flat index (so this is byte-compatible with
+  // pre-tier fingerprints), but sparse large-tier plans number positions
+  // sample-relative, and two different samples must not collide.
+  for (size_t C : Plan.Candidates) {
+    Bytes += std::to_string(Plan.Evals[C].FlatIndex);
     Bytes += ',';
   }
   return fnv1a64(Bytes);
@@ -110,6 +137,14 @@ ShardResult g80::executeShard(const SearchEngine &Eng, const TunableApp &App,
   Res.Begin = Req.Begin;
   Res.End = Req.End;
   Res.Status = "error";
+
+  if (!serveStrategyIsPlannable(Req.Tune)) {
+    // Adaptive strategies have no up-front candidate list to partition;
+    // they run as whole jobs on one daemon, never as shards.
+    Res.Error = "strategy '" + Req.Tune.Strategy +
+                "' is adaptive and cannot be sharded";
+    return Res;
+  }
 
   SweepPlan Plan = planForRequest(Eng, Req.Tune, Jobs);
   JournalHeader Header = fingerprintForRequest(App, Eng, Plan, Req.Tune);

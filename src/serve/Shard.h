@@ -23,6 +23,7 @@
 #define G80TUNE_SERVE_SHARD_H
 
 #include "core/Search.h"
+#include "core/SearchStrategy.h"
 #include "serve/Protocol.h"
 #include "support/Journal.h"
 
@@ -34,19 +35,31 @@ namespace g80 {
 
 /// The daemon's app registry: bench-sized problems only, so every worker
 /// in a fleet tunes the same space.  Null for unknown names.
-std::unique_ptr<TunableApp> makeServeApp(const std::string &Name);
+std::unique_ptr<TunableApp> makeServeApp(const std::string &Name,
+                                         SpaceTier Tier = SpaceTier::Small);
 
 /// gtx (default) | nextgen.
 MachineModel makeServeMachine(const std::string &Name);
 
-/// Whether \p Req names a servable app/machine/strategy; on failure
+/// Whether \p Req names a servable app/machine/strategy/space; on failure
 /// \p Error says which field is wrong.
 bool validateServeRequest(const TuneRequest &Req, std::string &Error);
 
+/// Whether \p Req's strategy has an up-front candidate plan.  Adaptive
+/// strategies (greedy/anneal/genetic) run as whole jobs through
+/// runAdaptiveSweep and can never be sharded.
+bool serveStrategyIsPlannable(const TuneRequest &Req);
+
 /// Re-derives the deterministic plan \p Req names.  Identical for any
-/// \p Jobs value (parallelism only speeds up the static phase).
+/// \p Jobs value (parallelism only speeds up the static phase).  Callers
+/// must validate the request first; non-plannable strategies fall back to
+/// pareto.
 SweepPlan planForRequest(const SearchEngine &Eng, const TuneRequest &Req,
                          unsigned Jobs);
+
+/// The request's seed/budget/jobs repackaged for the strategy registry.
+StrategyOptions strategyOptionsForRequest(const TuneRequest &Req,
+                                          unsigned Jobs);
 
 /// The journal fingerprint header for \p Req's plan — byte-compatible
 /// with what `tune search` and `tune serve` write, so fleet journals can

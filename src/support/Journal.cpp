@@ -255,8 +255,8 @@ std::string JournalHeader::toJson() const {
   OS << "{\"app\":\"" << jsonEscape(App) << "\",\"machine\":\""
      << jsonEscape(Machine) << "\",\"strategy\":\"" << jsonEscape(Strategy)
      << "\",\"seed\":" << Seed << ",\"budget\":" << Budget
-     << ",\"raw\":" << RawSize << ",\"extra\":\"" << jsonEscape(Extra)
-     << "\"}";
+     << ",\"raw\":" << RawSize << ",\"space\":\"" << jsonEscape(Space)
+     << "\",\"extra\":\"" << jsonEscape(Extra) << "\"}";
   return OS.str();
 }
 
@@ -270,6 +270,9 @@ Expected<JournalHeader> JournalHeader::fromJson(std::string_view Json) {
       !jsonUintField(Json, "raw", H.RawSize) ||
       !jsonStringField(Json, "extra", H.Extra))
     return journalError("malformed journal header");
+  // Pre-tier journals omit "space"; they were all small-tier sweeps.
+  if (!jsonStringField(Json, "space", H.Space))
+    H.Space = "small";
   return H;
 }
 

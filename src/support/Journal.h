@@ -88,6 +88,9 @@ struct JournalHeader {
   uint64_t Seed = 0;    ///< Strategy seed (random/greedy).
   uint64_t Budget = 0;  ///< Strategy budget (random/greedy).
   uint64_t RawSize = 0; ///< ConfigSpace::rawSize() — cheap space check.
+  /// Config-space tier ("small"/"large").  Older journals omit the field
+  /// and read back as "small", which is what they were.
+  std::string Space = "small";
   /// Anything else that changes measurement results (e.g. the --inject
   /// spec).  Free-form; compared byte-for-byte.
   std::string Extra;
@@ -96,7 +99,7 @@ struct JournalHeader {
     return App == Other.App && Machine == Other.Machine &&
            Strategy == Other.Strategy && Seed == Other.Seed &&
            Budget == Other.Budget && RawSize == Other.RawSize &&
-           Extra == Other.Extra;
+           Space == Other.Space && Extra == Other.Extra;
   }
 
   std::string toJson() const;

@@ -560,7 +560,13 @@ TEST(ServeEndToEndTest, InvalidRequestsRejectedBeforeTicketing) {
   EXPECT_EQ(frameType(*Reply), "error");
 
   Bad = tinyRequest(1);
-  Bad.Strategy = "greedy"; // Not plannable, so not servable.
+  Bad.Strategy = "hillclimb"; // Unknown strategy name.
+  Reply = Client->submit(Bad, 10);
+  ASSERT_TRUE(Reply.ok());
+  EXPECT_EQ(frameType(*Reply), "error");
+
+  Bad = tinyRequest(1);
+  Bad.Space = "huge"; // Unknown space tier.
   Reply = Client->submit(Bad, 10);
   ASSERT_TRUE(Reply.ok());
   EXPECT_EQ(frameType(*Reply), "error");

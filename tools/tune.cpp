@@ -98,6 +98,7 @@
 #include "core/EvalRecord.h"
 #include "core/Report.h"
 #include "core/Search.h"
+#include "core/SearchStrategy.h"
 #include "core/SweepDriver.h"
 #include "fleet/Coordinator.h"
 #include "serve/Server.h"
@@ -155,7 +156,8 @@ int usage() {
       << "usage:\n"
          "  tune list\n"
          "  tune search  --app <matmul|cp|sad|mri> [--strategy pareto|"
-         "exhaustive|cluster|random|greedy]\n"
+         "exhaustive|cluster|random|\n"
+         "               greedy|anneal|genetic] [--space small|large]\n"
          "               [--machine gtx|nextgen] [--budget N] [--seed N] "
          "[--inject SPEC]\n"
          "               [--jobs N] [--fast-bw] [--lint] "
@@ -175,7 +177,8 @@ int usage() {
          "  tune fleet   --app <name> --spool DIR --journal FILE\n"
          "               [--workers ep1,ep2,...] [--machine gtx|nextgen]\n"
          "               [--strategy pareto|exhaustive|cluster|random]\n"
-         "               [--seed N] [--budget N] [--fast-bw] [--lint]\n"
+         "               [--space small|large] [--seed N] [--budget N] "
+         "[--fast-bw] [--lint]\n"
          "               [--shard-size N] [--shard-timeout S] "
          "[--heartbeat S]\n"
          "               [--hedge-pct P] [--jobs N] [--no-local] "
@@ -184,16 +187,29 @@ int usage() {
   return ExitUsage;
 }
 
-std::unique_ptr<TunableApp> makeApp(const std::string &Name) {
+std::unique_ptr<TunableApp> makeApp(const std::string &Name,
+                                    SpaceTier Tier = SpaceTier::Small) {
   if (Name == "matmul")
-    return std::make_unique<MatMulApp>(MatMulProblem::bench());
+    return std::make_unique<MatMulApp>(MatMulProblem::bench(), Tier);
   if (Name == "cp")
-    return std::make_unique<CpApp>(CpProblem::bench());
+    return std::make_unique<CpApp>(CpProblem::bench(), Tier);
   if (Name == "sad")
-    return std::make_unique<SadApp>(SadApp::benchProblem());
+    return std::make_unique<SadApp>(SadApp::benchProblem(), Tier);
   if (Name == "mri" || Name == "mri-fhd")
-    return std::make_unique<MriFhdApp>(MriProblem::bench());
+    return std::make_unique<MriFhdApp>(MriProblem::bench(), Tier);
   return nullptr;
+}
+
+/// Parses --space (default small); prints a usage error on garbage.
+bool spaceFlag(const std::map<std::string, std::string> &Flags,
+               SpaceTier &Tier) {
+  auto It = Flags.find("space");
+  if (It == Flags.end())
+    return true;
+  if (parseSpaceTier(It->second, Tier))
+    return true;
+  std::cerr << "error: --space must be 'small' or 'large'\n";
+  return false;
 }
 
 MachineModel makeMachine(const std::string &Name) {
@@ -335,7 +351,10 @@ void printSearchSummary(const TunableApp &App, const MachineModel &Machine,
 }
 
 int cmdSearch(std::map<std::string, std::string> Flags) {
-  std::unique_ptr<TunableApp> App = makeApp(Flags["app"]);
+  SpaceTier Tier = SpaceTier::Small;
+  if (!spaceFlag(Flags, Tier))
+    return usage();
+  std::unique_ptr<TunableApp> App = makeApp(Flags["app"], Tier);
   if (!App) {
     std::cerr << "error: unknown or missing --app\n";
     return usage();
@@ -456,43 +475,45 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
     };
   }
 
-  SweepPlan Plan;
-  bool Plannable = true;
-  if (Strategy == "pareto")
-    Plan = Engine.planPareto({}, Jobs);
-  else if (Strategy == "exhaustive")
-    Plan = Engine.planExhaustive(Jobs);
-  else if (Strategy == "cluster")
-    Plan = Engine.planClustered({}, 1e-3, Jobs);
-  else if (Strategy == "random")
-    Plan = Engine.planRandom(Budget, Seed, Jobs);
-  else if (Strategy == "greedy")
-    Plannable = false;
-  else {
+  StrategyKind Kind;
+  if (!parseStrategy(Strategy, Kind)) {
     std::cerr << "error: unknown --strategy\n";
     return usage();
   }
+  StrategyOptions StratO;
+  StratO.Seed = Seed;
+  StratO.Budget = Budget;
+  StratO.Jobs = unsigned(Jobs);
 
-  SearchOutcome Out;
-  bool Interrupted = false;
-  if (!Plannable) {
-    // Greedy decides each next measurement from the previous one, so
-    // there is no up-front candidate set to journal or shard against,
-    // and no independent measurements to parallelize.
-    if (!SOpts.JournalPath.empty() || SOpts.Isolate)
-      std::cerr << "warning: --journal/--isolate are not supported with "
-                   "the greedy strategy; running in-memory\n";
-    if (Flags.count("jobs") && Jobs > 1)
-      std::cerr << "warning: --jobs is ignored with the greedy strategy "
-                   "(each measurement decides the next)\n";
-    Out = Engine.greedyClimb(Budget, Seed);
+  SOpts.Fingerprint.App = std::string(App->name());
+  SOpts.Fingerprint.Machine = Machine.Name;
+  SOpts.Fingerprint.Seed = Seed;
+  SOpts.Fingerprint.Budget = Budget;
+  SOpts.Fingerprint.RawSize = App->space().rawSize();
+  SOpts.Fingerprint.Space = spaceTierName(Tier);
+
+  SweepReport Rep;
+  if (!strategyIsPlannable(Kind)) {
+    // Adaptive strategies (greedy/anneal/genetic) regenerate their probe
+    // sequence deterministically, so they journal and resume through
+    // runAdaptiveSweep.  Fork isolation is not supported there.
+    if (SOpts.Isolate)
+      std::cerr << "warning: --isolate is not supported with adaptive "
+                   "strategies; running in-process\n";
+    SOpts.Fingerprint.Strategy = strategyName(Kind);
+    // The fast path changes measured results, so it is part of the
+    // resume fingerprint.  Adaptive sweeps evaluate statics lazily, so
+    // the lint gate joins the fingerprint whenever it is armed rather
+    // than only when it fires (the plannable refinement below needs the
+    // full static table up front).
+    SOpts.Fingerprint.Extra = InjectSpec + (FastBw ? "|fastbw" : "") +
+                              (Lint ? "|lint" : "");
+    clearSweepInterrupt();
+    ScopedSweepSignalHandlers Guard;
+    Rep = runAdaptiveSweep(Engine, Kind, StratO, SOpts);
   } else {
-    SOpts.Fingerprint.App = std::string(App->name());
-    SOpts.Fingerprint.Machine = Machine.Name;
+    SweepPlan Plan = planForStrategy(Engine, Kind, StratO);
     SOpts.Fingerprint.Strategy = Plan.Strategy;
-    SOpts.Fingerprint.Seed = Seed;
-    SOpts.Fingerprint.Budget = Budget;
-    SOpts.Fingerprint.RawSize = App->space().rawSize();
     // The fast path changes measured results, so it is part of the
     // resume fingerprint: a --fast-bw journal cannot silently resume a
     // full-simulation sweep or vice versa.  The lint gate joins it only
@@ -511,21 +532,21 @@ int cmdSearch(std::map<std::string, std::string> Flags) {
     SweepDriver Driver(Engine, SOpts);
     clearSweepInterrupt();
     ScopedSweepSignalHandlers Guard;
-    SweepReport Rep = Driver.run(std::move(Plan));
-    for (const std::string &W : Rep.Warnings)
-      std::cerr << "warning: " << W << "\n";
-    if (Rep.Status == SweepStatus::Error) {
-      std::cerr << "error: " << Rep.Error.Message << "\n";
-      return ExitUsage;
-    }
-    Out = std::move(Rep.Outcome);
-    if (Rep.ResumedSkipped != 0)
-      std::cout << "  resumed from journal : " << Rep.ResumedSkipped
-                << " configurations skipped\n";
-    if (Rep.WorkerRetries != 0)
-      std::cout << "  worker retries       : " << Rep.WorkerRetries << "\n";
-    Interrupted = Rep.Status == SweepStatus::Interrupted;
+    Rep = Driver.run(std::move(Plan));
   }
+  for (const std::string &W : Rep.Warnings)
+    std::cerr << "warning: " << W << "\n";
+  if (Rep.Status == SweepStatus::Error) {
+    std::cerr << "error: " << Rep.Error.Message << "\n";
+    return ExitUsage;
+  }
+  SearchOutcome Out = std::move(Rep.Outcome);
+  if (Rep.ResumedSkipped != 0)
+    std::cout << "  resumed from journal : " << Rep.ResumedSkipped
+              << " configurations skipped\n";
+  if (Rep.WorkerRetries != 0)
+    std::cout << "  worker retries       : " << Rep.WorkerRetries << "\n";
+  bool Interrupted = Rep.Status == SweepStatus::Interrupted;
 
   printSearchSummary(*App, Machine, Out);
   if (Flags.count("out") && !writeEvalCsv(Flags["out"], Out))
@@ -660,6 +681,12 @@ int cmdFleet(std::map<std::string, std::string> Flags) {
     FO.Request.Machine = Flags["machine"];
   if (Flags.count("strategy"))
     FO.Request.Strategy = Flags["strategy"];
+  if (Flags.count("space")) {
+    SpaceTier Tier = SpaceTier::Small;
+    if (!spaceFlag(Flags, Tier))
+      return usage();
+    FO.Request.Space = spaceTierName(Tier);
+  }
   FO.Request.FastBw = Flags.count("fast-bw") != 0;
   FO.Request.Lint = Flags.count("lint") != 0;
   if (!Flags.count("spool")) {
